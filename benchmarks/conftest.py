@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures and reporting.
+
+Benchmarks reproduce the paper's tables/figures at the configured scale and
+print the measured-vs-paper rows.  ``report()`` archives each table under
+``benchmarks/results/`` and queues it for the terminal summary, which replays
+every table after the run (so they land in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.harness import build_environment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# The benchmark scale: N=200 for latency/bandwidth/roles (the paper's own
+# bandwidth and role figures use N=200), N=150 for the attack sweeps.
+MAIN_N = 200
+ATTACK_N = 150
+
+
+# Tables produced during this session, replayed after capture ends so they
+# appear in the terminal / tee'd output (pytest's fd-level capture swallows
+# even sys.__stdout__ while tests run).
+_SESSION_REPORTS: list[tuple[str, str]] = []
+
+
+def report(name: str, text: str) -> None:
+    """Archive *text* under results/ and queue it for the session summary."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    _SESSION_REPORTS.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every queued paper-vs-measured table after the test run."""
+
+    if not _SESSION_REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for name, text in _SESSION_REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def env_main():
+    """The N=200, f=1, k=10 environment (shared; built once)."""
+
+    return build_environment(num_nodes=MAIN_N, f=1, k=10, seed=0)
+
+
+@pytest.fixture(scope="session")
+def env_attack():
+    """The N=150 environment for the Fig. 5 sweeps."""
+
+    return build_environment(num_nodes=ATTACK_N, f=1, k=10, seed=0)

@@ -1,0 +1,95 @@
+"""Ablation: the number of overlays k.
+
+Paper (§IV): "using a larger k value implies a higher bandwidth consumption,
+but also ... higher dissemination fairness."  We sweep k and measure
+
+* dissemination fairness — per-node arrival-order bias across a workload
+  (k = 1 reuses one tree, so the same nodes always hear first);
+* overlay-distribution bandwidth — the signed encodings shipped to all nodes
+  grow linearly with k;
+* average latency — stays in the same band (each message uses one tree).
+"""
+
+import statistics
+
+from conftest import report
+
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+from repro.mempool.transaction import Transaction
+from repro.net.topology import generate_physical_network
+from repro.overlay.robust_tree import build_overlay_family
+from repro.utils.tables import format_table
+
+N = 100
+K_VALUES = (1, 4, 10)
+TXS = 12
+
+
+def _arrival_bias(stats, items, nodes, origins):
+    positions = {n: [] for n in nodes}
+    for item in items:
+        deliveries = dict(stats.deliveries.get(item, {}))
+        deliveries.pop(origins[item], None)
+        ordered = sorted(deliveries, key=lambda n: deliveries[n])
+        denominator = max(len(ordered) - 1, 1)
+        for position, node in enumerate(ordered):
+            positions[node].append(position / denominator)
+    biases = [
+        abs(statistics.mean(values) - 0.5)
+        for values in positions.values()
+        if values
+    ]
+    return statistics.mean(biases)
+
+
+def _run_with_k(physical, k):
+    overlays, _ranks = build_overlay_family(physical, f=1, k=k, seed=0)
+    config = HermesConfig(f=1, num_overlays=k, gossip_fallback_enabled=False)
+    system = HermesSystem(physical, config, overlays=overlays, seed=5)
+    system.start()
+    items, origins = [], {}
+    import random
+
+    rng = random.Random(3)
+    for _ in range(TXS):
+        origin = rng.choice(physical.nodes())
+        tx = Transaction.create(origin=origin, created_at=0.0)
+        items.append(tx.tx_id)
+        origins[tx.tx_id] = origin
+        system.submit(origin, tx)
+    system.run(until_ms=10_000)
+    latencies = system.stats.all_delivery_latencies()
+    bias = _arrival_bias(system.stats, items, physical.nodes(), origins)
+    encoding_bytes = sum(c.size_bytes for c in system.certificates) * physical.num_nodes
+    return statistics.mean(latencies), bias, encoding_bytes
+
+
+def test_ablation_number_of_overlays(benchmark):
+    physical = generate_physical_network(N, seed=0)
+
+    def sweep():
+        return {k: _run_with_k(physical, k) for k in K_VALUES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [k, latency, bias, encoding / 1024.0]
+        for k, (latency, bias, encoding) in results.items()
+    ]
+    report(
+        "ablation_k_overlays",
+        format_table(
+            ["k", "avg latency (ms)", "arrival bias (lower = fairer)", "encoding KB shipped"],
+            rows,
+            title=f"Ablation — number of overlays k (N={N}, {TXS} txs)",
+        ),
+    )
+
+    # Fairness improves (bias shrinks) when messages rotate over more trees.
+    assert results[10][1] < results[1][1]
+    # Distribution bandwidth grows linearly with k.
+    assert results[10][2] > results[4][2] > results[1][2]
+    # Latency stays in the same band (within 2x).
+    latencies = [results[k][0] for k in K_VALUES]
+    assert max(latencies) < 2 * min(latencies)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 2 (overlay structure comparison)."""
+
+from conftest import MAIN_N, report
+
+from repro.experiments import fig2_overlays
+
+
+def test_fig2_overlay_structures(benchmark):
+    config = fig2_overlays.Fig2Config(num_nodes=MAIN_N, f=1, seed=0)
+    result = benchmark.pedantic(
+        fig2_overlays.run, args=(config,), rounds=1, iterations=1
+    )
+    report("fig2_overlays", fig2_overlays.format_result(result))
+
+    tree = result.row("robust-tree")
+    others = [row for row in result.rows if row.structure != "robust-tree"]
+    # Paper: robust trees achieve significantly lower latency than the other
+    # structures, at the cost of the highest load imbalance.
+    assert tree.avg_latency_ms <= min(row.avg_latency_ms for row in others)
+    assert tree.load_stddev >= max(row.load_stddev for row in others)

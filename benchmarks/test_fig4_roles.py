@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 4 (role distribution, 200 nodes x 10 overlays).
+
+Paper claims: 10·(f+1) entry-point assignments; ranks widely distributed so
+no node is consistently favoured or consistently burdened.
+"""
+
+from conftest import MAIN_N, report
+
+from repro.experiments import fig4_roles
+
+
+def test_fig4_role_distribution(benchmark, env_main):
+    config = fig4_roles.Fig4Config(num_nodes=MAIN_N, k=10, f=1)
+    result = benchmark.pedantic(
+        fig4_roles.run, args=(config, env_main), rounds=1, iterations=1
+    )
+    report("fig4_roles", fig4_roles.format_result(result))
+
+    # Exactly k * (f+1) entry-point slots across the family.
+    assert result.entry_assignments == 10 * 2
+    # Role rotation: entry duty spread over many distinct nodes, and no node
+    # hogging the root.
+    assert result.distinct_entry_nodes >= 15
+    assert result.max_entry_repeats() <= 3
+    # Balanced average rank across nodes (Fig. 4's visual claim).
+    assert result.fairness_coefficient() < 0.15
+    # Every node appears in every overlay.
+    assert all(len(ranks) == 10 for ranks in result.ranks_per_node.values())

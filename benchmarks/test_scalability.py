@@ -1,0 +1,68 @@
+"""Benchmark: HERMES scalability in network size (Table I's "High" claim).
+
+Dissemination latency over an optimized robust tree should grow
+logarithmically in N (tree depth), not linearly — that is what earns HERMES
+the "High scalability" cell of Table I while fixed trees are "Moderate".
+We sweep N and verify the growth is strongly sub-linear.
+"""
+
+import statistics
+
+from conftest import report
+
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+from repro.mempool.transaction import Transaction
+from repro.net.topology import generate_physical_network
+from repro.overlay.robust_tree import build_overlay_family
+from repro.utils.tables import format_table
+
+SIZES = (100, 200, 400)
+K = 4
+
+
+def _measure(num_nodes: int) -> tuple[float, int, float]:
+    physical = generate_physical_network(num_nodes, seed=1)
+    overlays, _ranks = build_overlay_family(physical, f=1, k=K, seed=1)
+    config = HermesConfig(f=1, num_overlays=K, gossip_fallback_enabled=False)
+    system = HermesSystem(physical, config, overlays=overlays, seed=9)
+    system.start()
+    for origin in physical.nodes()[:4]:
+        system.submit(origin, Transaction.create(origin=origin, created_at=0.0))
+    system.run(until_ms=8_000)
+    latencies = system.stats.all_delivery_latencies()
+    depth = max(overlay.max_depth() for overlay in overlays)
+    coverage = statistics.mean(
+        len(system.stats.deliveries[item]) / num_nodes
+        for item in system.stats.send_times
+    )
+    return statistics.mean(latencies), depth, coverage
+
+
+def test_scalability_in_network_size(benchmark):
+    def sweep():
+        return {n: _measure(n) for n in SIZES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [n, latency, depth, f"{coverage:.1%}"]
+        for n, (latency, depth, coverage) in results.items()
+    ]
+    report(
+        "scalability",
+        format_table(
+            ["N", "avg latency (ms)", "max tree depth", "coverage"],
+            rows,
+            title=f"Scalability — HERMES latency vs network size (k={K}, f=1)",
+        ),
+    )
+
+    # Full delivery at every size.
+    assert all(coverage == 1.0 for _l, _d, coverage in results.values())
+    # Quadrupling N must not even double the latency (log-depth growth).
+    small = results[SIZES[0]][0]
+    large = results[SIZES[-1]][0]
+    assert large < 2.0 * small
+    # Depth grows by at most a couple of levels over the 4x size range.
+    assert results[SIZES[-1]][1] - results[SIZES[0]][1] <= 3

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+`pip install -e .` on modern pip builds an editable wheel, which requires the
+`wheel` distribution; this shim keeps `python setup.py develop` working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""HERMES: fair and resilient transaction dissemination (DSN 2025 reproduction).
+
+Top-level convenience re-exports. The subpackages are:
+
+- :mod:`repro.crypto` — signatures, threshold signatures, hashing (from scratch)
+- :mod:`repro.net` — deterministic discrete-event P2P simulation framework
+- :mod:`repro.overlay` — robust trees, annealing optimization, comparison overlays
+- :mod:`repro.rbc` — Bracha reliable broadcast
+- :mod:`repro.trs` — Threshold Random Seed committee protocol
+- :mod:`repro.core` — the HERMES dissemination protocol
+- :mod:`repro.mempool` — transactions, mempools, block ordering
+- :mod:`repro.baselines` — L-zero, Narwhal, Mercury, gossip, simple tree
+- :mod:`repro.attacks` — front-running and censorship adversaries
+- :mod:`repro.experiments` — one module per paper table/figure
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,9 @@
+"""``python -m repro`` — run the full paper-reproduction report.
+
+Delegates to :mod:`repro.experiments.report`; see ``--help`` for options.
+"""
+
+from .experiments.report import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Adversary drivers: front-running, censorship, and targeted overload.
+
+These modules inject the same adversary into HERMES and every baseline so the
+protocols can be compared under identical attack pressure (Figs. 5a/5b).
+"""
+
+from .censorship import CensorshipResult, run_censorship_trial
+from .frontrun import FrontRunResult, FrontRunTrial, run_front_running_trial
+from .overload import OverloadResult, run_overload_trial
+
+__all__ = [
+    "CensorshipResult",
+    "FrontRunResult",
+    "FrontRunTrial",
+    "OverloadResult",
+    "run_censorship_trial",
+    "run_front_running_trial",
+    "run_overload_trial",
+]

@@ -1,0 +1,198 @@
+"""Front-running adversary (paper §VIII-F).
+
+Threat model: a fraction of nodes is malicious.  The *first* malicious node to
+observe a victim transaction immediately generates an adversarial transaction
+and disseminates it, racing the victim to the block proposer.  The attack
+succeeds when the adversarial transaction precedes the victim's in the
+proposer's block (built in local-arrival order).
+
+How each protocol constrains the adversary:
+
+* **HERMES** — relays only accept transactions from legitimate overlay
+  predecessors carrying a valid TRS, so the adversary *must* go through the
+  committee (paying the seed round-trip) and over a randomly assigned overlay
+  it cannot choose.
+* **L∅** — mempool commitments make out-of-band injection attributable, so the
+  adversarial transaction travels through ordinary partner gossip.
+* **Narwhal** — no dissemination accountability; the adversary broadcasts its
+  own batch immediately (but so did the victim's origin, one hop to everyone).
+* **Mercury** — no sender verification at all: the adversary injects the
+  transaction *directly* to every node, skipping cluster routing entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..baselines.base import BaseSystem
+from ..baselines.mercury import MERCURY_TX_KIND, MercurySystem
+from ..core.protocol import HermesSystem
+from ..mempool.blocks import build_block
+from ..mempool.ordering import FrontRunVerdict, judge_front_running
+from ..mempool.transaction import Transaction
+from ..net.events import Message
+from ..net.faults import Behavior, FaultPlan
+from ..utils.rng import derive_rng
+
+__all__ = ["FrontRunResult", "FrontRunTrial", "run_front_running_trial"]
+
+
+@dataclass(frozen=True, slots=True)
+class FrontRunResult:
+    """Outcome of one front-running trial."""
+
+    verdict: FrontRunVerdict
+    attacker: int | None
+    observation_time: float | None
+    victim_arrival_at_proposer: float | None
+    adversarial_arrival_at_proposer: float | None
+
+    @property
+    def attack_launched(self) -> bool:
+        return self.attacker is not None
+
+
+@dataclass
+class FrontRunTrial:
+    """Mutable state shared by the observe hooks during one trial."""
+
+    victim_tx_id: int
+    attacker: int | None = None
+    observation_time: float | None = None
+    adversarial_tx: Transaction | None = None
+
+
+def _default_adversarial_submit(system, node, tx: Transaction) -> None:
+    """Submit through the protocol (what accountability forces)."""
+
+    node.submit_transaction(tx)
+
+
+def _mercury_direct_injection(system: MercurySystem, node, tx: Transaction) -> None:
+    """Target Mercury's critical cluster nodes directly.
+
+    Mercury performs no sender verification, so the adversary pushes its
+    transaction straight to every cluster landmark (the relays every cluster's
+    traffic funnels through) in addition to its own peers — skipping the
+    cluster routing the victim's transaction has to take.
+    """
+
+    system.network.stats.record_dissemination_start(tx.tx_id, system.simulator.now)
+    node.deliver_locally(tx)
+    message = Message(MERCURY_TX_KIND, tx, tx.size_bytes)
+    targets = set(node.peers) | set(system.landmarks)
+    for peer in targets:
+        if peer != node.node_id:
+            node.send(peer, message)
+
+
+def adversarial_strategy_for(system) -> Callable:
+    """The fastest injection the protocol's checks still permit."""
+
+    if isinstance(system, MercurySystem):
+        return _mercury_direct_injection
+    return _default_adversarial_submit
+
+
+def censorship_is_deniable(system) -> bool:
+    """Whether a colluding relay can suppress the victim tx without exposure.
+
+    A rational adversary only censors where it cannot be attributed:
+
+    * **HERMES** — relays must prove they forwarded along the signed overlay
+      (§I: nodes "prove adherence to the mempool's dissemination policies");
+      every receiver knows its f+1 predecessors, so a silent predecessor is
+      identified and excluded.  No deniable censorship.
+    * **L∅** — mempool commitments and witnessing uncover selective forwarding
+      with high probability.  No deniable censorship.
+    * **Narwhal / Mercury / plain gossip** — no relay accountability at all.
+    """
+
+    from ..baselines.lzero import LZeroSystem
+    from ..core.protocol import HermesSystem
+
+    return not isinstance(system, (LZeroSystem, HermesSystem))
+
+
+def run_front_running_trial(
+    system_factory: Callable[[FaultPlan, Callable], "BaseSystem | HermesSystem"],
+    node_ids: list[int],
+    malicious_fraction: float,
+    victim: int,
+    proposer: int,
+    horizon_ms: float = 5_000.0,
+    seed: int = 0,
+    protected: tuple[int, ...] = (),
+) -> FrontRunResult:
+    """Run one complete front-running trial.
+
+    *system_factory* receives the fault plan and an observe hook and must
+    return a ready (unstarted) system.  The victim and proposer (and any
+    *protected* ids, e.g. the TRS committee) are never corrupted.
+    """
+
+    plan = FaultPlan.random_fraction(
+        node_ids,
+        malicious_fraction,
+        Behavior.FRONT_RUN,
+        seed=seed,
+        protected=(victim, proposer, *protected),
+    )
+
+    trial = FrontRunTrial(victim_tx_id=-1)
+    strategy_holder: list[Callable] = []
+    system_holder: list[object] = []
+
+    def observe_hook(node, tx: Transaction) -> None:
+        if node.behavior is not Behavior.FRONT_RUN:
+            return
+        if tx.tx_id != trial.victim_tx_id:
+            return
+        system = system_holder[0]
+        # Every colluding observer censors the victim transaction where the
+        # protocol cannot attribute it (set before the caller forwards).
+        if censorship_is_deniable(system):
+            node.censor_ids.add(tx.tx_id)
+        # Only the first observer launches the adversarial transaction.
+        if trial.attacker is not None:
+            return
+        trial.attacker = node.node_id
+        trial.observation_time = node.now
+        adversarial = Transaction.create(
+            origin=node.node_id, created_at=node.now, tag="adversarial"
+        )
+        trial.adversarial_tx = adversarial
+        strategy_holder[0](system, node, adversarial)
+
+    system = system_factory(plan, observe_hook)
+    system_holder.append(system)
+    strategy_holder.append(adversarial_strategy_for(system))
+
+    system.start()
+    victim_tx = Transaction.create(origin=victim, created_at=0.0, tag="victim")
+    trial.victim_tx_id = victim_tx.tx_id
+    system.submit(victim, victim_tx)
+    system.run(until_ms=horizon_ms)
+
+    proposer_node = system.nodes[proposer]
+    block = build_block(proposer_node.mempool, system.simulator.now)
+    adversarial_ids = (
+        [trial.adversarial_tx.tx_id] if trial.adversarial_tx is not None else []
+    )
+    verdict = judge_front_running(block, victim_tx.tx_id, adversarial_ids)
+
+    def arrival(tx_id: int | None) -> float | None:
+        if tx_id is None or tx_id not in proposer_node.mempool:
+            return None
+        return proposer_node.mempool.arrival_time(tx_id)
+
+    return FrontRunResult(
+        verdict=verdict,
+        attacker=trial.attacker,
+        observation_time=trial.observation_time,
+        victim_arrival_at_proposer=arrival(victim_tx.tx_id),
+        adversarial_arrival_at_proposer=arrival(
+            trial.adversarial_tx.tx_id if trial.adversarial_tx else None
+        ),
+    )

@@ -1,0 +1,41 @@
+"""Baseline dissemination protocols, all on the common simulation framework.
+
+* :mod:`gossip` — plain push gossip (Table I's "Gossip" column);
+* :mod:`simple_tree` — a single fixed tree overlay (Table I's "Simple Tree");
+* :mod:`lzero` — L∅ (Nasrulin et al., Middleware'23): accountable low-fanout
+  gossip with commitments and periodic mempool reconciliation;
+* :mod:`narwhal` — Narwhal (Danezis et al., EuroSys'22): batch broadcast with
+  2f+1 availability certificates;
+* :mod:`mercury` — Mercury (Zhou et al., INFOCOM'23): virtual-coordinate
+  clustering with early outburst.
+
+Every system exposes the same driving surface as
+:class:`repro.core.HermesSystem` (``start`` / ``submit`` / ``run`` / ``stats``)
+so the experiment harness treats all five protocols uniformly.
+"""
+
+from .base import BaseSystem
+from .gossip import GossipConfig, GossipNode, GossipSystem
+from .lzero import LZeroConfig, LZeroNode, LZeroSystem
+from .mercury import MercuryConfig, MercuryNode, MercurySystem
+from .narwhal import NarwhalConfig, NarwhalNode, NarwhalSystem
+from .simple_tree import SimpleTreeConfig, SimpleTreeNode, SimpleTreeSystem
+
+__all__ = [
+    "BaseSystem",
+    "GossipConfig",
+    "GossipNode",
+    "GossipSystem",
+    "LZeroConfig",
+    "LZeroNode",
+    "LZeroSystem",
+    "MercuryConfig",
+    "MercuryNode",
+    "MercurySystem",
+    "NarwhalConfig",
+    "NarwhalNode",
+    "NarwhalSystem",
+    "SimpleTreeConfig",
+    "SimpleTreeNode",
+    "SimpleTreeSystem",
+]

@@ -1,0 +1,116 @@
+"""Shared scaffolding for baseline protocol systems.
+
+Every baseline follows the same lifecycle as :class:`repro.core.HermesSystem`:
+construct over a :class:`PhysicalNetwork` with a :class:`FaultPlan`, ``start``,
+``submit`` transactions at origin nodes, ``run`` the simulator, read
+``stats``.  :class:`BaseSystem` implements that lifecycle; subclasses provide
+the node factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..mempool.transaction import Transaction
+from ..net.faults import Behavior, FaultPlan
+from ..net.node import Network, ProtocolNode
+from ..net.simulator import Simulator
+from ..net.topology import PhysicalNetwork
+
+__all__ = ["BaseSystem", "BaselineNode"]
+
+
+class BaselineNode(ProtocolNode):
+    """Common behaviour for baseline protocol nodes: local mempool delivery,
+    Byzantine behaviour switch, and the observe hook used by attack drivers."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        behavior: Behavior = Behavior.HONEST,
+        observe_hook: Callable[["BaselineNode", Transaction], None] | None = None,
+    ) -> None:
+        super().__init__(node_id, network)
+        from ..mempool.mempool import Mempool
+
+        self.behavior = behavior
+        self.observe_hook = observe_hook
+        self.mempool = Mempool(owner=node_id)
+        # Transactions this (malicious) node selectively refuses to forward —
+        # the colluding adversary's censorship lever against a victim
+        # transaction it is racing.  Attack drivers populate this through the
+        # observe hook; honest nodes never touch it.
+        self.censor_ids: set[int] = set()
+
+    def censors(self, tx: Transaction) -> bool:
+        return tx.tx_id in self.censor_ids
+
+    def mark_first_transmission(self, tx: Transaction) -> None:
+        """Record the paper's latency reference point for *tx*."""
+
+        self.network.stats.record_dissemination_start(tx.tx_id, self.now)
+
+    def deliver_locally(self, tx: Transaction, record_stats: bool = True) -> bool:
+        """Record *tx* in the mempool (and, by default, the delivery stats).
+
+        Protocols whose *usable* delivery lags mempool arrival (Narwhal's
+        certificate) pass ``record_stats=False`` here and log the stats
+        delivery themselves at the later point.  Returns True if new.
+        """
+
+        if not self.mempool.add(tx, self.now):
+            return False
+        if record_stats:
+            self.network.stats.record_delivery(tx.tx_id, self.node_id, self.now)
+        if self.observe_hook is not None:
+            self.observe_hook(self, tx)
+        return True
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        raise NotImplementedError
+
+
+class BaseSystem:
+    """Owns the simulator, network and node set of one baseline deployment."""
+
+    def __init__(
+        self,
+        physical: PhysicalNetwork,
+        fault_plan: FaultPlan | None = None,
+        observe_hook: Callable[[BaselineNode, Transaction], None] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.physical = physical
+        self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.honest()
+        self.observe_hook = observe_hook
+        self.seed = seed
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, physical, seed=seed)
+        self.nodes: dict[int, BaselineNode] = {}
+        for node_id in physical.nodes():
+            self.nodes[node_id] = self._make_node(
+                node_id, self.fault_plan.behavior_of(node_id)
+            )
+
+    def _make_node(self, node_id: int, behavior: Behavior) -> BaselineNode:
+        raise NotImplementedError
+
+    # -- driving ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.network.start_all()
+
+    def submit(self, origin: int, tx: Transaction) -> None:
+        self.network.stats.record_submission(tx.tx_id, self.simulator.now)
+        self.nodes[origin].submit_transaction(tx)
+
+    def run(self, until_ms: float | None = None) -> float:
+        return self.simulator.run(until_ms)
+
+    @property
+    def stats(self):
+        return self.network.stats
+
+    def honest_node_ids(self) -> list[int]:
+        return self.fault_plan.honest_nodes(self.physical.nodes())

@@ -1,0 +1,108 @@
+"""Single fixed tree — Table I's "Simple Tree" baseline.
+
+One balanced ``branching``-ary tree is laid over the node ids; the sender
+hands its transaction to the root, which pushes it down.  A single Byzantine
+interior node silently severs its whole subtree — exactly the fragility the
+robust trees of HERMES are designed to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..mempool.transaction import Transaction
+from ..net.events import Message
+from ..net.faults import Behavior
+from .base import BaselineNode, BaseSystem
+
+__all__ = ["SimpleTreeConfig", "SimpleTreeNode", "SimpleTreeSystem"]
+
+TREE_TX_KIND = "tree-tx"
+
+
+@dataclass(frozen=True, slots=True)
+class SimpleTreeConfig:
+    """Branching factor of the fixed tree."""
+
+    branching: int = 4
+
+    def __post_init__(self) -> None:
+        if self.branching < 1:
+            raise ConfigurationError(f"branching must be positive, got {self.branching}")
+
+
+def tree_children(position: int, branching: int, size: int) -> list[int]:
+    """Children positions of *position* in an implicit balanced tree."""
+
+    first = position * branching + 1
+    return [c for c in range(first, first + branching) if c < size]
+
+
+class SimpleTreeNode(BaselineNode):
+    """A node in the implicit balanced tree (position = sorted index)."""
+
+    def __init__(
+        self, node_id, network, config: SimpleTreeConfig, order: list[int], **kwargs
+    ) -> None:
+        super().__init__(node_id, network, **kwargs)
+        self.config = config
+        self._order = order
+        self._position = order.index(node_id)
+        self._pushed: set[int] = set()
+
+    @property
+    def root_id(self) -> int:
+        return self._order[0]
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        if self.behavior is Behavior.CRASH:
+            return
+        self.mark_first_transmission(tx)
+        self.deliver_locally(tx)
+        if self._position == 0:
+            self._push_down(tx)
+        else:
+            self.send(self.root_id, Message(TREE_TX_KIND, tx, tx.size_bytes))
+
+    def on_message(self, sender: int, message: Message) -> None:
+        if self.behavior is Behavior.CRASH or message.kind != TREE_TX_KIND:
+            return
+        tx: Transaction = message.payload
+        self.deliver_locally(tx)
+        # A node may already hold the transaction (it is the origin) and still
+        # owe its subtree a push when the tree copy arrives via its parent.
+        if self.behavior is Behavior.DROP_RELAY:
+            return
+        self._push_down(tx)
+
+    def _push_down(self, tx: Transaction) -> None:
+        if tx.tx_id in self._pushed:
+            return
+        self._pushed.add(tx.tx_id)
+        message = Message(TREE_TX_KIND, tx, tx.size_bytes)
+        for child_position in tree_children(
+            self._position, self.config.branching, len(self._order)
+        ):
+            self.send(self._order[child_position], message)
+
+
+class SimpleTreeSystem(BaseSystem):
+    """A network of :class:`SimpleTreeNode` over one implicit balanced tree."""
+
+    def __init__(
+        self, physical, config: SimpleTreeConfig | None = None, **kwargs
+    ) -> None:
+        self.config = config if config is not None else SimpleTreeConfig()
+        self._order = physical.nodes()
+        super().__init__(physical, **kwargs)
+
+    def _make_node(self, node_id: int, behavior: Behavior) -> SimpleTreeNode:
+        return SimpleTreeNode(
+            node_id,
+            self.network,
+            self.config,
+            self._order,
+            behavior=behavior,
+            observe_hook=self.observe_hook,
+        )

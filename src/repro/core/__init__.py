@@ -1,0 +1,50 @@
+"""HERMES — the paper's dissemination protocol (§IV and §VI).
+
+Online flow per message:
+
+1. the sender obtains a Threshold Random Seed for ``(i, H(m))`` from the
+   ``3f+1`` committee (:mod:`repro.trs`);
+2. the seed verifiably selects one of the ``k`` precomputed robust-tree
+   overlays (``overlay = seed mod k``);
+3. the sender forwards the message to that overlay's ``f+1`` entry points over
+   ``f+1`` disjoint paths;
+4. relays verify the threshold signature, the sequence number, and that the
+   immediate sender is a legitimate predecessor — then forward to their
+   successors; violations are logged and the offender excluded;
+5. a background gossip fallback (activated after delay ``T``) reconciles
+   mempools so fault-density violations cannot cause permanent loss (§VII-A).
+"""
+
+from .accountability import AccountabilityMonitor, Violation, ViolationLog
+from .batching import BatchingHermesNode, BatchingHermesSystem
+from .config import HermesConfig
+from .dissemination import DisseminationEnvelope
+from .erasure import decode_shards, encode_shards, hermes_erasure_parameters
+from .membership import MembershipManager, committee_epoch_seed
+from .peer_sampling import PeerSamplingNode
+from .permissionless import PermissionlessDeployment
+from .protocol import HermesNode, HermesSystem
+from .sequencer import SequenceAuditor
+from .tracing import ActivityKind, ActivityTrace
+
+__all__ = [
+    "AccountabilityMonitor",
+    "ActivityKind",
+    "ActivityTrace",
+    "BatchingHermesNode",
+    "BatchingHermesSystem",
+    "PermissionlessDeployment",
+    "DisseminationEnvelope",
+    "HermesConfig",
+    "HermesNode",
+    "HermesSystem",
+    "MembershipManager",
+    "PeerSamplingNode",
+    "SequenceAuditor",
+    "Violation",
+    "ViolationLog",
+    "committee_epoch_seed",
+    "decode_shards",
+    "encode_shards",
+    "hermes_erasure_parameters",
+]

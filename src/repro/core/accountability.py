@@ -1,0 +1,92 @@
+"""Accountability: violation records, audit log and exclusion (§VI-C).
+
+A node receiving a message verifies (i) the threshold signature, (ii) the
+sequence number, (iii) that the immediate sender is a valid predecessor in
+the claimed overlay.  Failures produce :class:`Violation` records in the
+shared :class:`ViolationLog` — the simulation's stand-in for the paper's
+"tamper-proof evidence of each transmission path" — and, when configured,
+exclusion of the offender from further participation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ViolationKind", "Violation", "ViolationLog", "AccountabilityMonitor"]
+
+
+class ViolationKind(enum.Enum):
+    BAD_SIGNATURE = "bad-signature"
+    WRONG_OVERLAY = "wrong-overlay"
+    ILLEGITIMATE_PREDECESSOR = "illegitimate-predecessor"
+    SEQUENCE_GAP = "sequence-gap"
+    EXCLUDED_SENDER = "excluded-sender"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected deviation, attributable to *accused*."""
+
+    kind: ViolationKind
+    accused: int
+    reporter: int
+    time_ms: float
+    detail: str = ""
+
+
+@dataclass
+class ViolationLog:
+    """Append-only evidence log shared by all correct nodes of one system."""
+
+    entries: list[Violation] = field(default_factory=list)
+
+    def record(self, violation: Violation) -> None:
+        self.entries.append(violation)
+
+    def against(self, node_id: int) -> list[Violation]:
+        return [v for v in self.entries if v.accused == node_id]
+
+    def by_kind(self, kind: ViolationKind) -> list[Violation]:
+        return [v for v in self.entries if v.kind == kind]
+
+    def accused_nodes(self) -> set[int]:
+        return {v.accused for v in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class AccountabilityMonitor:
+    """Per-node view: records violations and tracks exclusions."""
+
+    def __init__(
+        self, owner: int, log: ViolationLog, exclude_violators: bool = True
+    ) -> None:
+        self.owner = owner
+        self._log = log
+        self._exclude = exclude_violators
+        self._excluded: set[int] = set()
+
+    def flag(
+        self, kind: ViolationKind, accused: int, time_ms: float, detail: str = ""
+    ) -> None:
+        """Record a violation and (optionally) exclude the offender."""
+
+        self._log.record(
+            Violation(
+                kind=kind,
+                accused=accused,
+                reporter=self.owner,
+                time_ms=time_ms,
+                detail=detail,
+            )
+        )
+        if self._exclude:
+            self._excluded.add(accused)
+
+    def is_excluded(self, node_id: int) -> bool:
+        return node_id in self._excluded
+
+    def excluded_nodes(self) -> frozenset[int]:
+        return frozenset(self._excluded)

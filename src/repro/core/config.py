@@ -1,0 +1,65 @@
+"""HERMES protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["HermesConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class HermesConfig:
+    """All HERMES knobs in one place.
+
+    Defaults follow the paper's evaluation setup (§VIII-A): ``f = 1`` local
+    fault bound, ``k = 10`` overlays.  ``gossip_fallback_delay_ms`` is the
+    delay ``T`` of §VII-A after which background gossip starts reconciling;
+    set ``gossip_fallback_enabled=False`` to measure pure-overlay robustness.
+    """
+
+    f: int = 1
+    num_overlays: int = 10
+    use_physical_paths: bool = False
+    gossip_fallback_enabled: bool = True
+    gossip_fallback_delay_ms: float = 500.0
+    gossip_period_ms: float = 250.0
+    gossip_fanout: int = 3
+    sequence_gap_timeout_ms: float = 1_000.0
+    exclude_violators: bool = True
+    # §IV step 3 (optional): delivery acknowledgments flow back to the sender
+    # through the same overlay, aggregated at each relay.
+    acknowledgments_enabled: bool = False
+    ack_flush_timeout_ms: float = 400.0
+    # §I: "thorough logging to trace node activity" — collect the full
+    # activity trace (TRS requests, dispatches, relays, deliveries, acks).
+    tracing_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {self.f}")
+        if self.num_overlays < 1:
+            raise ConfigurationError(
+                f"need at least one overlay, got {self.num_overlays}"
+            )
+        if self.gossip_fanout < 1:
+            raise ConfigurationError(
+                f"gossip_fanout must be positive, got {self.gossip_fanout}"
+            )
+        for name in (
+            "gossip_fallback_delay_ms",
+            "gossip_period_ms",
+            "sequence_gap_timeout_ms",
+            "ack_flush_timeout_ms",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def committee_size(self) -> int:
+        return 3 * self.f + 1
+
+    @property
+    def committee_threshold(self) -> int:
+        return 2 * self.f + 1

@@ -1,0 +1,65 @@
+"""HERMES wire messages.
+
+The :class:`DisseminationEnvelope` travels with every transaction: it binds
+the transaction to its origin's sequence number, the committee's threshold
+signature (the TRS), and the overlay the seed selected.  Every relay can — and
+does — re-verify all three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.backend import CryptoBackend
+from ..mempool.transaction import Transaction
+from ..trs.committee import trs_binding
+
+__all__ = [
+    "ACK_KIND",
+    "DISSEMINATE_KIND",
+    "ROUTE_KIND",
+    "GOSSIP_DIGEST_KIND",
+    "GOSSIP_REQUEST_KIND",
+    "GOSSIP_TXS_KIND",
+    "DisseminationEnvelope",
+]
+
+DISSEMINATE_KIND = "hermes-disseminate"
+ROUTE_KIND = "hermes-route"
+ACK_KIND = "hermes-ack"
+GOSSIP_DIGEST_KIND = "hermes-gossip-digest"
+GOSSIP_REQUEST_KIND = "hermes-gossip-request"
+GOSSIP_TXS_KIND = "hermes-gossip-txs"
+
+# Envelope framing beyond the transaction and signature: origin, sequence,
+# overlay id, and the 32-byte digest.
+_ENVELOPE_EXTRA_BYTES = 48
+
+
+@dataclass(frozen=True, slots=True)
+class DisseminationEnvelope:
+    """A transaction plus everything needed to verify its dissemination."""
+
+    tx: Transaction
+    origin: int
+    sequence: int
+    signature: object
+    overlay_id: int
+
+    def binding(self) -> bytes:
+        """The committee-signed byte string this envelope claims a seed for."""
+
+        return trs_binding(self.origin, self.sequence, self.tx.digest())
+
+    def verify(self, backend: CryptoBackend, num_overlays: int) -> bool:
+        """Check the TRS signature and that it really selects this overlay."""
+
+        if not backend.verify_combined(self.binding(), self.signature):
+            return False
+        return (
+            backend.seed_from_signature(self.signature, num_overlays)
+            == self.overlay_id
+        )
+
+    def wire_bytes(self, backend: CryptoBackend) -> int:
+        return self.tx.size_bytes + backend.threshold_sig_size + _ENVELOPE_EXTRA_BYTES

@@ -1,0 +1,188 @@
+"""Erasure-coded dissemination — the paper's §VIII-D optimization.
+
+"An (k+1, f+1+k) erasure coding scheme could divide a message into f+1+k
+chunks, each one being disseminated over one of f+1+k disjoint paths.  A node
+would then receive at least k+1 chunks and recover the original batch."
+
+This module implements a real Reed–Solomon code over GF(2^8):
+
+* :func:`encode_shards` — split a payload into ``data_shards`` stripes and
+  extend them to ``total_shards`` coded shards (Vandermonde evaluation);
+* :func:`decode_shards` — recover the payload from any ``data_shards`` of
+  them (Gaussian elimination over the field);
+* :func:`hermes_erasure_parameters` — the paper's (k+1, f+1+k) instantiation.
+
+Losing up to ``total_shards - data_shards`` shards (the ``f`` faulty paths)
+is tolerated exactly, which is the property the disjoint-path dissemination
+needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Shard",
+    "encode_shards",
+    "decode_shards",
+    "hermes_erasure_parameters",
+]
+
+# GF(2^8) with the AES-style primitive polynomial x^8+x^4+x^3+x+1 (0x11b) and
+# generator 3.
+_EXP = [0] * 512
+_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(255):
+        _EXP[power] = value
+        _LOG[value] = power
+        # Multiply by the generator 3 (i.e. x + 1): v*2 xor v, reduced.
+        doubled = value << 1
+        if doubled & 0x100:
+            doubled ^= 0x11B
+        value = (doubled ^ value) & 0xFF
+    for power in range(255, 512):
+        _EXP[power] = _EXP[power - 255]
+
+
+_build_tables()
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+@dataclass(frozen=True, slots=True)
+class Shard:
+    """One coded shard: its evaluation index and byte payload."""
+
+    index: int
+    data: bytes
+
+
+def hermes_erasure_parameters(f: int, k: int) -> tuple[int, int]:
+    """The paper's scheme: ``(data_shards, total_shards) = (k+1, f+1+k)``."""
+
+    if f < 0 or k < 0:
+        raise ConfigurationError("f and k must be non-negative")
+    return k + 1, f + 1 + k
+
+
+def _stripe(payload: bytes, data_shards: int) -> list[bytes]:
+    """Split *payload* into ``data_shards`` equal stripes (zero padded)."""
+
+    stripe_length = -(-len(payload) // data_shards) if payload else 1
+    padded = payload.ljust(stripe_length * data_shards, b"\x00")
+    return [
+        padded[i * stripe_length : (i + 1) * stripe_length]
+        for i in range(data_shards)
+    ]
+
+
+def encode_shards(payload: bytes, data_shards: int, total_shards: int) -> list[Shard]:
+    """Encode *payload* into *total_shards* shards, any *data_shards* recover.
+
+    Shard ``i`` holds, per byte position, the Vandermonde evaluation
+    ``Σ_j stripe_j[pos] · α_i^j`` with ``α_i = i + 1`` (non-zero, distinct).
+    """
+
+    if data_shards < 1:
+        raise ConfigurationError(f"data_shards must be >= 1, got {data_shards}")
+    if total_shards < data_shards:
+        raise ConfigurationError(
+            f"total_shards {total_shards} < data_shards {data_shards}"
+        )
+    if total_shards > 255:
+        raise ConfigurationError("GF(256) supports at most 255 shards")
+
+    stripes = _stripe(payload, data_shards)
+    stripe_length = len(stripes[0])
+    shards = []
+    for index in range(total_shards):
+        alpha = index + 1
+        # Precompute alpha^j for j in [0, data_shards).
+        powers = [1] * data_shards
+        for j in range(1, data_shards):
+            powers[j] = _gf_mul(powers[j - 1], alpha)
+        out = bytearray(stripe_length)
+        for position in range(stripe_length):
+            accumulator = 0
+            for j in range(data_shards):
+                accumulator ^= _gf_mul(stripes[j][position], powers[j])
+            out[position] = accumulator
+        shards.append(Shard(index=index, data=bytes(out)))
+    return shards
+
+
+def decode_shards(
+    shards: list[Shard], data_shards: int, payload_length: int
+) -> bytes:
+    """Recover the payload from any *data_shards* distinct shards."""
+
+    unique = {shard.index: shard for shard in shards}
+    chosen = [unique[i] for i in sorted(unique)][:data_shards]
+    if len(chosen) < data_shards:
+        raise ConfigurationError(
+            f"need {data_shards} distinct shards, got {len(unique)}"
+        )
+    stripe_length = len(chosen[0].data)
+    if any(len(shard.data) != stripe_length for shard in chosen):
+        raise ConfigurationError("shards have inconsistent lengths")
+
+    # Build the Vandermonde system rows for the chosen evaluation points.
+    matrix = []
+    for shard in chosen:
+        alpha = shard.index + 1
+        row = [1] * data_shards
+        for j in range(1, data_shards):
+            row[j] = _gf_mul(row[j - 1], alpha)
+        matrix.append(row)
+
+    # Invert by Gauss-Jordan over GF(256), applying the same operations to an
+    # identity matrix.
+    n = data_shards
+    inverse = [[1 if r == c else 0 for c in range(n)] for r in range(n)]
+    work = [list(row) for row in matrix]
+    for column in range(n):
+        pivot_row = next(
+            (r for r in range(column, n) if work[r][column] != 0), None
+        )
+        if pivot_row is None:
+            raise ConfigurationError("singular decoding matrix (duplicate shards?)")
+        work[column], work[pivot_row] = work[pivot_row], work[column]
+        inverse[column], inverse[pivot_row] = inverse[pivot_row], inverse[column]
+        pivot_inverse = _gf_inv(work[column][column])
+        for c in range(n):
+            work[column][c] = _gf_mul(work[column][c], pivot_inverse)
+            inverse[column][c] = _gf_mul(inverse[column][c], pivot_inverse)
+        for r in range(n):
+            if r == column or work[r][column] == 0:
+                continue
+            factor = work[r][column]
+            for c in range(n):
+                work[r][c] ^= _gf_mul(factor, work[column][c])
+                inverse[r][c] ^= _gf_mul(factor, inverse[column][c])
+
+    stripes = [bytearray(stripe_length) for _ in range(n)]
+    for position in range(stripe_length):
+        column_values = [shard.data[position] for shard in chosen]
+        for r in range(n):
+            accumulator = 0
+            for c in range(n):
+                accumulator ^= _gf_mul(inverse[r][c], column_values[c])
+            stripes[r][position] = accumulator
+    payload = b"".join(bytes(stripe) for stripe in stripes)
+    return payload[:payload_length]

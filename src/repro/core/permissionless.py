@@ -1,0 +1,139 @@
+"""Permissionless HERMES deployment driver (§VII-B, end to end).
+
+Glues the §VII-B machinery together the way an epoch-based blockchain would
+use it:
+
+* a :class:`MembershipManager` owns the evolving membership and repairs the
+  overlay family across joins/leaves (including entry-point elections);
+* at each epoch boundary the overlays are rebuilt deterministically under a
+  *committee-agreed* seed (:func:`committee_epoch_seed`), so no single node
+  can steer the pseudo-random optimization;
+* dissemination sessions run against the current epoch's overlays; per-node
+  mempool contents carry across epochs (nodes keep their state, only the
+  routing structure is replaced).
+
+Each dissemination session is one simulation run — the driver models the
+epochal control plane, not a single continuous clock across epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.backend import CryptoBackend, FastCryptoBackend
+from ..mempool.transaction import Transaction
+from ..net.faults import FaultPlan
+from ..net.topology import PhysicalNetwork
+from ..types import Region
+from .config import HermesConfig
+from .membership import MembershipManager, committee_epoch_seed
+from .protocol import HermesSystem
+
+__all__ = ["PermissionlessDeployment", "EpochReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class EpochReport:
+    """What happened in one dissemination session."""
+
+    epoch: int
+    transactions: int
+    coverage: float
+    violations: int
+
+
+@dataclass
+class PermissionlessDeployment:
+    """An epoch-based HERMES deployment over a mutable membership."""
+
+    physical: PhysicalNetwork
+    f: int = 1
+    k: int = 5
+    seed: int = 0
+    config_overrides: dict = field(default_factory=dict)
+    backend: CryptoBackend | None = None
+    manager: MembershipManager = field(init=False)
+    # node id -> set of tx ids known across epochs (mempool continuity).
+    known_transactions: dict[int, set[int]] = field(default_factory=dict)
+    reports: list[EpochReport] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.manager = MembershipManager(
+            self.physical, f=self.f, k=self.k, seed=self.seed
+        )
+        if self.backend is None:
+            self.backend = FastCryptoBackend(self.seed)
+        committee = self._committee()
+        self.backend.setup_committee(committee, 2 * self.f + 1)
+        for node in self.manager.members():
+            self.known_transactions.setdefault(node, set())
+
+    # -- membership control plane -----------------------------------------
+
+    def _committee(self) -> list[int]:
+        return self.manager.members()[: 3 * self.f + 1]
+
+    @property
+    def epoch(self) -> int:
+        return self.manager.epoch
+
+    def join(self, node: int, region: Region, neighbors: list[int]) -> None:
+        self.manager.join(node, region, neighbors)
+        self.known_transactions.setdefault(node, set())
+
+    def leave(self, node: int) -> None:
+        self.manager.leave(node)
+        self.known_transactions.pop(node, None)
+
+    def advance_epoch(self) -> int:
+        """Move to the next epoch under a committee-agreed construction seed."""
+
+        committee = self._committee()
+        # Committee membership may have churned; re-key for the new set.
+        self.backend.setup_committee(committee, 2 * self.f + 1)
+        seed = committee_epoch_seed(self.backend, committee, self.manager.epoch + 1)
+        self.manager.advance_epoch(construction_seed=seed)
+        self.manager.validate()
+        return self.manager.epoch
+
+    # -- data plane ----------------------------------------------------------
+
+    def run_session(
+        self,
+        submissions: list[tuple[int, Transaction]],
+        horizon_ms: float = 6_000.0,
+        fault_plan: FaultPlan | None = None,
+    ) -> EpochReport:
+        """Disseminate *submissions* over the current epoch's overlays."""
+
+        config = HermesConfig(
+            f=self.f, num_overlays=self.k, **self.config_overrides
+        )
+        system = HermesSystem(
+            self.physical,
+            config,
+            fault_plan=fault_plan,
+            overlays=self.manager.overlays,
+            seed=self.seed + 1000 * (self.manager.epoch + 1),
+        )
+        system.start()
+        for origin, tx in submissions:
+            system.submit(origin, tx)
+        system.run(until_ms=horizon_ms)
+
+        members = self.manager.members()
+        coverages = []
+        for _origin, tx in submissions:
+            delivered = set(system.stats.deliveries.get(tx.tx_id, {}))
+            coverages.append(len(delivered & set(members)) / len(members))
+            for node in delivered:
+                if node in self.known_transactions:
+                    self.known_transactions[node].add(tx.tx_id)
+        report = EpochReport(
+            epoch=self.manager.epoch,
+            transactions=len(submissions),
+            coverage=sum(coverages) / len(coverages) if coverages else 1.0,
+            violations=len(system.violation_log),
+        )
+        self.reports.append(report)
+        return report

@@ -1,0 +1,86 @@
+"""Receiver-side sequence auditing (§VI-C).
+
+The committee already refuses to mint seeds for out-of-order sequence numbers
+(sender-side enforcement, :mod:`repro.trs.committee`).  Receivers additionally
+audit what they *observe*: for each origin they track which sequence numbers
+have arrived, and flag the origin when a gap persists beyond a timeout —
+evidence that the origin skipped (or selectively withheld) a message.
+
+Messages are never delayed by auditing: holding deliveries hostage to
+sequencing would hand the adversary a censorship lever, the opposite of
+dissemination fairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SequenceAuditor", "OriginView"]
+
+
+@dataclass
+class OriginView:
+    """What one receiver has observed from one origin."""
+
+    seen: set[int] = field(default_factory=set)
+    highest: int = -1
+    # gap sequence -> time it was first noticed
+    gaps: dict[int, float] = field(default_factory=dict)
+
+
+class SequenceAuditor:
+    """Tracks per-origin sequence continuity for one receiving node."""
+
+    def __init__(self, gap_timeout_ms: float) -> None:
+        if gap_timeout_ms <= 0:
+            raise ValueError(f"gap_timeout_ms must be positive, got {gap_timeout_ms}")
+        self.gap_timeout_ms = gap_timeout_ms
+        self._origins: dict[int, OriginView] = {}
+
+    def observe(self, origin: int, sequence: int, now: float) -> bool:
+        """Record that *origin*'s message *sequence* arrived.
+
+        Returns ``False`` for duplicates (already observed), ``True``
+        otherwise.  Newly implied gaps start their timeout clock at *now*.
+        """
+
+        if sequence < 0:
+            raise ValueError(f"sequence must be non-negative, got {sequence}")
+        view = self._origins.setdefault(origin, OriginView())
+        if sequence in view.seen:
+            return False
+        view.seen.add(sequence)
+        view.gaps.pop(sequence, None)
+        if sequence > view.highest:
+            for missing in range(view.highest + 1, sequence):
+                if missing not in view.seen:
+                    view.gaps.setdefault(missing, now)
+            view.highest = sequence
+        return True
+
+    def expired_gaps(self, origin: int, now: float) -> list[int]:
+        """Sequence numbers from *origin* missing for longer than the timeout."""
+
+        view = self._origins.get(origin)
+        if view is None:
+            return []
+        return sorted(
+            seq
+            for seq, first_noticed in view.gaps.items()
+            if now - first_noticed >= self.gap_timeout_ms
+        )
+
+    def origins_with_expired_gaps(self, now: float) -> list[int]:
+        return sorted(
+            origin
+            for origin in self._origins
+            if self.expired_gaps(origin, now)
+        )
+
+    def pending_gaps(self, origin: int) -> list[int]:
+        view = self._origins.get(origin)
+        return sorted(view.gaps) if view else []
+
+    def highest_seen(self, origin: int) -> int:
+        view = self._origins.get(origin)
+        return view.highest if view else -1

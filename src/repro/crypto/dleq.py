@@ -1,0 +1,76 @@
+"""Chaum–Pedersen proofs of discrete-log equality (DLEQ).
+
+A committee member publishing the partial signature ``σ_i = H(m)^{x_i}`` also
+publishes a DLEQ proof that ``log_g(y_i) = log_{H(m)}(σ_i)`` where ``y_i`` is
+its registered share commitment.  This makes partials *publicly verifiable*:
+anyone can check a partial against the member's commitment without pairings,
+which is exactly what HERMES needs for accountable seed generation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .group import SchnorrGroup
+
+__all__ = ["DleqProof", "prove_dleq", "verify_dleq"]
+
+
+@dataclass(frozen=True, slots=True)
+class DleqProof:
+    """Non-interactive proof that two group elements share one discrete log."""
+
+    challenge: int
+    response: int
+
+
+def prove_dleq(
+    group: SchnorrGroup,
+    secret: int,
+    base_a: int,
+    base_b: int,
+    rng: random.Random,
+) -> DleqProof:
+    """Prove knowledge of *secret* with ``A = base_a^secret`` and ``B = base_b^secret``.
+
+    Standard Chaum–Pedersen, Fiat–Shamir over both bases and both images.
+    """
+
+    nonce = rng.randrange(1, group.q)
+    commit_a = group.exp(base_a, nonce)
+    commit_b = group.exp(base_b, nonce)
+    image_a = group.exp(base_a, secret)
+    image_b = group.exp(base_b, secret)
+    challenge = group.hash_to_scalar(
+        "dleq", base_a, base_b, image_a, image_b, commit_a, commit_b
+    )
+    response = group.scalar_field.add(nonce, group.scalar_field.mul(challenge, secret))
+    return DleqProof(challenge=challenge, response=response)
+
+
+def verify_dleq(
+    group: SchnorrGroup,
+    base_a: int,
+    image_a: int,
+    base_b: int,
+    image_b: int,
+    proof: DleqProof,
+) -> bool:
+    """Verify a :class:`DleqProof` for ``(base_a, image_a)`` and ``(base_b, image_b)``."""
+
+    for element in (base_a, image_a, base_b, image_b):
+        if not group.is_element(element):
+            return False
+    if not 0 < proof.challenge < group.q or not 0 <= proof.response < group.q:
+        return False
+    commit_a = group.mul(
+        group.exp(base_a, proof.response), group.inv(group.exp(image_a, proof.challenge))
+    )
+    commit_b = group.mul(
+        group.exp(base_b, proof.response), group.inv(group.exp(image_b, proof.challenge))
+    )
+    expected = group.hash_to_scalar(
+        "dleq", base_a, base_b, image_a, image_b, commit_a, commit_b
+    )
+    return expected == proof.challenge

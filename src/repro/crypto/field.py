@@ -1,0 +1,85 @@
+"""Arithmetic over the prime field ``Z_q``.
+
+Shamir secret sharing, Schnorr signatures, and Lagrange interpolation all work
+in the scalar field of the group's prime order ``q``.  This module wraps the
+handful of modular operations they need, with input validation, so higher
+layers never manipulate raw ``pow``/``%`` expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["PrimeField", "lagrange_coefficients_at_zero"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrimeField:
+    """The field of integers modulo a prime *order*."""
+
+    order: int
+
+    def __post_init__(self) -> None:
+        if self.order < 2:
+            raise ValueError(f"field order must be >= 2, got {self.order}")
+
+    def reduce(self, value: int) -> int:
+        """Map *value* into ``[0, order)``."""
+
+        return value % self.order
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.order
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.order
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.order
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.order
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises ``ZeroDivisionError`` for 0."""
+
+        a %= self.order
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return pow(a, -1, self.order)
+
+    def eval_polynomial(self, coefficients: Sequence[int], x: int) -> int:
+        """Evaluate the polynomial with *coefficients* (constant term first) at *x*."""
+
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = (result * x + coefficient) % self.order
+        return result
+
+
+def lagrange_coefficients_at_zero(field: PrimeField, xs: Iterable[int]) -> dict[int, int]:
+    """Lagrange basis coefficients ``λ_i`` evaluated at ``x = 0``.
+
+    Given distinct evaluation points *xs*, returns ``{x_i: λ_i}`` such that for
+    any polynomial ``P`` of degree < len(xs), ``P(0) = Σ λ_i · P(x_i)``.  This
+    is the interpolation step of both Shamir recovery and threshold-signature
+    combination (where it runs in the exponent).
+    """
+
+    points = [field.reduce(x) for x in xs]
+    if len(set(points)) != len(points):
+        raise ValueError("evaluation points must be distinct")
+    if any(x == 0 for x in points):
+        raise ValueError("evaluation point 0 would leak the secret directly")
+
+    coefficients: dict[int, int] = {}
+    for i, x_i in enumerate(points):
+        numerator, denominator = 1, 1
+        for j, x_j in enumerate(points):
+            if i == j:
+                continue
+            numerator = field.mul(numerator, x_j)
+            denominator = field.mul(denominator, field.sub(x_j, x_i))
+        coefficients[x_i] = field.mul(numerator, field.inv(denominator))
+    return coefficients

@@ -1,0 +1,118 @@
+"""A Schnorr group: the prime-order subgroup of ``Z_p^*`` used for all
+discrete-log cryptography in this reproduction.
+
+Two parameter sets are provided:
+
+* :func:`default_group` — a 2048-bit MODP prime (RFC 3526 group 14) with its
+  prime-order subgroup, suitable for honest benchmarking of the real crypto;
+* :func:`toy_group` — a small (but genuinely prime-order) group that keeps
+  property-based tests fast while exercising identical code paths.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from .field import PrimeField
+from .hashing import hash_to_int
+
+__all__ = ["SchnorrGroup", "default_group", "toy_group"]
+
+# RFC 3526, 2048-bit MODP group: p is a safe prime, q = (p - 1) / 2 is prime.
+_RFC3526_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+_RFC3526_Q = (_RFC3526_P - 1) // 2
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """A cyclic group of prime order *q*, realised inside ``Z_p^*``.
+
+    Elements are integers in ``[1, p)`` satisfying ``e^q = 1 (mod p)``;
+    exponents live in the scalar field ``Z_q``.
+    """
+
+    p: int
+    q: int
+    g: int
+
+    def __post_init__(self) -> None:
+        if not 1 < self.g < self.p:
+            raise ValueError("generator must lie in (1, p)")
+        if (self.p - 1) % self.q != 0:
+            raise ValueError("q must divide p - 1")
+        if pow(self.g, self.q, self.p) != 1:
+            raise ValueError("generator does not have order q")
+
+    @property
+    def scalar_field(self) -> PrimeField:
+        return PrimeField(self.q)
+
+    def exp(self, base: int, exponent: int) -> int:
+        """``base^exponent mod p`` with the exponent reduced mod q."""
+
+        return pow(base, exponent % self.q, self.p)
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        return pow(a, -1, self.p)
+
+    def is_element(self, value: int) -> bool:
+        """True when *value* is in the prime-order subgroup (excluding 0)."""
+
+        return 0 < value < self.p and pow(value, self.q, self.p) == 1
+
+    def hash_to_group(self, *parts: bytes | str | int) -> int:
+        """Hash *parts* to a subgroup element (never the identity).
+
+        We hash to ``Z_p^*`` and square into the quadratic-residue subgroup
+        (valid because both parameter sets use safe primes, where the subgroup
+        of order q is exactly the quadratic residues).
+        """
+
+        counter = 0
+        while True:
+            raw = hash_to_int("hash-to-group", counter, *parts, modulus=self.p)
+            candidate = pow(raw, (self.p - 1) // self.q, self.p)
+            if candidate != 1 and self.is_element(candidate):
+                return candidate
+            counter += 1
+
+    def hash_to_scalar(self, *parts: bytes | str | int) -> int:
+        """Hash *parts* to a non-zero scalar in ``Z_q``."""
+
+        counter = 0
+        while True:
+            value = hash_to_int("hash-to-scalar", counter, *parts, modulus=self.q)
+            if value != 0:
+                return value
+            counter += 1
+
+
+@functools.cache
+def default_group() -> SchnorrGroup:
+    """The 2048-bit RFC 3526 group; ``g = 4`` generates the order-q subgroup."""
+
+    return SchnorrGroup(p=_RFC3526_P, q=_RFC3526_Q, g=4)
+
+
+@functools.cache
+def toy_group() -> SchnorrGroup:
+    """A small safe-prime group (``p = 2q + 1``, q = 2695139) for fast tests."""
+
+    q = 2695139
+    p = 2 * q + 1
+    # g = 4 is a quadratic residue, hence generates the order-q subgroup.
+    return SchnorrGroup(p=p, q=q, g=4)

@@ -1,0 +1,82 @@
+"""Per-node key material and a registry mapping node ids to public keys.
+
+The registry plays the role of the PKI that permissioned blockchains have by
+construction: every node can look up every other node's verification key, and
+the TRS committee's threshold public key is registered alongside.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+from .group import SchnorrGroup
+from .schnorr import SchnorrSignature, schnorr_keygen, schnorr_sign, schnorr_verify
+
+__all__ = ["KeyPair", "KeyRegistry"]
+
+
+@dataclass(frozen=True, slots=True)
+class KeyPair:
+    """A node's Schnorr keypair."""
+
+    node_id: int
+    secret_key: int
+    public_key: int
+
+
+class KeyRegistry:
+    """Generates and stores keypairs for a set of nodes.
+
+    The registry hands secrets only to their owner (by convention — this is a
+    simulation); verification uses only public keys.
+    """
+
+    def __init__(self, group: SchnorrGroup) -> None:
+        self._group = group
+        self._pairs: dict[int, KeyPair] = {}
+
+    @property
+    def group(self) -> SchnorrGroup:
+        return self._group
+
+    def generate(self, node_id: int, rng: random.Random) -> KeyPair:
+        """Create (or return the existing) keypair for *node_id*."""
+
+        if node_id in self._pairs:
+            return self._pairs[node_id]
+        secret, public = schnorr_keygen(self._group, rng)
+        pair = KeyPair(node_id=node_id, secret_key=secret, public_key=public)
+        self._pairs[node_id] = pair
+        return pair
+
+    def public_key(self, node_id: int) -> int:
+        try:
+            return self._pairs[node_id].public_key
+        except KeyError:
+            raise CryptoError(f"no key registered for node {node_id}") from None
+
+    def keypair(self, node_id: int) -> KeyPair:
+        try:
+            return self._pairs[node_id]
+        except KeyError:
+            raise CryptoError(f"no key registered for node {node_id}") from None
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def sign(self, node_id: int, message: bytes, rng: random.Random) -> SchnorrSignature:
+        """Sign *message* with *node_id*'s secret key."""
+
+        return schnorr_sign(self._group, self.keypair(node_id).secret_key, message, rng)
+
+    def verify(self, node_id: int, message: bytes, signature: SchnorrSignature) -> bool:
+        """Verify *signature* on *message* against *node_id*'s public key."""
+
+        if node_id not in self._pairs:
+            return False
+        return schnorr_verify(self._group, self.public_key(node_id), message, signature)

@@ -1,0 +1,109 @@
+"""Merkle trees: compact commitments with membership proofs.
+
+L∅-style mempool accountability benefits from committing to a transaction
+*set* such that individual membership can later be proven without shipping
+the whole set — exactly a Merkle root plus inclusion proofs.  Narwhal batches
+likewise commit to their contents.  This module provides a standard binary
+Merkle tree over SHA-256 with:
+
+* duplicate-last-leaf padding for odd levels (Bitcoin-style);
+* domain separation between leaf and interior hashes (defending against the
+  classic second-preimage-by-reinterpretation attack);
+* logarithmic inclusion proofs and stateless verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .hashing import hash_bytes
+
+__all__ = ["MerkleTree", "MerkleProof", "merkle_root", "verify_inclusion"]
+
+
+def _leaf_hash(payload: bytes) -> bytes:
+    return hash_bytes("merkle-leaf", payload)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hash_bytes("merkle-node", left, right)
+
+
+@dataclass(frozen=True, slots=True)
+class MerkleProof:
+    """An inclusion proof: the leaf index and the sibling path to the root."""
+
+    leaf_index: int
+    # Each step: (sibling digest, sibling_is_right).
+    path: tuple[tuple[bytes, bool], ...]
+
+
+class MerkleTree:
+    """A binary Merkle tree over a fixed leaf sequence."""
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        if not leaves:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self._levels: list[list[bytes]] = [[_leaf_hash(l) for l in self._leaves]]
+        while len(self._levels[-1]) > 1:
+            current = self._levels[-1]
+            if len(current) % 2:
+                current = current + [current[-1]]
+            self._levels.append(
+                [
+                    _node_hash(current[i], current[i + 1])
+                    for i in range(0, len(current), 2)
+                ]
+            )
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def proof(self, leaf_index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at *leaf_index*."""
+
+        if not 0 <= leaf_index < len(self._leaves):
+            raise IndexError(f"leaf index {leaf_index} out of range")
+        path: list[tuple[bytes, bool]] = []
+        index = leaf_index
+        for level in self._levels[:-1]:
+            padded = level + [level[-1]] if len(level) % 2 else level
+            if index % 2 == 0:
+                sibling, sibling_is_right = padded[index + 1], True
+            else:
+                sibling, sibling_is_right = padded[index - 1], False
+            path.append((sibling, sibling_is_right))
+            index //= 2
+        return MerkleProof(leaf_index=leaf_index, path=tuple(path))
+
+
+def merkle_root(leaves: Sequence[bytes]) -> bytes:
+    """Convenience: the root of the tree over *leaves*."""
+
+    return MerkleTree(leaves).root
+
+
+def verify_inclusion(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check that *leaf* is committed under *root* at the proof's position."""
+
+    digest = _leaf_hash(leaf)
+    index = proof.leaf_index
+    if index < 0:
+        return False
+    for sibling, sibling_is_right in proof.path:
+        if sibling_is_right:
+            if index % 2 != 0:
+                return False
+            digest = _node_hash(digest, sibling)
+        else:
+            if index % 2 != 1:
+                return False
+            digest = _node_hash(sibling, digest)
+        index //= 2
+    return digest == root

@@ -1,0 +1,70 @@
+"""Schnorr signatures (Fiat–Shamir transformed) over a Schnorr group.
+
+Used for ordinary node authentication: message envelopes, overlay encodings
+and accountability evidence are all signed with per-node Schnorr keys.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import InvalidSignatureError
+from .group import SchnorrGroup
+
+__all__ = ["SchnorrSignature", "schnorr_keygen", "schnorr_sign", "schnorr_verify"]
+
+
+@dataclass(frozen=True, slots=True)
+class SchnorrSignature:
+    """A signature ``(c, s)`` with challenge *c* and response *s* in ``Z_q``."""
+
+    challenge: int
+    response: int
+
+
+def schnorr_keygen(group: SchnorrGroup, rng: random.Random) -> tuple[int, int]:
+    """Return ``(secret_key, public_key)`` with ``pk = g^sk``."""
+
+    secret = rng.randrange(1, group.q)
+    return secret, group.exp(group.g, secret)
+
+
+def schnorr_sign(
+    group: SchnorrGroup, secret_key: int, message: bytes, rng: random.Random
+) -> SchnorrSignature:
+    """Sign *message*: commit ``R = g^r``, challenge ``c = H(R, pk, m)``,
+    respond ``s = r + c·sk``."""
+
+    nonce = rng.randrange(1, group.q)
+    commitment = group.exp(group.g, nonce)
+    public_key = group.exp(group.g, secret_key)
+    challenge = group.hash_to_scalar("schnorr", commitment, public_key, message)
+    response = group.scalar_field.add(nonce, group.scalar_field.mul(challenge, secret_key))
+    return SchnorrSignature(challenge=challenge, response=response)
+
+
+def schnorr_verify(
+    group: SchnorrGroup, public_key: int, message: bytes, signature: SchnorrSignature
+) -> bool:
+    """Check ``H(g^s · pk^{-c}, pk, m) == c``.  Returns ``False`` on mismatch."""
+
+    if not group.is_element(public_key):
+        return False
+    if not 0 < signature.challenge < group.q or not 0 <= signature.response < group.q:
+        return False
+    recovered = group.mul(
+        group.exp(group.g, signature.response),
+        group.inv(group.exp(public_key, signature.challenge)),
+    )
+    expected = group.hash_to_scalar("schnorr", recovered, public_key, message)
+    return expected == signature.challenge
+
+
+def require_valid_signature(
+    group: SchnorrGroup, public_key: int, message: bytes, signature: SchnorrSignature
+) -> None:
+    """Raise :class:`InvalidSignatureError` unless the signature verifies."""
+
+    if not schnorr_verify(group, public_key, message, signature):
+        raise InvalidSignatureError("Schnorr signature verification failed")

@@ -1,0 +1,79 @@
+"""Shamir secret sharing over the scalar field of a Schnorr group.
+
+The TRS committee holds Shamir shares of the threshold signing key.  A
+``(t, n)`` sharing lets any ``t`` members reconstruct (or, in the threshold
+scheme, jointly sign) while ``t - 1`` members learn nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ShareError
+from .field import PrimeField, lagrange_coefficients_at_zero
+
+__all__ = ["ShamirShare", "split_secret", "recover_secret"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShamirShare:
+    """One share: the polynomial evaluated at ``x = index`` (index >= 1)."""
+
+    index: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ShareError(f"share index must be >= 1, got {self.index}")
+
+
+def split_secret(
+    field: PrimeField,
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: random.Random,
+) -> list[ShamirShare]:
+    """Split *secret* into *num_shares* shares, any *threshold* of which recover it.
+
+    The dealer samples a degree ``threshold - 1`` polynomial with the secret as
+    constant term and hands out evaluations at ``x = 1 .. num_shares``.
+    """
+
+    if threshold < 1:
+        raise ShareError(f"threshold must be >= 1, got {threshold}")
+    if num_shares < threshold:
+        raise ShareError(
+            f"cannot create {num_shares} shares with threshold {threshold}"
+        )
+    if num_shares >= field.order:
+        raise ShareError("field too small for the requested number of shares")
+
+    coefficients = [field.reduce(secret)]
+    coefficients += [rng.randrange(field.order) for _ in range(threshold - 1)]
+    return [
+        ShamirShare(index=x, value=field.eval_polynomial(coefficients, x))
+        for x in range(1, num_shares + 1)
+    ]
+
+
+def recover_secret(field: PrimeField, shares: Sequence[ShamirShare]) -> int:
+    """Recover the secret from *shares* by Lagrange interpolation at 0.
+
+    The caller is responsible for providing at least ``threshold`` shares;
+    with fewer, interpolation silently yields garbage (as in any Shamir
+    implementation), so protocol layers must enforce the count.
+    """
+
+    if not shares:
+        raise ShareError("cannot recover a secret from zero shares")
+    indexes = [share.index for share in shares]
+    if len(set(indexes)) != len(indexes):
+        raise ShareError("duplicate share indexes")
+    coefficients = lagrange_coefficients_at_zero(field, indexes)
+    secret = 0
+    for share in shares:
+        secret = field.add(secret, field.mul(coefficients[share.index], share.value))
+    return secret

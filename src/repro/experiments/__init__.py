@@ -1,0 +1,18 @@
+"""Experiment harnesses reproducing every table and figure of the paper.
+
+Each module exposes ``run(config) -> result`` plus a ``format_result`` that
+prints the same rows/series the paper reports, side by side with the paper's
+published numbers:
+
+* :mod:`table1`  — qualitative comparison of dissemination approaches;
+* :mod:`fig2_overlays` — overlay-structure latency / load comparison;
+* :mod:`fig3a_latency` — protocol latency (avg + 5th–95th percentile);
+* :mod:`fig3b_bandwidth` — per-node bandwidth overhead;
+* :mod:`fig4_roles` — role (rank) distribution across the overlay family;
+* :mod:`fig5a_frontrunning` — front-running success vs malicious fraction;
+* :mod:`fig5b_robustness` — delivery probability vs malicious fraction.
+"""
+
+from .harness import ExperimentEnvironment, build_environment, protocol_factories
+
+__all__ = ["ExperimentEnvironment", "build_environment", "protocol_factories"]

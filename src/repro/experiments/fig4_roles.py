@@ -1,0 +1,127 @@
+"""Fig. 4 — role (rank) distribution across the overlay family.
+
+The paper plots, for 200 nodes and k = 10 overlays, how often each node held
+each rank (depth); rank 1 is an entry point.  The claims to verify:
+
+* exactly ``k · (f+1)`` (node, overlay) pairs are entry points;
+* ranks are widely spread — no node is consistently near the root or stuck at
+  the leaves (role rotation).
+
+We report the rank histogram, the per-node mean-rank spread, and a fairness
+index (coefficient of variation of per-node average rank — lower is fairer).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..utils.tables import format_table
+from .harness import ExperimentEnvironment, build_environment
+
+__all__ = ["Fig4Config", "Fig4Result", "run", "format_result"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig4Config:
+    num_nodes: int = 200
+    f: int = 1
+    k: int = 10
+    seed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Fig4Result:
+    config: Fig4Config
+    # rank (depth + 1, matching the paper's 1-based figure) -> count of
+    # (node, overlay) assignments at that rank.
+    rank_histogram: dict[int, int]
+    # node -> list of ranks it held across the k overlays.
+    ranks_per_node: dict[int, list[int]]
+    entry_assignments: int
+    distinct_entry_nodes: int
+
+    def per_node_average_rank(self) -> dict[int, float]:
+        return {
+            node: statistics.mean(ranks)
+            for node, ranks in self.ranks_per_node.items()
+        }
+
+    def fairness_coefficient(self) -> float:
+        """Coefficient of variation of per-node mean rank (lower = fairer)."""
+
+        averages = list(self.per_node_average_rank().values())
+        mean = statistics.mean(averages)
+        if mean == 0:
+            return 0.0
+        return statistics.pstdev(averages) / mean
+
+    def max_entry_repeats(self) -> int:
+        """The most often any single node served as an entry point."""
+
+        return max(
+            (ranks.count(1) for ranks in self.ranks_per_node.values()), default=0
+        )
+
+
+def run(
+    config: Fig4Config | None = None,
+    env: ExperimentEnvironment | None = None,
+) -> Fig4Result:
+    if config is None:
+        config = Fig4Config()
+    if env is None:
+        env = build_environment(
+            num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
+        )
+
+    histogram: dict[int, int] = {}
+    per_node: dict[int, list[int]] = {n: [] for n in env.physical.nodes()}
+    entry_assignments = 0
+    entry_nodes: set[int] = set()
+    for overlay in env.overlays:
+        for node, depth in overlay.depth_of.items():
+            rank = depth + 1  # the paper's figure is 1-based
+            histogram[rank] = histogram.get(rank, 0) + 1
+            per_node[node].append(rank)
+            if rank == 1:
+                entry_assignments += 1
+                entry_nodes.add(node)
+    return Fig4Result(
+        config=config,
+        rank_histogram=dict(sorted(histogram.items())),
+        ranks_per_node=per_node,
+        entry_assignments=entry_assignments,
+        distinct_entry_nodes=len(entry_nodes),
+    )
+
+
+def format_result(result: Fig4Result) -> str:
+    from ..utils.ascii_chart import bar_chart
+
+    rows = [
+        [rank, count] for rank, count in result.rank_histogram.items()
+    ]
+    table = format_table(
+        ["rank (1 = entry point)", "(node, overlay) assignments"],
+        rows,
+        title=(
+            f"Fig. 4 — role distribution, N={result.config.num_nodes}, "
+            f"k={result.config.k}, f={result.config.f}"
+        ),
+    )
+    chart = bar_chart(
+        {f"rank {rank}": count for rank, count in result.rank_histogram.items()},
+        width=40,
+    )
+    lines = [
+        table,
+        chart,
+        f"entry-point assignments: {result.entry_assignments} "
+        f"(expected k*(f+1) = {result.config.k * (result.config.f + 1)})",
+        f"distinct nodes serving as entry point: {result.distinct_entry_nodes}",
+        f"max times one node was an entry point: {result.max_entry_repeats()}",
+        f"fairness (CV of per-node mean rank, lower is fairer): "
+        f"{result.fairness_coefficient():.3f}",
+    ]
+    return "\n".join(lines)

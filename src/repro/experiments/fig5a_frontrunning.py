@@ -1,0 +1,118 @@
+"""Fig. 5a — front-running success rate vs fraction of malicious nodes.
+
+For each protocol and each malicious fraction, repeated trials pick a random
+(victim sender, honest proposer) pair, let the first malicious observer race
+an adversarial transaction against the victim's (with per-protocol injection
+and censorship levers — see :mod:`repro.attacks.frontrun`), and count the
+fraction of trials where the adversarial transaction precedes the victim's in
+the proposer's block.
+
+Paper values (10% → 33% malicious): HERMES 2% → 5.9%, L∅ 5% → 19%,
+Narwhal 10% → 51%, Mercury 25% → 70%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..attacks.frontrun import run_front_running_trial
+from ..utils.rng import derive_rng
+from ..utils.tables import format_table
+from .harness import ExperimentEnvironment, build_environment, protocol_factories
+
+__all__ = ["Fig5aConfig", "Fig5aResult", "run", "format_result", "PAPER_VALUES"]
+
+# protocol -> {fraction: paper success rate}
+PAPER_VALUES = {
+    "hermes": {0.10: 0.02, 0.33: 0.059},
+    "lzero": {0.10: 0.05, 0.33: 0.19},
+    "narwhal": {0.10: 0.10, 0.33: 0.51},
+    "mercury": {0.10: 0.25, 0.33: 0.70},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Fig5aConfig:
+    num_nodes: int = 150
+    f: int = 1
+    k: int = 10
+    fractions: tuple[float, ...] = (0.10, 0.20, 0.33)
+    trials: int = 20
+    horizon_ms: float = 4_000.0
+    seed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Fig5aResult:
+    config: Fig5aConfig
+    # protocol -> fraction -> success rate in [0, 1]
+    success_rates: dict[str, dict[float, float]]
+
+    def rate(self, protocol: str, fraction: float) -> float:
+        return self.success_rates[protocol][fraction]
+
+    def ordering_at(self, fraction: float) -> list[str]:
+        """Protocols from most to least front-running resistant."""
+
+        return sorted(self.success_rates, key=lambda p: self.success_rates[p][fraction])
+
+
+def run(
+    config: Fig5aConfig | None = None,
+    env: ExperimentEnvironment | None = None,
+) -> Fig5aResult:
+    if config is None:
+        config = Fig5aConfig()
+    if env is None:
+        env = build_environment(
+            num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
+        )
+    factories = protocol_factories(
+        env, hermes_overrides={"gossip_fallback_enabled": False}
+    )
+    nodes = env.physical.nodes()
+    rng = derive_rng(config.seed, "fig5a-pairs")
+    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(config.trials)]
+
+    rates: dict[str, dict[float, float]] = {}
+    for name in ("hermes", "lzero", "narwhal", "mercury"):
+        factory = factories[name]
+        rates[name] = {}
+        for fraction in config.fractions:
+            wins = 0
+            for trial, (victim, proposer) in enumerate(pairs):
+                result = run_front_running_trial(
+                    factory,
+                    nodes,
+                    fraction,
+                    victim,
+                    proposer,
+                    horizon_ms=config.horizon_ms,
+                    seed=1000 * int(fraction * 100) + trial,
+                )
+                wins += result.verdict.attacker_won
+            rates[name][fraction] = wins / config.trials
+    return Fig5aResult(config=config, success_rates=rates)
+
+
+def format_result(result: Fig5aResult) -> str:
+    fractions = result.config.fractions
+    headers = ["protocol"] + [f"{f:.0%} malicious" for f in fractions] + [
+        "paper (10%→33%)"
+    ]
+    rows = []
+    for name, by_fraction in result.success_rates.items():
+        paper = PAPER_VALUES.get(name, {})
+        rows.append(
+            [name]
+            + [f"{by_fraction[f]:.0%}" for f in fractions]
+            + [f"{paper.get(0.10, 0):.0%}→{paper.get(0.33, 0):.0%}"]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"Fig. 5a — front-running success rate, N={result.config.num_nodes}, "
+            f"{result.config.trials} trials/point"
+        ),
+    )

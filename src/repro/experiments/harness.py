@@ -1,0 +1,135 @@
+"""Shared experiment plumbing: environments, protocol factories, caching.
+
+Building a physical network and an optimized overlay family is by far the
+most expensive step of every experiment, so environments are memoized on
+their parameters — the Fig. 3a, 5a and 5b benchmarks all reuse one family,
+exactly as one deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..core.config import HermesConfig
+from ..core.protocol import HermesSystem
+from ..baselines import (
+    GossipSystem,
+    LZeroSystem,
+    MercurySystem,
+    NarwhalSystem,
+    SimpleTreeSystem,
+)
+from ..net.faults import FaultPlan
+from ..net.topology import PhysicalNetwork, generate_physical_network
+from ..overlay.base import Overlay
+from ..overlay.rank import RankTracker
+from ..overlay.robust_tree import build_overlay_family
+
+__all__ = [
+    "ExperimentEnvironment",
+    "build_environment",
+    "protocol_factories",
+    "PROTOCOL_NAMES",
+]
+
+PROTOCOL_NAMES = ("hermes", "lzero", "narwhal", "mercury")
+
+
+@dataclass
+class ExperimentEnvironment:
+    """Everything the experiments share: network, overlays, rank history."""
+
+    num_nodes: int
+    f: int
+    k: int
+    seed: int
+    physical: PhysicalNetwork
+    overlays: list[Overlay]
+    rank_tracker: RankTracker
+    build_seconds: float = 0.0
+
+    def hermes_config(self, **overrides) -> HermesConfig:
+        defaults = dict(f=self.f, num_overlays=self.k)
+        defaults.update(overrides)
+        return HermesConfig(**defaults)
+
+
+_environment_cache: dict[tuple[int, int, int, int, bool], ExperimentEnvironment] = {}
+
+
+def build_environment(
+    num_nodes: int = 200,
+    f: int = 1,
+    k: int = 10,
+    seed: int = 0,
+    optimize: bool = True,
+    min_degree: int = 4,
+) -> ExperimentEnvironment:
+    """Build (or fetch from cache) a shared experiment environment."""
+
+    import time
+
+    key = (num_nodes, f, k, seed, optimize)
+    if key in _environment_cache:
+        return _environment_cache[key]
+    start = time.perf_counter()
+    physical = generate_physical_network(num_nodes, min_degree=min_degree, seed=seed)
+    overlays, ranks = build_overlay_family(
+        physical, f=f, k=k, optimize=optimize, seed=seed
+    )
+    env = ExperimentEnvironment(
+        num_nodes=num_nodes,
+        f=f,
+        k=k,
+        seed=seed,
+        physical=physical,
+        overlays=overlays,
+        rank_tracker=ranks,
+        build_seconds=time.perf_counter() - start,
+    )
+    _environment_cache[key] = env
+    return env
+
+
+def protocol_factories(
+    env: ExperimentEnvironment,
+    seed: int = 13,
+    hermes_overrides: dict | None = None,
+) -> dict[str, Callable]:
+    """Factories ``(fault_plan, observe_hook) -> system`` for each protocol.
+
+    Pass ``fault_plan=None`` / ``observe_hook=None`` for honest runs.
+    """
+
+    overrides = dict(hermes_overrides or {})
+
+    def hermes(fault_plan: FaultPlan | None = None, observe_hook=None) -> HermesSystem:
+        return HermesSystem(
+            env.physical,
+            env.hermes_config(**overrides),
+            fault_plan=fault_plan,
+            observe_hook=observe_hook,
+            overlays=env.overlays,
+            seed=seed,
+        )
+
+    def baseline(cls):
+        def factory(fault_plan: FaultPlan | None = None, observe_hook=None):
+            return cls(
+                env.physical,
+                fault_plan=fault_plan,
+                observe_hook=observe_hook,
+                seed=seed,
+            )
+
+        return factory
+
+    return {
+        "hermes": hermes,
+        "lzero": baseline(LZeroSystem),
+        "narwhal": baseline(NarwhalSystem),
+        "mercury": baseline(MercurySystem),
+        "gossip": baseline(GossipSystem),
+        "simple-tree": baseline(SimpleTreeSystem),
+    }

@@ -1,0 +1,107 @@
+"""Run every experiment and render one combined report.
+
+``python -m repro.experiments.report`` prints the full paper-vs-measured
+report (this is how the EXPERIMENTS.md numbers were produced); pass
+``--quick`` for a smaller, faster configuration.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import (
+    fig2_overlays,
+    fig3a_latency,
+    fig3b_bandwidth,
+    fig4_roles,
+    fig5a_frontrunning,
+    fig5b_robustness,
+    table1,
+)
+from .harness import build_environment
+
+__all__ = ["generate_report"]
+
+
+def generate_report(quick: bool = False, seed: int = 0) -> str:
+    """Run all experiments and return the combined text report."""
+
+    if quick:
+        n_main, n_attack, trials, txs = 80, 60, 6, 4
+    else:
+        n_main, n_attack, trials, txs = 200, 150, 20, 10
+
+    env_main = build_environment(num_nodes=n_main, f=1, k=10, seed=seed)
+    env_attack = build_environment(num_nodes=n_attack, f=1, k=10, seed=seed)
+
+    sections = []
+    sections.append(
+        table1.format_result(
+            table1.run(table1.Table1Config(num_nodes=min(n_attack, 60), seed=seed))
+        )
+    )
+    sections.append(
+        fig2_overlays.format_result(
+            fig2_overlays.run(fig2_overlays.Fig2Config(num_nodes=n_main, seed=seed))
+        )
+    )
+    sections.append(
+        fig3a_latency.format_result(
+            fig3a_latency.run(
+                fig3a_latency.Fig3aConfig(num_nodes=n_main, transactions=txs, seed=seed),
+                env=env_main,
+            )
+        )
+    )
+    sections.append(
+        fig3b_bandwidth.format_result(
+            fig3b_bandwidth.run(
+                fig3b_bandwidth.Fig3bConfig(num_nodes=n_main, seed=seed), env=env_main
+            )
+        )
+    )
+    sections.append(
+        fig4_roles.format_result(
+            fig4_roles.run(
+                fig4_roles.Fig4Config(num_nodes=n_main, seed=seed), env=env_main
+            )
+        )
+    )
+    sections.append(
+        fig5a_frontrunning.format_result(
+            fig5a_frontrunning.run(
+                fig5a_frontrunning.Fig5aConfig(
+                    num_nodes=n_attack, trials=trials, seed=seed
+                ),
+                env=env_attack,
+            )
+        )
+    )
+    sections.append(
+        fig5b_robustness.format_result(
+            fig5b_robustness.run(
+                fig5b_robustness.Fig5bConfig(
+                    num_nodes=n_attack, trials=max(trials // 2, 4), seed=seed
+                ),
+                env=env_attack,
+            )
+        )
+    )
+    header = (
+        "HERMES reproduction — full experiment report\n"
+        f"(environments: N={n_main} main, N={n_attack} attack sweeps; "
+        f"overlay build {env_main.build_seconds:.1f}s)\n"
+    )
+    return header + "\n\n".join(sections) + "\n"
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller, faster run")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    print(generate_report(quick=args.quick, seed=args.seed))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,24 @@
+"""The mempool layer: transactions, per-node mempools, block formation.
+
+HERMES and the baselines are *dissemination* protocols; this package supplies
+the objects they disseminate (250-byte transactions, §VIII-A), the accountable
+mempool that stores them (with L∅-style commitments), and the block-formation
+logic used to adjudicate front-running attacks: a proposer orders transactions
+by local arrival time, so an attack succeeds exactly when the adversarial
+transaction reached the proposer first (§VIII-F).
+"""
+
+from .blocks import Block, build_block
+from .mempool import Mempool
+from .ordering import FrontRunVerdict, judge_front_running
+from .transaction import TX_SIZE_BYTES, Transaction
+
+__all__ = [
+    "Block",
+    "FrontRunVerdict",
+    "Mempool",
+    "TX_SIZE_BYTES",
+    "Transaction",
+    "build_block",
+    "judge_front_running",
+]

@@ -1,0 +1,53 @@
+"""Block formation.
+
+A proposer packs its mempool into a block in local arrival order — the
+standard behaviour that makes transaction *dissemination* order translate into
+*blockchain* order, and hence makes front-running pay off when an adversary's
+transaction overtakes the victim's on the way to the proposer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mempool import Mempool
+from .transaction import Transaction
+
+__all__ = ["Block", "build_block"]
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """An ordered batch of transactions proposed by one node."""
+
+    proposer: int
+    created_at: float
+    tx_ids: tuple[int, ...]
+
+    def position_of(self, tx_id: int) -> int:
+        """Index of *tx_id* in the block; raises ``ValueError`` if absent."""
+
+        return self.tx_ids.index(tx_id)
+
+    def __contains__(self, tx_id: int) -> bool:
+        return tx_id in self.tx_ids
+
+    def __len__(self) -> int:
+        return len(self.tx_ids)
+
+
+def build_block(
+    mempool: Mempool, now: float, max_transactions: int | None = None
+) -> Block:
+    """Form a block from *mempool* in arrival order."""
+
+    ordered: list[Transaction] = mempool.in_arrival_order()
+    if max_transactions is not None:
+        if max_transactions < 0:
+            raise ValueError(f"max_transactions must be >= 0, got {max_transactions}")
+        ordered = ordered[:max_transactions]
+    return Block(
+        proposer=mempool.owner,
+        created_at=now,
+        tx_ids=tuple(tx.tx_id for tx in ordered),
+    )

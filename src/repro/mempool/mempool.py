@@ -1,0 +1,81 @@
+"""A per-node mempool with arrival ordering and L∅-style commitments.
+
+Beyond storing transactions, the mempool supports the two operations the
+protocols need:
+
+* **arrival order** — the proposer's block is formed in local arrival order,
+  which is what makes early knowledge exploitable and front-running
+  measurable;
+* **reconciliation** — compact digests and set differences, used by L∅'s
+  mempool reconciliation and by HERMES's gossip fallback (§VII-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.hashing import hash_bytes
+from .transaction import Transaction
+
+__all__ = ["Mempool"]
+
+
+@dataclass
+class Mempool:
+    """Transactions known to one node, with first-arrival timestamps."""
+
+    owner: int
+    _transactions: dict[int, Transaction] = field(default_factory=dict)
+    _arrival: dict[int, float] = field(default_factory=dict)
+
+    def add(self, tx: Transaction, now: float) -> bool:
+        """Record *tx* (first arrival wins).  Returns True if it was new."""
+
+        if tx.tx_id in self._transactions:
+            return False
+        self._transactions[tx.tx_id] = tx
+        self._arrival[tx.tx_id] = now
+        return True
+
+    def __contains__(self, tx_id: int) -> bool:
+        return tx_id in self._transactions
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def get(self, tx_id: int) -> Transaction | None:
+        return self._transactions.get(tx_id)
+
+    def arrival_time(self, tx_id: int) -> float:
+        try:
+            return self._arrival[tx_id]
+        except KeyError:
+            raise KeyError(f"transaction {tx_id} not in mempool of {self.owner}") from None
+
+    def in_arrival_order(self) -> list[Transaction]:
+        """Transactions sorted by local first-arrival time (ties by id)."""
+
+        return sorted(
+            self._transactions.values(),
+            key=lambda tx: (self._arrival[tx.tx_id], tx.tx_id),
+        )
+
+    # -- reconciliation --------------------------------------------------
+
+    def known_ids(self) -> frozenset[int]:
+        return frozenset(self._transactions)
+
+    def commitment(self) -> bytes:
+        """A digest over the known transaction set (L∅'s mempool commitment)."""
+
+        return hash_bytes("mempool-commitment", *sorted(self._transactions))
+
+    def missing_from(self, known_ids: frozenset[int] | set[int]) -> list[int]:
+        """Ids we hold that the peer advertising *known_ids* lacks."""
+
+        return sorted(set(self._transactions) - set(known_ids))
+
+    def absent_locally(self, known_ids: frozenset[int] | set[int]) -> list[int]:
+        """Ids the peer holds that we lack (to be requested)."""
+
+        return sorted(set(known_ids) - set(self._transactions))

@@ -1,0 +1,60 @@
+"""Front-running adjudication (§VIII-F).
+
+The paper's success criterion: "An attack succeeds if the adversarial
+transaction appears before the victim transaction in the blockchain" — not
+necessarily immediately before.  Given the proposer's block, we check whether
+*any* adversarial transaction targeting the victim precedes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .blocks import Block
+
+__all__ = ["FrontRunVerdict", "judge_front_running"]
+
+
+@dataclass(frozen=True, slots=True)
+class FrontRunVerdict:
+    """Outcome of one front-running attempt."""
+
+    victim_tx: int
+    victim_included: bool
+    attacker_won: bool
+    winning_adversarial_tx: int | None = None
+
+
+def judge_front_running(
+    block: Block, victim_tx: int, adversarial_txs: Iterable[int]
+) -> FrontRunVerdict:
+    """Decide whether the attack on *victim_tx* succeeded in *block*.
+
+    A victim transaction that never made it into the block counts as a
+    successful attack only if an adversarial transaction did (the adversary
+    outright censored/overtook it); if neither is present the attempt is void
+    and reported as not-won with ``victim_included=False``.
+    """
+
+    adversarial = list(adversarial_txs)
+    if victim_tx not in block:
+        winner = next((tx for tx in adversarial if tx in block), None)
+        return FrontRunVerdict(
+            victim_tx=victim_tx,
+            victim_included=False,
+            attacker_won=winner is not None,
+            winning_adversarial_tx=winner,
+        )
+    victim_position = block.position_of(victim_tx)
+    for tx in adversarial:
+        if tx in block and block.position_of(tx) < victim_position:
+            return FrontRunVerdict(
+                victim_tx=victim_tx,
+                victim_included=True,
+                attacker_won=True,
+                winning_adversarial_tx=tx,
+            )
+    return FrontRunVerdict(
+        victim_tx=victim_tx, victim_included=True, attacker_won=False
+    )

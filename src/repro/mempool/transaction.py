@@ -1,0 +1,63 @@
+"""Transactions: the unit of dissemination.
+
+The paper's experiments use 250-byte transactions.  A transaction carries an
+origin node, a creation time, and an optional *victim/adversarial* tag used
+only by the front-running experiments (it does not exist on the wire).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..crypto.hashing import hash_bytes
+
+__all__ = ["Transaction", "TX_SIZE_BYTES"]
+
+TX_SIZE_BYTES = 250
+
+_tx_counter = itertools.count()
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """An application transaction.
+
+    ``payload`` carries opaque application bytes when a protocol layer needs
+    real content on the wire (e.g. erasure-coded batch shards); plain
+    experiment transactions leave it empty and are sized by ``size_bytes``.
+    """
+
+    tx_id: int
+    origin: int
+    created_at: float
+    size_bytes: int = TX_SIZE_BYTES
+    tag: str = ""
+    payload: bytes = b""
+
+    @classmethod
+    def create(
+        cls,
+        origin: int,
+        created_at: float,
+        size_bytes: int = TX_SIZE_BYTES,
+        tag: str = "",
+        payload: bytes = b"",
+    ) -> "Transaction":
+        return cls(
+            tx_id=next(_tx_counter),
+            origin=origin,
+            created_at=created_at,
+            size_bytes=size_bytes,
+            tag=tag,
+            payload=payload,
+        )
+
+    def digest(self) -> bytes:
+        """``H(m)`` — the hash bound by the TRS and checked by relays."""
+
+        return hash_bytes("tx", self.tx_id, self.origin, self.size_bytes, self.payload)
+
+    @property
+    def is_adversarial(self) -> bool:
+        return self.tag == "adversarial"

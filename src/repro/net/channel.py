@@ -1,0 +1,41 @@
+"""Link behaviour: stochastic loss and per-message jitter.
+
+Section III assumes Byzantine *nodes* but stochastically lossy *links*; this
+module models the links.  Jitter multiplies the link's base latency by a
+lognormal factor close to 1, approximating queueing variation without moving
+the mean much.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..utils.validation import require_probability, require_positive
+
+__all__ = ["LossModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class LossModel:
+    """Per-message loss probability and jitter spread for every link."""
+
+    loss_probability: float = 0.0
+    jitter_sigma: float = 0.05
+
+    def __post_init__(self) -> None:
+        require_probability(self.loss_probability, "loss_probability")
+        if self.jitter_sigma < 0:
+            require_positive(self.jitter_sigma, "jitter_sigma")
+
+    def drops(self, rng: random.Random) -> bool:
+        """True when this transmission is lost."""
+
+        return self.loss_probability > 0 and rng.random() < self.loss_probability
+
+    def jitter_factor(self, rng: random.Random) -> float:
+        """Multiplicative latency jitter (mean ~1)."""
+
+        if self.jitter_sigma == 0:
+            return 1.0
+        return rng.lognormvariate(0.0, self.jitter_sigma)

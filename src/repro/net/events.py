@@ -1,0 +1,41 @@
+"""Wire-level message envelope shared by all protocols.
+
+Each protocol defines its own payload objects; the envelope adds the fields
+the network layer needs: a kind tag for dispatch, a size for bandwidth
+accounting, and the sending node (as observed by the receiver — the transport
+authenticates the immediate sender, as TCP connections between known peers
+would in a deployment).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "ENVELOPE_OVERHEAD_BYTES"]
+
+# Fixed per-message overhead (headers, kind tag, sender id) used when sizing
+# messages for bandwidth accounting.
+ENVELOPE_OVERHEAD_BYTES = 40
+
+_message_counter = itertools.count()
+
+
+@dataclass(slots=True)
+class Message:
+    """A protocol message in flight.
+
+    ``size_bytes`` should be the payload size; the envelope overhead is added
+    by the accounting layer so protocols don't have to remember it.
+    """
+
+    kind: str
+    payload: Any
+    size_bytes: int
+    msg_id: int = field(default_factory=lambda: next(_message_counter))
+
+    def wire_size(self) -> int:
+        """Total bytes on the wire, including the envelope overhead."""
+
+        return self.size_bytes + ENVELOPE_OVERHEAD_BYTES

@@ -1,0 +1,81 @@
+"""Fault and adversary planning.
+
+A :class:`FaultPlan` decides *which* nodes misbehave and *how*; protocol
+implementations consult it when constructing their node actors.  Keeping the
+plan separate from the protocols lets every experiment inject the same
+adversary into HERMES and each baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from ..utils.rng import derive_rng
+
+__all__ = ["Behavior", "FaultPlan"]
+
+
+class Behavior(enum.Enum):
+    """How a node deviates from the protocol."""
+
+    HONEST = "honest"
+    CRASH = "crash"  # never sends anything
+    DROP_RELAY = "drop-relay"  # receives but never forwards (censorship)
+    FRONT_RUN = "front-run"  # forwards, but injects adversarial transactions
+    EQUIVOCATE = "equivocate"  # sends conflicting protocol messages
+
+
+@dataclass
+class FaultPlan:
+    """Assignment of behaviours to node ids (everyone else is honest)."""
+
+    behaviors: dict[int, Behavior] = field(default_factory=dict)
+
+    @classmethod
+    def honest(cls) -> "FaultPlan":
+        return cls()
+
+    @classmethod
+    def random_fraction(
+        cls,
+        node_ids: Sequence[int],
+        fraction: float,
+        behavior: Behavior,
+        seed: int = 0,
+        protected: Iterable[int] = (),
+    ) -> "FaultPlan":
+        """Mark a random *fraction* of *node_ids* with *behavior*.
+
+        Nodes in *protected* (e.g. the designated sender or the block
+        proposer) are never corrupted.  The Byzantine count is capped at
+        ``floor(n/3)`` to respect the global fault bound of §IV.
+        """
+
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        eligible = [n for n in node_ids if n not in set(protected)]
+        target = int(round(fraction * len(node_ids)))
+        cap = len(node_ids) // 3
+        count = min(target, cap, len(eligible))
+        rng = derive_rng(seed, "fault-plan", behavior.value)
+        chosen = rng.sample(eligible, count) if count else []
+        return cls(behaviors={n: behavior for n in chosen})
+
+    def behavior_of(self, node_id: int) -> Behavior:
+        return self.behaviors.get(node_id, Behavior.HONEST)
+
+    def is_byzantine(self, node_id: int) -> bool:
+        return self.behavior_of(node_id) is not Behavior.HONEST
+
+    def byzantine_nodes(self) -> list[int]:
+        return sorted(self.behaviors)
+
+    def honest_nodes(self, node_ids: Iterable[int]) -> list[int]:
+        return sorted(n for n in node_ids if not self.is_byzantine(n))
+
+    def count(self) -> int:
+        return len(self.behaviors)

@@ -1,0 +1,177 @@
+"""The network layer binding nodes, links, latency, loss and accounting.
+
+Two connectivity views coexist, matching the paper's setup:
+
+* the *physical graph* (``PhysicalNetwork``) with labeled links — overlay
+  construction runs on this;
+* the *transport*, which lets any node message any other (the internet under
+  a P2P system).  Pairs joined by a physical link use the link's base latency;
+  other pairs get a per-pair latency drawn once from the regional model and
+  cached, so repeated sends see a stable RTT like a real TCP path would.
+
+Protocols implement :class:`ProtocolNode` and interact with the world only
+through it: ``send``, ``schedule`` and the ``on_start``/``on_message`` hooks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from ..errors import SimulationError
+from ..utils.rng import derive_rng
+from .channel import LossModel
+from .events import Message
+from .simulator import Simulator
+from .stats import NetworkStats
+from .topology import PhysicalNetwork
+
+__all__ = ["Network", "ProtocolNode"]
+
+
+class Network:
+    """Routes messages between registered protocol nodes."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        physical: PhysicalNetwork,
+        loss_model: LossModel | None = None,
+        processing_delay_ms: float = 0.05,
+        service_time_ms: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.simulator = simulator
+        self.physical = physical
+        self.loss_model = loss_model if loss_model is not None else LossModel()
+        self.processing_delay_ms = processing_delay_ms
+        # When positive, each node handles messages sequentially, one every
+        # service_time_ms — this makes targeted overload attacks (flooding a
+        # node to delay its relaying) observable in the simulation.
+        self.service_time_ms = service_time_ms
+        self._busy_until: dict[int, float] = {}
+        self.stats = NetworkStats()
+        self.seed = seed
+        self._nodes: dict[int, "ProtocolNode"] = {}
+        self._rng = derive_rng(seed, "network")
+
+    # ------------------------------------------------------------------
+    # Node management
+    # ------------------------------------------------------------------
+
+    def register(self, node: "ProtocolNode") -> None:
+        if node.node_id in self._nodes:
+            raise SimulationError(f"node {node.node_id} registered twice")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: int) -> "ProtocolNode":
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id}") from None
+
+    def node_ids(self) -> list[int]:
+        return sorted(self._nodes)
+
+    def start_all(self) -> None:
+        """Invoke ``on_start`` on every registered node at time zero."""
+
+        for node_id in self.node_ids():
+            node = self._nodes[node_id]
+            self.simulator.schedule(0.0, node.on_start)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def base_latency(self, src: int, dst: int) -> float:
+        """Stable one-way latency between *src* and *dst* in milliseconds.
+
+        Delegates to :meth:`PhysicalNetwork.transport_latency` so overlay
+        optimization and actual message delays use identical numbers.  Nodes
+        outside the physical membership (e.g. external attack traffic
+        generators) fall back to the inter-regional mean.
+        """
+
+        try:
+            return self.physical.transport_latency(src, dst)
+        except KeyError:
+            return self.physical.latency_model.parameters.inter_mean
+
+    def send(self, src: int, dst: int, message: Message) -> None:
+        """Deliver *message* from *src* to *dst* after link latency + jitter.
+
+        Loss is sampled per transmission; dropped messages are only counted in
+        the drop statistic (the sender still paid the bytes).
+        """
+
+        if dst not in self._nodes:
+            raise SimulationError(f"send to unknown node {dst}")
+        wire = message.wire_size()
+        self.stats.record_send(src, dst, wire)
+        if self.loss_model.drops(self._rng):
+            self.stats.record_drop()
+            return
+        delay = (
+            self.base_latency(src, dst) * self.loss_model.jitter_factor(self._rng)
+            + self.processing_delay_ms
+        )
+        if self.service_time_ms > 0:
+            arrival = self.simulator.now + delay
+            start = max(arrival, self._busy_until.get(dst, 0.0))
+            finish = start + self.service_time_ms
+            self._busy_until[dst] = finish
+            delay = finish - self.simulator.now
+        receiver = self._nodes[dst]
+        self.simulator.schedule(delay, lambda: receiver.receive(src, message))
+
+    def multicast(self, src: int, dsts: Iterable[int], message: Message) -> None:
+        """Send *message* to every destination (self is skipped)."""
+
+        for dst in dsts:
+            if dst != src:
+                self.send(src, dst, message)
+
+
+class ProtocolNode:
+    """Base class for all protocol actors in the simulation.
+
+    Subclasses override :meth:`on_start` and :meth:`on_message`; Byzantine
+    variants typically override :meth:`receive` or individual handlers.
+    """
+
+    def __init__(self, node_id: int, network: Network) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.rng: random.Random = derive_rng(network.seed, "node", node_id)
+        network.register(self)
+
+    # -- conveniences ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.network.simulator.now
+
+    def send(self, dst: int, message: Message) -> None:
+        self.network.send(self.node_id, dst, message)
+
+    def multicast(self, dsts: Iterable[int], message: Message) -> None:
+        self.network.multicast(self.node_id, dsts, message)
+
+    def schedule(self, delay_ms: float, callback: Callable[[], None]) -> None:
+        self.network.simulator.schedule(delay_ms, callback)
+
+    # -- hooks ----------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    def receive(self, sender: int, message: Message) -> None:
+        """Transport-level entry point; dispatches to :meth:`on_message`."""
+
+        self.on_message(sender, message)
+
+    def on_message(self, sender: int, message: Message) -> None:
+        """Handle a delivered message.  Subclasses must override."""
+
+        raise NotImplementedError

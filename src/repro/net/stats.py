@@ -1,0 +1,197 @@
+"""Measurement: bandwidth accounting and latency statistics.
+
+Every send is charged to both endpoints (bytes out / bytes in), and protocols
+record delivery times per disseminated item so the experiment harness can
+compute the paper's metrics: average latency, 5th–95th percentile spread
+(Fig. 3a), per-node bandwidth in KB/min (Fig. 3b), and delivery probability
+(Fig. 5b).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["NetworkStats", "LatencySummary", "percentile", "summarize_latencies"]
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (matching ``numpy.percentile`` default).
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    """
+
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    interpolated = ordered[low] * (1 - weight) + ordered[high] * weight
+    # Clamp 1-ulp float drift so the result always lies within the sample.
+    return min(max(interpolated, ordered[low]), ordered[high])
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """Average and percentile spread of a latency population."""
+
+    count: int
+    mean: float
+    p5: float
+    p50: float
+    p95: float
+
+    @property
+    def spread(self) -> float:
+        """The 5th–95th percentile range the paper plots as variability."""
+
+        return self.p95 - self.p5
+
+
+def summarize_latencies(values: Sequence[float]) -> LatencySummary:
+    """Compute the Fig. 3a summary statistics for *values*."""
+
+    if not values:
+        raise ValueError("no latencies recorded")
+    return LatencySummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        p5=percentile(values, 5),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+    )
+
+
+@dataclass
+class NetworkStats:
+    """Mutable counters filled in by the network layer and protocols."""
+
+    bytes_sent: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    bytes_received: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    messages_sent: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    messages_received: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    messages_dropped: int = 0
+    # item id -> node id -> first delivery time (ms)
+    deliveries: dict[object, dict[int, float]] = field(
+        default_factory=lambda: defaultdict(dict)
+    )
+    # item id -> first transmission time of the item payload (ms)
+    send_times: dict[object, float] = field(default_factory=dict)
+    # item id -> time the application handed the item to the protocol (ms);
+    # for HERMES this precedes send_times by the TRS acquisition delay.
+    submit_times: dict[object, float] = field(default_factory=dict)
+
+    def record_send(self, sender: int, receiver: int, wire_bytes: int) -> None:
+        self.bytes_sent[sender] += wire_bytes
+        self.messages_sent[sender] += 1
+        self.bytes_received[receiver] += wire_bytes
+        self.messages_received[receiver] += 1
+
+    def record_drop(self) -> None:
+        self.messages_dropped += 1
+
+    def record_submission(self, item: object, time_ms: float) -> None:
+        """Mark the moment the application submitted *item* to the protocol."""
+
+        self.submit_times.setdefault(item, time_ms)
+
+    def record_dissemination_start(self, item: object, time_ms: float) -> None:
+        """Mark the moment *item* (e.g. a transaction id) entered the network.
+
+        This is the paper's latency reference point: the first transmission of
+        the item payload itself (for HERMES, after TRS acquisition — the TRS
+        request carries only ``H(m)``, not the transaction).
+        """
+
+        self.send_times.setdefault(item, time_ms)
+        self.submit_times.setdefault(item, time_ms)
+
+    def record_delivery(self, item: object, node: int, time_ms: float) -> None:
+        """Record the first delivery of *item* at *node* (later ones ignored)."""
+
+        self.deliveries[item].setdefault(node, time_ms)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    def delivery_latencies(self, item: object) -> list[float]:
+        """Per-node latency (delivery − send time) for *item*."""
+
+        if item not in self.send_times:
+            raise KeyError(f"item {item!r} was never sent")
+        start = self.send_times[item]
+        # The origin delivers to itself at submission, which may precede the
+        # first transmission (HERMES acquires its TRS in between): clamp to 0.
+        return [max(0.0, t - start) for t in self.deliveries.get(item, {}).values()]
+
+    def all_delivery_latencies(self) -> list[float]:
+        """Latencies across all items and receiving nodes."""
+
+        out: list[float] = []
+        for item in self.send_times:
+            out.extend(self.delivery_latencies(item))
+        return out
+
+    def latency_summary(self) -> LatencySummary:
+        return summarize_latencies(self.all_delivery_latencies())
+
+    def setup_overheads(self) -> list[float]:
+        """Per-item delay between submission and first payload transmission
+        (for HERMES: the TRS acquisition time; zero for the baselines)."""
+
+        return [
+            self.send_times[item] - submit
+            for item, submit in self.submit_times.items()
+            if item in self.send_times
+        ]
+
+    def coverage(self, item: object, audience: Iterable[int]) -> float:
+        """Fraction of *audience* that received *item* (Fig. 5b robustness)."""
+
+        targets = set(audience)
+        if not targets:
+            raise ValueError("audience must be non-empty")
+        reached = targets & set(self.deliveries.get(item, {}))
+        return len(reached) / len(targets)
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent.values())
+
+    def bandwidth_kb_per_minute(
+        self, duration_ms: float, nodes: Iterable[int] | None = None
+    ) -> float:
+        """Average per-node bandwidth (sent) in KB/min over *duration_ms*.
+
+        This is the Fig. 3b metric: protocol overhead normalized per node per
+        minute of simulated time.
+        """
+
+        if duration_ms <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ms}")
+        if nodes is None:
+            population: Mapping[int, int] = self.bytes_sent
+            node_count = len(population) or 1
+            total = sum(population.values())
+        else:
+            node_list = list(nodes)
+            node_count = len(node_list) or 1
+            total = sum(self.bytes_sent.get(n, 0) for n in node_list)
+        minutes = duration_ms / 60_000.0
+        return (total / 1024.0) / (node_count * minutes)
+
+    def load_per_node(self) -> dict[int, int]:
+        """Messages forwarded per node — the Fig. 2 load metric."""
+
+        return dict(self.messages_sent)

@@ -1,0 +1,270 @@
+"""Physical network generation.
+
+The system model (§III) is a labeled graph ``G = (V, E)`` with latency labels
+``lat(e)`` and the assumption that every node is reachable through at least
+``t`` disjoint paths.  We generate such graphs by assigning nodes to regions,
+wiring each node to a mix of same-region and remote peers until everyone has at
+least ``min_degree >= t`` neighbours, and then repairing connectivity if the
+random wiring left islands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from ..errors import TopologyError
+from ..types import ALL_REGIONS, Region
+from ..utils.rng import derive_rng
+from ..utils.validation import require
+from .latency import LatencyModel, LatencyParameters
+
+__all__ = ["PhysicalNetwork", "generate_physical_network"]
+
+# Probability that a random neighbour is chosen from the node's own region;
+# keeps the graph latency-clustered the way real P2P networks are.
+_SAME_REGION_BIAS = 0.5
+
+
+@dataclass
+class PhysicalNetwork:
+    """An immutable view of the physical substrate.
+
+    ``latencies`` maps each undirected edge (stored with ``u < v``) to its
+    label ``lat(e)`` in milliseconds — the *expected* one-way delay used both
+    for overlay optimization and as the base for per-message sampling.
+    """
+
+    graph: nx.Graph
+    regions: Mapping[int, Region]
+    latencies: Mapping[tuple[int, int], float]
+    latency_model: LatencyModel = field(repr=False)
+    pair_seed: int = 0
+    _pair_cache: dict[tuple[int, int], float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def nodes(self) -> list[int]:
+        return sorted(self.graph.nodes)
+
+    def neighbors(self, node: int) -> list[int]:
+        return sorted(self.graph.neighbors(node))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self.graph.has_edge(u, v)
+
+    def latency(self, u: int, v: int) -> float:
+        """The edge label ``lat(e_{u,v})``; raises for non-edges."""
+
+        key = (u, v) if u < v else (v, u)
+        try:
+            return self.latencies[key]
+        except KeyError:
+            raise TopologyError(f"no physical link between {u} and {v}") from None
+
+    def transport_latency(self, u: int, v: int) -> float:
+        """Stable one-way latency between any two nodes.
+
+        Physically adjacent pairs use their link label; other pairs use a
+        deterministic per-pair draw from the regional model (the internet path
+        between them), cached so repeated queries are free.  Overlay
+        construction and the simulator both read this, so optimizing an
+        overlay against these numbers is meaningful.
+        """
+
+        if u == v:
+            return 0.0
+        key = (u, v) if u < v else (v, u)
+        if key in self.latencies:
+            return self.latencies[key]
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            cached = self.latency_model.sample_pair(
+                self.pair_seed, u, v, self.regions[u], self.regions[v]
+            )
+            self._pair_cache[key] = cached
+        return cached
+
+    def region_of(self, node: int) -> Region:
+        return self.regions[node]
+
+    # ------------------------------------------------------------------
+    # Mutation (permissionless churn, §VII-B)
+    # ------------------------------------------------------------------
+
+    def add_node_with_links(
+        self, node: int, region: Region, neighbors: Sequence[int]
+    ) -> None:
+        """Join *node* to the physical network with links to *neighbors*."""
+
+        if node in self.graph:
+            raise TopologyError(f"node {node} already in the network")
+        if not neighbors:
+            raise TopologyError("a joining node needs at least one neighbour")
+        for neighbor in neighbors:
+            if neighbor not in self.graph:
+                raise TopologyError(f"unknown neighbour {neighbor}")
+        if not isinstance(self.regions, dict) or not isinstance(self.latencies, dict):
+            raise TopologyError("this PhysicalNetwork instance is immutable")
+        self.graph.add_node(node)
+        self.regions[node] = region
+        for neighbor in neighbors:
+            self.graph.add_edge(node, neighbor)
+            key = (min(node, neighbor), max(node, neighbor))
+            self.latencies[key] = self.latency_model.sample_pair(
+                self.pair_seed, node, neighbor, region, self.regions[neighbor]
+            )
+
+    def remove_node(self, node: int) -> None:
+        """Remove a departed node and its links."""
+
+        if node not in self.graph:
+            raise TopologyError(f"unknown node {node}")
+        if not isinstance(self.regions, dict) or not isinstance(self.latencies, dict):
+            raise TopologyError("this PhysicalNetwork instance is immutable")
+        neighbors = list(self.graph.neighbors(node))
+        self.graph.remove_node(node)
+        self.regions.pop(node, None)
+        for neighbor in neighbors:
+            self.latencies.pop((min(node, neighbor), max(node, neighbor)), None)
+
+    def degree(self, node: int) -> int:
+        return self.graph.degree[node]
+
+    def min_cut_between(self, u: int, v: int) -> int:
+        """Number of vertex-disjoint paths between *u* and *v* (Menger)."""
+
+        return nx.node_connectivity(self.graph, u, v)
+
+    def validate_connectivity(self, t: int) -> None:
+        """Raise unless the graph is *t*-vertex-connected."""
+
+        if self.num_nodes <= t:
+            raise TopologyError(f"{self.num_nodes} nodes cannot be {t}-connected")
+        if nx.node_connectivity(self.graph) < t:
+            raise TopologyError(f"physical network is not {t}-vertex-connected")
+
+
+def _assign_regions(
+    node_ids: Sequence[int], regions: Sequence[Region], rng: random.Random
+) -> dict[int, Region]:
+    """Spread nodes across regions roughly evenly, with random assignment."""
+
+    assignment = {}
+    shuffled = list(node_ids)
+    rng.shuffle(shuffled)
+    for position, node in enumerate(shuffled):
+        assignment[node] = regions[position % len(regions)]
+    return assignment
+
+
+def _pick_neighbor(
+    node: int,
+    candidates_same: Sequence[int],
+    candidates_other: Sequence[int],
+    rng: random.Random,
+) -> int | None:
+    """Choose a peer, biased toward the node's own region."""
+
+    pools: list[Sequence[int]] = []
+    if candidates_same and rng.random() < _SAME_REGION_BIAS:
+        pools = [candidates_same, candidates_other]
+    else:
+        pools = [candidates_other, candidates_same]
+    for pool in pools:
+        if pool:
+            return rng.choice(pool)
+    return None
+
+
+def generate_physical_network(
+    num_nodes: int,
+    min_degree: int = 4,
+    regions: Iterable[Region] | None = None,
+    latency_parameters: LatencyParameters | None = None,
+    latency_model: LatencyModel | None = None,
+    seed: int = 0,
+) -> PhysicalNetwork:
+    """Generate a region-clustered physical network.
+
+    Every node ends with degree >= *min_degree*; the construction then adds
+    edges until the graph is ``min_degree``-vertex-connected so the disjoint
+    path assumption of §III holds with ``t = min_degree``.
+    """
+
+    require(num_nodes >= 2, f"need at least 2 nodes, got {num_nodes}")
+    require(min_degree >= 1, f"min_degree must be >= 1, got {min_degree}")
+    require(
+        min_degree < num_nodes,
+        f"min_degree {min_degree} impossible with {num_nodes} nodes",
+    )
+
+    region_list = tuple(regions) if regions is not None else ALL_REGIONS
+    rng = derive_rng(seed, "topology")
+    node_ids = list(range(num_nodes))
+    region_of = _assign_regions(node_ids, region_list, rng)
+
+    by_region: dict[Region, list[int]] = {}
+    for node, region in region_of.items():
+        by_region.setdefault(region, []).append(node)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(node_ids)
+
+    # A Harary-style ring-with-chords skeleton guarantees min_degree-vertex-
+    # connectivity; random region-biased edges on top provide realism.
+    half = max(1, min_degree // 2 + min_degree % 2)
+    for node in node_ids:
+        for offset in range(1, half + 1):
+            graph.add_edge(node, (node + offset) % num_nodes)
+
+    for node in node_ids:
+        attempts = 0
+        while graph.degree[node] < min_degree and attempts < 20 * min_degree:
+            attempts += 1
+            same = [
+                c for c in by_region[region_of[node]] if c != node and not graph.has_edge(node, c)
+            ]
+            other = [
+                c
+                for c in node_ids
+                if c != node and region_of[c] != region_of[node] and not graph.has_edge(node, c)
+            ]
+            peer = _pick_neighbor(node, same, other, rng)
+            if peer is None:
+                break
+            graph.add_edge(node, peer)
+
+    # Sprinkle extra long-range edges (~1 per node) so the graph is not a bare ring.
+    extra_edges = num_nodes
+    for _ in range(extra_edges):
+        u, v = rng.sample(node_ids, 2)
+        graph.add_edge(u, v)
+
+    # Each physical link gets one latency draw from the regional model; this
+    # fixed label is what overlay construction optimizes against and what the
+    # simulator uses as the link's base delay.  A custom model (e.g. the
+    # pair-specific MatrixLatencyModel) may be supplied.
+    if latency_model is None:
+        latency_model = LatencyModel(latency_parameters, derive_rng(seed, "latency"))
+    latencies = {
+        (min(u, v), max(u, v)): latency_model.sample(region_of[u], region_of[v])
+        for u, v in graph.edges
+    }
+
+    network = PhysicalNetwork(
+        graph=graph,
+        regions=region_of,
+        latencies=latencies,
+        latency_model=latency_model,
+        pair_seed=seed,
+    )
+    network.validate_connectivity(min(min_degree, num_nodes - 1))
+    return network

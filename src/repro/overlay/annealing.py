@@ -1,0 +1,266 @@
+"""Simulated annealing over overlays — Algorithms 2 and 3 of the paper.
+
+:func:`generate_neighbor` (Alg. 3) proposes a mutated overlay:
+
+1. randomly add or remove one forward edge;
+2. repair the ``f+1``-connectivity invariants (successors for non-leaves,
+   predecessors for non-entries), adding lowest-latency repair edges;
+3. rebalance roles: an overloaded near-root node with spare successors hands
+   one child over to a higher-accumulated-rank parent.
+
+:func:`anneal` (Alg. 2) runs the Metropolis acceptance loop over those
+proposals.  One deliberate deviation: the paper's Alg. 3 step 4 discards any
+non-improving neighbour, which silently degenerates the annealing into greedy
+descent.  We return the proposal unconditionally and let Alg. 2's temperature
+schedule decide — i.e., actual simulated annealing.  Setting
+``GenerateNeighborConfig.greedy_filter=True`` restores the literal pseudocode.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..utils.validation import require, require_positive
+from .base import Overlay, OverlaySpace
+from .objective import ObjectiveConfig, evaluate_overlay
+from .rank import RankTracker
+
+__all__ = ["AnnealingConfig", "GenerateNeighborConfig", "anneal", "generate_neighbor"]
+
+
+@dataclass(frozen=True, slots=True)
+class AnnealingConfig:
+    """Cooling schedule for Algorithm 2."""
+
+    initial_temperature: float = 50.0
+    min_temperature: float = 0.5
+    cooling_rate: float = 0.95
+    moves_per_temperature: int = 4
+
+    def __post_init__(self) -> None:
+        require_positive(self.initial_temperature, "initial_temperature")
+        require_positive(self.min_temperature, "min_temperature")
+        require(
+            0.0 < self.cooling_rate < 1.0,
+            f"cooling_rate must be in (0, 1), got {self.cooling_rate}",
+        )
+        require(
+            self.moves_per_temperature >= 1,
+            "moves_per_temperature must be at least 1",
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GenerateNeighborConfig:
+    """Behaviour of Algorithm 3."""
+
+    remove_probability: float = 0.5
+    greedy_filter: bool = False
+    # Out-degree above which a near-root node is considered overloaded.
+    overload_slack: int = 1
+
+
+def _forward_pairs_sample(
+    overlay: Overlay, rng: random.Random, attempts: int = 32
+) -> tuple[int, int] | None:
+    """Sample a non-edge (parent, child) pair with parent strictly shallower."""
+
+    nodes = overlay.nodes()
+    if len(nodes) < 2:
+        return None
+    for _ in range(attempts):
+        u, v = rng.sample(nodes, 2)
+        if overlay.depth_of[u] > overlay.depth_of[v]:
+            u, v = v, u
+        if overlay.depth_of[u] >= overlay.depth_of[v]:
+            continue
+        if v not in overlay.successors[u]:
+            return u, v
+    return None
+
+
+def _removable_edges(overlay: Overlay) -> list[tuple[int, int]]:
+    """Edges whose removal keeps every invariant satisfiable locally.
+
+    An edge (p, c) is removable when c retains more than its required
+    predecessor count and p retains f+1 successors (or becomes a leaf evenly —
+    we conservatively require p to keep f+1 children or have had exactly the
+    edge set of a leaf-to-be, which we disallow to keep repair cheap).
+    """
+
+    counts = overlay.shallower_counts()
+    removable = []
+    for parent, child in overlay.edges():
+        if len(overlay.predecessors[child]) <= overlay.required_predecessors(
+            child, counts
+        ):
+            continue
+        if len(overlay.successors[parent]) <= overlay.f + 1:
+            continue
+        removable.append((parent, child))
+    return removable
+
+
+def _repair_connectivity(
+    overlay: Overlay, space: OverlaySpace, rng: random.Random
+) -> None:
+    """Alg. 3 step 2: restore f+1 successors / required predecessors."""
+
+    layers = overlay.layers()
+    depths = sorted(layers)
+    counts = overlay.shallower_counts()
+    all_nodes = overlay.nodes()
+    # Successor repair for non-leaf nodes (all but the deepest layer).
+    for depth in depths[:-1]:
+        needy = [
+            n
+            for n in layers[depth]
+            if not overlay.is_leaf(n) and len(overlay.successors[n]) < overlay.f + 1
+        ]
+        if not needy:
+            continue
+        deeper_nodes = [n for n in all_nodes if overlay.depth_of[n] > depth]
+        for node in needy:
+            existing = set(overlay.successors[node])
+            candidates = [
+                c
+                for c in deeper_nodes
+                if c not in existing and space.are_connected(node, c)
+            ]
+            candidates.sort(key=lambda c: (space.latency(node, c), c))
+            while len(overlay.successors[node]) < overlay.f + 1 and candidates:
+                overlay.add_edge(node, candidates.pop(0))
+    # Predecessor repair for every non-entry node.
+    for node in all_nodes:
+        needed = overlay.required_predecessors(node, counts)
+        if len(overlay.predecessors[node]) >= needed:
+            continue
+        existing = set(overlay.predecessors[node])
+        candidates = [
+            p
+            for p in all_nodes
+            if overlay.depth_of[p] < overlay.depth_of[node]
+            and p not in existing
+            and space.are_connected(p, node)
+        ]
+        candidates.sort(key=lambda p: (space.latency(p, node), p))
+        while len(overlay.predecessors[node]) < needed and candidates:
+            overlay.add_edge(candidates.pop(0), node)
+
+
+def _rebalance_roles(
+    overlay: Overlay,
+    space: OverlaySpace,
+    ranks: RankTracker,
+    rng: random.Random,
+    config: GenerateNeighborConfig,
+) -> None:
+    """Alg. 3 step 3: shift load from low-rank near-root nodes to high-rank ones."""
+
+    if overlay.max_depth() == 0:
+        return
+    shallow_cutoff = max(1, overlay.max_depth() // 3)
+    overloaded = [
+        n
+        for n in overlay.nodes()
+        if overlay.depth_of[n] <= shallow_cutoff
+        and len(overlay.successors[n]) > overlay.f + 1 + config.overload_slack
+    ]
+    if not overloaded:
+        return
+    node = rng.choice(overloaded)
+    child = rng.choice(overlay.successors[node])
+    replacements = [
+        p
+        for p in overlay.nodes()
+        if p not in (node, child)
+        and overlay.depth_of[p] < overlay.depth_of[child]
+        and ranks.rank(p) > ranks.rank(node)
+        and p not in overlay.predecessors[child]
+        and space.are_connected(p, child)
+    ]
+    if not replacements:
+        return
+    replacements.sort(key=lambda p: (-ranks.rank(p), space.latency(p, child), p))
+    overlay.remove_edge(node, child)
+    overlay.add_edge(replacements[0], child)
+
+
+def generate_neighbor(
+    overlay: Overlay,
+    space: OverlaySpace,
+    ranks: RankTracker,
+    rng: random.Random,
+    config: GenerateNeighborConfig | None = None,
+    objective_config: ObjectiveConfig | None = None,
+) -> Overlay:
+    """Algorithm 3: propose a neighbouring overlay configuration."""
+
+    if config is None:
+        config = GenerateNeighborConfig()
+    neighbor = overlay.copy()
+
+    # Step 1: random edge add/remove.
+    removable = _removable_edges(neighbor)
+    if rng.random() < config.remove_probability and removable:
+        parent, child = rng.choice(removable)
+        neighbor.remove_edge(parent, child)
+    else:
+        pair = _forward_pairs_sample(neighbor, rng)
+        if pair is not None and space.are_connected(*pair):
+            neighbor.add_edge(*pair)
+
+    # Step 2: restore f+1-connectivity.
+    _repair_connectivity(neighbor, space, rng)
+
+    # Step 3: rank-penalty rebalancing.
+    _rebalance_roles(neighbor, space, ranks, rng, config)
+
+    # Step 4 (literal pseudocode only): discard non-improving proposals.
+    if config.greedy_filter:
+        new_value = evaluate_overlay(neighbor, space, ranks, objective_config).total
+        old_value = evaluate_overlay(overlay, space, ranks, objective_config).total
+        if new_value >= old_value:
+            return overlay
+    return neighbor
+
+
+def anneal(
+    overlay: Overlay,
+    space: OverlaySpace,
+    ranks: RankTracker,
+    config: AnnealingConfig | None = None,
+    neighbor_config: GenerateNeighborConfig | None = None,
+    objective_config: ObjectiveConfig | None = None,
+    rng: random.Random | None = None,
+) -> Overlay:
+    """Algorithm 2: Metropolis annealing from *overlay* to an optimized one."""
+
+    if config is None:
+        config = AnnealingConfig()
+    if rng is None:
+        rng = random.Random(0)
+
+    current = overlay
+    current_value = evaluate_overlay(current, space, ranks, objective_config).total
+    best = current
+    best_value = current_value
+
+    temperature = config.initial_temperature
+    while temperature > config.min_temperature:
+        for _ in range(config.moves_per_temperature):
+            candidate = generate_neighbor(
+                current, space, ranks, rng, neighbor_config, objective_config
+            )
+            candidate_value = evaluate_overlay(
+                candidate, space, ranks, objective_config
+            ).total
+            delta = candidate_value - current_value
+            if delta < 0 or math.exp(-delta / temperature) > rng.random():
+                current, current_value = candidate, candidate_value
+                if candidate_value < best_value:
+                    best, best_value = candidate, candidate_value
+        temperature *= config.cooling_rate
+    return best

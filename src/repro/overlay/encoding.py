@@ -1,0 +1,181 @@
+"""Robust Tree Encoding — Algorithm 5 of the paper.
+
+Every node must know, for each of the ``k`` overlays, its predecessors,
+successors and the entry points, and must be able to check that the overlay
+description it holds is the one a ``2f+1`` quorum of the committee signed.
+This module provides:
+
+* a compact, deterministic binary encoding of an :class:`Overlay` (varint
+  based; byte-identical across processes, so signatures transfer);
+* :class:`OverlayCertificate` — the encoded overlay together with the
+  committee's combined threshold signature over its hash;
+* :func:`certify_overlays` — the committee-side flow of Algorithm 5 (each
+  member encodes, partially signs; the source combines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..crypto.backend import CryptoBackend
+from ..errors import TopologyError
+from .base import Overlay
+
+__all__ = [
+    "EncodedOverlay",
+    "OverlayCertificate",
+    "encode_overlay",
+    "decode_overlay",
+    "certify_overlays",
+]
+
+_MAGIC = 0x48  # 'H' for HERMES
+_VERSION = 1
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise TopologyError("truncated overlay encoding")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise TopologyError("varint overflow in overlay encoding")
+
+
+@dataclass(frozen=True, slots=True)
+class EncodedOverlay:
+    """The deterministic wire form of one overlay."""
+
+    overlay_id: int
+    data: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+
+def encode_overlay(overlay: Overlay) -> EncodedOverlay:
+    """Serialize *overlay* into the compact canonical byte form."""
+
+    out = bytearray([_MAGIC, _VERSION])
+    _write_varint(out, overlay.overlay_id)
+    _write_varint(out, overlay.f)
+    _write_varint(out, len(overlay.entry_points))
+    for entry in overlay.entry_points:
+        _write_varint(out, entry)
+
+    nodes = overlay.nodes()
+    _write_varint(out, len(nodes))
+    for node in nodes:
+        _write_varint(out, node)
+        _write_varint(out, overlay.depth_of[node])
+
+    for node in nodes:
+        children = sorted(overlay.successors.get(node, ()))
+        _write_varint(out, len(children))
+        previous = 0
+        for child in children:
+            _write_varint(out, child - previous)  # delta encoding
+            previous = child
+    return EncodedOverlay(overlay_id=overlay.overlay_id, data=bytes(out))
+
+
+def decode_overlay(encoded: EncodedOverlay | bytes) -> Overlay:
+    """Reconstruct the :class:`Overlay` from its canonical byte form."""
+
+    data = encoded.data if isinstance(encoded, EncodedOverlay) else encoded
+    if len(data) < 2 or data[0] != _MAGIC or data[1] != _VERSION:
+        raise TopologyError("not a HERMES overlay encoding")
+    offset = 2
+    overlay_id, offset = _read_varint(data, offset)
+    f, offset = _read_varint(data, offset)
+    entry_count, offset = _read_varint(data, offset)
+    entries = []
+    for _ in range(entry_count):
+        entry, offset = _read_varint(data, offset)
+        entries.append(entry)
+
+    node_count, offset = _read_varint(data, offset)
+    depths: dict[int, int] = {}
+    order: list[int] = []
+    for _ in range(node_count):
+        node, offset = _read_varint(data, offset)
+        depth, offset = _read_varint(data, offset)
+        depths[node] = depth
+        order.append(node)
+
+    overlay = Overlay.empty(overlay_id, f, entries)
+    for node in order:
+        if node not in overlay.depth_of:
+            overlay.add_node(node, depths[node])
+
+    for node in order:
+        child_count, offset = _read_varint(data, offset)
+        previous = 0
+        for _ in range(child_count):
+            delta, offset = _read_varint(data, offset)
+            child = previous + delta
+            previous = child
+            overlay.add_edge(node, child)
+    if offset != len(data):
+        raise TopologyError("trailing bytes in overlay encoding")
+    return overlay
+
+
+@dataclass(frozen=True, slots=True)
+class OverlayCertificate:
+    """An encoded overlay plus the committee's combined threshold signature."""
+
+    encoded: EncodedOverlay
+    signature: object
+
+    @property
+    def size_bytes(self) -> int:
+        from ..crypto.backend import THRESHOLD_SIG_SIZE_BYTES
+
+        return self.encoded.size_bytes + THRESHOLD_SIG_SIZE_BYTES
+
+    def verify(self, backend: CryptoBackend) -> bool:
+        """Check the committee's combined signature over the encoding's hash."""
+
+        digest = backend.hash(self.encoded.data)
+        return backend.verify_combined(digest, self.signature)
+
+
+def certify_overlays(
+    overlays: Sequence[Overlay],
+    backend: CryptoBackend,
+    committee: Sequence[int],
+) -> list[OverlayCertificate]:
+    """Algorithm 5: each committee member encodes and partially signs every
+    overlay; the combined threshold signatures form the certificates."""
+
+    certificates = []
+    for overlay in overlays:
+        encoded = encode_overlay(overlay)
+        digest = backend.hash(encoded.data)
+        partials = [backend.partial_sign(member, digest) for member in committee]
+        signature = backend.combine(digest, partials)
+        certificates.append(OverlayCertificate(encoded=encoded, signature=signature))
+    return certificates

@@ -1,0 +1,10 @@
+"""Bracha's asynchronous Byzantine reliable broadcast.
+
+Used by the TRS committee (§VI-A) to agree on the ``(i, H(m))`` binding before
+any member contributes a partial signature, ensuring no committee member can
+be tricked into signing a different binding than its peers.
+"""
+
+from .bracha import BrachaContext, BrachaNode
+
+__all__ = ["BrachaContext", "BrachaNode"]

@@ -1,0 +1,21 @@
+"""Threshold Random Seed generation (paper §VI-A, Algorithm 4).
+
+A sender binds its ``i``-th message to ``H(m)`` and asks the ``3f+1``
+committee for a seed.  The committee reliably broadcasts the binding among
+itself (so every honest member signs the same thing), then each member returns
+a partial threshold signature.  The sender combines ``2f+1`` partials into the
+unique signature ``φ(i, H(m))`` — the seed that verifiably selects the
+dissemination overlay (``overlay = seed mod k``).
+"""
+
+from .committee import TRS_PARTIAL_KIND, TRS_REQUEST_KIND, TrsCommitteeMember, trs_binding
+from .seed import TrsClient, TrsResult
+
+__all__ = [
+    "TRS_PARTIAL_KIND",
+    "TRS_REQUEST_KIND",
+    "TrsClient",
+    "TrsCommitteeMember",
+    "TrsResult",
+    "trs_binding",
+]

@@ -1,0 +1,45 @@
+"""Terminal bar charts for experiment reports.
+
+The paper's figures are plots; the benchmark harness is text-only, so the
+report modules render distributions as proportional ASCII bars — enough to
+see the shape of Fig. 4's role histogram or a latency profile at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["bar_chart"]
+
+_BAR = "█"
+
+
+def bar_chart(
+    data: Mapping[object, float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render *data* (label → value) as horizontal proportional bars.
+
+    >>> print(bar_chart({"a": 2, "b": 4}, width=4))
+    a |██   2.00
+    b |████ 4.00
+    """
+
+    if not data:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    labels = [str(label) for label in data]
+    label_width = max(len(label) for label in labels)
+    peak = max(data.values())
+    lines = []
+    if title is not None:
+        lines.append(title)
+    for label, value in data.items():
+        if value < 0:
+            raise ValueError("bar charts need non-negative values")
+        filled = round(width * value / peak) if peak > 0 else 0
+        bar = _BAR * filled + " " * (width - filled)
+        lines.append(f"{str(label).ljust(label_width)} |{bar} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper reports; this module
+renders them as aligned monospace tables so the output is readable both in a
+terminal and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned text table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must have one cell per header")
+
+    cells = [[_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    separator = "-+-".join("-" * w for w in widths)
+    body = [" | ".join(row[i].ljust(widths[i]) for i in range(len(headers))) for row in cells]
+    lines = [header_line.rstrip(), separator] + [line.rstrip() for line in body]
+    if title is not None:
+        lines.insert(0, title)
+    return "\n".join(lines)

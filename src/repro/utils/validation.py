@@ -1,0 +1,28 @@
+"""Argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+
+__all__ = ["require", "require_positive", "require_probability"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition* holds."""
+
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless *value* is strictly positive."""
+
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise unless *value* lies in the closed interval [0, 1]."""
+
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,72 @@
+"""Integration tests: stochastic link loss (§III — links drop messages).
+
+The system model tolerates lossy links in addition to Byzantine nodes.
+HERMES's f+1 predecessors per node mean a single lost copy rarely matters;
+the gossip fallback mops up the rest.
+"""
+
+import pytest
+
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+from repro.mempool.transaction import Transaction
+from repro.net.channel import LossModel
+from repro.net.node import Network
+from repro.net.simulator import Simulator
+
+
+def build_lossy_system(physical, overlays, loss_probability, fallback=False):
+    config = HermesConfig(
+        f=1,
+        num_overlays=len(overlays),
+        gossip_fallback_enabled=fallback,
+        gossip_fallback_delay_ms=400.0,
+        gossip_period_ms=200.0,
+    )
+    system = HermesSystem(physical, config, overlays=overlays, seed=51)
+    # Swap in a lossy transport (same simulator and registry).
+    system.network.loss_model = LossModel(loss_probability=loss_probability)
+    return system
+
+
+class TestLossyLinks:
+    @pytest.mark.parametrize("loss", [0.01, 0.05])
+    def test_redundancy_masks_light_loss(
+        self, physical40, overlay_family40, loss
+    ):
+        overlays, _ranks = overlay_family40
+        system = build_lossy_system(physical40, overlays, loss)
+        system.start()
+        tx = Transaction.create(origin=5, created_at=0.0)
+        system.submit(5, tx)
+        system.run(until_ms=6_000)
+        coverage = len(system.stats.deliveries[tx.tx_id]) / physical40.num_nodes
+        assert coverage >= 0.9
+        assert system.stats.messages_dropped > 0
+
+    def test_fallback_completes_under_heavy_loss(
+        self, physical40, overlay_family40
+    ):
+        overlays, _ranks = overlay_family40
+        system = build_lossy_system(physical40, overlays, 0.15, fallback=True)
+        system.start()
+        tx = Transaction.create(origin=5, created_at=0.0)
+        system.submit(5, tx)
+        system.run(until_ms=8_000)
+        coverage = len(system.stats.deliveries[tx.tx_id]) / physical40.num_nodes
+        assert coverage == 1.0
+
+    def test_loss_accounted_but_bytes_still_charged(
+        self, physical40, overlay_family40
+    ):
+        """Senders pay for dropped messages (they did transmit them)."""
+
+        overlays, _ranks = overlay_family40
+        system = build_lossy_system(physical40, overlays, 1.0)
+        system.start()
+        tx = Transaction.create(origin=5, created_at=0.0)
+        system.submit(5, tx)
+        system.run(until_ms=2_000)
+        assert system.stats.total_bytes() > 0
+        # Only the origin itself ever sees the transaction.
+        assert set(system.stats.deliveries[tx.tx_id]) == {5}

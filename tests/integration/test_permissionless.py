@@ -1,0 +1,67 @@
+"""Integration tests: permissionless operation — churn plus dissemination."""
+
+import pytest
+
+from repro.core.config import HermesConfig
+from repro.core.membership import MembershipManager
+from repro.core.protocol import HermesSystem
+from repro.mempool.transaction import Transaction
+from repro.net.topology import generate_physical_network
+from repro.types import Region
+
+
+@pytest.fixture()
+def world():
+    physical = generate_physical_network(50, min_degree=4, seed=17)
+    manager = MembershipManager(physical, f=1, k=3, seed=2)
+    return physical, manager
+
+
+def disseminate(physical, overlays, origin, seed=5):
+    config = HermesConfig(f=1, num_overlays=len(overlays), gossip_fallback_enabled=False)
+    system = HermesSystem(physical, config, overlays=overlays, seed=seed)
+    system.start()
+    tx = Transaction.create(origin=origin, created_at=0.0)
+    system.submit(origin, tx)
+    system.run(until_ms=6_000)
+    return system, tx
+
+
+class TestChurnThenDisseminate:
+    def test_dissemination_after_joins(self, world):
+        physical, manager = world
+        manager.join(100, Region.TOKYO, neighbors=[0, 1, 2, 3])
+        manager.join(101, Region.LONDON, neighbors=[4, 5, 6, 7])
+        manager.validate()
+        system, tx = disseminate(physical, manager.overlays, origin=0)
+        assert len(system.stats.deliveries[tx.tx_id]) == 52
+        assert 100 in system.stats.deliveries[tx.tx_id]
+
+    def test_dissemination_after_leaves(self, world):
+        physical, manager = world
+        departing = [
+            n
+            for n in manager.members()
+            if not any(o.is_entry(n) for o in manager.overlays)
+        ][:4]
+        for node in departing:
+            manager.leave(node)
+        manager.validate()
+        system, tx = disseminate(physical, manager.overlays, origin=manager.members()[0])
+        assert len(system.stats.deliveries[tx.tx_id]) == 46
+
+    def test_dissemination_after_entry_departure(self, world):
+        physical, manager = world
+        entry = manager.overlays[0].entry_points[0]
+        manager.leave(entry)
+        manager.validate()
+        system, tx = disseminate(physical, manager.overlays, origin=manager.members()[0])
+        assert len(system.stats.deliveries[tx.tx_id]) == 49
+
+    def test_epoch_rotation_and_dissemination(self, world):
+        physical, manager = world
+        manager.join(100, Region.OHIO, neighbors=[0, 1, 2])
+        manager.advance_epoch()
+        manager.validate()
+        system, tx = disseminate(physical, manager.overlays, origin=100)
+        assert len(system.stats.deliveries[tx.tx_id]) == 51

@@ -1,0 +1,83 @@
+"""Integration tests for the full permissionless deployment driver."""
+
+import pytest
+
+from repro.core.permissionless import PermissionlessDeployment
+from repro.mempool.transaction import Transaction
+from repro.net.topology import generate_physical_network
+from repro.types import Region
+
+
+@pytest.fixture()
+def deployment():
+    physical = generate_physical_network(50, min_degree=4, seed=23)
+    return PermissionlessDeployment(
+        physical,
+        f=1,
+        k=3,
+        seed=3,
+        config_overrides={"gossip_fallback_enabled": False},
+    )
+
+
+def submissions(origins):
+    return [(o, Transaction.create(origin=o, created_at=0.0)) for o in origins]
+
+
+class TestLifecycle:
+    def test_epoch_zero_session(self, deployment):
+        report = deployment.run_session(submissions([0, 10]))
+        assert report.epoch == 0
+        assert report.coverage == 1.0
+        assert report.violations == 0
+
+    def test_committee_seeded_epochs_are_deterministic(self):
+        physical_a = generate_physical_network(40, min_degree=4, seed=29)
+        physical_b = generate_physical_network(40, min_degree=4, seed=29)
+        a = PermissionlessDeployment(physical_a, f=1, k=2, seed=5)
+        b = PermissionlessDeployment(physical_b, f=1, k=2, seed=5)
+        a.advance_epoch()
+        b.advance_epoch()
+        edges_a = [sorted(o.edges()) for o in a.manager.overlays]
+        edges_b = [sorted(o.edges()) for o in b.manager.overlays]
+        assert edges_a == edges_b
+
+    def test_epochs_reshuffle_roles(self, deployment):
+        entries_before = {
+            overlay.overlay_id: overlay.entry_points
+            for overlay in deployment.manager.overlays
+        }
+        deployment.advance_epoch()
+        entries_after = {
+            overlay.overlay_id: overlay.entry_points
+            for overlay in deployment.manager.overlays
+        }
+        assert entries_before != entries_after
+
+    def test_churn_then_session(self, deployment):
+        deployment.join(900, Region.TOKYO, neighbors=[0, 1, 2])
+        deployment.leave(deployment.manager.members()[7])
+        deployment.manager.validate()
+        report = deployment.run_session(submissions([900]))
+        assert report.coverage == 1.0
+
+    def test_mempool_continuity_across_epochs(self, deployment):
+        subs = submissions([0])
+        deployment.run_session(subs)
+        tx_id = subs[0][1].tx_id
+        deployment.advance_epoch()
+        deployment.run_session(submissions([5]))
+        # The first epoch's transaction is still known everywhere.
+        for node, known in deployment.known_transactions.items():
+            assert tx_id in known
+
+    def test_departed_node_dropped_from_tracking(self, deployment):
+        victim = deployment.manager.members()[9]
+        deployment.leave(victim)
+        assert victim not in deployment.known_transactions
+
+    def test_reports_accumulate(self, deployment):
+        deployment.run_session(submissions([0]))
+        deployment.advance_epoch()
+        deployment.run_session(submissions([1]))
+        assert [r.epoch for r in deployment.reports] == [0, 1]

@@ -1,0 +1,110 @@
+"""Integration tests: cross-protocol properties the paper's evaluation relies on."""
+
+import statistics
+
+import pytest
+
+from repro.experiments import build_environment, protocol_factories
+from repro.mempool.transaction import Transaction
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """One dissemination per protocol over the same 60-node network."""
+
+    env = build_environment(num_nodes=60, f=1, k=4, seed=3)
+    factories = protocol_factories(
+        env, hermes_overrides={"gossip_fallback_enabled": False}
+    )
+    results = {}
+    for name in ("hermes", "lzero", "narwhal", "mercury", "gossip"):
+        system = factories[name]()
+        system.start()
+        txs = []
+        for index, origin in enumerate((4, 23, 48, 11, 37, 55)):
+            # Fixed tx ids keep the TRS seeds (and hence HERMES's overlay
+            # draws) independent of global test-run order.
+            tx = Transaction(
+                tx_id=5_000_000 + index, origin=origin, created_at=0.0
+            )
+            txs.append(tx)
+            system.submit(origin, tx)
+        system.run(until_ms=8_000)
+        results[name] = (system, txs)
+    return env, results
+
+
+class TestCoverage:
+    def test_all_protocols_reach_everyone_when_honest(self, comparison):
+        env, results = comparison
+        for name, (system, txs) in results.items():
+            for tx in txs:
+                assert (
+                    len(system.stats.deliveries[tx.tx_id]) == env.physical.num_nodes
+                ), name
+
+
+class TestLatencyOrdering:
+    def test_paper_fig3a_ordering(self, comparison):
+        """Mercury < HERMES < Narwhal, and L∅ slower than HERMES.
+
+        (The full four-way ordering incl. Narwhal-vs-L∅ is asserted at the
+        paper's N=200 scale by the Fig. 3a benchmark; at this small N the
+        L∅/Narwhal gap is within noise.)
+        """
+
+        _env, results = comparison
+        means = {
+            name: statistics.mean(system.stats.all_delivery_latencies())
+            for name, (system, _txs) in results.items()
+        }
+        # At N=60 adjacent protocols sit within overlay-draw noise of each
+        # other, so allow a 15% band on the neighbouring pairs; the strict
+        # four-way ordering is asserted at N=200 by the Fig. 3a benchmark.
+        assert means["mercury"] < 1.15 * means["hermes"]
+        assert means["hermes"] < 1.15 * means["narwhal"]
+        assert means["hermes"] < means["lzero"]
+
+    def test_lzero_widest_spread(self, comparison):
+        _env, results = comparison
+        spreads = {
+            name: system.stats.latency_summary().spread
+            for name, (system, _txs) in results.items()
+            if name in ("hermes", "lzero", "narwhal", "mercury")
+        }
+        assert spreads["lzero"] == max(spreads.values())
+
+    def test_setup_overheads_match_protocol_designs(self, comparison):
+        """HERMES pays the TRS round trip; Narwhal pays its batch timer;
+        the push protocols transmit immediately."""
+
+        _env, results = comparison
+        for name, (system, _txs) in results.items():
+            overheads = system.stats.setup_overheads()
+            if name == "hermes":
+                assert all(o > 0 for o in overheads)
+            elif name == "narwhal":
+                assert all(o == pytest.approx(60.0) for o in overheads)
+            else:
+                assert all(o == 0 for o in overheads)
+
+
+class TestBandwidthOrdering:
+    """Scale-robust bandwidth claims; the full Fig. 3b ordering is asserted
+    at N=200 by the bandwidth benchmark."""
+
+    def test_lzero_cheaper_than_plain_gossip(self, comparison):
+        _env, results = comparison
+        totals = {
+            name: system.stats.total_bytes()
+            for name, (system, _txs) in results.items()
+        }
+        assert totals["lzero"] < totals["gossip"]
+
+    def test_narwhal_heavier_than_lzero(self, comparison):
+        _env, results = comparison
+        totals = {
+            name: system.stats.total_bytes()
+            for name, (system, _txs) in results.items()
+        }
+        assert totals["narwhal"] > totals["lzero"]

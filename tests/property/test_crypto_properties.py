@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the crypto substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.field import PrimeField, lagrange_coefficients_at_zero
+from repro.crypto.group import toy_group
+from repro.crypto.hashing import encode_for_hash, hash_to_int
+from repro.crypto.schnorr import schnorr_keygen, schnorr_sign, schnorr_verify
+from repro.crypto.shamir import recover_secret, split_secret
+from repro.crypto.threshold import combine_partials, threshold_keygen
+
+GROUP = toy_group()
+FIELD = PrimeField(GROUP.q)
+
+# Reusable committee (keygen is cheap on the toy group but no need to repeat).
+_PUBLIC, _SIGNERS = threshold_keygen(GROUP, threshold=3, num_members=5, rng=random.Random(0))
+
+
+class TestShamirProperties:
+    @given(
+        secret=st.integers(min_value=0, max_value=GROUP.q - 1),
+        threshold=st.integers(min_value=1, max_value=5),
+        extra=st.integers(min_value=0, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_recover_roundtrip(self, secret, threshold, extra, seed):
+        rng = random.Random(seed)
+        num_shares = threshold + extra
+        shares = split_secret(FIELD, secret, threshold, num_shares, rng)
+        subset = rng.sample(shares, threshold)
+        assert recover_secret(FIELD, subset) == secret % FIELD.order
+
+    @given(
+        secret=st.integers(min_value=0, max_value=GROUP.q - 1),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_share_reveals_nothing_structural(self, secret, seed):
+        """One share of a threshold-2 sharing never equals the secret slot 0
+        interpolation (it is an evaluation at x >= 1)."""
+
+        rng = random.Random(seed)
+        shares = split_secret(FIELD, secret, 2, 3, rng)
+        # Interpolating with only one share treats the polynomial as constant;
+        # the result is that share's value, which matches the secret only by
+        # 1/q coincidence — we merely check the API doesn't leak trivially.
+        assert shares[0].index == 1
+
+
+class TestLagrangeProperties:
+    @given(
+        coefficients=st.lists(
+            st.integers(min_value=0, max_value=FIELD.order - 1),
+            min_size=1,
+            max_size=6,
+        ),
+        points=st.sets(st.integers(min_value=1, max_value=50), min_size=6, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interpolation_recovers_p0(self, coefficients, points):
+        chosen = sorted(points)[: len(coefficients)]
+        if len(chosen) < len(coefficients):
+            return
+        values = {x: FIELD.eval_polynomial(coefficients, x) for x in chosen}
+        lagrange = lagrange_coefficients_at_zero(FIELD, chosen)
+        total = 0
+        for x in chosen:
+            total = FIELD.add(total, FIELD.mul(lagrange[x], values[x]))
+        assert total == coefficients[0] % FIELD.order
+
+
+class TestHashingProperties:
+    @given(
+        parts_a=st.lists(st.text(max_size=20), max_size=4),
+        parts_b=st.lists(st.text(max_size=20), max_size=4),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_injective_encoding(self, parts_a, parts_b):
+        if parts_a != parts_b:
+            assert encode_for_hash(*parts_a) != encode_for_hash(*parts_b)
+
+    @given(
+        value=st.integers(min_value=0, max_value=2**64),
+        modulus=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hash_to_int_in_range(self, value, modulus):
+        assert 0 <= hash_to_int("p", value, modulus=modulus) < modulus
+
+
+class TestSchnorrProperties:
+    @given(
+        message=st.binary(max_size=64),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, message, seed):
+        rng = random.Random(seed)
+        secret, public = schnorr_keygen(GROUP, rng)
+        signature = schnorr_sign(GROUP, secret, message, rng)
+        assert schnorr_verify(GROUP, public, message, signature)
+
+    @given(
+        message=st.binary(min_size=1, max_size=64),
+        other=st.binary(min_size=1, max_size=64),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_message_binding(self, message, other, seed):
+        if message == other:
+            return
+        rng = random.Random(seed)
+        secret, public = schnorr_keygen(GROUP, rng)
+        signature = schnorr_sign(GROUP, secret, message, rng)
+        assert not schnorr_verify(GROUP, public, other, signature)
+
+
+class TestThresholdProperties:
+    @given(
+        message=st.binary(min_size=1, max_size=48),
+        quorum_seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_signature_unique_across_quorums(self, message, quorum_seed):
+        rng = random.Random(quorum_seed)
+        partials = [s.sign(message, rng) for s in _SIGNERS]
+        quorum_a = rng.sample(partials, 3)
+        quorum_b = rng.sample(partials, 3)
+        sig_a = combine_partials(_PUBLIC, message, quorum_a)
+        sig_b = combine_partials(_PUBLIC, message, quorum_b)
+        assert sig_a.value == sig_b.value
+
+    @given(
+        message=st.binary(min_size=1, max_size=48),
+        modulus=st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_seed_stable(self, message, modulus):
+        rng = random.Random(1)
+        partials = [s.sign(message, rng) for s in _SIGNERS[:3]]
+        signature = combine_partials(_PUBLIC, message, partials)
+        assert 0 <= signature.as_seed(modulus) < modulus

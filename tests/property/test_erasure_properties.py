@@ -1,0 +1,42 @@
+"""Property-based tests for the Reed–Solomon erasure code."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.erasure import decode_shards, encode_shards, hermes_erasure_parameters
+
+
+class TestErasureProperties:
+    @given(
+        payload=st.binary(max_size=400),
+        data_shards=st.integers(min_value=1, max_value=8),
+        parity=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_k_of_n_recover(self, payload, data_shards, parity, seed):
+        total = data_shards + parity
+        shards = encode_shards(payload, data_shards, total)
+        rng = random.Random(seed)
+        subset = rng.sample(shards, data_shards)
+        assert decode_shards(subset, data_shards, len(payload)) == payload
+
+    @given(
+        f=st.integers(min_value=0, max_value=4),
+        k=st.integers(min_value=0, max_value=6),
+        payload=st.binary(min_size=1, max_size=300),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_paper_scheme_survives_f_losses(self, f, k, payload):
+        data, total = hermes_erasure_parameters(f, k)
+        shards = encode_shards(payload, data, total)
+        surviving = shards[f:]  # adversary destroys the f "worst" paths
+        assert decode_shards(surviving, data, len(payload)) == payload
+
+    @given(payload=st.binary(max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_shards_equal_length(self, payload):
+        shards = encode_shards(payload, 3, 6)
+        assert len({len(s.data) for s in shards}) == 1

@@ -1,0 +1,100 @@
+"""Property-based tests for overlay construction, encoding and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import generate_physical_network
+from repro.overlay.base import TransportSpace
+from repro.overlay.encoding import decode_overlay, encode_overlay
+from repro.overlay.rank import RankTracker
+from repro.overlay.robust_tree import build_robust_tree, prune_to_minimal
+
+# Pre-build a few networks so hypothesis examples stay fast.
+_NETWORKS = {
+    (n, seed): generate_physical_network(n, min_degree=4, seed=seed)
+    for n in (16, 25, 33)
+    for seed in (1, 2)
+}
+
+
+class TestRobustTreeInvariants:
+    @given(
+        n=st.sampled_from([16, 25, 33]),
+        net_seed=st.sampled_from([1, 2]),
+        f=st.integers(min_value=1, max_value=2),
+        tree_seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_construction_always_valid(self, n, net_seed, f, tree_seed):
+        physical = _NETWORKS[(n, net_seed)]
+        space = TransportSpace(physical)
+        tree = build_robust_tree(
+            physical.nodes(), space, f, overlay_id=0,
+            ranks=RankTracker(physical.nodes()), seed=tree_seed,
+        )
+        tree.validate(expected_nodes=physical.nodes())
+
+    @given(
+        n=st.sampled_from([16, 25]),
+        f=st.integers(min_value=1, max_value=2),
+        tree_seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pruning_preserves_invariants(self, n, f, tree_seed):
+        physical = _NETWORKS[(n, 1)]
+        space = TransportSpace(physical)
+        tree = build_robust_tree(
+            physical.nodes(), space, f, overlay_id=0,
+            ranks=RankTracker(physical.nodes()), seed=tree_seed,
+        )
+        pruned = prune_to_minimal(tree, space)
+        pruned.validate(expected_nodes=physical.nodes())
+        assert pruned.num_edges <= tree.num_edges
+
+    @given(
+        n=st.sampled_from([16, 25]),
+        tree_seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_single_fault_never_disconnects(self, n, tree_seed):
+        """With f = 1, removing any one non-entry node leaves everyone else
+        reachable — the f+1-connectivity guarantee."""
+
+        physical = _NETWORKS[(n, 1)]
+        space = TransportSpace(physical)
+        tree = prune_to_minimal(
+            build_robust_tree(
+                physical.nodes(), space, 1, overlay_id=0,
+                ranks=RankTracker(physical.nodes()), seed=tree_seed,
+            ),
+            space,
+        )
+        for failed in tree.nodes():
+            if tree.is_entry(failed):
+                continue
+            reachable = tree.reachable(failed=[failed])
+            assert reachable == set(tree.nodes()) - {failed}
+
+
+class TestEncodingProperties:
+    @given(
+        n=st.sampled_from([16, 25, 33]),
+        f=st.integers(min_value=1, max_value=2),
+        tree_seed=st.integers(min_value=0, max_value=30),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_exact(self, n, f, tree_seed):
+        physical = _NETWORKS[(n, 1)]
+        space = TransportSpace(physical)
+        tree = build_robust_tree(
+            physical.nodes(), space, f, overlay_id=tree_seed,
+            ranks=RankTracker(physical.nodes()), seed=tree_seed,
+        )
+        decoded = decode_overlay(encode_overlay(tree))
+        assert decoded.overlay_id == tree.overlay_id
+        assert decoded.f == tree.f
+        assert decoded.entry_points == tree.entry_points
+        assert decoded.depth_of == tree.depth_of
+        assert {k: sorted(v) for k, v in decoded.successors.items()} == {
+            k: sorted(v) for k, v in tree.successors.items()
+        }

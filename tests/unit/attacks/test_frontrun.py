@@ -1,0 +1,135 @@
+"""Unit tests for the front-running attack driver."""
+
+import pytest
+
+from repro.attacks.frontrun import (
+    adversarial_strategy_for,
+    censorship_is_deniable,
+    run_front_running_trial,
+)
+from repro.baselines.lzero import LZeroSystem
+from repro.baselines.mercury import MercurySystem
+from repro.baselines.narwhal import NarwhalSystem
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+
+
+@pytest.fixture()
+def mercury_factory(physical40):
+    def factory(plan, hook):
+        return MercurySystem(physical40, fault_plan=plan, observe_hook=hook, seed=6)
+
+    return factory
+
+
+class TestStrategySelection:
+    def test_mercury_gets_direct_injection(self, physical40):
+        system = MercurySystem(physical40, seed=6)
+        strategy = adversarial_strategy_for(system)
+        assert strategy.__name__ == "_mercury_direct_injection"
+
+    def test_others_get_protocol_submission(self, physical40):
+        system = LZeroSystem(physical40, seed=6)
+        strategy = adversarial_strategy_for(system)
+        assert strategy.__name__ == "_default_adversarial_submit"
+
+    def test_censorship_deniability(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        assert censorship_is_deniable(MercurySystem(physical40, seed=6))
+        assert censorship_is_deniable(NarwhalSystem(physical40, seed=6))
+        assert not censorship_is_deniable(LZeroSystem(physical40, seed=6))
+        hermes = HermesSystem(
+            physical40,
+            HermesConfig(f=1, num_overlays=3),
+            overlays=overlays,
+            seed=6,
+        )
+        assert not censorship_is_deniable(hermes)
+
+
+class TestTrial:
+    def test_attack_launches(self, mercury_factory, physical40):
+        result = run_front_running_trial(
+            mercury_factory,
+            physical40.nodes(),
+            malicious_fraction=0.3,
+            victim=0,
+            proposer=20,
+            horizon_ms=4_000,
+            seed=1,
+        )
+        assert result.attack_launched
+        assert result.observation_time is not None
+        assert result.attacker not in (0, 20)
+
+    def test_zero_malicious_means_no_attack(self, mercury_factory, physical40):
+        result = run_front_running_trial(
+            mercury_factory,
+            physical40.nodes(),
+            malicious_fraction=0.0,
+            victim=0,
+            proposer=20,
+            horizon_ms=3_000,
+            seed=1,
+        )
+        assert not result.attack_launched
+        assert not result.verdict.attacker_won
+        assert result.verdict.victim_included
+
+    def test_victim_and_proposer_protected(self, mercury_factory, physical40):
+        for seed in range(5):
+            result = run_front_running_trial(
+                mercury_factory,
+                physical40.nodes(),
+                malicious_fraction=0.33,
+                victim=0,
+                proposer=20,
+                horizon_ms=3_000,
+                seed=seed,
+            )
+            assert result.attacker not in (0, 20)
+
+    def test_arrival_times_reported(self, mercury_factory, physical40):
+        result = run_front_running_trial(
+            mercury_factory,
+            physical40.nodes(),
+            malicious_fraction=0.3,
+            victim=0,
+            proposer=20,
+            horizon_ms=4_000,
+            seed=2,
+        )
+        if result.verdict.attacker_won and result.verdict.victim_included:
+            assert (
+                result.adversarial_arrival_at_proposer
+                < result.victim_arrival_at_proposer
+            )
+
+    def test_hermes_resists(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+
+        def factory(plan, hook):
+            config = HermesConfig(f=1, num_overlays=3, gossip_fallback_enabled=False)
+            return HermesSystem(
+                physical40,
+                config,
+                fault_plan=plan,
+                observe_hook=hook,
+                overlays=overlays,
+                seed=6,
+            )
+
+        wins = 0
+        for seed in range(4):
+            result = run_front_running_trial(
+                factory,
+                physical40.nodes(),
+                malicious_fraction=0.33,
+                victim=0,
+                proposer=20,
+                horizon_ms=4_000,
+                seed=seed,
+                protected=tuple(range(4)),
+            )
+            wins += result.verdict.attacker_won
+        assert wins == 0

@@ -1,0 +1,88 @@
+"""Unit tests for the plain gossip and simple-tree baselines."""
+
+import pytest
+
+from repro.baselines.gossip import GossipConfig, GossipSystem
+from repro.baselines.simple_tree import SimpleTreeConfig, SimpleTreeSystem, tree_children
+from repro.errors import ConfigurationError
+from repro.mempool.transaction import Transaction
+from repro.net.faults import Behavior, FaultPlan
+
+
+def run_one_tx(system, origin=0, horizon=5_000):
+    system.start()
+    tx = Transaction.create(origin=origin, created_at=0.0)
+    system.submit(origin, tx)
+    system.run(until_ms=horizon)
+    return tx
+
+
+class TestGossip:
+    def test_full_coverage_honest(self, physical40):
+        system = GossipSystem(physical40, seed=2)
+        tx = run_one_tx(system)
+        assert len(system.stats.deliveries[tx.tx_id]) == 40
+
+    def test_fanout_validated(self):
+        with pytest.raises(ConfigurationError):
+            GossipConfig(fanout=0)
+
+    def test_higher_fanout_converges_faster(self, physical40):
+        slow = GossipSystem(physical40, config=GossipConfig(fanout=2), seed=2)
+        fast = GossipSystem(physical40, config=GossipConfig(fanout=10), seed=2)
+        tx_slow, tx_fast = run_one_tx(slow), run_one_tx(fast)
+        import statistics
+
+        mean = lambda s, t: statistics.mean(s.stats.delivery_latencies(t.tx_id))
+        assert mean(fast, tx_fast) < mean(slow, tx_slow)
+
+    def test_droppers_reduce_coverage_somewhat(self, physical40):
+        plan = FaultPlan.random_fraction(
+            physical40.nodes(), 0.3, Behavior.DROP_RELAY, seed=1, protected=[0]
+        )
+        system = GossipSystem(
+            physical40, config=GossipConfig(fanout=3), fault_plan=plan, seed=2
+        )
+        tx = run_one_tx(system)
+        coverage = system.stats.coverage(tx.tx_id, system.honest_node_ids())
+        assert 0.3 <= coverage <= 1.0
+
+    def test_crash_node_receives_nothing(self, physical40):
+        plan = FaultPlan(behaviors={5: Behavior.CRASH})
+        system = GossipSystem(physical40, fault_plan=plan, seed=2)
+        tx = run_one_tx(system)
+        assert 5 not in system.stats.deliveries[tx.tx_id]
+
+
+class TestSimpleTree:
+    def test_full_coverage_honest(self, physical40):
+        system = SimpleTreeSystem(physical40, seed=2)
+        tx = run_one_tx(system, origin=17)
+        assert len(system.stats.deliveries[tx.tx_id]) == 40
+
+    def test_tree_children_shape(self):
+        assert tree_children(0, 4, 40) == [1, 2, 3, 4]
+        assert tree_children(1, 4, 40) == [5, 6, 7, 8]
+        assert tree_children(39, 4, 40) == []
+
+    def test_interior_dropper_severs_subtree(self, physical40):
+        # Node at position 1 (the second node in sorted order) drops.
+        order = physical40.nodes()
+        plan = FaultPlan(behaviors={order[1]: Behavior.DROP_RELAY})
+        system = SimpleTreeSystem(physical40, fault_plan=plan, seed=2)
+        tx = run_one_tx(system, origin=order[0])
+        delivered = set(system.stats.deliveries[tx.tx_id])
+        # The dropper's subtree (positions 5..8 and their descendants) starves.
+        missing = set(order) - delivered
+        assert missing, "a censoring interior node must cost coverage"
+        assert order[5] in missing
+
+    def test_non_root_origin_routes_via_root(self, physical40):
+        system = SimpleTreeSystem(physical40, seed=2)
+        origin = physical40.nodes()[20]
+        tx = run_one_tx(system, origin=origin)
+        assert len(system.stats.deliveries[tx.tx_id]) == 40
+
+    def test_branching_validated(self):
+        with pytest.raises(ConfigurationError):
+            SimpleTreeConfig(branching=0)

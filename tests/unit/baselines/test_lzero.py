@@ -1,0 +1,78 @@
+"""Unit tests for the L∅ baseline."""
+
+import pytest
+
+from repro.baselines.lzero import LZeroConfig, LZeroSystem
+from repro.errors import ConfigurationError
+from repro.mempool.transaction import Transaction
+from repro.net.faults import Behavior, FaultPlan
+
+
+def run_tx(system, origin=0, horizon=6_000):
+    system.start()
+    tx = Transaction.create(origin=origin, created_at=0.0)
+    system.submit(origin, tx)
+    system.run(until_ms=horizon)
+    return tx
+
+
+class TestLZero:
+    def test_eventual_full_coverage(self, physical40):
+        system = LZeroSystem(physical40, seed=3)
+        tx = run_tx(system)
+        assert len(system.stats.deliveries[tx.tx_id]) == 40
+
+    def test_partner_overlay_static_and_bounded(self, physical40):
+        system = LZeroSystem(physical40, seed=3)
+        for node in physical40.nodes():
+            partners = system.partners_of(node)
+            assert len(partners) == 3
+            assert node not in partners
+
+    def test_commitments_recorded(self, physical40):
+        system = LZeroSystem(physical40, seed=3)
+        tx = run_tx(system)
+        receiving_nodes = [
+            system.nodes[n]
+            for n in physical40.nodes()
+            if system.nodes[n].peer_commitments
+        ]
+        assert receiving_nodes, "commitments must accompany forwarded transactions"
+        sample = receiving_nodes[0]
+        commitment = next(iter(sample.peer_commitments.values()))
+        assert isinstance(commitment, bytes) and len(commitment) == 32
+
+    def test_reconciliation_repairs_partition(self, physical40):
+        """Even when gossip forwarding is censored, digests propagate the tx."""
+
+        plan = FaultPlan.random_fraction(
+            physical40.nodes(), 0.33, Behavior.DROP_RELAY, seed=5, protected=[0]
+        )
+        system = LZeroSystem(
+            physical40,
+            config=LZeroConfig(fanout=3, reconcile_period_ms=200.0),
+            fault_plan=plan,
+            seed=3,
+        )
+        tx = run_tx(system, horizon=10_000)
+        coverage = system.stats.coverage(tx.tx_id, system.honest_node_ids())
+        assert coverage >= 0.9
+
+    def test_bandwidth_is_frugal(self, physical40):
+        """L∅ must spend less than plain fanout-8 gossip (Fig. 3b's point)."""
+
+        from repro.baselines.gossip import GossipConfig, GossipSystem
+
+        lzero = LZeroSystem(physical40, seed=3)
+        run_tx(lzero, horizon=3_000)
+        lzero_bytes = lzero.stats.total_bytes()
+
+        gossip = GossipSystem(physical40, config=GossipConfig(fanout=8), seed=3)
+        run_tx(gossip, horizon=3_000)
+        assert lzero_bytes < gossip.stats.total_bytes()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LZeroConfig(fanout=0)
+        with pytest.raises(ConfigurationError):
+            LZeroConfig(reconcile_period_ms=0)

@@ -1,0 +1,113 @@
+"""Unit tests for the Mercury baseline."""
+
+import statistics
+
+import pytest
+
+from repro.baselines.mercury import MercuryConfig, MercurySystem, assign_clusters
+from repro.errors import ConfigurationError
+from repro.mempool.transaction import Transaction
+from repro.net.faults import Behavior, FaultPlan
+
+
+def run_tx(system, origin=0, horizon=5_000):
+    system.start()
+    tx = Transaction.create(origin=origin, created_at=0.0)
+    system.submit(origin, tx)
+    system.run(until_ms=horizon)
+    return tx
+
+
+class TestClustering:
+    def test_paper_parameters(self):
+        config = MercuryConfig()
+        assert config.num_clusters == 8
+        assert config.inner_cluster_peers == 4
+        assert config.max_peers == 8
+
+    def test_every_node_assigned(self, physical40):
+        clusters, landmarks = assign_clusters(physical40, 8, seed=1)
+        assert set(clusters) == set(physical40.nodes())
+        assert len(landmarks) == 8
+        assert all(0 <= c < 8 for c in clusters.values())
+
+    def test_nodes_assigned_to_nearest_landmark(self, physical40):
+        clusters, landmarks = assign_clusters(physical40, 4, seed=1)
+        for node, cluster in clusters.items():
+            own = physical40.transport_latency(node, landmarks[cluster])
+            for other in landmarks:
+                assert own <= physical40.transport_latency(node, other) + 1e-9
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            MercuryConfig(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            MercuryConfig(max_peers=2, inner_cluster_peers=4)
+
+
+class TestPeers:
+    def test_regular_nodes_know_their_leader(self, physical40):
+        system = MercurySystem(physical40, seed=5)
+        for node in physical40.nodes():
+            if node in system.landmarks:
+                continue
+            leader = system.landmarks[system.clusters[node]]
+            assert leader in system.peers_of(node)
+
+    def test_leaders_form_a_mesh(self, physical40):
+        system = MercurySystem(physical40, seed=5)
+        for leader in system.landmarks:
+            cross = [p for p in system.peers_of(leader) if p in system.landmarks]
+            assert cross, "every leader needs contacts to other leaders"
+
+    def test_peer_links_symmetric(self, physical40):
+        system = MercurySystem(physical40, seed=5)
+        for node in physical40.nodes():
+            for peer in system.peers_of(node):
+                assert node in system.peers_of(peer)
+
+
+class TestDissemination:
+    def test_full_coverage_honest(self, physical40):
+        system = MercurySystem(physical40, seed=5)
+        tx = run_tx(system)
+        assert len(system.stats.deliveries[tx.tx_id]) == 40
+
+    def test_low_latency_vs_lzero(self, physical40):
+        from repro.baselines.lzero import LZeroSystem
+
+        mercury = MercurySystem(physical40, seed=5)
+        tx_m = run_tx(mercury)
+        lzero = LZeroSystem(physical40, seed=5)
+        tx_l = run_tx(lzero)
+        mean = lambda s, t: statistics.mean(s.stats.delivery_latencies(t.tx_id))
+        assert mean(mercury, tx_m) < mean(lzero, tx_l)
+
+    def test_vcs_traffic_charged(self, physical40):
+        system = MercurySystem(physical40, seed=5)
+        system.start()
+        system.run(until_ms=5_000)
+        # No transactions at all: every byte on the wire is VCS maintenance.
+        assert system.stats.total_bytes() > 0
+
+    def test_byzantine_leader_blacks_out_cluster(self, physical40):
+        system_probe = MercurySystem(physical40, seed=5)
+        # Pick a leader of a cluster that the sender is NOT in.
+        sender = 0
+        leader = next(
+            l
+            for l in system_probe.landmarks
+            if system_probe.clusters[l] != system_probe.clusters[sender]
+        )
+        plan = FaultPlan(behaviors={leader: Behavior.DROP_RELAY})
+        system = MercurySystem(physical40, fault_plan=plan, seed=5)
+        tx = run_tx(system, origin=sender)
+        cluster_members = [
+            n
+            for n in physical40.nodes()
+            if system.clusters[n] == system.clusters[leader] and n != leader
+        ]
+        delivered = set(system.stats.deliveries[tx.tx_id])
+        reached = [n for n in cluster_members if n in delivered]
+        # With its leader censoring, the cluster is (mostly) dark.
+        assert len(reached) < len(cluster_members)

@@ -1,0 +1,105 @@
+"""Unit tests for the optional acknowledgment flow (§IV step 3)."""
+
+import pytest
+
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+from repro.mempool.transaction import Transaction
+from repro.net.faults import Behavior, FaultPlan
+
+
+def build_system(physical, overlays, plan=None, **config_overrides):
+    config = HermesConfig(
+        f=1,
+        num_overlays=len(overlays),
+        gossip_fallback_enabled=False,
+        acknowledgments_enabled=True,
+        ack_flush_timeout_ms=300.0,
+        **config_overrides,
+    )
+    return HermesSystem(physical, config, fault_plan=plan, overlays=overlays, seed=33)
+
+
+class TestHonestAcks:
+    def test_sender_learns_full_coverage(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        system = build_system(physical40, overlays)
+        system.start()
+        tx = Transaction.create(origin=9, created_at=0.0)
+        system.submit(9, tx)
+        system.run(until_ms=8_000)
+        confirmations = system.nodes[9].ack_confirmations.get(tx.tx_id, set())
+        # Every node except the origin is confirmed through the overlay.
+        assert confirmations >= set(physical40.nodes()) - {9}
+
+    def test_acks_disabled_by_default(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        config = HermesConfig(
+            f=1, num_overlays=len(overlays), gossip_fallback_enabled=False
+        )
+        system = HermesSystem(physical40, config, overlays=overlays, seed=33)
+        system.start()
+        tx = Transaction.create(origin=9, created_at=0.0)
+        system.submit(9, tx)
+        system.run(until_ms=6_000)
+        assert not system.nodes[9].ack_confirmations
+
+    def test_multiple_txs_tracked_independently(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        system = build_system(physical40, overlays)
+        system.start()
+        tx_a = Transaction.create(origin=9, created_at=0.0)
+        tx_b = Transaction.create(origin=22, created_at=0.0)
+        system.submit(9, tx_a)
+        system.submit(22, tx_b)
+        system.run(until_ms=8_000)
+        assert len(system.nodes[9].ack_confirmations.get(tx_a.tx_id, ())) >= 39
+        assert len(system.nodes[22].ack_confirmations.get(tx_b.tx_id, ())) >= 39
+        assert tx_b.tx_id not in system.nodes[9].ack_confirmations
+
+
+class TestByzantineAcks:
+    def test_droppers_missing_from_confirmations(self, physical40, overlay_family40):
+        """Nodes that drop everything never ack, so the sender can see the
+        delivery gap — the receipt-confirmation use case of §IV."""
+
+        overlays, _ranks = overlay_family40
+        plan = FaultPlan.random_fraction(
+            physical40.nodes(), 0.1, Behavior.DROP_RELAY, seed=4, protected=[9]
+        )
+        system = build_system(physical40, overlays, plan=plan)
+        system.start()
+        tx = Transaction.create(origin=9, created_at=0.0)
+        system.submit(9, tx)
+        system.run(until_ms=8_000)
+        confirmations = system.nodes[9].ack_confirmations.get(tx.tx_id, set())
+        droppers = set(plan.byzantine_nodes())
+        assert not (confirmations & droppers)
+        # Honest nodes still get confirmed despite the silent droppers
+        # (flush timeouts prevent them from muting whole subtrees).
+        honest = set(system.honest_node_ids()) - {9}
+        assert len(confirmations & honest) >= 0.9 * len(honest)
+
+    def test_forged_ack_from_non_successor_flagged(
+        self, physical40, overlay_family40
+    ):
+        overlays, _ranks = overlay_family40
+        system = build_system(physical40, overlays)
+        system.start()
+        system.run(until_ms=10)
+        from repro.core.accountability import ViolationKind
+        from repro.core.dissemination import ACK_KIND
+        from repro.net.events import Message
+
+        overlay = overlays[0]
+        target = overlay.entry_points[0]
+        impostor = next(
+            n
+            for n in overlay.nodes()
+            if n not in overlay.successors.get(target, ()) and n != target
+        )
+        body = (999999, overlay.overlay_id, frozenset({impostor}))
+        system.nodes[impostor].send(target, Message(ACK_KIND, body, 56))
+        system.run(until_ms=2_000)
+        kinds = {v.kind for v in system.violation_log.against(impostor)}
+        assert ViolationKind.ILLEGITIMATE_PREDECESSOR in kinds

@@ -1,0 +1,70 @@
+"""Unit tests for HermesConfig, the violation log, and the monitor."""
+
+import pytest
+
+from repro.core.accountability import (
+    AccountabilityMonitor,
+    Violation,
+    ViolationKind,
+    ViolationLog,
+)
+from repro.core.config import HermesConfig
+from repro.errors import ConfigurationError
+
+
+class TestHermesConfig:
+    def test_paper_defaults(self):
+        config = HermesConfig()
+        assert config.f == 1
+        assert config.num_overlays == 10
+        assert config.committee_size == 4
+        assert config.committee_threshold == 3
+
+    def test_committee_sizing_scales_with_f(self):
+        config = HermesConfig(f=3)
+        assert config.committee_size == 10
+        assert config.committee_threshold == 7
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HermesConfig(f=-1)
+        with pytest.raises(ConfigurationError):
+            HermesConfig(num_overlays=0)
+        with pytest.raises(ConfigurationError):
+            HermesConfig(gossip_fanout=0)
+        with pytest.raises(ConfigurationError):
+            HermesConfig(gossip_period_ms=0)
+
+
+class TestViolationLog:
+    def test_record_and_query(self):
+        log = ViolationLog()
+        log.record(Violation(ViolationKind.BAD_SIGNATURE, accused=3, reporter=1, time_ms=5.0))
+        log.record(Violation(ViolationKind.SEQUENCE_GAP, accused=3, reporter=2, time_ms=6.0))
+        log.record(Violation(ViolationKind.BAD_SIGNATURE, accused=4, reporter=1, time_ms=7.0))
+        assert len(log) == 3
+        assert len(log.against(3)) == 2
+        assert len(log.by_kind(ViolationKind.BAD_SIGNATURE)) == 2
+        assert log.accused_nodes() == {3, 4}
+
+
+class TestMonitor:
+    def test_flag_records_and_excludes(self):
+        log = ViolationLog()
+        monitor = AccountabilityMonitor(owner=1, log=log)
+        monitor.flag(ViolationKind.WRONG_OVERLAY, accused=9, time_ms=3.0)
+        assert monitor.is_excluded(9)
+        assert log.against(9)[0].reporter == 1
+
+    def test_exclusion_can_be_disabled(self):
+        log = ViolationLog()
+        monitor = AccountabilityMonitor(owner=1, log=log, exclude_violators=False)
+        monitor.flag(ViolationKind.WRONG_OVERLAY, accused=9, time_ms=3.0)
+        assert not monitor.is_excluded(9)
+        assert len(log) == 1
+
+    def test_excluded_nodes_snapshot(self):
+        monitor = AccountabilityMonitor(owner=1, log=ViolationLog())
+        monitor.flag(ViolationKind.BAD_SIGNATURE, accused=5, time_ms=0.0)
+        monitor.flag(ViolationKind.BAD_SIGNATURE, accused=6, time_ms=0.0)
+        assert monitor.excluded_nodes() == frozenset({5, 6})

@@ -1,0 +1,95 @@
+"""Unit tests for the Reed–Solomon erasure coding (§VIII-D extension)."""
+
+import pytest
+
+from repro.core.erasure import (
+    Shard,
+    decode_shards,
+    encode_shards,
+    hermes_erasure_parameters,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParameters:
+    def test_paper_scheme(self):
+        # (k+1, f+1+k): f = 2, k = 3 -> data 4, total 6.
+        assert hermes_erasure_parameters(f=2, k=3) == (4, 6)
+
+    def test_f_zero_degenerates_to_no_redundancy(self):
+        data, total = hermes_erasure_parameters(f=0, k=2)
+        assert data == total == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hermes_erasure_parameters(-1, 0)
+
+
+class TestEncode:
+    def test_shard_count(self):
+        shards = encode_shards(b"hello world", 3, 5)
+        assert len(shards) == 5
+        assert [shard.index for shard in shards] == list(range(5))
+
+    def test_equal_shard_lengths(self):
+        shards = encode_shards(b"x" * 10, 3, 5)
+        lengths = {len(shard.data) for shard in shards}
+        assert len(lengths) == 1
+
+    def test_systematic_first_shard_not_required(self):
+        payload = b"some payload bytes"
+        shards = encode_shards(payload, 2, 4)
+        assert decode_shards(shards[2:], 2, len(payload)) == payload
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            encode_shards(b"x", 0, 1)
+        with pytest.raises(ConfigurationError):
+            encode_shards(b"x", 3, 2)
+        with pytest.raises(ConfigurationError):
+            encode_shards(b"x", 2, 300)
+
+    def test_empty_payload(self):
+        shards = encode_shards(b"", 2, 3)
+        assert decode_shards(shards[:2], 2, 0) == b""
+
+
+class TestDecode:
+    def test_any_subset_recovers(self):
+        payload = bytes(range(200))
+        shards = encode_shards(payload, 4, 7)
+        import itertools
+
+        for subset in itertools.combinations(shards, 4):
+            assert decode_shards(list(subset), 4, len(payload)) == payload
+
+    def test_loss_of_f_shards_tolerated(self):
+        """The paper's (k+1, f+1+k) scheme survives f lost paths."""
+
+        f, k = 2, 3
+        data, total = hermes_erasure_parameters(f, k)
+        payload = b"transaction batch" * 20
+        shards = encode_shards(payload, data, total)
+        surviving = shards[f:]  # f shards lost
+        assert decode_shards(surviving, data, len(payload)) == payload
+
+    def test_insufficient_shards_rejected(self):
+        shards = encode_shards(b"payload", 3, 5)
+        with pytest.raises(ConfigurationError):
+            decode_shards(shards[:2], 3, 7)
+
+    def test_duplicate_shards_not_counted_twice(self):
+        shards = encode_shards(b"payload", 3, 5)
+        with pytest.raises(ConfigurationError):
+            decode_shards([shards[0], shards[0], shards[0]], 3, 7)
+
+    def test_inconsistent_lengths_rejected(self):
+        shards = encode_shards(b"payload", 2, 3)
+        broken = [shards[0], Shard(index=1, data=shards[1].data + b"x")]
+        with pytest.raises(ConfigurationError):
+            decode_shards(broken, 2, 7)
+
+    def test_binary_payload(self):
+        payload = bytes([0, 255, 1, 254] * 64)
+        shards = encode_shards(payload, 5, 8)
+        assert decode_shards(shards[3:], 5, len(payload)) == payload

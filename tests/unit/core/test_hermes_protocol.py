@@ -1,0 +1,245 @@
+"""Unit tests for the HERMES protocol node and system."""
+
+import pytest
+
+from repro.core.accountability import ViolationKind
+from repro.core.config import HermesConfig
+from repro.core.dissemination import DISSEMINATE_KIND, DisseminationEnvelope
+from repro.core.protocol import HermesSystem
+from repro.errors import ConfigurationError
+from repro.mempool.transaction import Transaction
+from repro.net.events import Message
+from repro.net.faults import Behavior, FaultPlan
+
+
+@pytest.fixture()
+def hermes40(physical40, overlay_family40):
+    overlays, _ranks = overlay_family40
+    config = HermesConfig(f=1, num_overlays=3, gossip_fallback_enabled=False)
+    return HermesSystem(physical40, config, overlays=overlays, seed=21)
+
+
+class TestSetup:
+    def test_committee_size(self, hermes40):
+        assert len(hermes40.committee) == 4
+
+    def test_all_nodes_created(self, hermes40, physical40):
+        assert set(hermes40.nodes) == set(physical40.nodes())
+
+    def test_nodes_verified_certificates(self, hermes40):
+        for node in hermes40.nodes.values():
+            assert set(node.overlays) == {0, 1, 2}
+
+    def test_overlay_count_mismatch_rejected(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        config = HermesConfig(f=1, num_overlays=5)
+        with pytest.raises(ConfigurationError):
+            HermesSystem(physical40, config, overlays=overlays, seed=1)
+
+    def test_network_too_small_for_committee(self, overlay_family40):
+        from repro.net.topology import generate_physical_network
+
+        tiny = generate_physical_network(3, min_degree=2, seed=1)
+        with pytest.raises(ConfigurationError):
+            HermesSystem(tiny, HermesConfig(f=1, num_overlays=1), seed=1)
+
+
+class TestDissemination:
+    def test_full_delivery(self, hermes40, physical40):
+        hermes40.start()
+        tx = Transaction.create(origin=7, created_at=0.0)
+        hermes40.submit(7, tx)
+        hermes40.run(until_ms=5_000)
+        assert len(hermes40.stats.deliveries[tx.tx_id]) == physical40.num_nodes
+        assert len(hermes40.violation_log) == 0
+
+    def test_selected_overlay_matches_seed(self, hermes40):
+        hermes40.start()
+        tx = Transaction.create(origin=7, created_at=0.0)
+        hermes40.submit(7, tx)
+        hermes40.run(until_ms=5_000)
+        node = hermes40.nodes[7]
+        assert node.trs_client.next_sequence == 1
+
+    def test_multiple_senders(self, hermes40, physical40):
+        hermes40.start()
+        txs = [Transaction.create(origin=o, created_at=0.0) for o in (3, 15, 30)]
+        for tx in txs:
+            hermes40.submit(tx.origin, tx)
+        hermes40.run(until_ms=6_000)
+        for tx in txs:
+            assert len(hermes40.stats.deliveries[tx.tx_id]) == physical40.num_nodes
+
+    def test_txs_spread_over_overlays(self, hermes40):
+        """With enough transactions the random selection uses several overlays."""
+
+        hermes40.start()
+        seen_overlays = set()
+        original = type(hermes40.nodes[0])._dispatch_to_entry_points
+
+        def spy(node, envelope):
+            seen_overlays.add(envelope.overlay_id)
+            return original(node, envelope)
+
+        type(hermes40.nodes[0])._dispatch_to_entry_points = spy
+        try:
+            for origin in (1, 2, 3, 4, 5, 6, 8, 9):
+                hermes40.submit(origin, Transaction.create(origin=origin, created_at=0.0))
+            hermes40.run(until_ms=8_000)
+        finally:
+            type(hermes40.nodes[0])._dispatch_to_entry_points = original
+        assert len(seen_overlays) > 1
+
+    def test_crash_origin_sends_nothing(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        plan = FaultPlan(behaviors={7: Behavior.CRASH})
+        config = HermesConfig(f=1, num_overlays=3, gossip_fallback_enabled=False)
+        system = HermesSystem(
+            physical40, config, fault_plan=plan, overlays=overlays, seed=21
+        )
+        system.start()
+        tx = Transaction.create(origin=7, created_at=0.0)
+        system.submit(7, tx)
+        system.run(until_ms=3_000)
+        assert tx.tx_id not in system.stats.deliveries
+
+
+class TestAccountability:
+    def test_forged_envelope_flagged(self, hermes40):
+        """An envelope without a valid TRS is rejected and the sender flagged."""
+
+        hermes40.start()
+        hermes40.run(until_ms=10)
+        tx = Transaction.create(origin=5, created_at=0.0)
+        forged = DisseminationEnvelope(
+            tx=tx, origin=5, sequence=0, signature=object(), overlay_id=0
+        )
+        attacker = hermes40.nodes[5]
+        overlay = attacker.overlays[0]
+        target = overlay.entry_points[0]
+        attacker.send(target, Message(DISSEMINATE_KIND, forged, 300))
+        hermes40.run(until_ms=2_000)
+        kinds = {v.kind for v in hermes40.violation_log.against(5)}
+        assert ViolationKind.BAD_SIGNATURE in kinds
+        assert tx.tx_id not in hermes40.stats.deliveries
+
+    def test_illegitimate_predecessor_flagged(self, hermes40):
+        """A valid envelope sent outside the overlay structure is flagged."""
+
+        hermes40.start()
+        tx = Transaction.create(origin=5, created_at=0.0)
+        hermes40.submit(5, tx)
+        hermes40.run(until_ms=5_000)
+
+        # Grab the envelope a node received legitimately and replay it from a
+        # node that is NOT a predecessor of the target.
+        overlayid = None
+        envelope = None
+        for node in hermes40.nodes.values():
+            pass
+        # Reconstruct the envelope through the backend for replay:
+        sequence = 0
+        from repro.core.dissemination import DisseminationEnvelope as Env
+        from repro.trs.committee import trs_binding
+
+        binding = trs_binding(5, sequence, tx.digest())
+        partials = [
+            hermes40.backend.partial_sign(m, binding) for m in hermes40.committee[:3]
+        ]
+        signature = hermes40.backend.combine(binding, partials)
+        overlay_id = hermes40.backend.seed_from_signature(signature, 3)
+        envelope = Env(
+            tx=tx, origin=5, sequence=sequence, signature=signature,
+            overlay_id=overlay_id,
+        )
+        overlay = hermes40.overlays[overlay_id]
+        # Find a deep node and a non-predecessor sender.
+        target = max(overlay.nodes(), key=lambda n: overlay.depth_of[n])
+        legitimate = overlay.valid_senders(target)
+        impostor = next(
+            n
+            for n in overlay.nodes()
+            if n not in legitimate and n != target and n != 5
+        )
+        hermes40.nodes[impostor].send(target, Message(DISSEMINATE_KIND, envelope, 300))
+        hermes40.run(until_ms=8_000)
+        kinds = {v.kind for v in hermes40.violation_log.against(impostor)}
+        assert ViolationKind.ILLEGITIMATE_PREDECESSOR in kinds
+
+    def test_wrong_overlay_claim_flagged(self, hermes40):
+        """Claiming a different overlay than the seed selects is a violation."""
+
+        hermes40.start()
+        hermes40.run(until_ms=10)
+        tx = Transaction.create(origin=5, created_at=0.0)
+        from repro.trs.committee import trs_binding
+
+        binding = trs_binding(5, 0, tx.digest())
+        partials = [
+            hermes40.backend.partial_sign(m, binding) for m in hermes40.committee[:3]
+        ]
+        signature = hermes40.backend.combine(binding, partials)
+        correct = hermes40.backend.seed_from_signature(signature, 3)
+        wrong = (correct + 1) % 3
+        envelope = DisseminationEnvelope(
+            tx=tx, origin=5, sequence=0, signature=signature, overlay_id=wrong
+        )
+        target = hermes40.overlays[wrong].entry_points[0]
+        hermes40.nodes[5].send(target, Message(DISSEMINATE_KIND, envelope, 300))
+        hermes40.run(until_ms=2_000)
+        kinds = {v.kind for v in hermes40.violation_log.against(5)}
+        assert ViolationKind.BAD_SIGNATURE in kinds
+
+    def test_excluded_node_messages_dropped(self, hermes40):
+        hermes40.start()
+        node = hermes40.nodes[10]
+        node.monitor.flag(ViolationKind.BAD_SIGNATURE, accused=11, time_ms=0.0)
+        tx = Transaction.create(origin=11, created_at=0.0)
+        envelope = DisseminationEnvelope(
+            tx=tx, origin=11, sequence=0, signature=object(), overlay_id=0
+        )
+        hermes40.nodes[11].send(10, Message(DISSEMINATE_KIND, envelope, 300))
+        hermes40.run(until_ms=2_000)
+        kinds = {v.kind for v in hermes40.violation_log.against(11)}
+        assert ViolationKind.EXCLUDED_SENDER in kinds
+
+
+class TestRobustness:
+    def test_drop_relays_cannot_block_delivery(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        plan = FaultPlan.random_fraction(
+            physical40.nodes(), 0.15, Behavior.DROP_RELAY, seed=3, protected=[7]
+        )
+        config = HermesConfig(f=1, num_overlays=3, gossip_fallback_enabled=False)
+        system = HermesSystem(
+            physical40, config, fault_plan=plan, overlays=overlays, seed=21
+        )
+        system.start()
+        tx = Transaction.create(origin=7, created_at=0.0)
+        system.submit(7, tx)
+        system.run(until_ms=5_000)
+        honest = system.honest_node_ids()
+        coverage = system.stats.coverage(tx.tx_id, honest)
+        assert coverage >= 0.9
+
+    def test_gossip_fallback_repairs(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        plan = FaultPlan.random_fraction(
+            physical40.nodes(), 0.3, Behavior.DROP_RELAY, seed=5, protected=[7]
+        )
+        config = HermesConfig(
+            f=1,
+            num_overlays=3,
+            gossip_fallback_enabled=True,
+            gossip_fallback_delay_ms=300.0,
+            gossip_period_ms=150.0,
+        )
+        system = HermesSystem(
+            physical40, config, fault_plan=plan, overlays=overlays, seed=21
+        )
+        system.start()
+        tx = Transaction.create(origin=7, created_at=0.0)
+        system.submit(7, tx)
+        system.run(until_ms=4_000)
+        coverage = system.stats.coverage(tx.tx_id, system.honest_node_ids())
+        assert coverage == 1.0

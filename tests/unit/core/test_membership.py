@@ -1,0 +1,99 @@
+"""Unit tests for epoch membership and churn handling (§VII-B)."""
+
+import pytest
+
+from repro.core.membership import MembershipManager
+from repro.errors import MembershipError
+from repro.net.topology import generate_physical_network
+from repro.types import Region
+
+
+@pytest.fixture()
+def manager():
+    physical = generate_physical_network(30, min_degree=4, seed=13)
+    return MembershipManager(physical, f=1, k=2, seed=4)
+
+
+class TestInitial:
+    def test_overlays_built_and_valid(self, manager):
+        assert len(manager.overlays) == 2
+        manager.validate()
+
+    def test_members(self, manager):
+        assert len(manager.members()) == 30
+
+
+class TestJoin:
+    def test_join_integrates_into_every_overlay(self, manager):
+        manager.join(100, Region.TOKYO, neighbors=[0, 1, 2])
+        manager.validate()
+        for overlay in manager.overlays:
+            assert overlay.contains(100)
+            assert len(overlay.predecessors[100]) >= 2
+
+    def test_join_records_event(self, manager):
+        manager.join(100, Region.TOKYO, neighbors=[0, 1])
+        assert manager.events[-1].kind == "join"
+        assert manager.events[-1].node == 100
+
+    def test_joined_node_reachable(self, manager):
+        manager.join(100, Region.TOKYO, neighbors=[0, 1])
+        for overlay in manager.overlays:
+            assert 100 in overlay.reachable()
+
+
+class TestLeave:
+    def test_leave_repairs_overlays(self, manager):
+        victim = next(
+            n for n in manager.members()
+            if not any(o.is_entry(n) for o in manager.overlays)
+        )
+        manager.leave(victim)
+        manager.validate()
+        for overlay in manager.overlays:
+            assert not overlay.contains(victim)
+
+    def test_leave_unknown_rejected(self, manager):
+        with pytest.raises(MembershipError):
+            manager.leave(999)
+
+    def test_entry_point_departure_elects_replacement(self, manager):
+        entry = manager.overlays[0].entry_points[0]
+        manager.leave(entry)
+        manager.validate()
+        for overlay in manager.overlays:
+            assert len(overlay.entry_points) == 2
+            assert entry not in overlay.entry_points
+
+    def test_many_leaves_keep_invariants(self, manager):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(8):
+            candidates = manager.members()
+            manager.leave(rng.choice(candidates))
+            manager.validate()
+
+    def test_rank_forgotten(self, manager):
+        victim = manager.members()[5]
+        manager.leave(victim)
+        assert manager.ranks.rank(victim) == 0
+
+
+class TestEpoch:
+    def test_advance_epoch_rebuilds(self, manager):
+        before = [set(o.edges()) for o in manager.overlays]
+        manager.advance_epoch()
+        manager.validate()
+        after = [set(o.edges()) for o in manager.overlays]
+        assert manager.epoch == 1
+        assert before != after  # a fresh seed reshuffles roles
+
+    def test_epoch_after_churn_includes_everyone(self, manager):
+        manager.join(100, Region.LONDON, neighbors=[0, 1, 2])
+        manager.leave(manager.members()[3])
+        manager.advance_epoch()
+        manager.validate()
+        members = set(manager.members())
+        for overlay in manager.overlays:
+            assert set(overlay.nodes()) == members

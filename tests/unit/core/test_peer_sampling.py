@@ -1,0 +1,119 @@
+"""Unit tests for the SecureCyclon-style peer sampling."""
+
+import statistics
+
+import pytest
+
+from repro.core.peer_sampling import (
+    PartialView,
+    PeerDescriptor,
+    PeerSamplingNode,
+    bootstrap_ring_views,
+    indegree_distribution,
+)
+from repro.net.faults import Behavior
+from repro.net.node import Network
+from repro.net.simulator import Simulator
+
+
+class TestPartialView:
+    def test_capacity_enforced(self):
+        view = PartialView(owner=0, capacity=3)
+        for node in range(1, 10):
+            view.add(PeerDescriptor(node, age=node))
+        assert len(view) <= 3
+
+    def test_never_stores_self(self):
+        view = PartialView(owner=0, capacity=3)
+        assert not view.add(PeerDescriptor(0))
+        assert 0 not in view
+
+    def test_never_duplicates(self):
+        view = PartialView(owner=0, capacity=3)
+        view.add(PeerDescriptor(1, age=5))
+        view.add(PeerDescriptor(1, age=2))
+        assert len(view) == 1
+        # The fresher descriptor wins.
+        assert view.descriptors()[0].age == 2
+
+    def test_eviction_prefers_stale(self):
+        view = PartialView(owner=0, capacity=2)
+        view.add(PeerDescriptor(1, age=9))
+        view.add(PeerDescriptor(2, age=1))
+        view.add(PeerDescriptor(3, age=0))  # evicts 1 (stalest)
+        assert 1 not in view and 2 in view and 3 in view
+
+    def test_stale_descriptor_not_inserted_when_full(self):
+        view = PartialView(owner=0, capacity=2)
+        view.add(PeerDescriptor(1, age=0))
+        view.add(PeerDescriptor(2, age=0))
+        assert not view.add(PeerDescriptor(3, age=9))
+
+    def test_age_all(self):
+        view = PartialView(owner=0, capacity=4)
+        view.add(PeerDescriptor(1, age=0))
+        view.age_all()
+        assert view.descriptors()[0].age == 1
+
+    def test_oldest_peer(self):
+        view = PartialView(owner=0, capacity=4)
+        view.add(PeerDescriptor(1, age=3))
+        view.add(PeerDescriptor(2, age=7))
+        assert view.oldest_peer() == 2
+        assert PartialView(owner=0, capacity=2).oldest_peer() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PartialView(owner=0, capacity=0)
+
+
+class TestShuffling:
+    def _run(self, physical, byzantine=(), ms=8_000):
+        simulator = Simulator()
+        network = Network(simulator, physical, seed=6)
+        node_ids = physical.nodes()
+        views = bootstrap_ring_views(node_ids, view_size=6, seed=2)
+        nodes = {}
+        for node_id in node_ids:
+            behavior = (
+                Behavior.DROP_RELAY if node_id in byzantine else Behavior.HONEST
+            )
+            nodes[node_id] = PeerSamplingNode(
+                node_id, network, views[node_id], view_size=6, behavior=behavior
+            )
+        network.start_all()
+        simulator.run(until_ms=ms)
+        return nodes
+
+    def test_shuffles_complete(self, physical40):
+        nodes = self._run(physical40)
+        assert all(node.shuffles_completed > 0 for node in nodes.values())
+
+    def test_views_stay_full(self, physical40):
+        nodes = self._run(physical40)
+        assert all(len(node.view) >= 4 for node in nodes.values())
+
+    def test_indegree_balanced(self, physical40):
+        nodes = self._run(physical40)
+        indegree = indegree_distribution(nodes)
+        mean = statistics.mean(indegree.values())
+        # No node should be wildly over-represented in views.
+        assert max(indegree.values()) <= 4 * mean
+
+    def test_byzantine_nodes_do_not_dominate(self, physical40):
+        byzantine = set(physical40.nodes()[:6])
+        nodes = self._run(physical40, byzantine=byzantine)
+        indegree = indegree_distribution(nodes)
+        honest_mean = statistics.mean(
+            v for n, v in indegree.items() if n not in byzantine
+        )
+        byz_mean = statistics.mean(v for n, v in indegree.items() if n in byzantine)
+        assert byz_mean <= 2 * honest_mean
+
+
+class TestBootstrap:
+    def test_views_exclude_self(self, physical40):
+        views = bootstrap_ring_views(physical40.nodes(), view_size=5, seed=1)
+        for node, view in views.items():
+            assert node not in view
+            assert len(view) <= 5

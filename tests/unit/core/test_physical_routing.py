@@ -1,0 +1,95 @@
+"""Unit tests for source-routed entry-point hand-off (use_physical_paths).
+
+When the deployment restricts senders to physical links, the sender reaches
+the f+1 entry points through f+1 vertex-disjoint paths of the physical graph
+(§IV dissemination step 1), source-routing the envelope hop by hop.
+"""
+
+import pytest
+
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+from repro.mempool.transaction import Transaction
+from repro.net.faults import Behavior, FaultPlan
+
+
+@pytest.fixture()
+def routed_system(physical40, overlay_family40):
+    overlays, _ranks = overlay_family40
+    config = HermesConfig(
+        f=1,
+        num_overlays=3,
+        gossip_fallback_enabled=False,
+        use_physical_paths=True,
+    )
+    return HermesSystem(physical40, config, overlays=overlays, seed=61)
+
+
+class TestSourceRouting:
+    def test_full_delivery_via_disjoint_paths(self, routed_system, physical40):
+        routed_system.start()
+        tx = Transaction.create(origin=11, created_at=0.0)
+        routed_system.submit(11, tx)
+        routed_system.run(until_ms=8_000)
+        assert len(routed_system.stats.deliveries[tx.tx_id]) == physical40.num_nodes
+        assert len(routed_system.violation_log) == 0
+
+    def test_route_messages_travel_physical_links_only(
+        self, routed_system, physical40
+    ):
+        """Every ROUTE hop must be a physical edge."""
+
+        from repro.core.dissemination import ROUTE_KIND
+        from repro.net.node import Network
+
+        hops = []
+        original_send = Network.send
+
+        def spy(network, src, dst, message):
+            if message.kind == ROUTE_KIND:
+                hops.append((src, dst))
+            return original_send(network, src, dst, message)
+
+        Network.send = spy
+        try:
+            routed_system.start()
+            tx = Transaction.create(origin=11, created_at=0.0)
+            routed_system.submit(11, tx)
+            routed_system.run(until_ms=8_000)
+        finally:
+            Network.send = original_send
+        for src, dst in hops:
+            assert physical40.has_edge(src, dst)
+
+    def test_one_faulty_path_relay_cannot_block(
+        self, physical40, overlay_family40
+    ):
+        """f disjoint-path relays may drop; the message still arrives."""
+
+        from repro.overlay.paths import find_disjoint_paths
+
+        overlays, _ranks = overlay_family40
+        # Find the relays node 11 would use toward overlay 0's entries and
+        # corrupt the interior of one path.
+        paths = find_disjoint_paths(
+            physical40.graph, 11, list(overlays[0].entry_points), 2
+        )
+        interior = next(
+            (node for path in paths for node in path[1:-1]), None
+        )
+        if interior is None:
+            pytest.skip("both disjoint paths are direct edges")
+        plan = FaultPlan(behaviors={interior: Behavior.DROP_RELAY})
+        config = HermesConfig(
+            f=1, num_overlays=3, gossip_fallback_enabled=False,
+            use_physical_paths=True,
+        )
+        system = HermesSystem(
+            physical40, config, fault_plan=plan, overlays=overlays, seed=61
+        )
+        system.start()
+        tx = Transaction.create(origin=11, created_at=0.0)
+        system.submit(11, tx)
+        system.run(until_ms=8_000)
+        coverage = system.stats.coverage(tx.tx_id, system.honest_node_ids())
+        assert coverage >= 0.95

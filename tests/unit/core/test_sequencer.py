@@ -1,0 +1,80 @@
+"""Unit tests for receiver-side sequence auditing."""
+
+import pytest
+
+from repro.core.sequencer import SequenceAuditor
+
+
+class TestObserve:
+    def test_in_order_no_gaps(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        for sequence in range(5):
+            assert auditor.observe(origin=1, sequence=sequence, now=float(sequence))
+        assert auditor.pending_gaps(1) == []
+        assert auditor.highest_seen(1) == 4
+
+    def test_duplicate_returns_false(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        assert auditor.observe(1, 0, 0.0)
+        assert not auditor.observe(1, 0, 1.0)
+
+    def test_gap_detected(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        auditor.observe(1, 0, 0.0)
+        auditor.observe(1, 3, 10.0)
+        assert auditor.pending_gaps(1) == [1, 2]
+
+    def test_gap_fills(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        auditor.observe(1, 0, 0.0)
+        auditor.observe(1, 2, 10.0)
+        auditor.observe(1, 1, 20.0)
+        assert auditor.pending_gaps(1) == []
+
+    def test_negative_sequence_rejected(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        with pytest.raises(ValueError):
+            auditor.observe(1, -1, 0.0)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceAuditor(gap_timeout_ms=0.0)
+
+    def test_origins_tracked_separately(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        auditor.observe(1, 2, 0.0)
+        auditor.observe(2, 0, 0.0)
+        assert auditor.pending_gaps(1) == [0, 1]
+        assert auditor.pending_gaps(2) == []
+
+
+class TestExpiry:
+    def test_gap_expires_after_timeout(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        auditor.observe(1, 1, 0.0)  # gap: sequence 0
+        assert auditor.expired_gaps(1, 50.0) == []
+        assert auditor.expired_gaps(1, 100.0) == [0]
+
+    def test_filled_gap_never_expires(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        auditor.observe(1, 1, 0.0)
+        auditor.observe(1, 0, 10.0)
+        assert auditor.expired_gaps(1, 500.0) == []
+
+    def test_origins_with_expired_gaps(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        auditor.observe(1, 1, 0.0)
+        auditor.observe(2, 0, 0.0)
+        assert auditor.origins_with_expired_gaps(200.0) == [1]
+
+    def test_gap_clock_starts_when_noticed(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        auditor.observe(1, 0, 0.0)
+        auditor.observe(1, 5, 300.0)  # gaps 1..4 noticed at 300
+        assert auditor.expired_gaps(1, 350.0) == []
+        assert auditor.expired_gaps(1, 400.0) == [1, 2, 3, 4]
+
+    def test_unknown_origin_no_gaps(self):
+        auditor = SequenceAuditor(gap_timeout_ms=100.0)
+        assert auditor.expired_gaps(42, 1000.0) == []
+        assert auditor.highest_seen(42) == -1

@@ -1,0 +1,132 @@
+"""Unit tests for activity tracing (§I's "thorough logging")."""
+
+import pytest
+
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+from repro.core.tracing import (
+    ActivityKind,
+    ActivityRecord,
+    ActivityTrace,
+    cross_check,
+    reconstruct_path,
+)
+from repro.mempool.transaction import Transaction
+from repro.net.faults import Behavior, FaultPlan
+
+
+@pytest.fixture()
+def traced_run(physical40, overlay_family40):
+    overlays, _ranks = overlay_family40
+    config = HermesConfig(
+        f=1, num_overlays=3, gossip_fallback_enabled=False, tracing_enabled=True
+    )
+    system = HermesSystem(physical40, config, overlays=overlays, seed=71)
+    system.start()
+    tx = Transaction.create(origin=13, created_at=0.0)
+    system.submit(13, tx)
+    system.run(until_ms=6_000)
+    return system, tx
+
+
+class TestTraceCollection:
+    def test_disabled_by_default(self, physical40, overlay_family40):
+        overlays, _ranks = overlay_family40
+        config = HermesConfig(f=1, num_overlays=3, gossip_fallback_enabled=False)
+        system = HermesSystem(physical40, config, overlays=overlays, seed=71)
+        system.start()
+        tx = Transaction.create(origin=13, created_at=0.0)
+        system.submit(13, tx)
+        system.run(until_ms=4_000)
+        assert len(system.activity_trace) == 0
+
+    def test_lifecycle_recorded(self, traced_run):
+        system, tx = traced_run
+        trace = system.activity_trace
+        kinds = {r.kind for r in trace.for_tx(tx.tx_id)}
+        assert ActivityKind.TRS_REQUESTED in kinds
+        assert ActivityKind.DISPATCHED in kinds
+        assert ActivityKind.RELAYED in kinds
+        assert ActivityKind.DELIVERED in kinds
+
+    def test_deliveries_match_stats(self, traced_run, physical40):
+        system, tx = traced_run
+        traced = system.activity_trace.deliveries(tx.tx_id)
+        measured = system.stats.deliveries[tx.tx_id]
+        # The origin delivers to itself without a DELIVERED record (it never
+        # receives its own envelope at first delivery).
+        assert set(traced) == set(measured) - {13}
+
+    def test_queries(self, traced_run):
+        system, tx = traced_run
+        trace = system.activity_trace
+        assert trace.for_node(13)
+        assert trace.by_kind(ActivityKind.DISPATCHED)
+
+
+class TestPathReconstruction:
+    def test_parents_are_overlay_predecessors_or_origin(self, traced_run):
+        system, tx = traced_run
+        parents = reconstruct_path(system.activity_trace, tx.tx_id)
+        dispatched = system.activity_trace.by_kind(ActivityKind.DISPATCHED)
+        overlay = system.overlays[dispatched[0].overlay_id]
+        for receiver, provider in parents.items():
+            if overlay.is_entry(receiver):
+                assert provider == tx.origin
+            else:
+                assert provider in overlay.valid_senders(receiver)
+
+    def test_every_non_origin_node_has_a_parent(self, traced_run, physical40):
+        system, tx = traced_run
+        parents = reconstruct_path(system.activity_trace, tx.tx_id)
+        assert set(parents) == set(physical40.nodes()) - {13}
+
+
+class TestCrossCheck:
+    def test_clean_run_cross_checks(self, traced_run):
+        system, tx = traced_run
+        assert cross_check(system.activity_trace, tx.tx_id) == []
+
+    def test_fabricated_relay_claim_flagged(self):
+        trace = ActivityTrace()
+        trace.record(
+            ActivityRecord(1.0, node=1, kind=ActivityKind.RELAYED, tx_id=5, peer=2)
+        )
+        # Node 2 never logged a delivery from node 1.
+        assert cross_check(trace, 5) == [(1, 2)]
+
+    def test_matched_pair_clean(self):
+        trace = ActivityTrace()
+        trace.record(
+            ActivityRecord(1.0, node=1, kind=ActivityKind.RELAYED, tx_id=5, peer=2)
+        )
+        trace.record(
+            ActivityRecord(2.0, node=2, kind=ActivityKind.DELIVERED, tx_id=5, peer=1)
+        )
+        assert cross_check(trace, 5) == []
+
+    def test_censoring_relay_visible_as_missing_subtree(
+        self, physical40, overlay_family40
+    ):
+        """A DROP_RELAY node produces no RELAYED records: the path
+        reconstruction shows its successors fed by other predecessors."""
+
+        overlays, _ranks = overlay_family40
+        plan = FaultPlan(behaviors={overlays[0].entry_points[0]: Behavior.DROP_RELAY})
+        config = HermesConfig(
+            f=1, num_overlays=3, gossip_fallback_enabled=False, tracing_enabled=True
+        )
+        system = HermesSystem(
+            physical40, config, fault_plan=plan, overlays=overlays, seed=71
+        )
+        system.start()
+        tx = Transaction.create(origin=13, created_at=0.0)
+        system.submit(13, tx)
+        system.run(until_ms=6_000)
+        censor = overlays[0].entry_points[0]
+        relays_by_censor = [
+            r
+            for r in system.activity_trace.for_node(censor)
+            if r.kind is ActivityKind.RELAYED
+        ]
+        assert relays_by_censor == []

@@ -1,0 +1,98 @@
+"""Unit tests for the two crypto backends (identical observable behaviour)."""
+
+import pytest
+
+from repro.crypto.backend import FastCryptoBackend, RealCryptoBackend
+from repro.errors import ThresholdNotReachedError
+
+COMMITTEE = [10, 11, 12, 13]
+THRESHOLD = 3
+
+
+@pytest.fixture(params=["real", "fast"])
+def backend(request):
+    backend = (
+        RealCryptoBackend(seed=3) if request.param == "real" else FastCryptoBackend(3)
+    )
+    backend.setup_committee(COMMITTEE, THRESHOLD)
+    for node in (0, 1, 2):
+        backend.register_node(node)
+    return backend
+
+
+class TestNodeSignatures:
+    def test_sign_verify(self, backend):
+        signature = backend.sign(0, b"msg")
+        assert backend.verify(0, b"msg", signature)
+
+    def test_wrong_node_fails(self, backend):
+        signature = backend.sign(0, b"msg")
+        assert not backend.verify(1, b"msg", signature)
+
+    def test_wrong_message_fails(self, backend):
+        signature = backend.sign(0, b"msg")
+        assert not backend.verify(0, b"other", signature)
+
+    def test_garbage_signature_fails(self, backend):
+        assert not backend.verify(0, b"msg", object())
+
+
+class TestThresholdFlow:
+    def test_partial_verifies(self, backend):
+        partial = backend.partial_sign(10, b"binding")
+        assert backend.verify_partial(b"binding", partial)
+
+    def test_partial_bound_to_message(self, backend):
+        partial = backend.partial_sign(10, b"binding")
+        assert not backend.verify_partial(b"other", partial)
+
+    def test_non_member_cannot_partial_sign(self, backend):
+        with pytest.raises(ThresholdNotReachedError):
+            backend.partial_sign(0, b"binding")
+
+    def test_combine_needs_threshold(self, backend):
+        partials = [backend.partial_sign(m, b"b") for m in COMMITTEE[:2]]
+        with pytest.raises(ThresholdNotReachedError):
+            backend.combine(b"b", partials)
+
+    def test_combined_unique_across_quorums(self, backend):
+        partials = [backend.partial_sign(m, b"b") for m in COMMITTEE]
+        seed_a = backend.seed_from_signature(backend.combine(b"b", partials[:3]), 100)
+        seed_b = backend.seed_from_signature(backend.combine(b"b", partials[1:]), 100)
+        assert seed_a == seed_b
+
+    def test_verify_combined(self, backend):
+        partials = [backend.partial_sign(m, b"b") for m in COMMITTEE[:3]]
+        signature = backend.combine(b"b", partials)
+        assert backend.verify_combined(b"b", signature)
+        assert not backend.verify_combined(b"other", signature)
+        assert not backend.verify_combined(b"b", object())
+
+    def test_seed_depends_on_message(self, backend):
+        seeds = set()
+        for label in range(8):
+            message = f"msg-{label}".encode()
+            partials = [backend.partial_sign(m, message) for m in COMMITTEE[:3]]
+            seeds.add(backend.seed_from_signature(backend.combine(message, partials), 1000))
+        # Eight messages should not all collapse to one seed.
+        assert len(seeds) > 1
+
+    def test_duplicate_partials_not_a_quorum(self, backend):
+        partial = backend.partial_sign(10, b"b")
+        with pytest.raises(ThresholdNotReachedError):
+            backend.combine(b"b", [partial, partial, partial])
+
+
+class TestBackendMisc:
+    def test_hash_is_sha_sized(self, backend):
+        assert len(backend.hash(b"payload")) == 32
+
+    def test_committee_not_setup_raises(self):
+        fresh = FastCryptoBackend(1)
+        with pytest.raises(ThresholdNotReachedError):
+            fresh.combine(b"x", [])
+
+    def test_fast_backend_invalid_threshold(self):
+        fresh = FastCryptoBackend(1)
+        with pytest.raises(ThresholdNotReachedError):
+            fresh.setup_committee([1, 2], threshold=3)

@@ -1,0 +1,74 @@
+"""Unit tests for Chaum–Pedersen DLEQ proofs."""
+
+import pytest
+
+from repro.crypto.dleq import DleqProof, prove_dleq, verify_dleq
+
+
+@pytest.fixture()
+def bases(group):
+    return group.g, group.hash_to_group("second-base")
+
+
+class TestDleq:
+    def test_honest_proof_verifies(self, group, bases, rng):
+        base_a, base_b = bases
+        secret = 31337 % group.q
+        proof = prove_dleq(group, secret, base_a, base_b, rng)
+        assert verify_dleq(
+            group,
+            base_a,
+            group.exp(base_a, secret),
+            base_b,
+            group.exp(base_b, secret),
+            proof,
+        )
+
+    def test_mismatched_exponents_fail(self, group, bases, rng):
+        base_a, base_b = bases
+        proof = prove_dleq(group, 42, base_a, base_b, rng)
+        assert not verify_dleq(
+            group,
+            base_a,
+            group.exp(base_a, 42),
+            base_b,
+            group.exp(base_b, 43),  # different discrete log
+            proof,
+        )
+
+    def test_tampered_proof_fails(self, group, bases, rng):
+        base_a, base_b = bases
+        secret = 77
+        proof = prove_dleq(group, secret, base_a, base_b, rng)
+        tampered = DleqProof(
+            challenge=(proof.challenge + 1) % group.q, response=proof.response
+        )
+        assert not verify_dleq(
+            group,
+            base_a,
+            group.exp(base_a, secret),
+            base_b,
+            group.exp(base_b, secret),
+            tampered,
+        )
+
+    def test_non_group_elements_rejected(self, group, bases, rng):
+        base_a, base_b = bases
+        proof = prove_dleq(group, 5, base_a, base_b, rng)
+        assert not verify_dleq(group, 0, 1, base_b, 1, proof)
+
+    def test_proof_bound_to_bases(self, group, rng):
+        base_a = group.g
+        base_b = group.hash_to_group("b1")
+        base_c = group.hash_to_group("b2")
+        secret = 99
+        proof = prove_dleq(group, secret, base_a, base_b, rng)
+        # Same exponent over a different second base must not verify.
+        assert not verify_dleq(
+            group,
+            base_a,
+            group.exp(base_a, secret),
+            base_c,
+            group.exp(base_c, secret),
+            proof,
+        )

@@ -1,0 +1,77 @@
+"""Unit tests for prime-field arithmetic and Lagrange interpolation."""
+
+import pytest
+
+from repro.crypto.field import PrimeField, lagrange_coefficients_at_zero
+
+
+@pytest.fixture()
+def field() -> PrimeField:
+    return PrimeField(101)
+
+
+class TestPrimeField:
+    def test_rejects_tiny_order(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_reduce_wraps(self, field):
+        assert field.reduce(205) == 3
+        assert field.reduce(-1) == 100
+
+    def test_add_sub_inverse_each_other(self, field):
+        assert field.sub(field.add(40, 70), 70) == 40
+
+    def test_mul_and_inv(self, field):
+        for a in range(1, 101):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_inv_of_zero_raises(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_neg(self, field):
+        assert field.add(field.neg(17), 17) == 0
+
+    def test_eval_polynomial_horner(self, field):
+        # p(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38
+        assert field.eval_polynomial([3, 2, 1], 5) == 38
+
+    def test_eval_constant(self, field):
+        assert field.eval_polynomial([9], 1234) == 9
+
+
+class TestLagrange:
+    def test_recovers_constant_term(self, field):
+        coefficients = [12, 7, 3]  # degree-2 polynomial
+        points = [1, 2, 3]
+        values = {x: field.eval_polynomial(coefficients, x) for x in points}
+        lagrange = lagrange_coefficients_at_zero(field, points)
+        recovered = 0
+        for x in points:
+            recovered = field.add(recovered, field.mul(lagrange[x], values[x]))
+        assert recovered == 12
+
+    def test_any_subset_recovers(self, field):
+        coefficients = [55, 1, 9]
+        all_points = [1, 2, 3, 4, 5]
+        values = {x: field.eval_polynomial(coefficients, x) for x in all_points}
+        for subset in ([1, 2, 3], [2, 4, 5], [1, 3, 5]):
+            lagrange = lagrange_coefficients_at_zero(field, subset)
+            total = 0
+            for x in subset:
+                total = field.add(total, field.mul(lagrange[x], values[x]))
+            assert total == 55
+
+    def test_rejects_duplicate_points(self, field):
+        with pytest.raises(ValueError):
+            lagrange_coefficients_at_zero(field, [1, 1, 2])
+
+    def test_rejects_zero_point(self, field):
+        with pytest.raises(ValueError):
+            lagrange_coefficients_at_zero(field, [0, 1, 2])
+
+    def test_coefficients_sum_to_one(self, field):
+        # Interpolating the constant polynomial 1 must give 1.
+        lagrange = lagrange_coefficients_at_zero(field, [3, 7, 9])
+        assert sum(lagrange.values()) % field.order == 1

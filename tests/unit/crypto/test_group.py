@@ -1,0 +1,83 @@
+"""Unit tests for the Schnorr group."""
+
+import pytest
+
+from repro.crypto.group import SchnorrGroup, default_group, toy_group
+
+
+class TestToyGroup:
+    def test_generator_has_order_q(self, group):
+        assert pow(group.g, group.q, group.p) == 1
+
+    def test_q_divides_p_minus_one(self, group):
+        assert (group.p - 1) % group.q == 0
+
+    def test_exp_reduces_exponent(self, group):
+        assert group.exp(group.g, group.q + 5) == group.exp(group.g, 5)
+
+    def test_mul_inv(self, group):
+        element = group.exp(group.g, 1234)
+        assert group.mul(element, group.inv(element)) == 1
+
+    def test_is_element_accepts_subgroup(self, group):
+        for exponent in (1, 2, 99, group.q - 1):
+            assert group.is_element(group.exp(group.g, exponent))
+
+    def test_is_element_rejects_outside(self, group):
+        assert not group.is_element(0)
+        assert not group.is_element(group.p)
+        # A quadratic non-residue is not in the order-q subgroup of a safe
+        # prime group; find one by scanning.
+        for candidate in range(2, 50):
+            if pow(candidate, group.q, group.p) != 1:
+                assert not group.is_element(candidate)
+                break
+
+    def test_hash_to_group_lands_in_subgroup(self, group):
+        for label in range(10):
+            element = group.hash_to_group("test", label)
+            assert group.is_element(element)
+            assert element != 1
+
+    def test_hash_to_group_deterministic(self, group):
+        assert group.hash_to_group("a", 1) == group.hash_to_group("a", 1)
+
+    def test_hash_to_scalar_in_range(self, group):
+        for label in range(10):
+            scalar = group.hash_to_scalar("s", label)
+            assert 0 < scalar < group.q
+
+    def test_scalar_field_order(self, group):
+        assert group.scalar_field.order == group.q
+
+
+class TestGroupValidation:
+    def test_rejects_bad_generator(self):
+        toy = toy_group()
+        with pytest.raises(ValueError):
+            SchnorrGroup(p=toy.p, q=toy.q, g=1)
+
+    def test_rejects_non_dividing_order(self):
+        toy = toy_group()
+        with pytest.raises(ValueError):
+            SchnorrGroup(p=toy.p, q=toy.q - 1, g=toy.g)
+
+    def test_rejects_wrong_order_generator(self):
+        toy = toy_group()
+        # Find an element NOT of order q (a non-residue).
+        for candidate in range(2, 200):
+            if pow(candidate, toy.q, toy.p) != 1:
+                with pytest.raises(ValueError):
+                    SchnorrGroup(p=toy.p, q=toy.q, g=candidate)
+                return
+        pytest.fail("no non-residue found")
+
+
+class TestDefaultGroup:
+    def test_parameters_are_consistent(self):
+        big = default_group()
+        assert (big.p - 1) % big.q == 0
+        assert pow(big.g, big.q, big.p) == 1
+
+    def test_cached(self):
+        assert default_group() is default_group()

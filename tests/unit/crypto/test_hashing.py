@@ -1,0 +1,58 @@
+"""Unit tests for the canonical hashing helpers."""
+
+import pytest
+
+from repro.crypto.hashing import encode_for_hash, hash_bytes, hash_to_int, sha256_hex
+
+
+class TestEncodeForHash:
+    def test_length_prefix_prevents_ambiguity(self):
+        assert encode_for_hash("ab", "c") != encode_for_hash("a", "bc")
+
+    def test_accepts_bytes_str_int(self):
+        encoded = encode_for_hash(b"raw", "text", 42)
+        assert isinstance(encoded, bytes)
+
+    def test_negative_integers_encode(self):
+        assert encode_for_hash(-1) != encode_for_hash(1)
+
+    def test_zero_encodes(self):
+        assert isinstance(encode_for_hash(0), bytes)
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            encode_for_hash(3.14)
+
+    def test_empty_parts_distinct_from_no_parts(self):
+        assert encode_for_hash("") != encode_for_hash()
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        assert hash_bytes("x", 1) == hash_bytes("x", 1)
+
+    def test_order_sensitive(self):
+        assert hash_bytes("a", "b") != hash_bytes("b", "a")
+
+    def test_digest_is_32_bytes(self):
+        assert len(hash_bytes("anything")) == 32
+
+    def test_hex_matches_bytes(self):
+        assert sha256_hex("v") == hash_bytes("v").hex()
+
+
+class TestHashToInt:
+    def test_within_modulus(self):
+        for value in range(20):
+            assert 0 <= hash_to_int("seed", value, modulus=7) < 7
+
+    def test_no_modulus_gives_full_width(self):
+        assert hash_to_int("x") < 2**256
+
+    def test_rejects_non_positive_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_int("x", modulus=0)
+
+    def test_distribution_covers_residues(self):
+        seen = {hash_to_int("d", i, modulus=5) for i in range(200)}
+        assert seen == {0, 1, 2, 3, 4}

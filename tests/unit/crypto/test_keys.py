@@ -1,0 +1,45 @@
+"""Unit tests for the key registry."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.errors import CryptoError
+
+
+@pytest.fixture()
+def registry(group, rng):
+    registry = KeyRegistry(group)
+    for node_id in range(3):
+        registry.generate(node_id, rng)
+    return registry
+
+
+class TestKeyRegistry:
+    def test_generate_is_idempotent(self, registry, rng):
+        first = registry.keypair(0)
+        second = registry.generate(0, rng)
+        assert first == second
+
+    def test_contains_and_len(self, registry):
+        assert 0 in registry and 2 in registry
+        assert 9 not in registry
+        assert len(registry) == 3
+
+    def test_unknown_node_raises(self, registry):
+        with pytest.raises(CryptoError):
+            registry.public_key(42)
+
+    def test_sign_verify(self, registry, rng):
+        signature = registry.sign(1, b"payload", rng)
+        assert registry.verify(1, b"payload", signature)
+
+    def test_cross_node_verification_fails(self, registry, rng):
+        signature = registry.sign(1, b"payload", rng)
+        assert not registry.verify(2, b"payload", signature)
+
+    def test_verify_unknown_node_returns_false(self, registry, rng):
+        signature = registry.sign(0, b"x", rng)
+        assert not registry.verify(77, b"x", signature)
+
+    def test_public_key_is_group_element(self, registry, group):
+        assert group.is_element(registry.public_key(0))

@@ -1,0 +1,76 @@
+"""Unit tests for Schnorr signatures."""
+
+import random
+
+import pytest
+
+from repro.crypto.schnorr import (
+    SchnorrSignature,
+    schnorr_keygen,
+    schnorr_sign,
+    schnorr_verify,
+)
+
+
+@pytest.fixture()
+def keypair(group, rng):
+    return schnorr_keygen(group, rng)
+
+
+class TestSchnorr:
+    def test_sign_verify_roundtrip(self, group, keypair, rng):
+        secret, public = keypair
+        signature = schnorr_sign(group, secret, b"hello", rng)
+        assert schnorr_verify(group, public, b"hello", signature)
+
+    def test_wrong_message_fails(self, group, keypair, rng):
+        secret, public = keypair
+        signature = schnorr_sign(group, secret, b"hello", rng)
+        assert not schnorr_verify(group, public, b"goodbye", signature)
+
+    def test_wrong_key_fails(self, group, keypair, rng):
+        secret, _public = keypair
+        _other_secret, other_public = schnorr_keygen(group, rng)
+        signature = schnorr_sign(group, secret, b"m", rng)
+        assert not schnorr_verify(group, other_public, b"m", signature)
+
+    def test_tampered_challenge_fails(self, group, keypair, rng):
+        secret, public = keypair
+        signature = schnorr_sign(group, secret, b"m", rng)
+        tampered = SchnorrSignature(
+            challenge=(signature.challenge + 1) % group.q,
+            response=signature.response,
+        )
+        assert not schnorr_verify(group, public, b"m", tampered)
+
+    def test_tampered_response_fails(self, group, keypair, rng):
+        secret, public = keypair
+        signature = schnorr_sign(group, secret, b"m", rng)
+        tampered = SchnorrSignature(
+            challenge=signature.challenge,
+            response=(signature.response + 1) % group.q,
+        )
+        assert not schnorr_verify(group, public, b"m", tampered)
+
+    def test_out_of_range_values_rejected(self, group, keypair):
+        _secret, public = keypair
+        bogus = SchnorrSignature(challenge=0, response=0)
+        assert not schnorr_verify(group, public, b"m", bogus)
+        oversized = SchnorrSignature(challenge=group.q + 1, response=1)
+        assert not schnorr_verify(group, public, b"m", oversized)
+
+    def test_invalid_public_key_rejected(self, group, keypair, rng):
+        secret, _public = keypair
+        signature = schnorr_sign(group, secret, b"m", rng)
+        assert not schnorr_verify(group, 0, b"m", signature)
+
+    def test_signatures_are_randomized(self, group, keypair):
+        secret, _public = keypair
+        first = schnorr_sign(group, secret, b"m", random.Random(1))
+        second = schnorr_sign(group, secret, b"m", random.Random(2))
+        assert first != second
+
+    def test_empty_message_signs(self, group, keypair, rng):
+        secret, public = keypair
+        signature = schnorr_sign(group, secret, b"", rng)
+        assert schnorr_verify(group, public, b"", signature)

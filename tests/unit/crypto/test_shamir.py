@@ -1,0 +1,75 @@
+"""Unit tests for Shamir secret sharing."""
+
+import random
+
+import pytest
+
+from repro.crypto.field import PrimeField
+from repro.crypto.shamir import ShamirShare, recover_secret, split_secret
+from repro.errors import ShareError
+
+
+@pytest.fixture()
+def field() -> PrimeField:
+    return PrimeField(2**31 - 1)  # a Mersenne prime
+
+
+class TestSplitSecret:
+    def test_produces_requested_share_count(self, field, rng):
+        shares = split_secret(field, 42, threshold=3, num_shares=7, rng=rng)
+        assert len(shares) == 7
+        assert [s.index for s in shares] == list(range(1, 8))
+
+    def test_rejects_zero_threshold(self, field, rng):
+        with pytest.raises(ShareError):
+            split_secret(field, 1, threshold=0, num_shares=3, rng=rng)
+
+    def test_rejects_too_few_shares(self, field, rng):
+        with pytest.raises(ShareError):
+            split_secret(field, 1, threshold=4, num_shares=3, rng=rng)
+
+    def test_rejects_field_too_small(self, rng):
+        with pytest.raises(ShareError):
+            split_secret(PrimeField(5), 1, threshold=2, num_shares=5, rng=rng)
+
+    def test_share_index_must_be_positive(self):
+        with pytest.raises(ShareError):
+            ShamirShare(index=0, value=5)
+
+
+class TestRecoverSecret:
+    def test_threshold_shares_recover(self, field, rng):
+        shares = split_secret(field, 987654, threshold=3, num_shares=6, rng=rng)
+        for subset in (shares[:3], shares[2:5], [shares[0], shares[3], shares[5]]):
+            assert recover_secret(field, subset) == 987654
+
+    def test_more_than_threshold_also_recovers(self, field, rng):
+        shares = split_secret(field, 11, threshold=2, num_shares=5, rng=rng)
+        assert recover_secret(field, shares) == 11
+
+    def test_below_threshold_yields_garbage(self, field):
+        rng = random.Random(99)
+        shares = split_secret(field, 1234, threshold=3, num_shares=5, rng=rng)
+        # With only 2 of 3 shares interpolation produces a different value
+        # for almost all polynomials; assert it differs for this seed.
+        assert recover_secret(field, shares[:2]) != 1234
+
+    def test_empty_shares_rejected(self, field):
+        with pytest.raises(ShareError):
+            recover_secret(field, [])
+
+    def test_duplicate_indexes_rejected(self, field, rng):
+        shares = split_secret(field, 5, threshold=2, num_shares=3, rng=rng)
+        with pytest.raises(ShareError):
+            recover_secret(field, [shares[0], shares[0]])
+
+    def test_threshold_one_is_the_secret(self, field, rng):
+        shares = split_secret(field, 77, threshold=1, num_shares=4, rng=rng)
+        for share in shares:
+            assert share.value == 77
+
+    def test_secret_reduced_into_field(self, field, rng):
+        shares = split_secret(
+            field, field.order + 3, threshold=2, num_shares=3, rng=rng
+        )
+        assert recover_secret(field, shares[:2]) == 3

@@ -1,0 +1,135 @@
+"""Unit tests for the threshold signature / DVRF scheme."""
+
+import random
+
+import pytest
+
+from repro.crypto.threshold import (
+    combine_partials,
+    threshold_keygen,
+    verify_partial,
+    verify_threshold_signature,
+)
+from repro.errors import ThresholdNotReachedError
+
+
+@pytest.fixture()
+def committee(group):
+    rng = random.Random(5)
+    public, signers = threshold_keygen(group, threshold=3, num_members=4, rng=rng)
+    return public, signers
+
+
+class TestKeygen:
+    def test_member_count(self, committee):
+        public, signers = committee
+        assert len(signers) == 4
+        assert len(public.share_commitments) == 4
+
+    def test_commitments_match_shares(self, group, committee):
+        public, signers = committee
+        message = b"probe"
+        for signer in signers:
+            partial = signer.sign(message, random.Random(signer.index))
+            assert verify_partial(public, message, partial)
+
+
+class TestPartials:
+    def test_partial_from_wrong_share_rejected(self, group, committee, rng):
+        public, signers = committee
+        partial = signers[0].sign(b"m", rng)
+        # Claim it came from member 2.
+        forged = type(partial)(index=2, value=partial.value, proof=partial.proof)
+        assert not verify_partial(public, b"m", forged)
+
+    def test_partial_bound_to_message(self, committee, rng):
+        public, signers = committee
+        partial = signers[0].sign(b"m1", rng)
+        assert not verify_partial(public, b"m2", partial)
+
+    def test_unknown_index_rejected(self, committee, rng):
+        public, signers = committee
+        partial = signers[0].sign(b"m", rng)
+        forged = type(partial)(index=99, value=partial.value, proof=partial.proof)
+        assert not verify_partial(public, b"m", forged)
+
+
+class TestCombination:
+    def test_any_quorum_gives_same_signature(self, committee):
+        public, signers = committee
+        message = b"unique"
+        partials = [s.sign(message, random.Random(i)) for i, s in enumerate(signers)]
+        sig_a = combine_partials(public, message, partials[:3])
+        sig_b = combine_partials(public, message, partials[1:])
+        assert sig_a.value == sig_b.value
+
+    def test_below_threshold_raises(self, committee, rng):
+        public, signers = committee
+        partials = [signers[0].sign(b"m", rng), signers[1].sign(b"m", rng)]
+        with pytest.raises(ThresholdNotReachedError):
+            combine_partials(public, b"m", partials)
+
+    def test_invalid_partials_discarded(self, committee, rng):
+        public, signers = committee
+        message = b"m"
+        good = [s.sign(message, rng) for s in signers[:3]]
+        bad = signers[3].sign(b"other", rng)  # valid proof, wrong message
+        signature = combine_partials(public, message, good + [bad])
+        assert signature.value == combine_partials(public, message, good).value
+
+    def test_duplicate_partials_do_not_fake_quorum(self, committee, rng):
+        public, signers = committee
+        partial = signers[0].sign(b"m", rng)
+        with pytest.raises(ThresholdNotReachedError):
+            combine_partials(public, b"m", [partial, partial, partial])
+
+    def test_different_messages_different_signatures(self, committee, rng):
+        public, signers = committee
+        sig_1 = combine_partials(
+            public, b"m1", [s.sign(b"m1", rng) for s in signers[:3]]
+        )
+        sig_2 = combine_partials(
+            public, b"m2", [s.sign(b"m2", rng) for s in signers[:3]]
+        )
+        assert sig_1.value != sig_2.value
+
+
+class TestSeedDerivation:
+    def test_seed_in_range(self, committee, rng):
+        public, signers = committee
+        signature = combine_partials(
+            public, b"m", [s.sign(b"m", rng) for s in signers[:3]]
+        )
+        for modulus in (1, 2, 10, 1000):
+            assert 0 <= signature.as_seed(modulus) < modulus
+
+    def test_seed_deterministic_across_quorums(self, committee):
+        public, signers = committee
+        message = b"m"
+        partials = [s.sign(message, random.Random(i)) for i, s in enumerate(signers)]
+        seed_a = combine_partials(public, message, partials[:3]).as_seed(10)
+        seed_b = combine_partials(public, message, partials[1:]).as_seed(10)
+        assert seed_a == seed_b
+
+    def test_rejects_bad_modulus(self, committee, rng):
+        public, signers = committee
+        signature = combine_partials(
+            public, b"m", [s.sign(b"m", rng) for s in signers[:3]]
+        )
+        with pytest.raises(ValueError):
+            signature.as_seed(0)
+
+
+class TestVerifyCombined:
+    def test_verify_with_certificate(self, committee, rng):
+        public, signers = committee
+        partials = [s.sign(b"m", rng) for s in signers[:3]]
+        signature = combine_partials(public, b"m", partials)
+        assert verify_threshold_signature(public, b"m", signature, partials)
+
+    def test_verify_rejects_wrong_value(self, committee, rng):
+        public, signers = committee
+        partials = [s.sign(b"m", rng) for s in signers[:3]]
+        signature = combine_partials(public, b"m", partials)
+        forged = type(signature)(value=public.group.g, contributors=(1, 2, 3))
+        assert not verify_threshold_signature(public, b"m", forged, partials)

@@ -1,0 +1,150 @@
+"""Unit tests for the experiment harness and figure modules (tiny configs)."""
+
+import pytest
+
+from repro.experiments import build_environment, protocol_factories
+from repro.experiments import (
+    fig2_overlays,
+    fig3a_latency,
+    fig3b_bandwidth,
+    fig4_roles,
+    fig5a_frontrunning,
+    fig5b_robustness,
+    table1,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return build_environment(num_nodes=40, f=1, k=3, seed=1)
+
+
+class TestHarness:
+    def test_environment_cached(self, env):
+        again = build_environment(num_nodes=40, f=1, k=3, seed=1)
+        assert again is env
+
+    def test_environment_contents(self, env):
+        assert env.physical.num_nodes == 40
+        assert len(env.overlays) == 3
+        assert env.build_seconds > 0
+
+    def test_factories_cover_all_protocols(self, env):
+        factories = protocol_factories(env)
+        for name in ("hermes", "lzero", "narwhal", "mercury", "gossip", "simple-tree"):
+            system = factories[name]()
+            assert system.physical is env.physical
+
+    def test_hermes_config_overrides(self, env):
+        config = env.hermes_config(gossip_fallback_enabled=False)
+        assert config.num_overlays == 3
+        assert not config.gossip_fallback_enabled
+
+
+class TestFig2:
+    def test_rows_and_shape(self):
+        result = fig2_overlays.run(fig2_overlays.Fig2Config(num_nodes=40, seed=1))
+        names = {row.structure for row in result.rows}
+        assert names == {"robust-tree", "chordal-ring", "hypercube", "random"}
+        tree = result.row("robust-tree")
+        others = [row for row in result.rows if row.structure != "robust-tree"]
+        # The paper's headline: robust trees trade load balance for latency.
+        assert tree.avg_latency_ms <= min(o.avg_latency_ms for o in others)
+        assert tree.load_stddev >= max(o.load_stddev for o in others)
+
+    def test_format(self):
+        result = fig2_overlays.run(fig2_overlays.Fig2Config(num_nodes=30, seed=1))
+        text = fig2_overlays.format_result(result)
+        assert "robust-tree" in text and "Fig. 2" in text
+
+
+class TestFig3a:
+    def test_runs_and_orders(self, env):
+        result = fig3a_latency.run(
+            fig3a_latency.Fig3aConfig(num_nodes=40, transactions=3, horizon_ms=6_000),
+            env=env,
+        )
+        assert set(result.summaries) == {"hermes", "lzero", "narwhal", "mercury"}
+        assert result.setup_overhead_ms["hermes"] > 0
+        assert result.setup_overhead_ms["mercury"] == 0
+        text = fig3a_latency.format_result(result)
+        assert "Fig. 3a" in text
+
+
+class TestFig3b:
+    def test_bandwidth_positive(self, env):
+        result = fig3b_bandwidth.run(
+            fig3b_bandwidth.Fig3bConfig(
+                num_nodes=40, duration_ms=10_000, tx_interval_ms=2_000
+            ),
+            env=env,
+        )
+        assert all(v > 0 for v in result.kb_per_minute.values())
+        assert result.hermes_with_per_tx_encoding > result.kb_per_minute["hermes"]
+        assert "Fig. 3b" in fig3b_bandwidth.format_result(result)
+
+    def test_lzero_most_frugal(self, env):
+        result = fig3b_bandwidth.run(
+            fig3b_bandwidth.Fig3bConfig(
+                num_nodes=40, duration_ms=10_000, tx_interval_ms=2_000
+            ),
+            env=env,
+        )
+        assert result.ordering()[0] == "lzero"
+
+
+class TestFig4:
+    def test_entry_accounting(self, env):
+        result = fig4_roles.run(fig4_roles.Fig4Config(num_nodes=40, k=3), env=env)
+        assert result.entry_assignments == 3 * 2  # k * (f+1)
+        assert result.rank_histogram[1] == 6
+        assert sum(result.rank_histogram.values()) == 3 * 40
+
+    def test_roles_rotate(self, env):
+        result = fig4_roles.run(fig4_roles.Fig4Config(num_nodes=40, k=3), env=env)
+        assert result.max_entry_repeats() <= 2
+        assert result.fairness_coefficient() < 0.5
+        assert "Fig. 4" in fig4_roles.format_result(result)
+
+
+class TestFig5a:
+    def test_tiny_sweep(self, env):
+        config = fig5a_frontrunning.Fig5aConfig(
+            num_nodes=40, fractions=(0.2,), trials=2, horizon_ms=2_500
+        )
+        result = fig5a_frontrunning.run(config, env=env)
+        for name, by_fraction in result.success_rates.items():
+            assert 0.0 <= by_fraction[0.2] <= 1.0
+        assert "Fig. 5a" in fig5a_frontrunning.format_result(result)
+
+
+class TestFig5b:
+    def test_tiny_sweep(self, env):
+        config = fig5b_robustness.Fig5bConfig(
+            num_nodes=40, fractions=(0.2,), trials=2, horizon_ms=1_500
+        )
+        result = fig5b_robustness.run(config, env=env)
+        for name, by_fraction in result.coverage.items():
+            assert 0.0 < by_fraction[0.2] <= 1.0
+        assert "Fig. 5b" in fig5b_robustness.format_result(result)
+
+
+class TestTable1:
+    def test_rows_present(self):
+        config = table1.Table1Config(num_nodes=40, k=2, transactions=3)
+        result = table1.run(config)
+        approaches = {row.approach for row in result.rows}
+        assert approaches == {"gossip", "reliable-broadcast", "simple-tree", "hermes"}
+        text = table1.format_result(result)
+        assert "Table I" in text
+
+    def test_structural_properties(self):
+        config = table1.Table1Config(num_nodes=40, k=2, transactions=3)
+        result = table1.run(config)
+        assert result.row("hermes").accountable
+        assert not result.row("gossip").accountable
+        # Simple tree has the worst load imbalance of the four.
+        tree_cv = result.row("simple-tree").load_cv
+        assert tree_cv >= max(
+            result.row(a).load_cv for a in ("gossip", "hermes", "reliable-broadcast")
+        )

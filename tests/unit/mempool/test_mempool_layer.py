@@ -1,0 +1,159 @@
+"""Unit tests for transactions, mempools, blocks and front-run adjudication."""
+
+import pytest
+
+from repro.mempool.blocks import Block, build_block
+from repro.mempool.mempool import Mempool
+from repro.mempool.ordering import judge_front_running
+from repro.mempool.transaction import TX_SIZE_BYTES, Transaction
+
+
+def tx(origin=0, created=0.0, tag=""):
+    return Transaction.create(origin=origin, created_at=created, tag=tag)
+
+
+class TestTransaction:
+    def test_unique_ids(self):
+        assert tx().tx_id != tx().tx_id
+
+    def test_default_size_matches_paper(self):
+        assert tx().size_bytes == TX_SIZE_BYTES == 250
+
+    def test_digest_stable(self):
+        transaction = tx()
+        assert transaction.digest() == transaction.digest()
+        assert len(transaction.digest()) == 32
+
+    def test_digest_distinct_per_tx(self):
+        assert tx().digest() != tx().digest()
+
+    def test_adversarial_tag(self):
+        assert tx(tag="adversarial").is_adversarial
+        assert not tx(tag="victim").is_adversarial
+
+
+class TestMempool:
+    def test_first_arrival_wins(self):
+        pool = Mempool(owner=1)
+        transaction = tx()
+        assert pool.add(transaction, 5.0)
+        assert not pool.add(transaction, 2.0)
+        assert pool.arrival_time(transaction.tx_id) == 5.0
+
+    def test_contains_len_get(self):
+        pool = Mempool(owner=1)
+        transaction = tx()
+        pool.add(transaction, 1.0)
+        assert transaction.tx_id in pool
+        assert len(pool) == 1
+        assert pool.get(transaction.tx_id) is transaction
+        assert pool.get(999999) is None
+
+    def test_arrival_time_unknown_raises(self):
+        pool = Mempool(owner=1)
+        with pytest.raises(KeyError):
+            pool.arrival_time(42)
+
+    def test_arrival_order(self):
+        pool = Mempool(owner=1)
+        a, b, c = tx(), tx(), tx()
+        pool.add(b, 2.0)
+        pool.add(a, 1.0)
+        pool.add(c, 3.0)
+        assert [t.tx_id for t in pool.in_arrival_order()] == [a.tx_id, b.tx_id, c.tx_id]
+
+    def test_arrival_order_ties_break_by_id(self):
+        pool = Mempool(owner=1)
+        a, b = tx(), tx()
+        pool.add(b, 1.0)
+        pool.add(a, 1.0)
+        assert [t.tx_id for t in pool.in_arrival_order()] == sorted([a.tx_id, b.tx_id])
+
+    def test_commitment_changes_with_content(self):
+        pool = Mempool(owner=1)
+        empty_commitment = pool.commitment()
+        pool.add(tx(), 1.0)
+        assert pool.commitment() != empty_commitment
+
+    def test_commitment_order_independent(self):
+        a, b = tx(), tx()
+        pool1, pool2 = Mempool(owner=1), Mempool(owner=2)
+        pool1.add(a, 1.0)
+        pool1.add(b, 2.0)
+        pool2.add(b, 1.0)
+        pool2.add(a, 2.0)
+        assert pool1.commitment() == pool2.commitment()
+
+    def test_reconciliation_sets(self):
+        pool = Mempool(owner=1)
+        a, b = tx(), tx()
+        pool.add(a, 1.0)
+        peer_known = frozenset({b.tx_id})
+        assert pool.missing_from(peer_known) == [a.tx_id]
+        assert pool.absent_locally(peer_known) == [b.tx_id]
+
+
+class TestBlocks:
+    def test_block_orders_by_arrival(self):
+        pool = Mempool(owner=9)
+        a, b = tx(), tx()
+        pool.add(b, 1.0)
+        pool.add(a, 2.0)
+        block = build_block(pool, now=10.0)
+        assert block.tx_ids == (b.tx_id, a.tx_id)
+        assert block.proposer == 9
+
+    def test_block_max_transactions(self):
+        pool = Mempool(owner=9)
+        txs = [tx() for _ in range(5)]
+        for index, transaction in enumerate(txs):
+            pool.add(transaction, float(index))
+        block = build_block(pool, now=0.0, max_transactions=3)
+        assert len(block) == 3
+
+    def test_block_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            build_block(Mempool(owner=1), 0.0, max_transactions=-1)
+
+    def test_position_and_contains(self):
+        block = Block(proposer=1, created_at=0.0, tx_ids=(5, 7, 9))
+        assert block.position_of(7) == 1
+        assert 9 in block and 4 not in block
+        with pytest.raises(ValueError):
+            block.position_of(4)
+
+
+class TestFrontRunJudging:
+    def test_adversarial_first_wins(self):
+        block = Block(proposer=1, created_at=0.0, tx_ids=(2, 1))
+        verdict = judge_front_running(block, victim_tx=1, adversarial_txs=[2])
+        assert verdict.attacker_won
+        assert verdict.winning_adversarial_tx == 2
+
+    def test_victim_first_defends(self):
+        block = Block(proposer=1, created_at=0.0, tx_ids=(1, 2))
+        verdict = judge_front_running(block, victim_tx=1, adversarial_txs=[2])
+        assert not verdict.attacker_won
+        assert verdict.victim_included
+
+    def test_not_immediately_before_still_counts(self):
+        block = Block(proposer=1, created_at=0.0, tx_ids=(2, 7, 8, 1))
+        verdict = judge_front_running(block, victim_tx=1, adversarial_txs=[2])
+        assert verdict.attacker_won
+
+    def test_victim_censored_with_adversarial_present(self):
+        block = Block(proposer=1, created_at=0.0, tx_ids=(2,))
+        verdict = judge_front_running(block, victim_tx=1, adversarial_txs=[2])
+        assert verdict.attacker_won
+        assert not verdict.victim_included
+
+    def test_void_trial_when_neither_present(self):
+        block = Block(proposer=1, created_at=0.0, tx_ids=(9,))
+        verdict = judge_front_running(block, victim_tx=1, adversarial_txs=[2])
+        assert not verdict.attacker_won
+        assert not verdict.victim_included
+
+    def test_no_adversarial_txs(self):
+        block = Block(proposer=1, created_at=0.0, tx_ids=(1,))
+        verdict = judge_front_running(block, victim_tx=1, adversarial_txs=[])
+        assert not verdict.attacker_won

@@ -1,0 +1,42 @@
+"""Unit tests for the link loss/jitter model."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.channel import LossModel
+
+
+class TestLossModel:
+    def test_zero_loss_never_drops(self):
+        model = LossModel(loss_probability=0.0)
+        rng = random.Random(0)
+        assert not any(model.drops(rng) for _ in range(1000))
+
+    def test_full_loss_always_drops(self):
+        model = LossModel(loss_probability=1.0)
+        rng = random.Random(0)
+        assert all(model.drops(rng) for _ in range(100))
+
+    def test_loss_rate_approximates_probability(self):
+        model = LossModel(loss_probability=0.2)
+        rng = random.Random(1)
+        rate = sum(model.drops(rng) for _ in range(5000)) / 5000
+        assert rate == pytest.approx(0.2, abs=0.03)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LossModel(loss_probability=1.5)
+
+    def test_jitter_mean_near_one(self):
+        model = LossModel(jitter_sigma=0.05)
+        rng = random.Random(2)
+        factors = [model.jitter_factor(rng) for _ in range(3000)]
+        assert statistics.mean(factors) == pytest.approx(1.0, abs=0.02)
+        assert all(f > 0 for f in factors)
+
+    def test_zero_jitter_is_identity(self):
+        model = LossModel(jitter_sigma=0.0)
+        assert model.jitter_factor(random.Random(0)) == 1.0

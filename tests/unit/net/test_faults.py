@@ -1,0 +1,54 @@
+"""Unit tests for fault planning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.faults import Behavior, FaultPlan
+
+
+class TestFaultPlan:
+    def test_honest_plan_is_empty(self):
+        plan = FaultPlan.honest()
+        assert plan.count() == 0
+        assert not plan.is_byzantine(3)
+        assert plan.behavior_of(3) is Behavior.HONEST
+
+    def test_random_fraction_size(self):
+        nodes = list(range(100))
+        plan = FaultPlan.random_fraction(nodes, 0.2, Behavior.DROP_RELAY, seed=1)
+        assert plan.count() == 20
+
+    def test_fraction_capped_at_third(self):
+        nodes = list(range(90))
+        plan = FaultPlan.random_fraction(nodes, 0.9, Behavior.CRASH, seed=1)
+        assert plan.count() == 30
+
+    def test_protected_nodes_never_chosen(self):
+        nodes = list(range(60))
+        protected = [0, 1, 2]
+        for seed in range(10):
+            plan = FaultPlan.random_fraction(
+                nodes, 0.33, Behavior.FRONT_RUN, seed=seed, protected=protected
+            )
+            assert not any(plan.is_byzantine(p) for p in protected)
+
+    def test_honest_nodes_complement(self):
+        nodes = list(range(30))
+        plan = FaultPlan.random_fraction(nodes, 0.1, Behavior.DROP_RELAY, seed=2)
+        honest = plan.honest_nodes(nodes)
+        assert len(honest) + plan.count() == 30
+        assert set(honest).isdisjoint(plan.byzantine_nodes())
+
+    def test_deterministic_for_seed(self):
+        nodes = list(range(50))
+        a = FaultPlan.random_fraction(nodes, 0.2, Behavior.CRASH, seed=7)
+        b = FaultPlan.random_fraction(nodes, 0.2, Behavior.CRASH, seed=7)
+        assert a.byzantine_nodes() == b.byzantine_nodes()
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.random_fraction([1, 2, 3], 1.5, Behavior.CRASH)
+
+    def test_zero_fraction(self):
+        plan = FaultPlan.random_fraction(list(range(10)), 0.0, Behavior.CRASH)
+        assert plan.count() == 0

@@ -1,0 +1,82 @@
+"""Unit tests for the regional latency model."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.net.latency import LatencyModel, LatencyParameters
+from repro.types import Region
+
+
+class TestParameters:
+    def test_defaults_match_paper(self):
+        parameters = LatencyParameters()
+        assert parameters.intra_shape == 2.5
+        assert parameters.intra_scale == 14.0
+        assert parameters.inter_mean == 90.0
+        assert parameters.inter_variance == 20.0
+
+    def test_rejects_shape_below_one(self):
+        with pytest.raises(ValueError):
+            LatencyParameters(intra_shape=0.9)
+
+    def test_rejects_non_positive(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            LatencyParameters(inter_mean=0)
+
+
+class TestSampling:
+    def test_intra_mean_matches_analytics(self):
+        model = LatencyModel(rng=random.Random(0))
+        samples = [
+            model.sample(Region.FRANKFURT, Region.FRANKFURT) for _ in range(4000)
+        ]
+        # InvGamma(2.5, 14) has mean 14 / 1.5 = 9.33.
+        assert statistics.mean(samples) == pytest.approx(9.33, rel=0.15)
+
+    def test_inter_mean_matches_parameters(self):
+        model = LatencyModel(rng=random.Random(0))
+        samples = [model.sample(Region.FRANKFURT, Region.TOKYO) for _ in range(2000)]
+        assert statistics.mean(samples) == pytest.approx(90.0, rel=0.03)
+
+    def test_samples_positive(self):
+        model = LatencyModel(rng=random.Random(1))
+        for _ in range(500):
+            assert model.sample(Region.OHIO, Region.OHIO) > 0
+            assert model.sample(Region.OHIO, Region.LONDON) > 0
+
+    def test_intra_faster_than_inter_on_average(self):
+        model = LatencyModel(rng=random.Random(2))
+        intra = [model.sample(Region.SYDNEY, Region.SYDNEY) for _ in range(500)]
+        inter = [model.sample(Region.SYDNEY, Region.IRELAND) for _ in range(500)]
+        assert statistics.mean(intra) < statistics.mean(inter)
+
+
+class TestExpected:
+    def test_expected_values(self):
+        model = LatencyModel()
+        assert model.expected(Region.TOKYO, Region.TOKYO) == pytest.approx(9.333, rel=1e-3)
+        assert model.expected(Region.TOKYO, Region.LONDON) == 90.0
+
+
+class TestPairSampling:
+    def test_order_independent(self):
+        model = LatencyModel()
+        a = model.sample_pair(7, 3, 9, Region.TOKYO, Region.LONDON)
+        b = model.sample_pair(7, 9, 3, Region.LONDON, Region.TOKYO)
+        assert a == b
+
+    def test_seed_dependent(self):
+        model = LatencyModel()
+        a = model.sample_pair(7, 3, 9, Region.TOKYO, Region.LONDON)
+        b = model.sample_pair(8, 3, 9, Region.TOKYO, Region.LONDON)
+        assert a != b
+
+    def test_pair_dependent(self):
+        model = LatencyModel()
+        a = model.sample_pair(7, 3, 9, Region.TOKYO, Region.LONDON)
+        b = model.sample_pair(7, 3, 10, Region.TOKYO, Region.LONDON)
+        assert a != b

@@ -1,0 +1,90 @@
+"""Unit tests for the pair-specific inter-region latency matrix."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.net.region_matrix import (
+    REALISTIC_ONE_WAY_MS,
+    MatrixLatencyModel,
+    realistic_latency_model,
+)
+from repro.net.topology import generate_physical_network
+from repro.types import ALL_REGIONS, Region
+
+
+class TestMatrix:
+    def test_symmetric(self):
+        for (a, b), value in REALISTIC_ONE_WAY_MS.items():
+            assert REALISTIC_ONE_WAY_MS[(b, a)] == value
+
+    def test_complete_over_all_pairs(self):
+        for a in ALL_REGIONS:
+            for b in ALL_REGIONS:
+                if a != b:
+                    assert (a, b) in REALISTIC_ONE_WAY_MS
+
+    def test_values_plausible(self):
+        assert all(1.0 < v < 250.0 for v in REALISTIC_ONE_WAY_MS.values())
+
+
+class TestMatrixModel:
+    def test_pair_specific_means(self):
+        model = realistic_latency_model(seed=1)
+        close = [
+            model.sample(Region.LONDON, Region.FRANKFURT) for _ in range(500)
+        ]
+        far = [model.sample(Region.SYDNEY, Region.FRANKFURT) for _ in range(500)]
+        assert statistics.mean(close) == pytest.approx(8.0, abs=2.0)
+        assert statistics.mean(far) == pytest.approx(145.0, rel=0.05)
+
+    def test_expected_uses_matrix(self):
+        model = realistic_latency_model()
+        assert model.expected(Region.LONDON, Region.IRELAND) == 6.0
+        assert model.expected(Region.TOKYO, Region.TOKYO) == pytest.approx(
+            14.0 / 1.5, rel=1e-3
+        )
+
+    def test_unknown_pair_falls_back(self):
+        model = MatrixLatencyModel(matrix={})
+        assert model.expected(Region.LONDON, Region.TOKYO) == 90.0
+
+    def test_pair_sampling_stable(self):
+        model = realistic_latency_model()
+        a = model.sample_pair(3, 1, 2, Region.TOKYO, Region.SYDNEY)
+        b = model.sample_pair(3, 2, 1, Region.SYDNEY, Region.TOKYO)
+        assert a == b
+
+    def test_intra_unchanged_from_paper_fit(self):
+        model = realistic_latency_model(seed=2)
+        samples = [model.sample(Region.OHIO, Region.OHIO) for _ in range(2000)]
+        assert statistics.mean(samples) == pytest.approx(9.33, rel=0.15)
+
+
+class TestNetworkGeneration:
+    def test_generate_with_matrix_model(self):
+        network = generate_physical_network(
+            30, latency_model=realistic_latency_model(seed=5), seed=5
+        )
+        assert network.num_nodes == 30
+        # Find a cross-continental edge and check it reflects geography.
+        for u, v in network.graph.edges:
+            if {network.region_of(u), network.region_of(v)} == {
+                Region.SYDNEY,
+                Region.FRANKFURT,
+            }:
+                assert network.latency(u, v) > 100.0
+                break
+
+    def test_transport_latency_pairs_use_matrix(self):
+        network = generate_physical_network(
+            40, latency_model=realistic_latency_model(seed=5), seed=5
+        )
+        nodes = network.nodes()
+        london = next(n for n in nodes if network.region_of(n) is Region.LONDON)
+        dublin = next(n for n in nodes if network.region_of(n) is Region.IRELAND)
+        sydney = next(n for n in nodes if network.region_of(n) is Region.SYDNEY)
+        assert network.transport_latency(london, dublin) < network.transport_latency(
+            london, sydney
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(5.0, lambda: order.append("late"))
+        simulator.schedule(1.0, lambda: order.append("early"))
+        simulator.schedule(3.0, lambda: order.append("middle"))
+        simulator.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        simulator = Simulator()
+        order = []
+        for label in ("a", "b", "c"):
+            simulator.schedule(1.0, lambda label=label: order.append(label))
+        simulator.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        simulator = Simulator()
+        with pytest.raises(SimulationError):
+            simulator.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        simulator = Simulator()
+        seen = []
+        simulator.schedule_at(7.5, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [7.5]
+
+    def test_nested_scheduling(self):
+        simulator = Simulator()
+        times = []
+
+        def first():
+            times.append(simulator.now)
+            simulator.schedule(2.0, lambda: times.append(simulator.now))
+
+        simulator.schedule(1.0, first)
+        simulator.run()
+        assert times == [1.0, 3.0]
+
+
+class TestRun:
+    def test_run_until_stops_the_clock(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(10.0, lambda: fired.append(True))
+        final = simulator.run(until_ms=5.0)
+        assert final == 5.0
+        assert not fired
+        assert simulator.pending_events() == 1
+
+    def test_run_resumes_after_until(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(10.0, lambda: fired.append(simulator.now))
+        simulator.run(until_ms=5.0)
+        simulator.run()
+        assert fired == [10.0]
+
+    def test_until_advances_clock_when_queue_empty(self):
+        simulator = Simulator()
+        assert simulator.run(until_ms=42.0) == 42.0
+        assert simulator.now == 42.0
+
+    def test_max_events(self):
+        simulator = Simulator()
+        count = []
+        for _ in range(10):
+            simulator.schedule(1.0, lambda: count.append(1))
+        simulator.run(max_events=4)
+        assert len(count) == 4
+
+    def test_events_processed_counter(self):
+        simulator = Simulator()
+        for _ in range(3):
+            simulator.schedule(0.0, lambda: None)
+        simulator.run()
+        assert simulator.events_processed == 3
+
+    def test_not_reentrant(self):
+        simulator = Simulator()
+
+        def reenter():
+            simulator.run()
+
+        simulator.schedule(0.0, reenter)
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_clear_drops_pending(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.clear()
+        assert simulator.pending_events() == 0

@@ -1,0 +1,116 @@
+"""Unit tests for bandwidth/latency accounting."""
+
+import pytest
+
+from repro.net.stats import NetworkStats, percentile, summarize_latencies
+
+
+class TestPercentile:
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_endpoints(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([3.0], 77) == 3.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = summarize_latencies([10.0, 20.0, 30.0, 40.0])
+        assert summary.count == 4
+        assert summary.mean == 25.0
+        assert summary.p50 == 25.0
+        assert summary.spread == summary.p95 - summary.p5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+
+class TestNetworkStats:
+    def test_send_charges_both_ends(self):
+        stats = NetworkStats()
+        stats.record_send(1, 2, 100)
+        assert stats.bytes_sent[1] == 100
+        assert stats.bytes_received[2] == 100
+        assert stats.messages_sent[1] == 1
+        assert stats.messages_received[2] == 1
+
+    def test_delivery_latency_relative_to_send(self):
+        stats = NetworkStats()
+        stats.record_dissemination_start("tx", 100.0)
+        stats.record_delivery("tx", 5, 180.0)
+        stats.record_delivery("tx", 6, 150.0)
+        assert sorted(stats.delivery_latencies("tx")) == [50.0, 80.0]
+
+    def test_first_delivery_wins(self):
+        stats = NetworkStats()
+        stats.record_dissemination_start("tx", 0.0)
+        stats.record_delivery("tx", 5, 10.0)
+        stats.record_delivery("tx", 5, 99.0)
+        assert stats.delivery_latencies("tx") == [10.0]
+
+    def test_pre_send_delivery_clamped_to_zero(self):
+        stats = NetworkStats()
+        stats.record_submission("tx", 0.0)
+        stats.record_delivery("tx", 1, 0.0)
+        stats.record_dissemination_start("tx", 50.0)
+        assert stats.delivery_latencies("tx") == [0.0]
+
+    def test_unknown_item_raises(self):
+        stats = NetworkStats()
+        with pytest.raises(KeyError):
+            stats.delivery_latencies("nope")
+
+    def test_coverage(self):
+        stats = NetworkStats()
+        stats.record_dissemination_start("tx", 0.0)
+        stats.record_delivery("tx", 1, 5.0)
+        stats.record_delivery("tx", 2, 5.0)
+        assert stats.coverage("tx", [1, 2, 3, 4]) == 0.5
+
+    def test_coverage_empty_audience_raises(self):
+        stats = NetworkStats()
+        with pytest.raises(ValueError):
+            stats.coverage("tx", [])
+
+    def test_bandwidth_kb_per_minute(self):
+        stats = NetworkStats()
+        # 2 nodes, 1024 bytes each over 30 seconds => 2 KB/min/node.
+        stats.record_send(1, 2, 1024)
+        stats.record_send(2, 1, 1024)
+        assert stats.bandwidth_kb_per_minute(30_000.0) == pytest.approx(2.0)
+
+    def test_bandwidth_with_explicit_nodes(self):
+        stats = NetworkStats()
+        stats.record_send(1, 2, 2048)
+        value = stats.bandwidth_kb_per_minute(60_000.0, nodes=[1, 2, 3, 4])
+        assert value == pytest.approx(2048 / 1024 / 4)
+
+    def test_bandwidth_invalid_duration(self):
+        stats = NetworkStats()
+        with pytest.raises(ValueError):
+            stats.bandwidth_kb_per_minute(0.0)
+
+    def test_setup_overheads(self):
+        stats = NetworkStats()
+        stats.record_submission("tx", 10.0)
+        stats.record_dissemination_start("tx", 35.0)
+        assert stats.setup_overheads() == [25.0]
+
+    def test_setup_overhead_zero_when_same_moment(self):
+        stats = NetworkStats()
+        stats.record_dissemination_start("tx", 10.0)
+        assert stats.setup_overheads() == [0.0]

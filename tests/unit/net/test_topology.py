@@ -1,0 +1,109 @@
+"""Unit tests for physical network generation and mutation."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.topology import generate_physical_network
+from repro.types import Region
+
+
+class TestGeneration:
+    def test_node_count(self, physical40):
+        assert physical40.num_nodes == 40
+        assert physical40.nodes() == list(range(40))
+
+    def test_minimum_degree(self, physical40):
+        assert all(physical40.degree(n) >= 4 for n in physical40.nodes())
+
+    def test_vertex_connectivity(self, physical40):
+        physical40.validate_connectivity(4)
+
+    def test_every_edge_has_latency_label(self, physical40):
+        for u, v in physical40.graph.edges:
+            assert physical40.latency(u, v) > 0
+
+    def test_latency_symmetric_accessor(self, physical40):
+        u, v = next(iter(physical40.graph.edges))
+        assert physical40.latency(u, v) == physical40.latency(v, u)
+
+    def test_non_edge_latency_raises(self, physical40):
+        non_edges = nx.non_edges(physical40.graph)
+        u, v = next(non_edges)
+        with pytest.raises(TopologyError):
+            physical40.latency(u, v)
+
+    def test_regions_assigned_evenly(self, physical40):
+        from collections import Counter
+
+        counts = Counter(physical40.regions.values())
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_deterministic_per_seed(self):
+        a = generate_physical_network(20, seed=3)
+        b = generate_physical_network(20, seed=3)
+        assert set(a.graph.edges) == set(b.graph.edges)
+        assert a.latencies == b.latencies
+
+    def test_different_seeds_differ(self):
+        a = generate_physical_network(30, seed=1)
+        b = generate_physical_network(30, seed=2)
+        assert set(a.graph.edges) != set(b.graph.edges)
+
+    def test_rejects_impossible_parameters(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            generate_physical_network(1)
+        with pytest.raises(ConfigurationError):
+            generate_physical_network(5, min_degree=5)
+
+    def test_min_cut_between_nodes(self, physical40):
+        assert physical40.min_cut_between(0, 20) >= 4
+
+
+class TestTransportLatency:
+    def test_self_latency_zero(self, physical40):
+        assert physical40.transport_latency(5, 5) == 0.0
+
+    def test_edge_pairs_use_label(self, physical40):
+        u, v = next(iter(physical40.graph.edges))
+        assert physical40.transport_latency(u, v) == physical40.latency(u, v)
+
+    def test_non_edge_pairs_stable(self, physical40):
+        u, v = next(nx.non_edges(physical40.graph))
+        first = physical40.transport_latency(u, v)
+        assert physical40.transport_latency(v, u) == first
+        assert physical40.transport_latency(u, v) == first
+
+
+class TestMutation:
+    def test_join_and_leave(self):
+        network = generate_physical_network(20, seed=9)
+        network.add_node_with_links(100, Region.TOKYO, [0, 1, 2])
+        assert 100 in network.graph
+        assert network.region_of(100) is Region.TOKYO
+        assert network.latency(100, 0) > 0
+        network.remove_node(100)
+        assert 100 not in network.graph
+        assert (0, 100) not in network.latencies
+
+    def test_join_duplicate_rejected(self):
+        network = generate_physical_network(20, seed=9)
+        with pytest.raises(TopologyError):
+            network.add_node_with_links(5, Region.TOKYO, [0])
+
+    def test_join_needs_known_neighbors(self):
+        network = generate_physical_network(20, seed=9)
+        with pytest.raises(TopologyError):
+            network.add_node_with_links(100, Region.TOKYO, [999])
+
+    def test_join_needs_some_neighbor(self):
+        network = generate_physical_network(20, seed=9)
+        with pytest.raises(TopologyError):
+            network.add_node_with_links(100, Region.TOKYO, [])
+
+    def test_remove_unknown_rejected(self):
+        network = generate_physical_network(20, seed=9)
+        with pytest.raises(TopologyError):
+            network.remove_node(999)

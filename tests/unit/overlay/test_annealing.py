@@ -1,0 +1,93 @@
+"""Unit tests for simulated annealing (Algorithms 2 and 3)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay.annealing import (
+    AnnealingConfig,
+    GenerateNeighborConfig,
+    anneal,
+    generate_neighbor,
+)
+from repro.overlay.objective import evaluate_overlay
+from repro.overlay.rank import RankTracker
+from repro.overlay.robust_tree import build_robust_tree
+
+
+@pytest.fixture()
+def tree_and_ranks(physical40, space40):
+    ranks = RankTracker(physical40.nodes())
+    tree = build_robust_tree(
+        physical40.nodes(), space40, f=1, overlay_id=0, ranks=ranks, seed=3
+    )
+    return tree, ranks
+
+
+class TestConfigs:
+    def test_annealing_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingConfig(cooling_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            AnnealingConfig(initial_temperature=0)
+        with pytest.raises(ConfigurationError):
+            AnnealingConfig(moves_per_temperature=0)
+
+
+class TestGenerateNeighbor:
+    def test_neighbor_preserves_invariants(self, tree_and_ranks, space40, physical40):
+        tree, ranks = tree_and_ranks
+        rng = random.Random(1)
+        current = tree
+        for _ in range(15):
+            current = generate_neighbor(current, space40, ranks, rng)
+            current.validate(expected_nodes=physical40.nodes())
+
+    def test_neighbor_does_not_mutate_input(self, tree_and_ranks, space40):
+        tree, ranks = tree_and_ranks
+        edges_before = set(tree.edges())
+        generate_neighbor(tree, space40, ranks, random.Random(2))
+        assert set(tree.edges()) == edges_before
+
+    def test_greedy_filter_never_worsens(self, tree_and_ranks, space40):
+        tree, ranks = tree_and_ranks
+        config = GenerateNeighborConfig(greedy_filter=True)
+        rng = random.Random(3)
+        baseline = evaluate_overlay(tree, space40, ranks).total
+        neighbor = generate_neighbor(tree, space40, ranks, rng, config)
+        assert evaluate_overlay(neighbor, space40, ranks).total <= baseline
+
+
+class TestAnneal:
+    def test_anneal_improves_objective(self, tree_and_ranks, space40):
+        tree, ranks = tree_and_ranks
+        config = AnnealingConfig(
+            initial_temperature=20.0,
+            min_temperature=2.0,
+            cooling_rate=0.7,
+            moves_per_temperature=3,
+        )
+        before = evaluate_overlay(tree, space40, ranks).total
+        optimized = anneal(tree, space40, ranks, config, rng=random.Random(4))
+        after = evaluate_overlay(optimized, space40, ranks).total
+        assert after <= before
+
+    def test_anneal_output_valid(self, tree_and_ranks, space40, physical40):
+        tree, ranks = tree_and_ranks
+        config = AnnealingConfig(
+            initial_temperature=10.0, min_temperature=3.0, cooling_rate=0.6,
+            moves_per_temperature=2,
+        )
+        optimized = anneal(tree, space40, ranks, config, rng=random.Random(5))
+        optimized.validate(expected_nodes=physical40.nodes())
+
+    def test_anneal_deterministic_for_rng(self, tree_and_ranks, space40):
+        tree, ranks = tree_and_ranks
+        config = AnnealingConfig(
+            initial_temperature=10.0, min_temperature=3.0, cooling_rate=0.6,
+            moves_per_temperature=2,
+        )
+        a = anneal(tree, space40, ranks, config, rng=random.Random(6))
+        b = anneal(tree, space40, ranks, config, rng=random.Random(6))
+        assert set(a.edges()) == set(b.edges())

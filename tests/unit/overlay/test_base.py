@@ -1,0 +1,174 @@
+"""Unit tests for the Overlay abstraction."""
+
+import math
+
+import pytest
+
+from repro.errors import OverlayConnectivityError, TopologyError
+from repro.overlay.base import Overlay
+
+
+def small_overlay() -> Overlay:
+    """Entries {0, 1}; depth-1 nodes {2, 3}; depth-2 node {4}; f = 1."""
+
+    overlay = Overlay.empty(overlay_id=0, f=1, entry_points=[0, 1])
+    overlay.add_node(2, 1)
+    overlay.add_node(3, 1)
+    overlay.add_node(4, 2)
+    for entry in (0, 1):
+        overlay.add_edge(entry, 2)
+        overlay.add_edge(entry, 3)
+    overlay.add_edge(2, 4)
+    overlay.add_edge(3, 4)
+    return overlay
+
+
+class _UnitSpace:
+    """Every pair connected with latency 1 (for arrival-time tests)."""
+
+    def are_connected(self, u, v):
+        return u != v
+
+    def latency(self, u, v):
+        return 1.0
+
+
+class TestConstruction:
+    def test_duplicate_entries_rejected(self):
+        with pytest.raises(TopologyError):
+            Overlay.empty(0, 1, [5, 5])
+
+    def test_duplicate_node_rejected(self):
+        overlay = small_overlay()
+        with pytest.raises(TopologyError):
+            overlay.add_node(2, 1)
+
+    def test_depth_zero_reserved_for_entries(self):
+        overlay = small_overlay()
+        with pytest.raises(TopologyError):
+            overlay.add_node(9, 0)
+
+    def test_edge_must_deepen(self):
+        overlay = small_overlay()
+        with pytest.raises(TopologyError):
+            overlay.add_edge(2, 3)  # same depth
+        with pytest.raises(TopologyError):
+            overlay.add_edge(4, 2)  # backwards
+
+    def test_edge_endpoints_must_exist(self):
+        overlay = small_overlay()
+        with pytest.raises(TopologyError):
+            overlay.add_edge(0, 99)
+
+    def test_add_edge_idempotent(self):
+        overlay = small_overlay()
+        before = overlay.num_edges
+        overlay.add_edge(0, 2)
+        assert overlay.num_edges == before
+
+    def test_remove_edge(self):
+        overlay = small_overlay()
+        overlay.remove_edge(2, 4)
+        assert 4 not in overlay.successors[2]
+        with pytest.raises(TopologyError):
+            overlay.remove_edge(2, 4)
+
+
+class TestInspection:
+    def test_counts(self):
+        overlay = small_overlay()
+        assert overlay.num_nodes == 5
+        assert overlay.num_edges == 6
+        assert overlay.max_depth() == 2
+
+    def test_layers(self):
+        overlay = small_overlay()
+        assert overlay.layers() == {0: [0, 1], 1: [2, 3], 2: [4]}
+
+    def test_leaf_and_entry_predicates(self):
+        overlay = small_overlay()
+        assert overlay.is_entry(0) and not overlay.is_entry(2)
+        assert overlay.is_leaf(4) and not overlay.is_leaf(2)
+
+    def test_valid_senders(self):
+        overlay = small_overlay()
+        assert overlay.valid_senders(4) == frozenset({2, 3})
+        assert overlay.valid_senders(0) == frozenset()
+
+    def test_required_predecessors(self):
+        overlay = small_overlay()
+        assert overlay.required_predecessors(0) == 0
+        assert overlay.required_predecessors(2) == 2
+        assert overlay.required_predecessors(4) == 2
+
+    def test_shallower_counts(self):
+        overlay = small_overlay()
+        assert overlay.shallower_counts() == {0: 0, 1: 2, 2: 4}
+
+    def test_copy_is_independent(self):
+        overlay = small_overlay()
+        clone = overlay.copy()
+        clone.remove_edge(2, 4)
+        assert 4 in overlay.successors[2]
+
+    def test_forwarding_load(self):
+        overlay = small_overlay()
+        load = overlay.forwarding_load()
+        assert load[0] == 2 and load[4] == 0
+
+
+class TestAnalysis:
+    def test_reachability_full(self):
+        overlay = small_overlay()
+        assert overlay.reachable() == {0, 1, 2, 3, 4}
+
+    def test_reachability_with_failures(self):
+        overlay = small_overlay()
+        # One failed relay cannot cut node 4 off (f+1 = 2 predecessors).
+        assert 4 in overlay.reachable(failed=[2])
+        assert 4 in overlay.reachable(failed=[3])
+        # Both relays failing does.
+        assert 4 not in overlay.reachable(failed=[2, 3])
+
+    def test_arrival_times(self):
+        overlay = small_overlay()
+        times = overlay.arrival_times(_UnitSpace())
+        assert times[0] == 0.0 and times[1] == 0.0
+        assert times[2] == 1.0 and times[4] == 2.0
+
+    def test_arrival_unreachable_is_inf(self):
+        overlay = small_overlay()
+        overlay.remove_edge(2, 4)
+        overlay.remove_edge(3, 4)
+        assert math.isinf(overlay.arrival_times(_UnitSpace())[4])
+
+
+class TestValidation:
+    def test_valid_overlay_passes(self):
+        overlay = small_overlay()
+        overlay.validate(expected_nodes=range(5))
+        assert overlay.tolerates_local_faults()
+
+    def test_missing_nodes_detected(self):
+        overlay = small_overlay()
+        with pytest.raises(OverlayConnectivityError):
+            overlay.validate(expected_nodes=range(6))
+
+    def test_wrong_entry_count_detected(self):
+        overlay = Overlay.empty(0, f=2, entry_points=[0, 1])  # needs 3
+        with pytest.raises(OverlayConnectivityError):
+            overlay.validate()
+
+    def test_insufficient_predecessors_detected(self):
+        overlay = small_overlay()
+        overlay.remove_edge(0, 2)
+        with pytest.raises(OverlayConnectivityError):
+            overlay.validate()
+        assert not overlay.tolerates_local_faults()
+
+    def test_unreachable_node_detected(self):
+        overlay = small_overlay()
+        overlay.remove_edge(2, 4)
+        overlay.remove_edge(3, 4)
+        with pytest.raises(OverlayConnectivityError):
+            overlay.validate()

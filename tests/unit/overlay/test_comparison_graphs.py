@@ -1,0 +1,75 @@
+"""Unit tests for the Fig. 2 comparison overlays."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.overlay.chordal_ring import build_chordal_ring
+from repro.overlay.hypercube import build_hypercube
+from repro.overlay.random_graph import build_random_connected_overlay
+
+NODES = list(range(24))
+
+
+class TestChordalRing:
+    def test_connectivity(self):
+        graph = build_chordal_ring(NODES, f=1)
+        assert nx.node_connectivity(graph) >= 2
+
+    def test_higher_f(self):
+        graph = build_chordal_ring(NODES, f=3)
+        assert nx.node_connectivity(graph) >= 4
+
+    def test_long_chords_shrink_diameter(self):
+        with_chords = build_chordal_ring(NODES, f=1, long_chords=True)
+        without = build_chordal_ring(NODES, f=1, long_chords=False)
+        assert nx.diameter(with_chords) < nx.diameter(without)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            build_chordal_ring([1, 2], f=1)
+
+    def test_all_nodes_present(self):
+        graph = build_chordal_ring(NODES, f=1)
+        assert set(graph.nodes) == set(NODES)
+
+
+class TestHypercube:
+    def test_power_of_two_is_regular(self):
+        graph = build_hypercube(list(range(16)))
+        assert all(degree == 4 for _node, degree in graph.degree)
+
+    def test_incomplete_hypercube_connected(self):
+        graph = build_hypercube(list(range(23)))
+        assert nx.is_connected(graph)
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            build_hypercube([1])
+
+    def test_two_nodes(self):
+        graph = build_hypercube([7, 8])
+        assert graph.has_edge(7, 8)
+
+    def test_edges_follow_bit_flips(self):
+        nodes = list(range(8))
+        graph = build_hypercube(nodes)
+        for u, v in graph.edges:
+            xor = nodes.index(u) ^ nodes.index(v)
+            assert xor & (xor - 1) == 0  # exactly one differing bit
+
+
+class TestRandomOverlay:
+    def test_connectivity_and_degree(self):
+        graph = build_random_connected_overlay(NODES, f=2, seed=4)
+        assert nx.node_connectivity(graph) >= 3
+        assert all(degree >= 3 for _node, degree in graph.degree)
+
+    def test_deterministic(self):
+        a = build_random_connected_overlay(NODES, f=1, seed=9)
+        b = build_random_connected_overlay(NODES, f=1, seed=9)
+        assert set(a.edges) == set(b.edges)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            build_random_connected_overlay([1, 2], f=1)

@@ -1,0 +1,113 @@
+"""Unit tests for overlay encoding and committee certification (Alg. 5)."""
+
+import pytest
+
+from repro.crypto.backend import FastCryptoBackend
+from repro.errors import TopologyError
+from repro.overlay.encoding import (
+    EncodedOverlay,
+    certify_overlays,
+    decode_overlay,
+    encode_overlay,
+)
+
+
+def canonical(overlay):
+    return (
+        overlay.overlay_id,
+        overlay.f,
+        overlay.entry_points,
+        dict(overlay.depth_of),
+        {node: sorted(children) for node, children in overlay.successors.items()},
+    )
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_structure(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        for overlay in overlays:
+            decoded = decode_overlay(encode_overlay(overlay))
+            assert canonical(decoded) == canonical(overlay)
+
+    def test_encoding_deterministic(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        assert encode_overlay(overlays[0]).data == encode_overlay(overlays[0]).data
+
+    def test_encoding_is_compact(self, overlay_family40):
+        """A useful sanity bound: bytes should scale with edges, not n^2."""
+
+        overlays, _ranks = overlay_family40
+        overlay = overlays[0]
+        encoded = encode_overlay(overlay)
+        assert encoded.size_bytes < 12 * (overlay.num_nodes + overlay.num_edges)
+
+    def test_decoded_overlay_validates(self, overlay_family40, physical40):
+        overlays, _ranks = overlay_family40
+        decoded = decode_overlay(encode_overlay(overlays[0]))
+        decoded.validate(expected_nodes=physical40.nodes())
+
+
+class TestMalformedInput:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TopologyError):
+            decode_overlay(b"\x00\x01\x02")
+
+    def test_truncated_rejected(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        data = encode_overlay(overlays[0]).data
+        with pytest.raises(TopologyError):
+            decode_overlay(data[: len(data) // 2])
+
+    def test_trailing_bytes_rejected(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        data = encode_overlay(overlays[0]).data
+        with pytest.raises(TopologyError):
+            decode_overlay(data + b"\x00")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            decode_overlay(b"")
+
+
+class TestCertification:
+    def test_certificates_verify(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        backend = FastCryptoBackend(1)
+        committee = [0, 1, 2, 3]
+        backend.setup_committee(committee, threshold=3)
+        certificates = certify_overlays(overlays, backend, committee)
+        assert len(certificates) == len(overlays)
+        for certificate in certificates:
+            assert certificate.verify(backend)
+
+    def test_tampered_certificate_fails(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        backend = FastCryptoBackend(1)
+        committee = [0, 1, 2, 3]
+        backend.setup_committee(committee, threshold=3)
+        certificate = certify_overlays(overlays[:1], backend, committee)[0]
+        tampered = type(certificate)(
+            encoded=EncodedOverlay(
+                overlay_id=certificate.encoded.overlay_id,
+                data=certificate.encoded.data + b"",
+            ),
+            signature=object(),
+        )
+        assert not tampered.verify(backend)
+
+    def test_certificate_bound_to_encoding(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        backend = FastCryptoBackend(1)
+        committee = [0, 1, 2, 3]
+        backend.setup_committee(committee, threshold=3)
+        cert_a, cert_b = certify_overlays(overlays[:2], backend, committee)
+        swapped = type(cert_a)(encoded=cert_b.encoded, signature=cert_a.signature)
+        assert not swapped.verify(backend)
+
+    def test_certificate_size_includes_signature(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        backend = FastCryptoBackend(1)
+        committee = [0, 1, 2, 3]
+        backend.setup_committee(committee, threshold=3)
+        certificate = certify_overlays(overlays[:1], backend, committee)[0]
+        assert certificate.size_bytes > certificate.encoded.size_bytes

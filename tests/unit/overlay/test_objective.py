@@ -1,0 +1,103 @@
+"""Unit tests for the Eq. (1) objective function."""
+
+import pytest
+
+from repro.overlay.base import Overlay
+from repro.overlay.objective import ObjectiveConfig, evaluate_overlay
+from repro.overlay.rank import RankTracker
+
+
+class _UnitSpace:
+    def are_connected(self, u, v):
+        return u != v
+
+    def latency(self, u, v):
+        return 1.0
+
+
+def build_overlay(broken: bool = False) -> Overlay:
+    overlay = Overlay.empty(0, f=1, entry_points=[0, 1])
+    overlay.add_node(2, 1)
+    overlay.add_node(3, 1)
+    overlay.add_node(4, 2)
+    for entry in (0, 1):
+        overlay.add_edge(entry, 2)
+        overlay.add_edge(entry, 3)
+    overlay.add_edge(2, 4)
+    if not broken:
+        overlay.add_edge(3, 4)
+    return overlay
+
+
+class TestObjective:
+    def test_terms_are_composed(self):
+        overlay = build_overlay()
+        value = evaluate_overlay(overlay, _UnitSpace(), RankTracker(overlay.nodes()))
+        assert value.total == pytest.approx(
+            value.num_edges
+            + value.avg_latency
+            + value.connectivity_penalty
+            + value.path_penalty
+            + value.rank_penalty
+        )
+
+    def test_edge_term_scales_with_edges(self):
+        config = ObjectiveConfig(edge_weight=1.0)
+        overlay = build_overlay()
+        value = evaluate_overlay(
+            overlay, _UnitSpace(), RankTracker(overlay.nodes()), config
+        )
+        assert value.num_edges == overlay.num_edges
+
+    def test_avg_latency_from_entries(self):
+        overlay = build_overlay()
+        value = evaluate_overlay(overlay, _UnitSpace(), RankTracker(overlay.nodes()))
+        # arrivals: 0,0,1,1,2 -> avg 0.8
+        assert value.avg_latency == pytest.approx(0.8)
+
+    def test_connectivity_penalty_counts_violations(self):
+        overlay = build_overlay()
+        honest = evaluate_overlay(
+            overlay, _UnitSpace(), RankTracker()
+        ).connectivity_penalty
+        # Dropping an entry edge leaves node 2 with one predecessor.
+        overlay.remove_edge(0, 2)
+        broken = evaluate_overlay(
+            overlay, _UnitSpace(), RankTracker()
+        ).connectivity_penalty
+        assert broken > honest
+
+    def test_path_penalty_for_unreachable(self):
+        overlay = build_overlay()
+        overlay.remove_edge(2, 4)
+        overlay.remove_edge(3, 4)
+        value = evaluate_overlay(overlay, _UnitSpace(), RankTracker())
+        assert value.path_penalty > 0
+
+    def test_rank_penalty_prefers_high_rank_near_root(self):
+        """Placing the historically favoured node near the root costs more."""
+
+        ranks = RankTracker([0, 1, 2, 3, 4])
+        ranks.absorb_overlay({0: 0, 1: 0, 2: 5, 3: 5, 4: 5})
+        # Overlay A keeps 0,1 (low rank = favoured before) as entries again.
+        overlay_a = build_overlay()
+        value_a = evaluate_overlay(overlay_a, _UnitSpace(), ranks)
+
+        # Overlay B instead puts 2,3 (high rank) at the entries.
+        overlay_b = Overlay.empty(0, f=1, entry_points=[2, 3])
+        overlay_b.add_node(0, 1)
+        overlay_b.add_node(1, 1)
+        overlay_b.add_node(4, 2)
+        for entry in (2, 3):
+            overlay_b.add_edge(entry, 0)
+            overlay_b.add_edge(entry, 1)
+        overlay_b.add_edge(0, 4)
+        overlay_b.add_edge(1, 4)
+        value_b = evaluate_overlay(overlay_b, _UnitSpace(), ranks)
+
+        assert value_b.rank_penalty < value_a.rank_penalty
+
+    def test_zero_rank_history_no_penalty(self):
+        overlay = build_overlay()
+        value = evaluate_overlay(overlay, _UnitSpace(), RankTracker(overlay.nodes()))
+        assert value.rank_penalty == 0.0

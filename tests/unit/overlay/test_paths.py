@@ -1,0 +1,70 @@
+"""Unit tests for vertex-disjoint path discovery."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.overlay.paths import find_disjoint_paths
+
+
+def verify_disjoint(paths):
+    """Interior nodes must not repeat across paths."""
+
+    interiors = []
+    for path in paths:
+        interiors.extend(path[1:-1])
+    assert len(interiors) == len(set(interiors))
+
+
+class TestFindDisjointPaths:
+    def test_basic_two_paths(self, physical40):
+        targets = [10, 20, 30]
+        paths = find_disjoint_paths(physical40.graph, 0, targets, 2)
+        assert len(paths) == 2
+        for path in paths:
+            assert path[0] == 0
+            assert path[-1] in targets
+        ends = [p[-1] for p in paths]
+        assert len(set(ends)) == 2
+        verify_disjoint(paths)
+
+    def test_source_is_target(self, physical40):
+        paths = find_disjoint_paths(physical40.graph, 5, [5, 9], 2)
+        assert [5] in paths
+        assert len(paths) == 2
+        verify_disjoint(paths)
+
+    def test_adjacent_target_direct_path(self, physical40):
+        neighbor = physical40.neighbors(0)[0]
+        paths = find_disjoint_paths(physical40.graph, 0, [neighbor], 1)
+        assert paths == [[0, neighbor]]
+
+    def test_count_validation(self, physical40):
+        with pytest.raises(TopologyError):
+            find_disjoint_paths(physical40.graph, 0, [1], 0)
+
+    def test_too_few_targets_rejected(self, physical40):
+        with pytest.raises(TopologyError):
+            find_disjoint_paths(physical40.graph, 0, [1], 2)
+
+    def test_duplicate_targets_deduplicated(self, physical40):
+        with pytest.raises(TopologyError):
+            find_disjoint_paths(physical40.graph, 0, [1, 1], 2)
+
+    def test_disconnected_raises(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(1, 2)
+        with pytest.raises(TopologyError):
+            find_disjoint_paths(graph, 0, [2], 1)
+
+    def test_bottleneck_raises(self):
+        # 0 - 1 - {2, 3}: only one vertex-disjoint route out of 0.
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (1, 2), (1, 3)])
+        with pytest.raises(TopologyError):
+            find_disjoint_paths(graph, 0, [2, 3], 2)
+
+    def test_paths_prefer_short(self, physical40):
+        paths = find_disjoint_paths(physical40.graph, 0, physical40.nodes()[1:6], 2)
+        assert len(paths[0]) <= len(paths[-1])

@@ -1,0 +1,101 @@
+"""Unit tests for the §VIII-D validator-priority overlay optimization."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.overlay.annealing import AnnealingConfig, anneal
+from repro.overlay.objective import ObjectiveConfig, evaluate_overlay
+from repro.overlay.rank import RankTracker
+from repro.overlay.robust_tree import build_robust_tree, prune_to_minimal
+
+
+@pytest.fixture()
+def setup(physical40, space40):
+    ranks = RankTracker(physical40.nodes())
+    tree = prune_to_minimal(
+        build_robust_tree(
+            physical40.nodes(), space40, f=1, overlay_id=0, ranks=ranks, seed=9
+        ),
+        space40,
+    )
+    validators = frozenset(physical40.nodes()[30:38])
+    return tree, ranks, validators
+
+
+class TestPriorityObjective:
+    def test_priority_term_zero_without_priority_nodes(self, setup, space40):
+        tree, ranks, _validators = setup
+        value = evaluate_overlay(tree, space40, ranks)
+        assert value.priority_penalty == 0.0
+
+    def test_priority_term_positive_with_priority_nodes(self, setup, space40):
+        tree, ranks, validators = setup
+        config = ObjectiveConfig(priority_nodes=validators)
+        value = evaluate_overlay(tree, space40, ranks, config)
+        assert value.priority_penalty > 0.0
+        assert value.total > evaluate_overlay(tree, space40, ranks).total
+
+    def test_priority_term_tracks_validator_latency(self, setup, space40):
+        tree, ranks, validators = setup
+        config = ObjectiveConfig(priority_nodes=validators, priority_weight=1.0)
+        value = evaluate_overlay(tree, space40, ranks, config)
+        arrivals = tree.arrival_times(space40)
+        expected = statistics.mean(arrivals[v] for v in validators)
+        assert value.priority_penalty == pytest.approx(expected)
+
+
+class TestPriorityAnnealing:
+    def test_annealing_reduces_validator_latency(self, setup, space40):
+        """On average over seeds, the priority term keeps validators at least
+        as fast as plain optimization (annealing is stochastic, so the claim
+        is statistical, not per-seed)."""
+
+        tree, ranks, validators = setup
+        annealing = AnnealingConfig(
+            initial_temperature=30.0,
+            min_temperature=1.0,
+            cooling_rate=0.85,
+            moves_per_temperature=4,
+        )
+
+        def validator_latency(overlay):
+            arrivals = overlay.arrival_times(space40)
+            return statistics.mean(arrivals[v] for v in validators)
+
+        plain_latencies, prioritized_latencies = [], []
+        for seed in range(4):
+            plain = anneal(
+                tree, space40, ranks, config=annealing, rng=random.Random(seed)
+            )
+            prioritized = anneal(
+                tree,
+                space40,
+                ranks,
+                config=annealing,
+                objective_config=ObjectiveConfig(
+                    priority_nodes=validators, priority_weight=5.0
+                ),
+                rng=random.Random(seed),
+            )
+            plain_latencies.append(validator_latency(plain))
+            prioritized_latencies.append(validator_latency(prioritized))
+        assert statistics.mean(prioritized_latencies) <= statistics.mean(
+            plain_latencies
+        ) + 5.0
+
+    def test_prioritized_overlay_still_valid(self, setup, space40, physical40):
+        tree, ranks, validators = setup
+        optimized = anneal(
+            tree,
+            space40,
+            ranks,
+            config=AnnealingConfig(
+                initial_temperature=10.0, min_temperature=2.0,
+                cooling_rate=0.7, moves_per_temperature=2,
+            ),
+            objective_config=ObjectiveConfig(priority_nodes=validators),
+            rng=random.Random(6),
+        )
+        optimized.validate(expected_nodes=physical40.nodes())

@@ -1,0 +1,163 @@
+"""Unit tests for robust-tree construction (Algorithm 1)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.overlay.base import PhysicalSpace, TransportSpace
+from repro.overlay.rank import RankTracker
+from repro.overlay.robust_tree import (
+    RobustTreeConfig,
+    build_overlay_family,
+    build_robust_tree,
+    prune_to_minimal,
+)
+
+
+@pytest.fixture()
+def tree40(physical40, space40):
+    ranks = RankTracker(physical40.nodes())
+    tree = build_robust_tree(
+        physical40.nodes(), space40, f=1, overlay_id=0, ranks=ranks, seed=3
+    )
+    return tree, ranks
+
+
+class TestConstruction:
+    def test_all_nodes_included(self, tree40, physical40):
+        tree, _ranks = tree40
+        assert set(tree.nodes()) == set(physical40.nodes())
+
+    def test_entry_count_is_f_plus_one(self, tree40):
+        tree, _ranks = tree40
+        assert len(tree.entry_points) == 2
+
+    def test_layer_capacities_follow_doubling(self, tree40):
+        tree, _ranks = tree40
+        layers = tree.layers()
+        for depth, nodes in layers.items():
+            if depth == 0:
+                assert len(nodes) == 2
+            else:
+                assert len(nodes) <= (2**depth) * 2
+
+    def test_layered_nodes_connect_to_all_previous(self, tree40):
+        tree, _ranks = tree40
+        layers = tree.layers()
+        for depth in sorted(layers)[1:]:
+            previous = set(layers[depth - 1])
+            for node in layers[depth]:
+                predecessors = set(tree.predecessors[node])
+                # In transport space every layered node is wired to the whole
+                # previous layer (or at least f+1 of it after missing-node
+                # attachment).
+                assert len(predecessors & previous) >= min(2, len(previous)) or len(
+                    predecessors
+                ) >= 2
+
+    def test_validates(self, tree40, physical40):
+        tree, _ranks = tree40
+        tree.validate(expected_nodes=physical40.nodes())
+
+    def test_rank_update_applied(self, tree40):
+        tree, ranks = tree40
+        for node, depth in tree.depth_of.items():
+            assert ranks.rank(node) == depth
+
+    def test_too_few_nodes_rejected(self, space40):
+        with pytest.raises(TopologyError):
+            build_robust_tree([1], space40, f=1, overlay_id=0, ranks=RankTracker())
+
+    def test_config_validation(self):
+        with pytest.raises(TopologyError):
+            RobustTreeConfig(branching_base=1)
+        with pytest.raises(TopologyError):
+            RobustTreeConfig(layer_connect_count=0)
+
+    def test_layer_connect_cap(self, physical40, space40):
+        config = RobustTreeConfig(layer_connect_count=3)
+        tree = build_robust_tree(
+            physical40.nodes(),
+            space40,
+            f=1,
+            overlay_id=0,
+            ranks=RankTracker(physical40.nodes()),
+            config=config,
+            seed=3,
+        )
+        tree.validate(expected_nodes=physical40.nodes())
+
+    def test_physical_space_construction(self, physical40):
+        """Over the sparse graph most nodes attach via the missing-node path."""
+
+        space = PhysicalSpace(physical40)
+        tree = build_robust_tree(
+            physical40.nodes(),
+            space,
+            f=1,
+            overlay_id=0,
+            ranks=RankTracker(physical40.nodes()),
+            seed=3,
+        )
+        tree.validate(expected_nodes=physical40.nodes())
+        # Every overlay edge must be a physical link.
+        for parent, child in tree.edges():
+            assert physical40.has_edge(parent, child)
+
+
+class TestPruning:
+    def test_prune_reduces_edges(self, tree40, space40):
+        tree, _ranks = tree40
+        pruned = prune_to_minimal(tree, space40)
+        assert pruned.num_edges <= tree.num_edges
+
+    def test_pruned_tree_still_valid(self, tree40, space40, physical40):
+        tree, _ranks = tree40
+        pruned = prune_to_minimal(tree, space40)
+        pruned.validate(expected_nodes=physical40.nodes())
+
+    def test_prune_keeps_f_plus_one_predecessors(self, tree40, space40):
+        tree, _ranks = tree40
+        pruned = prune_to_minimal(tree, space40)
+        for node in pruned.nodes():
+            if not pruned.is_entry(node):
+                assert len(pruned.predecessors[node]) >= 2
+
+    def test_prune_prefers_low_latency_parents(self, tree40, space40):
+        tree, _ranks = tree40
+        pruned = prune_to_minimal(tree, space40)
+        for node in pruned.nodes():
+            kept = pruned.predecessors[node]
+            dropped = set(tree.predecessors[node]) - set(kept)
+            if not kept or not dropped:
+                continue
+            worst_kept = max(space40.latency(p, node) for p in kept)
+            best_dropped = min(space40.latency(p, node) for p in dropped)
+            assert worst_kept <= best_dropped + 1e-9
+
+
+class TestFamily:
+    def test_family_size(self, overlay_family40, physical40):
+        overlays, _ranks = overlay_family40
+        assert len(overlays) == 3
+        for overlay in overlays:
+            overlay.validate(expected_nodes=physical40.nodes())
+
+    def test_entry_points_rotate(self, overlay_family40):
+        overlays, _ranks = overlay_family40
+        entry_sets = [set(o.entry_points) for o in overlays]
+        # No two overlays share their full entry set.
+        for i in range(len(entry_sets)):
+            for j in range(i + 1, len(entry_sets)):
+                assert entry_sets[i] != entry_sets[j]
+
+    def test_invalid_k_rejected(self, physical40):
+        with pytest.raises(TopologyError):
+            build_overlay_family(physical40, f=1, k=0)
+
+    def test_unoptimized_family(self, physical40):
+        overlays, _ranks = build_overlay_family(
+            physical40, f=1, k=2, optimize=False, seed=1
+        )
+        assert len(overlays) == 2
+        for overlay in overlays:
+            overlay.validate(expected_nodes=physical40.nodes())

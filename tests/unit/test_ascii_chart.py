@@ -1,0 +1,42 @@
+"""Unit tests for the ASCII bar chart renderer."""
+
+import pytest
+
+from repro.utils.ascii_chart import bar_chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart({"a": 2.0, "b": 4.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 2
+        assert lines[1].count("█") == 4
+
+    def test_title(self):
+        chart = bar_chart({"a": 1.0}, title="My chart")
+        assert chart.splitlines()[0] == "My chart"
+
+    def test_values_rendered(self):
+        chart = bar_chart({"x": 3.5})
+        assert "3.50" in chart
+
+    def test_zero_values_allowed(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0}, width=5)
+        assert "█" not in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": -1.0})
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=0)
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"short": 1.0, "a-much-longer-label": 2.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
