@@ -7,24 +7,40 @@ TRS acquisition from the committee, randomized overlay selection, entry-point
 hand-off, verified tree dissemination.
 
 Run:  python examples/quickstart.py
+
+Pass ``--trace run.jsonl`` to observe the run with :mod:`repro.obs`: the
+structured JSONL trace is written to the given path, the metrics + profile
+manifest next to it (``run.manifest.json``), and a short measurement summary
+is printed.  See docs/observability.md for the schemas.
 """
 
 from __future__ import annotations
 
+import argparse
 import statistics
 
 from repro.core import HermesConfig, HermesSystem
 from repro.mempool import Transaction
 from repro.net import generate_physical_network
+from repro.obs import Observability
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.JSONL",
+        help="write a JSONL trace and metrics manifest of the run",
+    )
+    args = parser.parse_args()
+    obs = Observability.enabled(profile=True) if args.trace else None
+
     print("1. Generating a 100-node physical network (9 regions)...")
     physical = generate_physical_network(num_nodes=100, min_degree=4, seed=42)
 
     print("2. Building HERMES (f=1, k=10 overlays; this optimizes the trees)...")
     config = HermesConfig(f=1, num_overlays=10)
-    system = HermesSystem(physical, config, seed=42)
+    system = HermesSystem(physical, config, seed=42, obs=obs)
     print(f"   committee (3f+1 nodes): {system.committee}")
     for overlay in system.overlays[:3]:
         print(
@@ -49,6 +65,26 @@ def main() -> None:
     )
     print(f"   protocol violations observed: {len(system.violation_log)}")
     assert len(deliveries) == physical.num_nodes
+
+    if obs is not None:
+        print("4. Exporting the observability artifacts...")
+        trs = obs.metrics.histogram("hermes.trs.latency_ms")
+        hops = obs.metrics.histogram("hermes.overlay.hops")
+        sent = sum(c.value for c in obs.metrics.find("net.messages.sent"))
+        print(f"   messages sent (all kinds): {sent:.0f}")
+        print(f"   TRS latency p50: {trs.percentile(50):.1f} ms")
+        print(f"   overlay hops p95: {hops.percentile(95):.0f}")
+        profile = system.simulator.profile()
+        top_key, top_stats = profile.hottest(1)[0]
+        print(
+            f"   hottest callback: {top_key} "
+            f"({top_stats.calls} calls, {top_stats.total_s * 1000:.1f} ms wall)"
+        )
+        records = obs.write_trace(args.trace)
+        stem = args.trace[:-6] if args.trace.endswith(".jsonl") else args.trace
+        obs.write_manifest(stem + ".manifest.json", meta={"example": "quickstart"})
+        print(f"   {records} trace records -> {args.trace}")
+        print(f"   manifest -> {stem}.manifest.json")
 
 
 if __name__ == "__main__":

@@ -11,7 +11,43 @@ Top-level convenience re-exports. The subpackages are:
 - :mod:`repro.mempool` — transactions, mempools, block ordering
 - :mod:`repro.baselines` — L-zero, Narwhal, Mercury, gossip, simple tree
 - :mod:`repro.attacks` — front-running and censorship adversaries
+- :mod:`repro.obs` — structured observability: tracing, metrics, profiling
 - :mod:`repro.experiments` — one module per paper table/figure
+
+``repro.__all__`` is the documented public surface: exactly the subpackages
+above.  Subpackages import lazily (``repro.obs`` etc. materialize on first
+attribute access), so ``import repro`` stays cheap; the docs link-checker
+(``tests/unit/test_docs_links.py``) verifies every name the documentation
+mentions against this list and each subpackage's own ``__all__``.
 """
 
+import importlib
+
 __version__ = "1.0.0"
+
+_SUBPACKAGES = (
+    "attacks",
+    "baselines",
+    "core",
+    "crypto",
+    "experiments",
+    "mempool",
+    "net",
+    "obs",
+    "overlay",
+    "rbc",
+    "trs",
+    "utils",
+)
+
+__all__ = list(_SUBPACKAGES)
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SUBPACKAGES))

@@ -16,6 +16,7 @@ from ..net.faults import Behavior, FaultPlan
 from ..net.node import Network, ProtocolNode
 from ..net.simulator import Simulator
 from ..net.topology import PhysicalNetwork
+from ..obs import Observability
 
 __all__ = ["BaseSystem", "BaselineNode"]
 
@@ -63,6 +64,10 @@ class BaselineNode(ProtocolNode):
             return False
         if record_stats:
             self.network.stats.record_delivery(tx.tx_id, self.node_id, self.now)
+        obs = self.network.obs
+        if obs is not None:
+            obs.metrics.counter("mempool.insertions").inc()
+            obs.metrics.gauge("mempool.depth.max").track_max(len(self.mempool))
         if self.observe_hook is not None:
             self.observe_hook(self, tx)
         return True
@@ -80,13 +85,15 @@ class BaseSystem:
         fault_plan: FaultPlan | None = None,
         observe_hook: Callable[[BaselineNode, Transaction], None] | None = None,
         seed: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self.physical = physical
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.honest()
         self.observe_hook = observe_hook
         self.seed = seed
         self.simulator = Simulator()
-        self.network = Network(self.simulator, physical, seed=seed)
+        self.obs = obs
+        self.network = Network(self.simulator, physical, seed=seed, obs=obs)
         self.nodes: dict[int, BaselineNode] = {}
         for node_id in physical.nodes():
             self.nodes[node_id] = self._make_node(

@@ -29,6 +29,7 @@ from ..net.faults import Behavior, FaultPlan
 from ..net.node import Network, ProtocolNode
 from ..net.simulator import Simulator
 from ..net.topology import PhysicalNetwork
+from ..obs import Observability
 from ..overlay.base import Overlay, TransportSpace
 from ..overlay.encoding import OverlayCertificate, certify_overlays, decode_overlay
 from ..overlay.paths import find_disjoint_paths
@@ -100,6 +101,9 @@ class HermesNode(ProtocolNode):
         self._ack_sent: dict[tuple[int, int], frozenset[int]] = {}
         self._my_tx_ids: set[int] = set()
         self.trace = trace if config.tracing_enabled else None
+        # Structured observability (repro.obs); None → all hooks are no-ops.
+        self._obs = network.obs
+        self._trs_started: dict[int, float] = {}
         # Sender side: nodes confirmed to have received each of our txs.
         self.ack_confirmations: dict[int, set[int]] = {}
 
@@ -150,9 +154,26 @@ class HermesNode(ProtocolNode):
         self.network.stats.record_submission(tx.tx_id, self.now)
         self._my_tx_ids.add(tx.tx_id)
         self._trace(ActivityKind.TRS_REQUESTED, tx.tx_id)
+        obs = self._obs
+        if obs is not None:
+            self._trs_started[tx.tx_id] = self.now
+            obs.event("hermes.submit", tx_id=tx.tx_id, origin=self.node_id)
         self._deliver_locally(tx)
 
         def on_seed(result: TrsResult) -> None:
+            if obs is not None:
+                started = self._trs_started.pop(tx.tx_id, None)
+                if started is not None:
+                    latency = self.now - started
+                    obs.metrics.histogram("hermes.trs.latency_ms").observe(latency)
+                    obs.event(
+                        "hermes.trs.acquired",
+                        tx_id=tx.tx_id,
+                        origin=self.node_id,
+                        sequence=result.sequence,
+                        overlay_id=result.overlay_id,
+                        latency_ms=latency,
+                    )
             envelope = DisseminationEnvelope(
                 tx=tx,
                 origin=self.node_id,
@@ -174,6 +195,14 @@ class HermesNode(ProtocolNode):
         # latency reference point (the TRS request only carried H(m)).
         self.network.stats.record_dissemination_start(envelope.tx.tx_id, self.now)
         self._trace(ActivityKind.DISPATCHED, envelope.tx.tx_id, envelope.overlay_id)
+        if self._obs is not None:
+            self._obs.event(
+                "hermes.dispatch",
+                tx_id=envelope.tx.tx_id,
+                origin=self.node_id,
+                overlay_id=envelope.overlay_id,
+                entry_points=len(overlay.entry_points),
+            )
         size = envelope.wire_bytes(self.backend)
         if not self.config.use_physical_paths:
             # The transport provides f+1 trivially disjoint internet paths.
@@ -301,6 +330,17 @@ class HermesNode(ProtocolNode):
                 ActivityKind.DELIVERED, envelope.tx.tx_id, envelope.overlay_id,
                 peer=sender,
             )
+            if self._obs is not None:
+                depth = overlay.depth_of.get(self.node_id, 0)
+                self._obs.metrics.histogram("hermes.overlay.hops").observe(depth)
+                self._obs.event(
+                    "hermes.deliver",
+                    tx_id=envelope.tx.tx_id,
+                    node=self.node_id,
+                    overlay_id=envelope.overlay_id,
+                    sender=sender,
+                    hops=depth,
+                )
         self._deliver_locally(envelope.tx)
         key = (envelope.tx.tx_id, envelope.overlay_id)
         if key in self._forwarded:
@@ -431,6 +471,11 @@ class HermesNode(ProtocolNode):
     def _deliver_locally(self, tx: Transaction) -> None:
         if self.mempool.add(tx, self.now):
             self.network.stats.record_delivery(tx.tx_id, self.node_id, self.now)
+            if self._obs is not None:
+                self._obs.metrics.counter("mempool.insertions").inc()
+                self._obs.metrics.gauge("mempool.depth.max").track_max(
+                    len(self.mempool)
+                )
             if self.observe_hook is not None:
                 self.observe_hook(self, tx)
 
@@ -500,13 +545,15 @@ class HermesSystem:
         observe_hook: Callable[[HermesNode, Transaction], None] | None = None,
         optimize_overlays: bool = True,
         seed: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self.physical = physical
         self.config = config if config is not None else HermesConfig()
         self.fault_plan = fault_plan if fault_plan is not None else FaultPlan.honest()
         self.backend = backend if backend is not None else FastCryptoBackend(seed)
         self.simulator = Simulator()
-        self.network = Network(self.simulator, physical, seed=seed)
+        self.obs = obs
+        self.network = Network(self.simulator, physical, seed=seed, obs=obs)
         self.violation_log = ViolationLog()
         self.activity_trace = ActivityTrace(enabled=self.config.tracing_enabled)
 

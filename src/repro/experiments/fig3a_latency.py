@@ -17,9 +17,15 @@ from dataclasses import dataclass
 
 from ..mempool.transaction import Transaction
 from ..net.stats import LatencySummary
+from ..obs import Observability
 from ..utils.rng import derive_rng
 from ..utils.tables import format_table
-from .harness import ExperimentEnvironment, build_environment, protocol_factories
+from .harness import (
+    ExperimentEnvironment,
+    build_environment,
+    protocol_factories,
+    record_latency_metrics,
+)
 
 __all__ = ["Fig3aConfig", "Fig3aResult", "run", "format_result", "PAPER_VALUES"]
 
@@ -52,7 +58,15 @@ class Fig3aResult:
 def run(
     config: Fig3aConfig | None = None,
     env: ExperimentEnvironment | None = None,
+    obs: Observability | None = None,
 ) -> Fig3aResult:
+    """Measure the Fig. 3a latency table.
+
+    With *obs* set, each protocol run is traced/instrumented and the
+    ``delivery.latency_ms`` histogram (labelled per protocol) is filled from
+    the same latency population the returned summaries are computed from.
+    """
+
     if config is None:
         config = Fig3aConfig()
     if env is None:
@@ -60,7 +74,7 @@ def run(
             num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
         )
     factories = protocol_factories(
-        env, hermes_overrides={"gossip_fallback_enabled": False}
+        env, hermes_overrides={"gossip_fallback_enabled": False}, obs=obs
     )
     rng = derive_rng(config.seed, "fig3a-origins")
     origins = [rng.choice(env.physical.nodes()) for _ in range(config.transactions)]
@@ -69,6 +83,9 @@ def run(
     overheads: dict[str, float] = {}
     for name in ("hermes", "lzero", "narwhal", "mercury"):
         system = factories[name]()
+        # Construction rebinds the tracer clock to this system's simulator,
+        # so open the per-protocol span only afterwards.
+        span = obs.span("fig3a.protocol", protocol=name) if obs is not None else None
         system.start()
         for origin in origins:
             system.submit(origin, Transaction.create(origin=origin, created_at=0.0))
@@ -76,6 +93,9 @@ def run(
         summaries[name] = system.stats.latency_summary()
         setup = system.stats.setup_overheads()
         overheads[name] = sum(setup) / len(setup) if setup else 0.0
+        if obs is not None:
+            record_latency_metrics(obs, system.stats, protocol=name)
+            span.end()
     return Fig3aResult(config=config, summaries=summaries, setup_overhead_ms=overheads)
 
 

@@ -21,7 +21,9 @@ from ..baselines import (
     SimpleTreeSystem,
 )
 from ..net.faults import FaultPlan
+from ..net.stats import NetworkStats
 from ..net.topology import PhysicalNetwork, generate_physical_network
+from ..obs import Observability
 from ..overlay.base import Overlay
 from ..overlay.rank import RankTracker
 from ..overlay.robust_tree import build_overlay_family
@@ -30,6 +32,7 @@ __all__ = [
     "ExperimentEnvironment",
     "build_environment",
     "protocol_factories",
+    "record_latency_metrics",
     "PROTOCOL_NAMES",
 ]
 
@@ -96,10 +99,14 @@ def protocol_factories(
     env: ExperimentEnvironment,
     seed: int = 13,
     hermes_overrides: dict | None = None,
+    obs: Observability | None = None,
 ) -> dict[str, Callable]:
     """Factories ``(fault_plan, observe_hook) -> system`` for each protocol.
 
-    Pass ``fault_plan=None`` / ``observe_hook=None`` for honest runs.
+    Pass ``fault_plan=None`` / ``observe_hook=None`` for honest runs.  When
+    *obs* is given, every constructed system is instrumented against it
+    (tracer clocks rebind to each new system's simulator, so build and run
+    systems one at a time when sharing a bundle across protocols).
     """
 
     overrides = dict(hermes_overrides or {})
@@ -112,6 +119,7 @@ def protocol_factories(
             observe_hook=observe_hook,
             overlays=env.overlays,
             seed=seed,
+            obs=obs,
         )
 
     def baseline(cls):
@@ -121,6 +129,7 @@ def protocol_factories(
                 fault_plan=fault_plan,
                 observe_hook=observe_hook,
                 seed=seed,
+                obs=obs,
             )
 
         return factory
@@ -133,3 +142,22 @@ def protocol_factories(
         "gossip": baseline(GossipSystem),
         "simple-tree": baseline(SimpleTreeSystem),
     }
+
+
+def record_latency_metrics(
+    obs: Observability, stats: NetworkStats, protocol: str
+) -> None:
+    """Mirror a run's delivery latencies into the metrics registry.
+
+    Fills the ``delivery.latency_ms`` histogram (labelled by protocol) from
+    :meth:`NetworkStats.all_delivery_latencies` — the *same* population the
+    figure scripts summarize — so the manifest's p5/p50/p95 agree exactly
+    with the reported :class:`~repro.net.stats.LatencySummary`.
+    """
+
+    histogram = obs.metrics.histogram("delivery.latency_ms", protocol=protocol)
+    for value in stats.all_delivery_latencies():
+        histogram.observe(value)
+    obs.metrics.counter("delivery.count", protocol=protocol).inc(
+        sum(len(nodes) for nodes in stats.deliveries.values())
+    )

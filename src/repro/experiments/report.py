@@ -2,13 +2,17 @@
 
 ``python -m repro.experiments.report`` prints the full paper-vs-measured
 report (this is how the EXPERIMENTS.md numbers were produced); pass
-``--quick`` for a smaller, faster configuration.
+``--quick`` for a smaller, faster configuration.  ``--trace out.jsonl``
+additionally instruments the Fig. 3a latency runs with :mod:`repro.obs`:
+the JSONL trace lands at the given path and the metrics + profile manifest
+at ``out.manifest.json`` (see ``docs/observability.md`` for the schemas).
 """
 
 from __future__ import annotations
 
 import argparse
 
+from ..obs import Observability
 from . import (
     fig2_overlays,
     fig3a_latency,
@@ -20,11 +24,24 @@ from . import (
 )
 from .harness import build_environment
 
-__all__ = ["generate_report"]
+__all__ = ["generate_report", "manifest_path_for"]
 
 
-def generate_report(quick: bool = False, seed: int = 0) -> str:
-    """Run all experiments and return the combined text report."""
+def manifest_path_for(trace_path: str) -> str:
+    """``out.jsonl`` → ``out.manifest.json`` (suffix-agnostic)."""
+
+    stem = trace_path[: -len(".jsonl")] if trace_path.endswith(".jsonl") else trace_path
+    return stem + ".manifest.json"
+
+
+def generate_report(
+    quick: bool = False, seed: int = 0, obs: Observability | None = None
+) -> str:
+    """Run all experiments and return the combined text report.
+
+    *obs*, when given, instruments the Fig. 3a latency runs (the headline
+    measurement); the caller is responsible for exporting the artifacts.
+    """
 
     if quick:
         n_main, n_attack, trials, txs = 80, 60, 6, 4
@@ -50,6 +67,7 @@ def generate_report(quick: bool = False, seed: int = 0) -> str:
             fig3a_latency.run(
                 fig3a_latency.Fig3aConfig(num_nodes=n_main, transactions=txs, seed=seed),
                 env=env_main,
+                obs=obs,
             )
         )
     )
@@ -99,8 +117,24 @@ def main() -> None:  # pragma: no cover - CLI entry point
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller, faster run")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.JSONL",
+        help="instrument the Fig. 3a runs; write a JSONL trace here and the "
+        "metrics/profile manifest next to it (.manifest.json)",
+    )
     args = parser.parse_args()
-    print(generate_report(quick=args.quick, seed=args.seed))
+    obs = Observability.enabled(profile=True) if args.trace else None
+    print(generate_report(quick=args.quick, seed=args.seed, obs=obs))
+    if obs is not None:
+        records = obs.write_trace(args.trace)
+        manifest_path = manifest_path_for(args.trace)
+        obs.write_manifest(
+            manifest_path,
+            meta={"experiment": "fig3a", "quick": args.quick, "seed": args.seed},
+        )
+        print(f"trace: {records} records -> {args.trace}")
+        print(f"manifest: -> {manifest_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

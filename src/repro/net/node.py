@@ -16,9 +16,12 @@ through it: ``send``, ``schedule`` and the ``on_start``/``on_message`` hooks.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> net.stats)
+    from ..obs import Observability
 from ..utils.rng import derive_rng
 from .channel import LossModel
 from .events import Message
@@ -40,8 +43,14 @@ class Network:
         processing_delay_ms: float = 0.05,
         service_time_ms: float = 0.0,
         seed: int = 0,
+        obs: "Observability | None" = None,
     ) -> None:
         self.simulator = simulator
+        # Observability is strictly read-only: it never draws randomness or
+        # schedules events, so obs-on and obs-off runs replay identically.
+        self.obs = obs
+        if obs is not None:
+            obs.attach(simulator)
         self.physical = physical
         self.loss_model = loss_model if loss_model is not None else LossModel()
         self.processing_delay_ms = processing_delay_ms
@@ -109,8 +118,15 @@ class Network:
             raise SimulationError(f"send to unknown node {dst}")
         wire = message.wire_size()
         self.stats.record_send(src, dst, wire)
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter("net.messages.sent", kind=message.kind).inc()
+            obs.metrics.counter("net.bytes.sent", kind=message.kind).inc(wire)
         if self.loss_model.drops(self._rng):
             self.stats.record_drop()
+            if obs is not None:
+                obs.metrics.counter("net.messages.dropped", kind=message.kind).inc()
+                obs.event("net.drop", src=src, dst=dst, kind=message.kind, bytes=wire)
             return
         delay = (
             self.base_latency(src, dst) * self.loss_model.jitter_factor(self._rng)
@@ -122,6 +138,8 @@ class Network:
             finish = start + self.service_time_ms
             self._busy_until[dst] = finish
             delay = finish - self.simulator.now
+            if obs is not None:
+                obs.metrics.histogram("net.service.queue_ms").observe(start - arrival)
         receiver = self._nodes[dst]
         self.simulator.schedule(delay, lambda: receiver.receive(src, message))
 

@@ -15,9 +15,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> net.stats)
+    from ..obs.profiler import SimulatorProfile, SimulatorProfiler
 
 __all__ = ["Simulator"]
 
@@ -31,12 +34,35 @@ class Simulator:
         self._sequence = itertools.count()
         self._running = False
         self.events_processed = 0
+        self._profiler: "SimulatorProfiler | None" = None
 
     @property
     def now(self) -> float:
         """Current simulation time in milliseconds."""
 
         return self._now
+
+    # -- profiling hooks (see repro.obs.profiler) ----------------------
+
+    def set_profiler(self, profiler: "SimulatorProfiler | None") -> None:
+        """Install (or remove, with ``None``) a wall-clock profiler.
+
+        The profiler only observes — it cannot reorder or delay events — so
+        a seeded run replays identically with profiling on or off.
+        """
+
+        if self._running:
+            raise SimulationError("cannot change the profiler mid-run")
+        self._profiler = profiler
+
+    @property
+    def profiler(self) -> "SimulatorProfiler | None":
+        return self._profiler
+
+    def profile(self) -> "SimulatorProfile | None":
+        """Snapshot of the attached profiler, or None when not profiling."""
+
+        return self._profiler.snapshot() if self._profiler is not None else None
 
     def schedule(self, delay_ms: float, callback: Callable[[], None]) -> None:
         """Run *callback* ``delay_ms`` milliseconds from now.
@@ -61,6 +87,7 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         processed = 0
+        profiler = self._profiler
         try:
             while self._queue:
                 time, _seq, callback = self._queue[0]
@@ -69,9 +96,18 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = time
-                callback()
+                if profiler is None:
+                    callback()
+                else:
+                    start = profiler.clock()
+                    callback()
+                    profiler.record(callback, profiler.clock() - start)
                 processed += 1
                 self.events_processed += 1
+                if profiler is not None:
+                    profiler.after_event(
+                        self._now, len(self._queue), self.events_processed
+                    )
                 if max_events is not None and processed >= max_events:
                     break
             else:

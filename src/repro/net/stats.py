@@ -44,13 +44,35 @@ def percentile(values: Sequence[float], pct: float) -> float:
 
 @dataclass(frozen=True, slots=True)
 class LatencySummary:
-    """Average and percentile spread of a latency population."""
+    """Average and percentile spread of a latency population.
+
+    An *empty* summary (``count == 0``, NaN statistics) represents a run that
+    recorded no deliveries — e.g. every transmission was lost, or the horizon
+    expired before the first delivery.  Check :attr:`is_empty` before
+    comparing statistics; NaN propagates through arithmetic and formats as
+    ``nan`` in tables rather than raising mid-experiment.
+    """
 
     count: int
     mean: float
     p5: float
     p50: float
     p95: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The summary of zero observations (all statistics NaN).
+
+        >>> LatencySummary.empty().is_empty
+        True
+        """
+
+        nan = float("nan")
+        return cls(count=0, mean=nan, p5=nan, p50=nan, p95=nan)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
 
     @property
     def spread(self) -> float:
@@ -60,10 +82,16 @@ class LatencySummary:
 
 
 def summarize_latencies(values: Sequence[float]) -> LatencySummary:
-    """Compute the Fig. 3a summary statistics for *values*."""
+    """Compute the Fig. 3a summary statistics for *values*.
+
+    Unlike :func:`percentile`, an empty population is not an error here: it
+    returns :meth:`LatencySummary.empty`, so experiment code that summarizes
+    a run with zero recorded deliveries degrades to NaN cells instead of
+    crashing after minutes of simulation.
+    """
 
     if not values:
-        raise ValueError("no latencies recorded")
+        return LatencySummary.empty()
     return LatencySummary(
         count=len(values),
         mean=sum(values) / len(values),

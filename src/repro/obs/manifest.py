@@ -1,0 +1,67 @@
+"""Machine-readable run manifests.
+
+A manifest is the single JSON document that summarizes one observed run:
+experiment metadata, the full metrics snapshot, trace-buffer accounting, and
+(when profiling was on) the wall-clock profile.  Figure scripts emit one next
+to the JSONL trace (``--trace out.jsonl`` → ``out.manifest.json``) so a
+plotted number can always be traced back to the raw measurements that
+produced it.
+
+Schema (version ``repro.obs/1``)::
+
+    {
+      "schema": "repro.obs/1",
+      "meta": {...},                    # caller-provided, e.g. figure + config
+      "metrics": {"counters": [...], "gauges": [...], "histograms": [...]},
+      "trace": {"events": n, "spans": n,
+                "events_dropped": n, "spans_dropped": n},
+      "profile": {...} | null           # SimulatorProfile.to_json()
+    }
+
+Everything except ``profile`` is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from . import Observability
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_manifest"]
+
+MANIFEST_SCHEMA = "repro.obs/1"
+
+
+def build_manifest(
+    obs: "Observability", meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Assemble the JSON-ready manifest for one observed run."""
+
+    tracer = obs.tracer
+    profile = obs.profiler.snapshot() if obs.profiler is not None else None
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "meta": dict(meta or {}),
+        "metrics": obs.metrics.snapshot(),
+        "trace": {
+            "events": len(tracer.events),
+            "spans": len(tracer.spans),
+            "events_dropped": tracer.events_dropped,
+            "spans_dropped": tracer.spans_dropped,
+        },
+        "profile": profile.to_json() if profile is not None else None,
+    }
+
+
+def write_manifest(
+    path: str, obs: "Observability", meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Write the manifest to *path* and return it."""
+
+    manifest = build_manifest(obs, meta=meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest

@@ -1,0 +1,202 @@
+"""Counters, gauges and histograms that protocols register against.
+
+A :class:`MetricsRegistry` hands out instruments keyed by ``(name, labels)``
+— repeated calls with the same key return the same instrument, so call sites
+never need to pre-register anything:
+
+    registry.counter("net.messages.sent", kind="disseminate").inc()
+    registry.histogram("hermes.trs.latency_ms").observe(12.5)
+
+Histogram percentiles delegate to :func:`repro.net.stats.percentile`, so a
+metrics snapshot and a :class:`~repro.net.stats.LatencySummary` computed from
+the same values agree exactly — the run-manifest invariant the experiment
+harness relies on.
+
+:meth:`MetricsRegistry.snapshot` returns a deterministic (sorted) JSON-ready
+dict; it contains no wall-clock data, so a seeded run snapshots identically
+every time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..net.stats import percentile
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (amount={amount})")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can move in either direction."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def track_max(self, value: float) -> None:
+        """Keep the high-water mark of an observed quantity."""
+
+        if value > self.value:
+            self.value = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """A distribution of observed values with exact percentiles.
+
+    Values are retained verbatim (simulation workloads are bounded), so
+    :meth:`percentile` is exact and matches
+    :func:`repro.net.stats.percentile` on the same population.
+    """
+
+    __slots__ = ("name", "labels", "values")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self.sum / len(self.values)
+
+    def percentile(self, pct: float) -> float:
+        """Exact linear-interpolation percentile (see ``repro.net.stats``)."""
+
+        return percentile(self.values, pct)
+
+    def snapshot(self) -> dict[str, Any]:
+        base: dict[str, Any] = {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+        }
+        if self.values:
+            base.update(
+                sum=self.sum,
+                mean=self.mean,
+                min=min(self.values),
+                max=max(self.values),
+                p5=self.percentile(5),
+                p50=self.percentile(50),
+                p95=self.percentile(95),
+            )
+        return base
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelKey], Instrument] = {}
+
+    def _get(self, cls: type, name: str, labels: dict[str, Any]) -> Instrument:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)  # type: ignore[return-value]
+
+    # -- reading ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Instrument]:
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def find(self, name: str) -> list[Instrument]:
+        """Every instrument registered under *name*, across all label sets."""
+
+        return [inst for (n, _), inst in sorted(self._instruments.items()) if n == name]
+
+    def snapshot(self) -> dict[str, list[dict[str, Any]]]:
+        """Deterministic JSON-ready view of every instrument."""
+
+        out: dict[str, list[dict[str, Any]]] = {
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for instrument in self:
+            if isinstance(instrument, Counter):
+                out["counters"].append(instrument.snapshot())
+            elif isinstance(instrument, Gauge):
+                out["gauges"].append(instrument.snapshot())
+            else:
+                out["histograms"].append(instrument.snapshot())
+        return out
+
+    def clear(self) -> None:
+        self._instruments.clear()

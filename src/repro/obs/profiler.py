@@ -1,0 +1,168 @@
+"""Wall-clock profiling hooks for the discrete-event simulator.
+
+Where the tracer answers *what happened in simulated time*, the profiler
+answers *where the real CPU time went*: per-callback wall-time attribution
+(keyed by the callback's qualified name) and periodic event-queue depth
+samples.  Attach one via :meth:`repro.net.simulator.Simulator.set_profiler`
+(or ``Observability.enabled(profile=True)``) and read the result with
+``simulator.profile()``.
+
+Profiling never influences the simulation itself — it only reads the clock —
+so seeded runs remain deterministic with profiling on or off.  The numbers it
+reports are wall-clock and therefore machine-dependent; they belong in the
+run manifest's ``profile`` section, never in the deterministic trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["CallbackStats", "QueueSample", "SimulatorProfile", "SimulatorProfiler", "callback_key"]
+
+
+def callback_key(callback: Callable[[], None]) -> str:
+    """A stable, human-readable attribution key for a scheduled callback.
+
+    Bound methods and functions report their ``__qualname__`` (lambdas keep
+    the enclosing scope, e.g. ``Network.send.<locals>.<lambda>``); callable
+    objects fall back to their type's name.
+    """
+
+    qualname = getattr(callback, "__qualname__", None)
+    if qualname is not None:
+        return qualname
+    func = getattr(callback, "func", None)  # functools.partial
+    if func is not None:
+        return callback_key(func)
+    return type(callback).__qualname__
+
+
+@dataclass(slots=True)
+class CallbackStats:
+    """Accumulated wall time of one callback attribution key."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {"calls": self.calls, "total_s": self.total_s, "max_s": self.max_s}
+
+
+@dataclass(frozen=True, slots=True)
+class QueueSample:
+    """One event-queue depth sample."""
+
+    time_ms: float  # simulation clock at the sample
+    depth: int  # pending events after the sampled event ran
+    events_processed: int  # simulator-lifetime event count at the sample
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "time_ms": self.time_ms,
+            "depth": self.depth,
+            "events_processed": self.events_processed,
+        }
+
+
+@dataclass(slots=True)
+class SimulatorProfile:
+    """An immutable snapshot of a profiler, as returned by ``simulator.profile()``."""
+
+    events: int
+    wall_s: float
+    callbacks: dict[str, CallbackStats]
+    queue_samples: list[QueueSample] = field(default_factory=list)
+
+    def hottest(self, n: int = 10) -> list[tuple[str, CallbackStats]]:
+        """The *n* attribution keys with the largest total wall time."""
+
+        ranked = sorted(
+            self.callbacks.items(), key=lambda item: (-item[1].total_s, item[0])
+        )
+        return ranked[:n]
+
+    def max_queue_depth(self) -> int:
+        return max((sample.depth for sample in self.queue_samples), default=0)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "events": self.events,
+            "wall_s": self.wall_s,
+            "callbacks": {
+                key: stats.to_json() for key, stats in sorted(self.callbacks.items())
+            },
+            "queue_samples": [sample.to_json() for sample in self.queue_samples],
+        }
+
+
+class SimulatorProfiler:
+    """Collects per-callback wall time and queue-depth samples.
+
+    Parameters
+    ----------
+    queue_sample_interval:
+        Sample the queue depth every this many processed events (1 = every
+        event).  Sampling is cheap but samples accumulate; the default keeps
+        a million-event run to ~4k samples.
+    clock:
+        The wall-clock source; overridable for tests.
+    """
+
+    def __init__(
+        self,
+        queue_sample_interval: int = 256,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if queue_sample_interval < 1:
+            raise ValueError(f"interval must be >= 1, got {queue_sample_interval}")
+        self.clock = clock
+        self.queue_sample_interval = queue_sample_interval
+        self._callbacks: dict[str, CallbackStats] = {}
+        self._samples: list[QueueSample] = []
+        self._events = 0
+        self._wall_s = 0.0
+        self._since_sample = 0
+
+    # -- hooks called by Simulator.run ------------------------------------
+
+    def record(self, callback: Callable[[], None], elapsed_s: float) -> None:
+        """Attribute *elapsed_s* of wall time to *callback*."""
+
+        stats = self._callbacks.setdefault(callback_key(callback), CallbackStats())
+        stats.calls += 1
+        stats.total_s += elapsed_s
+        if elapsed_s > stats.max_s:
+            stats.max_s = elapsed_s
+        self._events += 1
+        self._wall_s += elapsed_s
+
+    def after_event(self, time_ms: float, depth: int, events_processed: int) -> None:
+        """Called after each event; samples the queue on the configured cadence."""
+
+        self._since_sample += 1
+        if self._since_sample >= self.queue_sample_interval:
+            self._since_sample = 0
+            self._samples.append(QueueSample(time_ms, depth, events_processed))
+
+    # -- reading ----------------------------------------------------------
+
+    def snapshot(self) -> SimulatorProfile:
+        return SimulatorProfile(
+            events=self._events,
+            wall_s=self._wall_s,
+            callbacks={
+                key: CallbackStats(stats.calls, stats.total_s, stats.max_s)
+                for key, stats in self._callbacks.items()
+            },
+            queue_samples=list(self._samples),
+        )
+
+    def clear(self) -> None:
+        self._callbacks.clear()
+        self._samples.clear()
+        self._events = 0
+        self._wall_s = 0.0
+        self._since_sample = 0

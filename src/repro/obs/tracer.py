@@ -1,0 +1,337 @@
+"""Hierarchical, simulation-clock-aware tracing.
+
+A :class:`Tracer` records two kinds of telemetry:
+
+* **Spans** — named intervals of simulated time with parent/child nesting
+  (``with tracer.span("hermes.disseminate", tx_id=7): ...``).  Spans may also
+  be ended explicitly with :meth:`Span.end` when the interval crosses
+  scheduled callbacks.
+* **Events** — instantaneous structured records (``tracer.event("net.drop",
+  src=3, dst=9)``) attributed to the currently open span, if any.
+
+Both are held in bounded ring buffers (oldest records are dropped once the
+buffer fills; the drop counts are reported in the run manifest), and both are
+stamped with the *simulation* clock, never the wall clock, so a seeded run
+produces a byte-for-byte identical trace every time.  Wall-clock attribution
+lives in :mod:`repro.obs.profiler` instead.
+
+Export is JSON Lines (one record per line, in creation order — simulation
+time is monotonic during a run, so creation order is time order for events;
+spans are ordered by their start):
+
+* ``{"type": "span", "seq": 3, "span_id": 1, "parent_id": null,
+  "name": ..., "start_ms": ..., "end_ms": ..., "attrs": {...}}``
+* ``{"type": "event", "seq": 4, "time_ms": ..., "name": ...,
+  "span_id": 1, "attrs": {...}}``
+
+The clock is bound late (:meth:`Tracer.bind_clock`) because the tracer is
+usually constructed before the simulator it observes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Callable, TextIO
+
+__all__ = ["Span", "TraceEvent", "Tracer", "NullTracer", "NULL_SPAN"]
+
+#: Default capacity of the event ring buffer.
+DEFAULT_MAX_EVENTS = 65_536
+#: Default capacity of the completed-span ring buffer.
+DEFAULT_MAX_SPANS = 16_384
+
+
+class TraceEvent:
+    """One instantaneous structured record."""
+
+    __slots__ = ("seq", "time_ms", "name", "span_id", "attrs")
+
+    def __init__(
+        self,
+        seq: int,
+        time_ms: float,
+        name: str,
+        span_id: int | None,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.seq = seq
+        self.time_ms = time_ms
+        self.name = name
+        self.span_id = span_id
+        self.attrs = attrs
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": "event",
+            "seq": self.seq,
+            "time_ms": self.time_ms,
+            "name": self.name,
+            "span_id": self.span_id,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceEvent({self.name!r}, t={self.time_ms}, attrs={self.attrs})"
+
+
+class Span:
+    """A named interval of simulated time; use as a context manager or call
+    :meth:`end` explicitly when the interval crosses scheduled callbacks."""
+
+    __slots__ = ("seq", "span_id", "parent_id", "name", "start_ms", "end_ms", "attrs", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        seq: int,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        start_ms: float,
+        attrs: dict[str, Any],
+    ) -> None:
+        self.seq = seq
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms: float | None = None
+        self.attrs = attrs
+        self._tracer = tracer
+
+    @property
+    def duration_ms(self) -> float | None:
+        """Simulated duration, or None while the span is still open."""
+
+        if self.end_ms is None:
+            return None
+        return self.end_ms - self.start_ms
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach (or overwrite) attributes on an open span."""
+
+        self.attrs.update(attrs)
+        return self
+
+    def end(self) -> None:
+        """Close the span at the current simulation time (idempotent)."""
+
+        if self.end_ms is None:
+            self._tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end()
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "seq": self.seq,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"start={self.start_ms}, end={self.end_ms})"
+        )
+
+
+class _NullSpan:
+    """The span returned by a disabled tracer: every operation is a no-op."""
+
+    __slots__ = ()
+    span_id = None
+    parent_id = None
+    name = ""
+    start_ms = 0.0
+    end_ms = 0.0
+    attrs: dict[str, Any] = {}
+    duration_ms = 0.0
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: Shared no-op span instance (what ``NullTracer.span`` returns).
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans and events against a late-bound simulation clock."""
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._events: deque[TraceEvent] = deque(maxlen=max_events)
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._stack: list[Span] = []
+        self._next_span_id = 1
+        self._next_seq = 0
+        self.events_dropped = 0
+        self.spans_dropped = 0
+
+    # -- clock ----------------------------------------------------------
+
+    def bind_clock(self, clock: object) -> None:
+        """Point the tracer at a time source.
+
+        Accepts either a zero-argument callable returning milliseconds or any
+        object with a ``now`` attribute (e.g. a
+        :class:`~repro.net.simulator.Simulator`).
+        """
+
+        if callable(clock):
+            self._clock = clock  # type: ignore[assignment]
+        elif hasattr(clock, "now"):
+            self._clock = lambda: clock.now  # type: ignore[union-attr]
+        else:
+            raise TypeError(f"cannot use {clock!r} as a trace clock")
+
+    def now(self) -> float:
+        """Current time on the bound clock (milliseconds)."""
+
+        return self._clock()
+
+    # -- recording -------------------------------------------------------
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span, if any."""
+
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child span of the current span at the current sim time."""
+
+        parent = self.current_span
+        span = Span(
+            tracer=self,
+            seq=self._take_seq(),
+            span_id=self._next_span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            start_ms=self._clock(),
+            attrs=dict(attrs),
+        )
+        self._next_span_id += 1
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end_ms = self._clock()
+        # Close any children left open (exception unwinding, explicit end()).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end_ms is None:
+                dangling.end_ms = span.end_ms
+                self._store_span(dangling)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        self._store_span(span)
+
+    def _store_span(self, span: Span) -> None:
+        if self._spans.maxlen is not None and len(self._spans) == self._spans.maxlen:
+            self.spans_dropped += 1
+        self._spans.append(span)
+
+    def event(self, name: str, **attrs: Any) -> TraceEvent:
+        """Record one structured event at the current sim time."""
+
+        current = self.current_span
+        event = TraceEvent(
+            seq=self._take_seq(),
+            time_ms=self._clock(),
+            name=name,
+            span_id=current.span_id if current is not None else None,
+            attrs=attrs,
+        )
+        if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
+            self.events_dropped += 1
+        self._events.append(event)
+        return event
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # -- reading / export -------------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def spans(self) -> list[Span]:
+        """Completed spans, in completion order."""
+
+        return list(self._spans)
+
+    def records(self) -> list[dict[str, Any]]:
+        """All retained records as JSON-ready dicts, in creation order."""
+
+        merged = [e.to_json() for e in self._events] + [s.to_json() for s in self._spans]
+        merged.sort(key=lambda record: record["seq"])
+        return merged
+
+    def export_jsonl(self, destination: str | TextIO) -> int:
+        """Write the trace as JSON Lines; returns the number of records."""
+
+        records = self.records()
+        if isinstance(destination, str):
+            with open(destination, "w", encoding="utf-8") as handle:
+                return self.export_jsonl(handle)
+        for record in records:
+            destination.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+    def clear(self) -> None:
+        """Drop all retained records (used between experiment repetitions)."""
+
+        self._events.clear()
+        self._spans.clear()
+        self._stack.clear()
+        self.events_dropped = 0
+        self.spans_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events) + len(self._spans)
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing — safe to leave in hot paths."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_events=0, max_spans=0)
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:  # type: ignore[override]
+        return None

@@ -42,6 +42,8 @@ class _SlotState:
     delivered: bool = False
     echoes: dict[Hashable, set[int]] = field(default_factory=dict)
     readies: dict[Hashable, set[int]] = field(default_factory=dict)
+    # First local activity on the slot, for the rbc.round_ms metric.
+    opened_ms: float | None = None
 
 
 class BrachaContext:
@@ -146,7 +148,11 @@ class BrachaContext:
     # -- internals ------------------------------------------------------
 
     def _slot(self, source: int, sequence: int) -> _SlotState:
-        return self._slots.setdefault((source, sequence), _SlotState())
+        state = self._slots.get((source, sequence))
+        if state is None:
+            state = _SlotState(opened_ms=self._node.now)
+            self._slots[(source, sequence)] = state
+        return state
 
     def _multicast(self, kind: str, body: object) -> None:
         message = Message(kind, body, _RBC_PAYLOAD_BYTES)
@@ -188,6 +194,12 @@ class BrachaContext:
             self._maybe_ready(source, sequence, payload, state)
         if len(supporters) >= 2 * self.f + 1 and not state.delivered:
             state.delivered = True
+            obs = getattr(self._node.network, "obs", None)
+            if obs is not None and state.opened_ms is not None:
+                # Local view of the round: first slot activity → delivery.
+                obs.metrics.histogram("rbc.round_ms", context=self._prefix).observe(
+                    self._node.now - state.opened_ms
+                )
             self._on_deliver(source, sequence, payload)
 
     def _maybe_ready(

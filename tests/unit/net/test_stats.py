@@ -1,5 +1,7 @@
 """Unit tests for bandwidth/latency accounting."""
 
+import math
+
 import pytest
 
 from repro.net.stats import NetworkStats, percentile, summarize_latencies
@@ -34,9 +36,21 @@ class TestSummary:
         assert summary.p50 == 25.0
         assert summary.spread == summary.p95 - summary.p5
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            summarize_latencies([])
+    def test_empty_population_yields_empty_summary(self):
+        # percentile() still refuses empty input, but the summary path
+        # degrades gracefully: a run with zero deliveries reports NaN cells
+        # instead of crashing the experiment (see LatencySummary.empty).
+        summary = summarize_latencies([])
+        assert summary.is_empty
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.p5)
+        assert math.isnan(summary.p95)
+        assert math.isnan(summary.spread)
+        assert summarize_latencies([1.0]).is_empty is False
+
+    def test_empty_summary_from_stats_without_deliveries(self):
+        assert NetworkStats().latency_summary().is_empty
 
 
 class TestNetworkStats:

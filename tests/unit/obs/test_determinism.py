@@ -1,0 +1,85 @@
+"""The determinism contract: observability must never change a seeded run.
+
+Tracing, metrics, and profiling are strictly read-only — they draw no
+randomness and schedule no events — so a seeded HERMES run must produce
+byte-identical delivery records with observability on or off.
+"""
+
+from repro.core.config import HermesConfig
+from repro.core.protocol import HermesSystem
+from repro.experiments.harness import record_latency_metrics
+from repro.mempool.transaction import Transaction
+from repro.net.stats import NetworkStats, summarize_latencies
+from repro.net.topology import generate_physical_network
+from repro.obs import Observability
+
+
+def run_seeded(obs: Observability | None) -> tuple[HermesSystem, list[Transaction]]:
+    physical = generate_physical_network(20, min_degree=4, seed=7)
+    config = HermesConfig(f=1, num_overlays=2, gossip_fallback_enabled=False)
+    system = HermesSystem(
+        physical, config, optimize_overlays=False, seed=11, obs=obs
+    )
+    system.start()
+    txs = []
+    for index, origin in enumerate((2, 9, 15)):
+        # Fixed tx_ids (not Transaction.create's process-global counter):
+        # digests feed the seeded run, so both runs must use identical ids.
+        tx = Transaction(tx_id=9_000 + index, origin=origin, created_at=0.0)
+        txs.append(tx)
+        system.simulator.schedule_at(
+            index * 40.0, lambda o=origin, t=tx: system.submit(o, t)
+        )
+    system.run(until_ms=5_000)
+    return system, txs
+
+
+class TestSeededRunsMatch:
+    def test_tracing_on_vs_off_yields_identical_deliveries(self):
+        plain, _ = run_seeded(obs=None)
+        traced, _ = run_seeded(obs=Observability.enabled(profile=True))
+        assert dict(traced.stats.deliveries) == dict(plain.stats.deliveries)
+        assert dict(traced.stats.send_times) == dict(plain.stats.send_times)
+        assert traced.simulator.events_processed == plain.simulator.events_processed
+        assert traced.simulator.now == plain.simulator.now
+
+    def test_traced_run_actually_recorded_something(self):
+        obs = Observability.enabled(profile=True)
+        system, _txs = run_seeded(obs=obs)
+        assert len(obs.tracer) > 0
+        sent = obs.metrics.find("net.messages.sent")
+        assert sum(counter.value for counter in sent) > 0
+        profile = system.simulator.profile()
+        assert profile is not None
+        assert profile.events == system.simulator.events_processed
+
+    def test_manifest_histogram_matches_figure_script_summary(self):
+        # The acceptance criterion for `--trace`: the manifest's
+        # delivery.latency_ms numbers must equal the LatencySummary a figure
+        # script would print for the same NetworkStats.
+        obs = Observability.enabled()
+        system, _txs = run_seeded(obs=obs)
+        record_latency_metrics(obs, system.stats, protocol="hermes")
+        latencies = system.stats.all_delivery_latencies()
+        summary = summarize_latencies(latencies)
+        manifest = obs.manifest()
+        (histogram,) = [
+            h
+            for h in manifest["metrics"]["histograms"]
+            if h["name"] == "delivery.latency_ms"
+        ]
+        assert histogram["labels"] == {"protocol": "hermes"}
+        assert histogram["count"] == summary.count
+        assert histogram["mean"] == summary.mean
+        assert histogram["p5"] == summary.p5
+        assert histogram["p50"] == summary.p50
+        assert histogram["p95"] == summary.p95
+
+    def test_empty_stats_records_an_empty_summary_not_an_error(self):
+        obs = Observability.enabled()
+        record_latency_metrics(obs, NetworkStats(), protocol="idle")
+        counters = obs.metrics.find("delivery.count")
+        assert [c.value for c in counters] == [0]
+        (histogram,) = obs.metrics.find("delivery.latency_ms")
+        assert histogram.count == 0
+        assert histogram.snapshot()["count"] == 0

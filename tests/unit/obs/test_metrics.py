@@ -1,0 +1,94 @@
+"""Metrics registry: instrument semantics and percentile agreement."""
+
+import random
+
+import pytest
+
+from repro.net.stats import percentile, summarize_latencies
+from repro.obs import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_get_or_create_and_monotonicity(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs", kind="echo").inc()
+        registry.counter("msgs", kind="echo").inc(2)
+        assert registry.counter("msgs", kind="echo").value == 3
+        # A different label set is a different instrument.
+        assert registry.counter("msgs", kind="ready").value == 0
+        with pytest.raises(ValueError):
+            registry.counter("msgs", kind="echo").inc(-1)
+
+    def test_gauge_set_inc_dec_and_track_max(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+        gauge.track_max(10)
+        gauge.track_max(7)
+        assert gauge.value == 10
+
+    def test_type_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_empty_histogram_statistics_raise(self):
+        histogram = MetricsRegistry().histogram("empty")
+        with pytest.raises(ValueError):
+            histogram.mean
+        with pytest.raises(ValueError):
+            histogram.percentile(50)
+        assert histogram.snapshot() == {"name": "empty", "labels": {}, "count": 0}
+
+
+class TestPercentileAgreement:
+    def test_histogram_percentiles_match_net_stats_percentile(self):
+        rng = random.Random(42)
+        values = [rng.uniform(0, 500) for _ in range(257)]
+        histogram = MetricsRegistry().histogram("lat")
+        for value in values:
+            histogram.observe(value)
+        for pct in (0, 5, 37.5, 50, 95, 100):
+            assert histogram.percentile(pct) == percentile(values, pct)
+
+    def test_snapshot_matches_latency_summary(self):
+        # The run-manifest invariant: a histogram snapshot and the figure
+        # scripts' LatencySummary agree bit-for-bit on the same population.
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        histogram = MetricsRegistry().histogram("lat")
+        for value in values:
+            histogram.observe(value)
+        summary = summarize_latencies(values)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == summary.count
+        assert snapshot["mean"] == summary.mean
+        assert snapshot["p5"] == summary.p5
+        assert snapshot["p50"] == summary.p50
+        assert snapshot["p95"] == summary.p95
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_deterministically_ordered_and_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b", kind="z").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", protocol="hermes").observe(2.0)
+        snapshot = registry.snapshot()
+        assert [c["name"] for c in snapshot["counters"]] == ["a", "b"]
+        assert snapshot["counters"][1]["labels"] == {"kind": "z"}
+        assert snapshot["histograms"][0]["labels"] == {"protocol": "hermes"}
+        json.dumps(snapshot)  # must be serializable as-is
+
+    def test_find_returns_all_label_sets_of_a_name(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs", kind="echo")
+        registry.counter("msgs", kind="ready")
+        registry.counter("other")
+        assert len(registry.find("msgs")) == 2
+        assert len(registry) == 3

@@ -1,0 +1,116 @@
+"""Simulator profiling hooks: attribution, queue sampling, snapshots."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+from repro.obs import SimulatorProfiler, callback_key
+
+
+def test_callback_key_variants():
+    def plain():
+        pass
+
+    class Thing:
+        def method(self):
+            pass
+
+        def __call__(self):
+            pass
+
+    import functools
+
+    assert callback_key(plain).endswith("plain")
+    assert "Thing.method" in callback_key(Thing().method)
+    assert "lambda" in callback_key(lambda: None)
+    assert callback_key(functools.partial(plain)).endswith("plain")
+    assert "Thing" in callback_key(Thing())
+
+
+class TestSimulatorIntegration:
+    def test_per_callback_attribution_and_profile_snapshot(self):
+        simulator = Simulator()
+        simulator.set_profiler(SimulatorProfiler(queue_sample_interval=1))
+
+        def tick():
+            pass
+
+        def tock():
+            pass
+
+        for delay in (1.0, 2.0, 3.0):
+            simulator.schedule(delay, tick)
+        simulator.schedule(4.0, tock)
+        simulator.run()
+
+        profile = simulator.profile()
+        assert profile.events == 4
+        tick_stats = profile.callbacks[callback_key(tick)]
+        assert tick_stats.calls == 3
+        assert profile.callbacks[callback_key(tock)].calls == 1
+        assert tick_stats.total_s >= 0.0
+        assert tick_stats.max_s <= tick_stats.total_s
+        assert profile.wall_s == pytest.approx(
+            sum(stats.total_s for stats in profile.callbacks.values())
+        )
+
+    def test_queue_depth_sampling_interval(self):
+        simulator = Simulator()
+        simulator.set_profiler(SimulatorProfiler(queue_sample_interval=2))
+        for delay in range(6):
+            simulator.schedule(float(delay), lambda: None)
+        simulator.run()
+        profile = simulator.profile()
+        # 6 events, sampled every 2nd -> depths after events 2, 4, 6.
+        assert [s.depth for s in profile.queue_samples] == [4, 2, 0]
+        assert [s.events_processed for s in profile.queue_samples] == [2, 4, 6]
+        assert profile.max_queue_depth() == 4
+
+    def test_hottest_ranks_by_total_wall_time(self):
+        profiler = SimulatorProfiler()
+
+        def a():
+            pass
+
+        def b():
+            pass
+
+        profiler.record(a, 0.5)
+        profiler.record(b, 0.1)
+        profiler.record(b, 0.1)
+        ranked = profiler.snapshot().hottest(2)
+        assert [key for key, _ in ranked] == [callback_key(a), callback_key(b)]
+        assert ranked[0][1].total_s == 0.5
+
+    def test_profile_is_none_without_a_profiler(self):
+        assert Simulator().profile() is None
+
+    def test_cannot_swap_profiler_mid_run(self):
+        simulator = Simulator()
+        simulator.schedule(
+            0.0, lambda: simulator.set_profiler(SimulatorProfiler())
+        )
+        with pytest.raises(SimulationError):
+            simulator.run()
+
+    def test_to_json_is_serializable(self):
+        import json
+
+        simulator = Simulator()
+        simulator.set_profiler(SimulatorProfiler(queue_sample_interval=1))
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        json.dumps(simulator.profile().to_json())
+
+    def test_profiling_does_not_change_simulation_outcomes(self):
+        def run(profiled: bool) -> list[tuple[float, int]]:
+            simulator = Simulator()
+            if profiled:
+                simulator.set_profiler(SimulatorProfiler(queue_sample_interval=1))
+            log: list[tuple[float, int]] = []
+            for i, delay in enumerate((3.0, 1.0, 2.0, 1.0)):
+                simulator.schedule(delay, lambda i=i: log.append((simulator.now, i)))
+            simulator.run()
+            return log
+
+        assert run(profiled=False) == run(profiled=True)

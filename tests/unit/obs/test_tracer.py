@@ -1,0 +1,132 @@
+"""Tracer: span nesting under simulated time, ring-buffer bounds, JSONL."""
+
+import io
+import json
+
+from repro.net.simulator import Simulator
+from repro.obs import NULL_SPAN, NullTracer, Tracer
+
+
+class TestSpansUnderSimulatedTime:
+    def test_span_times_come_from_the_simulation_clock(self):
+        simulator = Simulator()
+        tracer = Tracer()
+        tracer.bind_clock(simulator)
+
+        def work():
+            with tracer.span("round", overlay=3):
+                tracer.event("relay", node=7)
+
+        simulator.schedule(250.0, work)
+        simulator.run()
+        (span,) = tracer.spans
+        assert span.name == "round"
+        assert span.start_ms == 250.0
+        assert span.end_ms == 250.0
+        assert span.duration_ms == 0.0
+        assert span.attrs == {"overlay": 3}
+
+    def test_nesting_assigns_parent_ids_and_attributes_events(self):
+        tracer = Tracer()  # default clock: constant 0.0
+        with tracer.span("outer") as outer:
+            tracer.event("a")
+            with tracer.span("inner") as inner:
+                tracer.event("b")
+            tracer.event("c")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        by_name = {e.name: e for e in tracer.events}
+        assert by_name["a"].span_id == outer.span_id
+        assert by_name["b"].span_id == inner.span_id
+        assert by_name["c"].span_id == outer.span_id
+        # Children complete before parents.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_span_crossing_scheduled_callbacks_measures_elapsed_sim_time(self):
+        simulator = Simulator()
+        tracer = Tracer()
+        tracer.bind_clock(simulator)
+        handle = {}
+        simulator.schedule(10.0, lambda: handle.update(span=tracer.span("cross")))
+        simulator.schedule(75.0, lambda: handle["span"].end())
+        simulator.run()
+        assert handle["span"].duration_ms == 65.0
+
+    def test_parent_end_closes_dangling_children(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        tracer.span("inner")  # never explicitly ended
+        outer.end()
+        assert {s.name for s in tracer.spans} == {"outer", "inner"}
+        assert all(s.end_ms is not None for s in tracer.spans)
+        assert tracer.current_span is None
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.span("once")
+        span.end()
+        span.end()
+        assert len(tracer.spans) == 1
+
+
+class TestRingBuffer:
+    def test_events_beyond_capacity_drop_oldest_and_are_counted(self):
+        tracer = Tracer(max_events=3)
+        for i in range(5):
+            tracer.event("e", i=i)
+        assert tracer.events_dropped == 2
+        assert [e.attrs["i"] for e in tracer.events] == [2, 3, 4]
+
+    def test_span_buffer_is_bounded_too(self):
+        tracer = Tracer(max_spans=2)
+        for i in range(4):
+            tracer.span(f"s{i}").end()
+        assert tracer.spans_dropped == 2
+        assert [s.name for s in tracer.spans] == ["s2", "s3"]
+
+
+class TestExport:
+    def test_jsonl_records_are_valid_and_in_creation_order(self):
+        simulator = Simulator()
+        tracer = Tracer()
+        tracer.bind_clock(simulator)
+
+        def work():
+            with tracer.span("s"):
+                tracer.event("e", x=1)
+
+        simulator.schedule(5.0, work)
+        simulator.run()
+        buffer = io.StringIO()
+        count = tracer.export_jsonl(buffer)
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert count == len(lines) == 2
+        assert [r["seq"] for r in lines] == sorted(r["seq"] for r in lines)
+        kinds = {r["type"] for r in lines}
+        assert kinds == {"span", "event"}
+        span = next(r for r in lines if r["type"] == "span")
+        event = next(r for r in lines if r["type"] == "event")
+        assert span["start_ms"] == span["end_ms"] == 5.0
+        assert event["span_id"] == span["span_id"]
+        assert event["attrs"] == {"x": 1}
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(max_events=1)
+        tracer.event("a")
+        tracer.event("b")
+        tracer.span("s").end()
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.events_dropped == 0
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("s", a=1) as span:
+            tracer.event("e")
+        assert span is NULL_SPAN
+        assert span.set(x=2) is NULL_SPAN
+        assert len(tracer) == 0
+        assert tracer.records() == []
