@@ -1,0 +1,80 @@
+"""Benchmark: sweep-runner throughput, serial vs parallel.
+
+Runs one small dissemination grid through :func:`repro.runner.run_sweep`
+twice — ``jobs=1`` (in-process) and ``jobs=4`` (spawn pool) — and records
+the wall-clock of each, emitting ``BENCH_sweep.json`` at the repo root.
+
+At this grid size the spawn pool pays interpreter start-up plus one overlay
+construction *per worker*, so parallel wall-clock is only expected to win on
+larger grids; the numbers here track the fixed overhead, and the assertion
+is about correctness (identical record sets), not speed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from conftest import report
+
+from repro.runner import ResultStore, SweepSpec, run_sweep
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+SWEEP = SweepSpec(
+    task="dissemination",
+    base={"num_nodes": 40, "f": 1, "k": 3, "transactions": 3, "horizon_ms": 5_000.0},
+    grid={"protocol": ["hermes", "lzero", "mercury"], "seed": [0, 1]},
+)
+
+# At least 2 so the spawn-pool path is always what gets measured, even on a
+# single-core CI runner (where "parallel" only measures the pool overhead).
+PARALLEL_JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def test_sweep_throughput(tmp_path):
+    stores = {
+        1: ResultStore(tmp_path / "serial"),
+        PARALLEL_JOBS: ResultStore(tmp_path / "parallel"),
+    }
+    walls: dict[int, float] = {}
+    reports = {}
+    for jobs, store in stores.items():
+        result = run_sweep(SWEEP, store=store, jobs=jobs)
+        assert result.failed == 0
+        assert result.executed == len(SWEEP)
+        walls[jobs] = result.wall_seconds
+        reports[jobs] = result
+
+    # Scheduling must not change what gets computed.
+    hashes = {
+        jobs: sorted(r["spec_hash"] for r in rep.records)
+        for jobs, rep in reports.items()
+    }
+    assert len(set(map(tuple, hashes.values()))) == 1
+
+    serial_wall = walls[1]
+    parallel_wall = walls[PARALLEL_JOBS]
+    doc = {
+        "grid_cells": len(SWEEP),
+        "task": SWEEP.task,
+        "parallel_jobs": PARALLEL_JOBS,
+        "serial_wall_seconds": round(serial_wall, 4),
+        "parallel_wall_seconds": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 4) if parallel_wall else None,
+        "runs_per_second_serial": round(len(SWEEP) / serial_wall, 4)
+        if serial_wall
+        else None,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"sweep throughput — {len(SWEEP)} cells of task {SWEEP.task!r}",
+        f"  jobs=1:              {serial_wall:8.2f}s wall",
+        f"  jobs={PARALLEL_JOBS}:              {parallel_wall:8.2f}s wall",
+        f"  speedup:             {doc['speedup']:8.2f}x "
+        "(spawn start-up dominates at this grid size)",
+        f"  -> {BENCH_PATH.name}",
+    ]
+    report("sweep_throughput", "\n".join(lines))

@@ -12,6 +12,7 @@ Top-level convenience re-exports. The subpackages are:
 - :mod:`repro.baselines` — L-zero, Narwhal, Mercury, gossip, simple tree
 - :mod:`repro.attacks` — front-running and censorship adversaries
 - :mod:`repro.obs` — structured observability: tracing, metrics, profiling
+- :mod:`repro.runner` — parallel sweep engine with a content-addressed result cache
 - :mod:`repro.experiments` — one module per paper table/figure
 
 ``repro.__all__`` is the documented public surface: exactly the subpackages
@@ -36,6 +37,7 @@ _SUBPACKAGES = (
     "obs",
     "overlay",
     "rbc",
+    "runner",
     "trs",
     "utils",
 )

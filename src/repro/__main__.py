@@ -1,9 +1,26 @@
-"""``python -m repro`` — run the full paper-reproduction report.
+"""``python -m repro`` — CLI entry point.
 
-Delegates to :mod:`repro.experiments.report`; see ``--help`` for options.
+``python -m repro [report options]`` runs the full paper-reproduction
+report (see :mod:`repro.experiments.report`); ``python -m repro sweep ...``
+runs ad-hoc parameter sweeps through :mod:`repro.runner` (see
+``python -m repro sweep --help`` and ``docs/runner.md``).
 """
 
-from .experiments.report import main
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        from .runner.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
+    from .experiments.report import main as report_main
+
+    report_main(argv)
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

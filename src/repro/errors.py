@@ -58,5 +58,9 @@ class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 
 
+class SweepExecutionError(ReproError):
+    """The sweep runner could not execute a run (see ``repro.runner``)."""
+
+
 class MembershipError(ReproError):
     """A join/leave operation is inconsistent with the current membership."""

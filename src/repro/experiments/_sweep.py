@@ -1,0 +1,52 @@
+"""Shared glue between the figure scripts and the sweep runner.
+
+Each figure module declares its repetition grid (``cell_params``), its cell
+function (``run_cell``, registered as a task in :mod:`repro.runner.tasks`)
+and its fold (``from_records``); this helper owns the common submission path
+so every figure treats jobs/results-dir/resume identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from ..errors import SweepExecutionError
+
+__all__ = ["run_cells"]
+
+
+def run_cells(
+    task: str,
+    params_list: Iterable[Mapping[str, Any]],
+    *,
+    jobs: int = 1,
+    results_dir: str | None = None,
+    resume: bool = True,
+    timeout_s: float | None = None,
+    progress: Callable | None = None,
+):
+    """Submit one figure's repetition grid and return the ``SweepReport``.
+
+    Raises :class:`SweepExecutionError` if any cell failed — a figure folded
+    from an incomplete grid would silently misreport the paper comparison.
+    """
+
+    from ..runner import ResultStore, RunSpec, run_sweep
+
+    specs = [RunSpec(task=task, params=dict(p)) for p in params_list]
+    store = ResultStore(results_dir) if results_dir is not None else None
+    report = run_sweep(
+        specs,
+        store=store,
+        jobs=jobs,
+        resume=resume,
+        timeout_s=timeout_s,
+        progress=progress,
+    )
+    if report.failed:
+        first = next(r for r in report.records if not r.ok)
+        raise SweepExecutionError(
+            f"{report.failed}/{report.total} cells of task {task!r} failed; "
+            f"first error: {first.get('error')}"
+        )
+    return report

@@ -14,20 +14,37 @@ paper's, so the Mercury/HERMES gap is wider).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
 
 from ..mempool.transaction import Transaction
-from ..net.stats import LatencySummary
+from ..net.stats import LatencySummary, summarize_latencies
 from ..obs import Observability
 from ..utils.rng import derive_rng
 from ..utils.tables import format_table
 from .harness import (
+    PROTOCOL_NAMES,
     ExperimentEnvironment,
     build_environment,
     protocol_factories,
     record_latency_metrics,
 )
 
-__all__ = ["Fig3aConfig", "Fig3aResult", "run", "format_result", "PAPER_VALUES"]
+__all__ = [
+    "Fig3aConfig",
+    "Fig3aResult",
+    "run",
+    "format_result",
+    "PAPER_VALUES",
+    "CELL_TASK",
+    "cell_params",
+    "run_cell",
+    "from_records",
+    "run_parallel",
+]
+
+# The repetition cell this figure submits to the sweep runner: one protocol's
+# full workload (registered in repro.runner.tasks).
+CELL_TASK = "fig3a.protocol"
 
 # Protocol -> paper-reported average latency in ms.
 PAPER_VALUES = {"mercury": 77.10, "hermes": 83.22, "narwhal": 106.61, "lzero": 172.02}
@@ -76,12 +93,11 @@ def run(
     factories = protocol_factories(
         env, hermes_overrides={"gossip_fallback_enabled": False}, obs=obs
     )
-    rng = derive_rng(config.seed, "fig3a-origins")
-    origins = [rng.choice(env.physical.nodes()) for _ in range(config.transactions)]
+    origins = _workload(config, env)
 
     summaries: dict[str, LatencySummary] = {}
     overheads: dict[str, float] = {}
-    for name in ("hermes", "lzero", "narwhal", "mercury"):
+    for name in PROTOCOL_NAMES:
         system = factories[name]()
         # Construction rebinds the tracer clock to this system's simulator,
         # so open the per-protocol span only afterwards.
@@ -97,6 +113,124 @@ def run(
             record_latency_metrics(obs, system.stats, protocol=name)
             span.end()
     return Fig3aResult(config=config, summaries=summaries, setup_overhead_ms=overheads)
+
+
+def _workload(config: Fig3aConfig, env: ExperimentEnvironment) -> list[int]:
+    """The deterministic transaction-origin workload for *config*."""
+
+    rng = derive_rng(config.seed, "fig3a-origins")
+    return [rng.choice(env.physical.nodes()) for _ in range(config.transactions)]
+
+
+# ----------------------------------------------------------------------
+# Sweep-runner integration (see repro.runner and docs/runner.md)
+# ----------------------------------------------------------------------
+
+
+def cell_params(config: Fig3aConfig) -> list[dict[str, Any]]:
+    """The repetition grid: one cell per protocol."""
+
+    return [
+        {
+            "protocol": name,
+            "num_nodes": config.num_nodes,
+            "f": config.f,
+            "k": config.k,
+            "transactions": config.transactions,
+            "horizon_ms": config.horizon_ms,
+            "seed": config.seed,
+        }
+        for name in PROTOCOL_NAMES
+    ]
+
+
+def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Measure one protocol's workload; the ``fig3a.protocol`` runner task.
+
+    Self-contained and fully seeded: the cell rebuilds (or fetches from the
+    per-process cache) the same environment and workload ``run`` uses, so a
+    sweep of these cells reproduces the figure no matter how it is scheduled
+    across processes.
+    """
+
+    config = Fig3aConfig(
+        num_nodes=int(params["num_nodes"]),
+        f=int(params.get("f", 1)),
+        k=int(params.get("k", 10)),
+        transactions=int(params.get("transactions", 10)),
+        horizon_ms=float(params.get("horizon_ms", 8_000.0)),
+        seed=int(params.get("seed", 0)),
+    )
+    env = build_environment(
+        num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
+    )
+    factories = protocol_factories(
+        env, hermes_overrides={"gossip_fallback_enabled": False}
+    )
+    name = str(params["protocol"])
+    system = factories[name]()
+    system.start()
+    for origin in _workload(config, env):
+        system.submit(origin, Transaction.create(origin=origin, created_at=0.0))
+    system.run(until_ms=config.horizon_ms)
+    return {
+        "protocol": name,
+        "latencies": system.stats.all_delivery_latencies(),
+        "setup_overheads": system.stats.setup_overheads(),
+    }
+
+
+def from_records(
+    config: Fig3aConfig, records: Iterable[Mapping[str, Any]]
+) -> Fig3aResult:
+    """Fold stored run records back into the figure's result shape.
+
+    The summaries are computed from each record's raw latency population, so
+    they match what an in-process run derives from ``NetworkStats`` exactly.
+    """
+
+    summaries: dict[str, LatencySummary] = {}
+    overheads: dict[str, float] = {}
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        result = record["result"]
+        name = result["protocol"]
+        summaries[name] = summarize_latencies(result["latencies"])
+        setup = result["setup_overheads"]
+        overheads[name] = sum(setup) / len(setup) if setup else 0.0
+    return Fig3aResult(config=config, summaries=summaries, setup_overhead_ms=overheads)
+
+
+def run_parallel(
+    config: Fig3aConfig | None = None,
+    *,
+    jobs: int = 1,
+    results_dir: str | None = None,
+    resume: bool = True,
+    timeout_s: float | None = None,
+    progress=None,
+):
+    """Run the figure's repetition grid through :func:`repro.runner.run_sweep`.
+
+    Returns ``(result, sweep_report)``; with *results_dir* set, completed
+    cells are skipped on re-invocation (resume).
+    """
+
+    from ._sweep import run_cells
+
+    if config is None:
+        config = Fig3aConfig()
+    report = run_cells(
+        CELL_TASK,
+        cell_params(config),
+        jobs=jobs,
+        results_dir=results_dir,
+        resume=resume,
+        timeout_s=timeout_s,
+        progress=progress,
+    )
+    return from_records(config, report.records), report
 
 
 def format_result(result: Fig3aResult) -> str:

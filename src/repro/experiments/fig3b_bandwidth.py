@@ -17,13 +17,32 @@ Paper values: L∅ 50 < HERMES 192 (162 amortized) < Mercury 322 < Narwhal 730.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
 
 from ..mempool.transaction import Transaction
 from ..utils.rng import derive_rng
 from ..utils.tables import format_table
-from .harness import ExperimentEnvironment, build_environment, protocol_factories
+from .harness import (
+    PROTOCOL_NAMES,
+    ExperimentEnvironment,
+    build_environment,
+    protocol_factories,
+)
 
-__all__ = ["Fig3bConfig", "Fig3bResult", "run", "format_result", "PAPER_VALUES"]
+__all__ = [
+    "Fig3bConfig",
+    "Fig3bResult",
+    "run",
+    "format_result",
+    "PAPER_VALUES",
+    "CELL_TASK",
+    "cell_params",
+    "run_cell",
+    "from_records",
+    "run_parallel",
+]
+
+CELL_TASK = "fig3b.protocol"
 
 PAPER_VALUES = {"lzero": 50.0, "hermes": 192.0, "mercury": 322.0, "narwhal": 730.0}
 
@@ -58,46 +77,163 @@ def run(
         env = build_environment(
             num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
         )
-    factories = protocol_factories(env)
-    rng = derive_rng(config.seed, "fig3b-origins")
-    submit_times = []
-    t = 0.0
-    while t < config.duration_ms:
-        submit_times.append((t, rng.choice(env.physical.nodes())))
-        t += config.tx_interval_ms
-
     results: dict[str, float] = {}
     hermes_cert_extra = 0.0
-    for name in ("hermes", "lzero", "narwhal", "mercury"):
-        system = factories[name]()
-        system.start()
-        for when, origin in submit_times:
-            system.simulator.schedule_at(
-                when,
-                (
-                    lambda origin=origin: system.submit(
-                        origin,
-                        Transaction.create(origin=origin, created_at=system.simulator.now),
-                    )
-                ),
-            )
-        system.run(until_ms=config.duration_ms)
-        results[name] = system.stats.bandwidth_kb_per_minute(config.duration_ms)
+    for name in PROTOCOL_NAMES:
+        kb_per_minute, cert_extra = _measure_protocol(config, env, name)
+        results[name] = kb_per_minute
         if name == "hermes":
-            # The paper's unamortized variant: the signed overlay encoding is
-            # re-disseminated to all N nodes for every transaction.
-            cert_bytes = sum(c.size_bytes for c in system.certificates) / len(
-                system.certificates
-            )
-            total_extra = cert_bytes * config.num_nodes * len(submit_times)
-            minutes = config.duration_ms / 60_000.0
-            hermes_cert_extra = (total_extra / 1024.0) / (config.num_nodes * minutes)
+            hermes_cert_extra = cert_extra
 
     return Fig3bResult(
         config=config,
         kb_per_minute=results,
         hermes_with_per_tx_encoding=results["hermes"] + hermes_cert_extra,
     )
+
+
+def _submit_schedule(
+    config: Fig3bConfig, env: ExperimentEnvironment
+) -> list[tuple[float, int]]:
+    """The deterministic (time, origin) workload of the sustained run."""
+
+    rng = derive_rng(config.seed, "fig3b-origins")
+    submit_times: list[tuple[float, int]] = []
+    t = 0.0
+    while t < config.duration_ms:
+        submit_times.append((t, rng.choice(env.physical.nodes())))
+        t += config.tx_interval_ms
+    return submit_times
+
+
+def _measure_protocol(
+    config: Fig3bConfig, env: ExperimentEnvironment, name: str
+) -> tuple[float, float]:
+    """One protocol's sustained run: (KB/min/node, hermes re-encoding extra)."""
+
+    factories = protocol_factories(env)
+    submit_times = _submit_schedule(config, env)
+    system = factories[name]()
+    system.start()
+    for when, origin in submit_times:
+        system.simulator.schedule_at(
+            when,
+            (
+                lambda origin=origin: system.submit(
+                    origin,
+                    Transaction.create(origin=origin, created_at=system.simulator.now),
+                )
+            ),
+        )
+    system.run(until_ms=config.duration_ms)
+    kb_per_minute = system.stats.bandwidth_kb_per_minute(config.duration_ms)
+    cert_extra = 0.0
+    if name == "hermes":
+        # The paper's unamortized variant: the signed overlay encoding is
+        # re-disseminated to all N nodes for every transaction.
+        cert_bytes = sum(c.size_bytes for c in system.certificates) / len(
+            system.certificates
+        )
+        total_extra = cert_bytes * config.num_nodes * len(submit_times)
+        minutes = config.duration_ms / 60_000.0
+        cert_extra = (total_extra / 1024.0) / (config.num_nodes * minutes)
+    return kb_per_minute, cert_extra
+
+
+# ----------------------------------------------------------------------
+# Sweep-runner integration (see repro.runner and docs/runner.md)
+# ----------------------------------------------------------------------
+
+
+def cell_params(config: Fig3bConfig) -> list[dict[str, Any]]:
+    """The repetition grid: one sustained run per protocol."""
+
+    return [
+        {
+            "protocol": name,
+            "num_nodes": config.num_nodes,
+            "f": config.f,
+            "k": config.k,
+            "duration_ms": config.duration_ms,
+            "tx_interval_ms": config.tx_interval_ms,
+            "seed": config.seed,
+        }
+        for name in PROTOCOL_NAMES
+    ]
+
+
+def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Measure one protocol's bandwidth; the ``fig3b.protocol`` runner task."""
+
+    config = Fig3bConfig(
+        num_nodes=int(params["num_nodes"]),
+        f=int(params.get("f", 1)),
+        k=int(params.get("k", 10)),
+        duration_ms=float(params.get("duration_ms", 60_000.0)),
+        tx_interval_ms=float(params.get("tx_interval_ms", 2_000.0)),
+        seed=int(params.get("seed", 0)),
+    )
+    env = build_environment(
+        num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
+    )
+    name = str(params["protocol"])
+    kb_per_minute, cert_extra = _measure_protocol(config, env, name)
+    return {
+        "protocol": name,
+        "kb_per_minute": kb_per_minute,
+        "cert_extra_kb_per_minute": cert_extra,
+    }
+
+
+def from_records(
+    config: Fig3bConfig, records: Iterable[Mapping[str, Any]]
+) -> Fig3bResult:
+    """Fold stored run records back into the figure's result shape."""
+
+    results: dict[str, float] = {}
+    hermes_cert_extra = 0.0
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        result = record["result"]
+        results[result["protocol"]] = result["kb_per_minute"]
+        if result["protocol"] == "hermes":
+            hermes_cert_extra = result["cert_extra_kb_per_minute"]
+    return Fig3bResult(
+        config=config,
+        kb_per_minute=results,
+        hermes_with_per_tx_encoding=results["hermes"] + hermes_cert_extra,
+    )
+
+
+def run_parallel(
+    config: Fig3bConfig | None = None,
+    *,
+    jobs: int = 1,
+    results_dir: str | None = None,
+    resume: bool = True,
+    timeout_s: float | None = None,
+    progress=None,
+):
+    """Run the figure's grid through the sweep runner; see ``docs/runner.md``.
+
+    Returns ``(result, sweep_report)``.
+    """
+
+    from ._sweep import run_cells
+
+    if config is None:
+        config = Fig3bConfig()
+    report = run_cells(
+        CELL_TASK,
+        cell_params(config),
+        jobs=jobs,
+        results_dir=results_dir,
+        resume=resume,
+        timeout_s=timeout_s,
+        progress=progress,
+    )
+    return from_records(config, report.records), report
 
 
 def format_result(result: Fig3bResult) -> str:

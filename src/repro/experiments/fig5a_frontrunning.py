@@ -14,13 +14,32 @@ Narwhal 10% → 51%, Mercury 25% → 70%.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
 
 from ..attacks.frontrun import run_front_running_trial
 from ..utils.rng import derive_rng
 from ..utils.tables import format_table
-from .harness import ExperimentEnvironment, build_environment, protocol_factories
+from .harness import (
+    PROTOCOL_NAMES,
+    ExperimentEnvironment,
+    build_environment,
+    protocol_factories,
+)
 
-__all__ = ["Fig5aConfig", "Fig5aResult", "run", "format_result", "PAPER_VALUES"]
+__all__ = [
+    "Fig5aConfig",
+    "Fig5aResult",
+    "run",
+    "format_result",
+    "PAPER_VALUES",
+    "CELL_TASK",
+    "cell_params",
+    "run_cell",
+    "from_records",
+    "run_parallel",
+]
+
+CELL_TASK = "fig5a.trial"
 
 # protocol -> {fraction: paper success rate}
 PAPER_VALUES = {
@@ -71,11 +90,10 @@ def run(
         env, hermes_overrides={"gossip_fallback_enabled": False}
     )
     nodes = env.physical.nodes()
-    rng = derive_rng(config.seed, "fig5a-pairs")
-    pairs = [tuple(rng.sample(nodes, 2)) for _ in range(config.trials)]
+    pairs = _trial_pairs(config, env)
 
     rates: dict[str, dict[float, float]] = {}
-    for name in ("hermes", "lzero", "narwhal", "mercury"):
+    for name in PROTOCOL_NAMES:
         factory = factories[name]
         rates[name] = {}
         for fraction in config.fractions:
@@ -88,11 +106,147 @@ def run(
                     victim,
                     proposer,
                     horizon_ms=config.horizon_ms,
-                    seed=1000 * int(fraction * 100) + trial,
+                    seed=_trial_seed(fraction, trial),
                 )
                 wins += result.verdict.attacker_won
             rates[name][fraction] = wins / config.trials
     return Fig5aResult(config=config, success_rates=rates)
+
+
+def _trial_pairs(
+    config: Fig5aConfig, env: ExperimentEnvironment
+) -> list[tuple[int, int]]:
+    """The deterministic (victim, proposer) pair of every trial index."""
+
+    rng = derive_rng(config.seed, "fig5a-pairs")
+    nodes = env.physical.nodes()
+    return [tuple(rng.sample(nodes, 2)) for _ in range(config.trials)]
+
+
+def _trial_seed(fraction: float, trial: int) -> int:
+    return 1000 * int(fraction * 100) + trial
+
+
+# ----------------------------------------------------------------------
+# Sweep-runner integration (see repro.runner and docs/runner.md)
+# ----------------------------------------------------------------------
+
+
+def cell_params(config: Fig5aConfig) -> list[dict[str, Any]]:
+    """The repetition grid: one cell per (protocol, fraction, trial)."""
+
+    return [
+        {
+            "protocol": name,
+            "num_nodes": config.num_nodes,
+            "f": config.f,
+            "k": config.k,
+            "fraction": fraction,
+            "trial": trial,
+            "trials": config.trials,
+            "horizon_ms": config.horizon_ms,
+            "seed": config.seed,
+        }
+        for name in PROTOCOL_NAMES
+        for fraction in config.fractions
+        for trial in range(config.trials)
+    ]
+
+
+def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one front-running trial; the ``fig5a.trial`` runner task.
+
+    ``trials`` travels with every cell so the full (victim, proposer) pair
+    list — drawn once per figure from the config seed — can be rebuilt and
+    indexed by ``trial``, keeping the cell bit-compatible with the serial
+    loop in :func:`run`.
+    """
+
+    config = Fig5aConfig(
+        num_nodes=int(params["num_nodes"]),
+        f=int(params.get("f", 1)),
+        k=int(params.get("k", 10)),
+        trials=int(params["trials"]),
+        horizon_ms=float(params.get("horizon_ms", 4_000.0)),
+        seed=int(params.get("seed", 0)),
+    )
+    env = build_environment(
+        num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
+    )
+    factories = protocol_factories(
+        env, hermes_overrides={"gossip_fallback_enabled": False}
+    )
+    name = str(params["protocol"])
+    fraction = float(params["fraction"])
+    trial = int(params["trial"])
+    nodes = env.physical.nodes()
+    victim, proposer = _trial_pairs(config, env)[trial]
+    result = run_front_running_trial(
+        factories[name],
+        nodes,
+        fraction,
+        victim,
+        proposer,
+        horizon_ms=config.horizon_ms,
+        seed=_trial_seed(fraction, trial),
+    )
+    return {
+        "protocol": name,
+        "fraction": fraction,
+        "trial": trial,
+        "attacker_won": int(result.verdict.attacker_won),
+    }
+
+
+def from_records(
+    config: Fig5aConfig, records: Iterable[Mapping[str, Any]]
+) -> Fig5aResult:
+    """Fold stored trial records back into per-(protocol, fraction) rates."""
+
+    wins: dict[str, dict[float, int]] = {}
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        result = record["result"]
+        by_fraction = wins.setdefault(result["protocol"], {})
+        by_fraction[result["fraction"]] = (
+            by_fraction.get(result["fraction"], 0) + result["attacker_won"]
+        )
+    rates = {
+        name: {fraction: count / config.trials for fraction, count in by_fraction.items()}
+        for name, by_fraction in wins.items()
+    }
+    return Fig5aResult(config=config, success_rates=rates)
+
+
+def run_parallel(
+    config: Fig5aConfig | None = None,
+    *,
+    jobs: int = 1,
+    results_dir: str | None = None,
+    resume: bool = True,
+    timeout_s: float | None = None,
+    progress=None,
+):
+    """Run the figure's grid through the sweep runner; see ``docs/runner.md``.
+
+    Returns ``(result, sweep_report)``.
+    """
+
+    from ._sweep import run_cells
+
+    if config is None:
+        config = Fig5aConfig()
+    report = run_cells(
+        CELL_TASK,
+        cell_params(config),
+        jobs=jobs,
+        results_dir=results_dir,
+        resume=resume,
+        timeout_s=timeout_s,
+        progress=progress,
+    )
+    return from_records(config, report.records), report
 
 
 def format_result(result: Fig5aResult) -> str:

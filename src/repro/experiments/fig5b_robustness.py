@@ -13,13 +13,39 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
 
 from ..attacks.censorship import run_censorship_trial
 from ..utils.rng import derive_rng
 from ..utils.tables import format_table
-from .harness import ExperimentEnvironment, build_environment, protocol_factories
+from .harness import (
+    PROTOCOL_NAMES,
+    ExperimentEnvironment,
+    build_environment,
+    protocol_factories,
+)
 
-__all__ = ["Fig5bConfig", "Fig5bResult", "run", "format_result", "PAPER_VALUES"]
+__all__ = [
+    "Fig5bConfig",
+    "Fig5bResult",
+    "run",
+    "format_result",
+    "PAPER_VALUES",
+    "CELL_TASK",
+    "cell_params",
+    "run_cell",
+    "from_records",
+    "run_parallel",
+]
+
+CELL_TASK = "fig5b.trial"
+
+# The §VII-A gossip fallback is part of the protocol under test here.
+_HERMES_OVERRIDES = {
+    "gossip_fallback_enabled": True,
+    "gossip_fallback_delay_ms": 500.0,
+    "gossip_period_ms": 250.0,
+}
 
 PAPER_VALUES = {
     "hermes": {0.10: 0.999, 0.33: 0.95},
@@ -64,20 +90,12 @@ def run(
         env = build_environment(
             num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
         )
-    factories = protocol_factories(
-        env,
-        hermes_overrides={
-            "gossip_fallback_enabled": True,
-            "gossip_fallback_delay_ms": 500.0,
-            "gossip_period_ms": 250.0,
-        },
-    )
+    factories = protocol_factories(env, hermes_overrides=dict(_HERMES_OVERRIDES))
     nodes = env.physical.nodes()
-    rng = derive_rng(config.seed, "fig5b-senders")
-    senders = [rng.choice(nodes) for _ in range(config.trials)]
+    senders = _trial_senders(config, env)
 
     coverage: dict[str, dict[float, float]] = {}
-    for name in ("hermes", "lzero", "narwhal", "mercury"):
+    for name in PROTOCOL_NAMES:
         factory = factories[name]
         coverage[name] = {}
         for fraction in config.fractions:
@@ -89,11 +107,138 @@ def run(
                     fraction,
                     sender,
                     horizon_ms=config.horizon_ms,
-                    seed=2000 * int(fraction * 100) + trial,
+                    seed=_trial_seed(fraction, trial),
                 )
                 trial_coverages.append(result.coverage)
             coverage[name][fraction] = statistics.mean(trial_coverages)
     return Fig5bResult(config=config, coverage=coverage)
+
+
+def _trial_senders(config: Fig5bConfig, env: ExperimentEnvironment) -> list[int]:
+    """The deterministic sender of every trial index."""
+
+    rng = derive_rng(config.seed, "fig5b-senders")
+    nodes = env.physical.nodes()
+    return [rng.choice(nodes) for _ in range(config.trials)]
+
+
+def _trial_seed(fraction: float, trial: int) -> int:
+    return 2000 * int(fraction * 100) + trial
+
+
+# ----------------------------------------------------------------------
+# Sweep-runner integration (see repro.runner and docs/runner.md)
+# ----------------------------------------------------------------------
+
+
+def cell_params(config: Fig5bConfig) -> list[dict[str, Any]]:
+    """The repetition grid: one cell per (protocol, fraction, trial)."""
+
+    return [
+        {
+            "protocol": name,
+            "num_nodes": config.num_nodes,
+            "f": config.f,
+            "k": config.k,
+            "fraction": fraction,
+            "trial": trial,
+            "trials": config.trials,
+            "horizon_ms": config.horizon_ms,
+            "seed": config.seed,
+        }
+        for name in PROTOCOL_NAMES
+        for fraction in config.fractions
+        for trial in range(config.trials)
+    ]
+
+
+def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one censorship trial; the ``fig5b.trial`` runner task."""
+
+    config = Fig5bConfig(
+        num_nodes=int(params["num_nodes"]),
+        f=int(params.get("f", 1)),
+        k=int(params.get("k", 10)),
+        trials=int(params["trials"]),
+        horizon_ms=float(params.get("horizon_ms", 2_000.0)),
+        seed=int(params.get("seed", 0)),
+    )
+    env = build_environment(
+        num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
+    )
+    factories = protocol_factories(env, hermes_overrides=dict(_HERMES_OVERRIDES))
+    name = str(params["protocol"])
+    fraction = float(params["fraction"])
+    trial = int(params["trial"])
+    nodes = env.physical.nodes()
+    sender = _trial_senders(config, env)[trial]
+    factory = factories[name]
+    result = run_censorship_trial(
+        lambda plan: factory(plan),
+        nodes,
+        fraction,
+        sender,
+        horizon_ms=config.horizon_ms,
+        seed=_trial_seed(fraction, trial),
+    )
+    return {
+        "protocol": name,
+        "fraction": fraction,
+        "trial": trial,
+        "coverage": result.coverage,
+    }
+
+
+def from_records(
+    config: Fig5bConfig, records: Iterable[Mapping[str, Any]]
+) -> Fig5bResult:
+    """Fold stored trial records back into mean coverage per cell."""
+
+    samples: dict[str, dict[float, list[float]]] = {}
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        result = record["result"]
+        by_fraction = samples.setdefault(result["protocol"], {})
+        by_fraction.setdefault(result["fraction"], []).append(result["coverage"])
+    coverage = {
+        name: {
+            fraction: statistics.mean(values)
+            for fraction, values in by_fraction.items()
+        }
+        for name, by_fraction in samples.items()
+    }
+    return Fig5bResult(config=config, coverage=coverage)
+
+
+def run_parallel(
+    config: Fig5bConfig | None = None,
+    *,
+    jobs: int = 1,
+    results_dir: str | None = None,
+    resume: bool = True,
+    timeout_s: float | None = None,
+    progress=None,
+):
+    """Run the figure's grid through the sweep runner; see ``docs/runner.md``.
+
+    Returns ``(result, sweep_report)``.
+    """
+
+    from ._sweep import run_cells
+
+    if config is None:
+        config = Fig5bConfig()
+    report = run_cells(
+        CELL_TASK,
+        cell_params(config),
+        jobs=jobs,
+        results_dir=results_dir,
+        resume=resume,
+        timeout_s=timeout_s,
+        progress=progress,
+    )
+    return from_records(config, report.records), report
 
 
 def format_result(result: Fig5bResult) -> str:

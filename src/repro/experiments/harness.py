@@ -31,6 +31,7 @@ from ..overlay.robust_tree import build_overlay_family
 __all__ = [
     "ExperimentEnvironment",
     "build_environment",
+    "clear_environment_cache",
     "protocol_factories",
     "record_latency_metrics",
     "PROTOCOL_NAMES",
@@ -58,7 +59,15 @@ class ExperimentEnvironment:
         return HermesConfig(**defaults)
 
 
-_environment_cache: dict[tuple[int, int, int, int, bool], ExperimentEnvironment] = {}
+_environment_cache: dict[
+    tuple[int, int, int, int, bool, int], ExperimentEnvironment
+] = {}
+
+
+def clear_environment_cache() -> None:
+    """Drop every memoized environment (tests; long-lived worker hygiene)."""
+
+    _environment_cache.clear()
 
 
 def build_environment(
@@ -69,11 +78,15 @@ def build_environment(
     optimize: bool = True,
     min_degree: int = 4,
 ) -> ExperimentEnvironment:
-    """Build (or fetch from cache) a shared experiment environment."""
+    """Build (or fetch from cache) a shared experiment environment.
+
+    Every parameter that shapes the result — including ``min_degree``, which
+    changes the generated physical topology — is part of the cache key.
+    """
 
     import time
 
-    key = (num_nodes, f, k, seed, optimize)
+    key = (num_nodes, f, k, seed, optimize, min_degree)
     if key in _environment_cache:
         return _environment_cache[key]
     start = time.perf_counter()

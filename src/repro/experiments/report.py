@@ -11,6 +11,7 @@ at ``out.manifest.json`` (see ``docs/observability.md`` for the schemas).
 from __future__ import annotations
 
 import argparse
+import os
 
 from ..obs import Observability
 from . import (
@@ -35,18 +36,42 @@ def manifest_path_for(trace_path: str) -> str:
 
 
 def generate_report(
-    quick: bool = False, seed: int = 0, obs: Observability | None = None
+    quick: bool = False,
+    seed: int = 0,
+    obs: Observability | None = None,
+    jobs: int = 1,
+    results_dir: str | None = None,
+    resume: bool = True,
 ) -> str:
     """Run all experiments and return the combined text report.
 
     *obs*, when given, instruments the Fig. 3a latency runs (the headline
     measurement); the caller is responsible for exporting the artifacts.
+
+    With ``jobs > 1`` or *results_dir* set, the four sweep-shaped figures
+    (3a, 3b, 5a, 5b) are submitted as repetition grids to
+    :func:`repro.runner.run_sweep` — parallel across *jobs* worker
+    processes and, with *results_dir*, resumable: a re-invocation loads
+    completed cells from the store instead of re-running them.  Because the
+    runner executes every cell as a fresh, fully-seeded process-independent
+    unit, the sweep-path numbers are self-consistent across any ``jobs``
+    value but can differ from the inline serial path (which shares one
+    transaction-id counter across all protocol runs); see ``docs/runner.md``.
     """
 
     if quick:
         n_main, n_attack, trials, txs = 80, 60, 6, 4
     else:
         n_main, n_attack, trials, txs = 200, 150, 20, 10
+
+    use_runner = jobs > 1 or results_dir is not None
+    # Fig. 3a instrumentation is in-process; with obs active it stays inline.
+    runner_fig3a = use_runner and obs is None
+
+    def _store_dir(figure: str) -> str | None:
+        if results_dir is None:
+            return None
+        return os.path.join(results_dir, figure)
 
     env_main = build_environment(num_nodes=n_main, f=1, k=10, seed=seed)
     env_attack = build_environment(num_nodes=n_attack, f=1, k=10, seed=seed)
@@ -62,22 +87,24 @@ def generate_report(
             fig2_overlays.run(fig2_overlays.Fig2Config(num_nodes=n_main, seed=seed))
         )
     )
-    sections.append(
-        fig3a_latency.format_result(
-            fig3a_latency.run(
-                fig3a_latency.Fig3aConfig(num_nodes=n_main, transactions=txs, seed=seed),
-                env=env_main,
-                obs=obs,
-            )
-        )
+    fig3a_config = fig3a_latency.Fig3aConfig(
+        num_nodes=n_main, transactions=txs, seed=seed
     )
-    sections.append(
-        fig3b_bandwidth.format_result(
-            fig3b_bandwidth.run(
-                fig3b_bandwidth.Fig3bConfig(num_nodes=n_main, seed=seed), env=env_main
-            )
+    if runner_fig3a:
+        fig3a_result, _ = fig3a_latency.run_parallel(
+            fig3a_config, jobs=jobs, results_dir=_store_dir("fig3a"), resume=resume
         )
-    )
+    else:
+        fig3a_result = fig3a_latency.run(fig3a_config, env=env_main, obs=obs)
+    sections.append(fig3a_latency.format_result(fig3a_result))
+    fig3b_config = fig3b_bandwidth.Fig3bConfig(num_nodes=n_main, seed=seed)
+    if use_runner:
+        fig3b_result, _ = fig3b_bandwidth.run_parallel(
+            fig3b_config, jobs=jobs, results_dir=_store_dir("fig3b"), resume=resume
+        )
+    else:
+        fig3b_result = fig3b_bandwidth.run(fig3b_config, env=env_main)
+    sections.append(fig3b_bandwidth.format_result(fig3b_result))
     sections.append(
         fig4_roles.format_result(
             fig4_roles.run(
@@ -85,26 +112,26 @@ def generate_report(
             )
         )
     )
-    sections.append(
-        fig5a_frontrunning.format_result(
-            fig5a_frontrunning.run(
-                fig5a_frontrunning.Fig5aConfig(
-                    num_nodes=n_attack, trials=trials, seed=seed
-                ),
-                env=env_attack,
-            )
-        )
+    fig5a_config = fig5a_frontrunning.Fig5aConfig(
+        num_nodes=n_attack, trials=trials, seed=seed
     )
-    sections.append(
-        fig5b_robustness.format_result(
-            fig5b_robustness.run(
-                fig5b_robustness.Fig5bConfig(
-                    num_nodes=n_attack, trials=max(trials // 2, 4), seed=seed
-                ),
-                env=env_attack,
-            )
+    if use_runner:
+        fig5a_result, _ = fig5a_frontrunning.run_parallel(
+            fig5a_config, jobs=jobs, results_dir=_store_dir("fig5a"), resume=resume
         )
+    else:
+        fig5a_result = fig5a_frontrunning.run(fig5a_config, env=env_attack)
+    sections.append(fig5a_frontrunning.format_result(fig5a_result))
+    fig5b_config = fig5b_robustness.Fig5bConfig(
+        num_nodes=n_attack, trials=max(trials // 2, 4), seed=seed
     )
+    if use_runner:
+        fig5b_result, _ = fig5b_robustness.run_parallel(
+            fig5b_config, jobs=jobs, results_dir=_store_dir("fig5b"), resume=resume
+        )
+    else:
+        fig5b_result = fig5b_robustness.run(fig5b_config, env=env_attack)
+    sections.append(fig5b_robustness.format_result(fig5b_result))
     header = (
         "HERMES reproduction — full experiment report\n"
         f"(environments: N={n_main} main, N={n_attack} attack sweeps; "
@@ -113,7 +140,7 @@ def generate_report(
     return header + "\n\n".join(sections) + "\n"
 
 
-def main() -> None:  # pragma: no cover - CLI entry point
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI entry
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller, faster run")
     parser.add_argument("--seed", type=int, default=0)
@@ -123,9 +150,37 @@ def main() -> None:  # pragma: no cover - CLI entry point
         help="instrument the Fig. 3a runs; write a JSONL trace here and the "
         "metrics/profile manifest next to it (.manifest.json)",
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run the sweep-shaped figures (3a/3b/5a/5b) across this many "
+        "worker processes via repro.runner",
+    )
+    parser.add_argument(
+        "--results-dir",
+        metavar="DIR",
+        help="content-addressed result store for the sweep-shaped figures; "
+        "enables --resume across invocations",
+    )
+    parser.add_argument(
+        "--no-resume",
+        dest="resume",
+        action="store_false",
+        help="re-execute sweep cells even when the store already has them",
+    )
+    args = parser.parse_args(argv)
     obs = Observability.enabled(profile=True) if args.trace else None
-    print(generate_report(quick=args.quick, seed=args.seed, obs=obs))
+    print(
+        generate_report(
+            quick=args.quick,
+            seed=args.seed,
+            obs=obs,
+            jobs=args.jobs,
+            results_dir=args.results_dir,
+            resume=args.resume,
+        )
+    )
     if obs is not None:
         records = obs.write_trace(args.trace)
         manifest_path = manifest_path_for(args.trace)

@@ -127,9 +127,12 @@ def _run_bracha(
     latencies: list[float] = []
     for sequence in range(config.transactions):
         origin = rng.choice(members)
+        # Each broadcast is an independent repetition: start it on a clean
+        # simulator so sequence s cannot leak pending events into s+1.
+        simulator.reset()
         network.stats.record_dissemination_start(("rbc", sequence), simulator.now)
         nodes[origin].broadcast(sequence, f"tx-{sequence}")
-        simulator.run(until_ms=config.horizon_ms * (sequence + 1))
+        simulator.run(until_ms=config.horizon_ms)
     for sequence in range(config.transactions):
         latencies.extend(network.stats.delivery_latencies(("rbc", sequence)))
     return network.stats, latencies

@@ -12,11 +12,26 @@ from dataclasses import dataclass, field
 
 from ..crypto.hashing import hash_bytes
 
-__all__ = ["Transaction", "TX_SIZE_BYTES"]
+__all__ = ["Transaction", "TX_SIZE_BYTES", "reset_tx_ids"]
 
 TX_SIZE_BYTES = 250
 
 _tx_counter = itertools.count()
+
+
+def reset_tx_ids(start: int = 0) -> None:
+    """Rewind the global transaction-id counter.
+
+    Transaction ids feed ``digest()`` and therefore the TRS overlay draw, so
+    a run's measurements depend on the counter state it started from.  The
+    sweep runner (:mod:`repro.runner`) resets the counter before every run,
+    making each cell a pure function of its parameters regardless of what
+    else executed in the same process.  Only call this between *independent*
+    simulations — ids must stay unique within one running system.
+    """
+
+    global _tx_counter
+    _tx_counter = itertools.count(start)
 
 
 @dataclass(frozen=True, slots=True)

@@ -13,13 +13,25 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Message", "ENVELOPE_OVERHEAD_BYTES"]
+__all__ = ["Message", "ENVELOPE_OVERHEAD_BYTES", "reset_message_ids"]
 
 # Fixed per-message overhead (headers, kind tag, sender id) used when sizing
 # messages for bandwidth accounting.
 ENVELOPE_OVERHEAD_BYTES = 40
 
 _message_counter = itertools.count()
+
+
+def reset_message_ids(start: int = 0) -> None:
+    """Rewind the global message-id counter (independent runs only).
+
+    See :func:`repro.mempool.transaction.reset_tx_ids`; the sweep runner
+    resets both counters before every run so cell results never depend on
+    process history.
+    """
+
+    global _message_counter
+    _message_counter = itertools.count(start)
 
 
 @dataclass(slots=True)

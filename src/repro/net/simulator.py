@@ -126,3 +126,20 @@ class Simulator:
         """Drop all pending events (used between experiment repetitions)."""
 
         self._queue.clear()
+
+    def reset(self) -> None:
+        """Return the simulator to its just-constructed state.
+
+        Drops pending events AND rewinds the clock, the event counter and the
+        tie-breaking sequence, so the next repetition starts at ``t = 0`` with
+        deterministic ordering — unlike :meth:`clear`, which keeps the clock
+        where the previous run left it.  Rejected mid-run: callbacks must not
+        reset the machine that is executing them.
+        """
+
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._queue.clear()
+        self._now = 0.0
+        self._sequence = itertools.count()
+        self.events_processed = 0

@@ -1,0 +1,92 @@
+"""Folding stored run records into experiment-shaped outputs.
+
+The executor and store deliberately know nothing about what a task measures;
+this module is the bridge back to the shapes the figure scripts and report
+already consume: :class:`~repro.net.stats.LatencySummary` per group, mean
+scalars per group, grids keyed by swept parameters.
+
+Grouping is by *parameter value*: ``group_records(records, "protocol")``
+buckets records by ``spec.params["protocol"]``, so the aggregation mirrors
+exactly how the sweep was declared.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..net.stats import LatencySummary, summarize_latencies
+from .store import RunRecord
+
+__all__ = [
+    "group_records",
+    "latency_summaries",
+    "mean_by_group",
+    "merged_latencies",
+]
+
+
+def _param(record: Mapping[str, Any], key: str) -> Any:
+    return record["spec"]["params"].get(key)
+
+
+def group_records(
+    records: Iterable[RunRecord | Mapping[str, Any]], *keys: str
+) -> dict[tuple, list[RunRecord]]:
+    """Bucket successful records by the values of the given spec parameters.
+
+    Returns ``{(value, ...): [record, ...]}`` with the records of each bucket
+    in input order.  Failed records are excluded — aggregation only ever sees
+    completed measurements.
+    """
+
+    if not keys:
+        raise ValueError("group_records needs at least one parameter name")
+    grouped: dict[tuple, list[RunRecord]] = defaultdict(list)
+    for record in records:
+        record = RunRecord(record)
+        if not record.ok:
+            continue
+        grouped[tuple(_param(record, key) for key in keys)].append(record)
+    return dict(grouped)
+
+
+def merged_latencies(records: Iterable[RunRecord | Mapping[str, Any]]) -> list[float]:
+    """Concatenate the ``latencies`` lists of every successful record."""
+
+    out: list[float] = []
+    for record in records:
+        record = RunRecord(record)
+        if record.ok:
+            out.extend(record.result.get("latencies", ()))
+    return out
+
+
+def latency_summaries(
+    records: Iterable[RunRecord | Mapping[str, Any]], key: str = "protocol"
+) -> dict[Any, LatencySummary]:
+    """Per-group latency summaries from each record's ``latencies`` list.
+
+    This folds stored cells into the same :class:`LatencySummary` values an
+    in-process run computes from ``NetworkStats.latency_summary()`` — the
+    populations are identical, so the statistics are too.
+    """
+
+    return {
+        group[0]: summarize_latencies(merged_latencies(bucket))
+        for group, bucket in group_records(records, key).items()
+    }
+
+
+def mean_by_group(
+    records: Iterable[RunRecord | Mapping[str, Any]],
+    value_key: str,
+    *group_keys: str,
+) -> dict[tuple, float]:
+    """Mean of ``result[value_key]`` per bucket of the given spec parameters."""
+
+    out: dict[tuple, float] = {}
+    for group, bucket in group_records(records, *group_keys).items():
+        values: Sequence[float] = [record.result[value_key] for record in bucket]
+        out[group] = sum(values) / len(values)
+    return out

@@ -1,0 +1,200 @@
+"""``python -m repro sweep`` — run ad-hoc parameter sweeps from the shell.
+
+Two modes:
+
+* ``--task NAME`` with repeated ``--set key=v1,v2,...`` flags builds a
+  cartesian grid over the given axes and submits it to
+  :func:`repro.runner.run_sweep`::
+
+      python -m repro sweep --task dissemination \\
+          --set protocol=hermes,lzero --set seed=0,1,2 \\
+          --jobs 4 --results-dir results/adhoc
+
+* ``--figure fig3a|fig3b|fig5a|fig5b`` submits the corresponding figure
+  script's repetition grid and prints the figure table::
+
+      python -m repro sweep --figure fig5a --jobs 4 --results-dir results/f5a
+
+With ``--results-dir`` every completed cell lands as one JSON record in a
+content-addressed store, and re-invoking the same sweep resumes: finished
+cells are loaded instead of re-executed (disable with ``--no-resume``).
+See ``docs/runner.md`` for the concepts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any
+
+from ..errors import ConfigurationError, ReproError
+
+__all__ = ["main", "parse_axis"]
+
+_FIGURES = ("fig3a", "fig3b", "fig5a", "fig5b")
+
+
+def parse_axis(text: str) -> tuple[str, list[Any]]:
+    """``"key=v1,v2"`` → ``("key", [v1, v2])`` with JSON-typed values.
+
+    Each value is decoded as JSON when possible (``3`` → int, ``0.5`` →
+    float, ``true`` → bool) and kept as a bare string otherwise, so
+    ``--set protocol=hermes,lzero --set seed=0,1`` does what it reads as.
+    """
+
+    key, sep, rest = text.partition("=")
+    key = key.strip()
+    if not sep or not key or not rest:
+        raise ConfigurationError(
+            f"bad --set {text!r}: expected key=value[,value...]"
+        )
+    values: list[Any] = []
+    for raw in rest.split(","):
+        raw = raw.strip()
+        try:
+            values.append(json.loads(raw))
+        except json.JSONDecodeError:
+            values.append(raw)
+    return key, values
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    what = parser.add_mutually_exclusive_group()
+    what.add_argument("--task", help="registered task name (see --list-tasks)")
+    what.add_argument(
+        "--figure", choices=_FIGURES,
+        help="submit a figure script's repetition grid instead of an ad-hoc task",
+    )
+    what.add_argument(
+        "--list-tasks", action="store_true", help="print registered tasks and exit"
+    )
+    parser.add_argument(
+        "--set", dest="axes", metavar="KEY=V1[,V2...]", action="append", default=[],
+        help="one grid axis; repeat for a cartesian product (task mode only)",
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1 = serial)")
+    parser.add_argument(
+        "--results-dir", metavar="DIR",
+        help="content-addressed result store; enables resume across invocations",
+    )
+    parser.add_argument(
+        "--no-resume", dest="resume", action="store_false",
+        help="re-execute cells even when the store already has their records",
+    )
+    parser.add_argument("--timeout", type=float, metavar="SECONDS", help="per-run timeout")
+    parser.add_argument(
+        "--retries", type=int, default=2, help="requeue attempts after a worker crash (default 2)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (figure mode)")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller, faster figure configuration (figure mode)",
+    )
+    return parser
+
+
+def _figure_config(figure: str, *, seed: int, quick: bool):
+    """The (module, config) pair behind a ``--figure`` invocation."""
+
+    if figure == "fig3a":
+        from ..experiments import fig3a_latency as module
+
+        config = module.Fig3aConfig(
+            num_nodes=80 if quick else 200, transactions=4 if quick else 10, seed=seed
+        )
+    elif figure == "fig3b":
+        from ..experiments import fig3b_bandwidth as module
+
+        config = module.Fig3bConfig(num_nodes=80 if quick else 200, seed=seed)
+    elif figure == "fig5a":
+        from ..experiments import fig5a_frontrunning as module
+
+        config = module.Fig5aConfig(
+            num_nodes=60 if quick else 150, trials=6 if quick else 20, seed=seed
+        )
+    elif figure == "fig5b":
+        from ..experiments import fig5b_robustness as module
+
+        config = module.Fig5bConfig(
+            num_nodes=60 if quick else 150, trials=4 if quick else 10, seed=seed
+        )
+    else:  # pragma: no cover - argparse's choices guard this
+        raise ConfigurationError(f"unknown figure {figure!r}")
+    return module, config
+
+
+def _run_figure(args: argparse.Namespace) -> None:
+    module, config = _figure_config(args.figure, seed=args.seed, quick=args.quick)
+    result, report = module.run_parallel(
+        config,
+        jobs=args.jobs,
+        results_dir=args.results_dir,
+        resume=args.resume,
+        timeout_s=args.timeout,
+    )
+    print(report.summary_line())
+    print(module.format_result(result))
+
+
+def _run_task(args: argparse.Namespace) -> None:
+    from . import ResultStore, SweepSpec, latency_summaries, run_sweep
+
+    grid: dict[str, list[Any]] = {}
+    for axis in args.axes:
+        key, values = parse_axis(axis)
+        if key in grid:
+            raise ConfigurationError(f"duplicate --set axis {key!r}")
+        grid[key] = values
+    sweep = SweepSpec(task=args.task, grid=grid)
+    store = ResultStore(args.results_dir) if args.results_dir else None
+    report = run_sweep(
+        sweep,
+        store=store,
+        jobs=args.jobs,
+        resume=args.resume,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    print(report.summary_line())
+    for record in report.records:
+        if not record.ok:
+            print(f"  FAILED {record['spec']['params']}: {record.get('error')}")
+    summaries = latency_summaries(report.records)
+    for protocol in sorted(summaries, key=str):
+        s = summaries[protocol]
+        if protocol is None or s.count == 0:
+            continue
+        print(
+            f"  {protocol}: mean {s.mean:.2f} ms, "
+            f"p5 {s.p5:.2f} ms, p95 {s.p95:.2f} ms (n={s.count})"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.list_tasks:
+            from . import task_names
+
+            for name in task_names():
+                print(name)
+            return 0
+        if args.figure:
+            _run_figure(args)
+            return 0
+        if not args.task:
+            parser.error("one of --task, --figure or --list-tasks is required")
+        _run_task(args)
+        return 0
+    except ReproError as exc:
+        parser.exit(2, f"error: {exc}\n")
+        return 2  # pragma: no cover - parser.exit raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,342 @@
+"""The sweep executor: serial or process-pool execution of run specs.
+
+Execution model
+---------------
+Every run is an independent, fully seeded simulation cell, so the executor
+can schedule them in any order on any number of workers without changing a
+single result.  ``jobs=1`` runs everything in-process (the debugging
+fallback — breakpoints and print statements behave normally); ``jobs>1``
+fans runs out over a ``spawn`` process pool.  Workers receive only
+``(task name, params)`` pairs and look the task up in
+:mod:`repro.runner.tasks` after a fresh import, so nothing unpicklable ever
+crosses the process boundary.  Each worker process keeps the
+:func:`~repro.experiments.harness.build_environment` memo cache it
+accumulates, so the expensive overlay construction is paid once per distinct
+environment per worker, not once per run.
+
+Fault handling
+--------------
+* A task that *raises* fails deterministically: the error is recorded once
+  and never retried (re-running a deterministic function cannot help).
+* A run that exceeds ``timeout_s`` is interrupted (SIGALRM, in the worker
+  that owns it) and recorded as an error.
+* A *worker crash* (segfault, OOM kill, ``os._exit``) breaks the pool; the
+  executor rebuilds it and requeues the runs that were in flight, each at
+  most ``retries`` times, then records the survivors as failed.
+
+Resume
+------
+With a persistent :class:`~repro.runner.store.ResultStore` and
+``resume=True`` (the default), runs whose records already exist are never
+re-executed — an interrupted sweep continues where it stopped, and a
+completed sweep re-invoked with the same specs executes nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import ConfigurationError, SweepExecutionError
+from .spec import RunSpec, SweepSpec
+from .store import MemoryStore, ResultStore, RunRecord
+from .tasks import get_task
+
+__all__ = ["SweepReport", "run_sweep"]
+
+ProgressFn = Callable[[RunRecord, int, int], None]
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one :func:`run_sweep` invocation.
+
+    ``records`` holds one record per requested (deduplicated) spec, in
+    request order — freshly executed and resumed-from-store alike — so
+    aggregation code never needs to know how a sweep was scheduled.
+    """
+
+    executed: int = 0
+    skipped: int = 0
+    failed: int = 0
+    wall_seconds: float = 0.0
+    records: list[RunRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def results(self) -> list[Any]:
+        """The task return values of every successful run, in request order."""
+
+        return [record.result for record in self.records if record.ok]
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.total} runs: {self.executed} executed, "
+            f"{self.skipped} resumed, {self.failed} failed "
+            f"({self.wall_seconds:.1f}s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Single-run execution (shared by the serial path and pool workers)
+# ----------------------------------------------------------------------
+
+
+class _RunTimeout(SweepExecutionError):
+    """Internal: a run exceeded its per-run wall-clock budget."""
+
+
+def _alarm_supported() -> bool:
+    # SIGALRM only exists on POSIX and only fires in a process's main
+    # thread; pool workers execute tasks on their main thread, so this holds
+    # everywhere except exotic embedding scenarios.
+    return hasattr(signal, "SIGALRM") and (
+        threading.current_thread() is threading.main_thread()
+    )
+
+
+def _reset_global_counters() -> None:
+    """Start every run from pristine global id-counter state.
+
+    Transaction ids feed the TRS digest (and thus the overlay draw), so a
+    cell's measurements would otherwise depend on what else happened to run
+    in the same process first.  Resetting before each run makes every record
+    a pure function of its spec — the invariant behind the serial-vs-parallel
+    byte-identity guarantee.
+    """
+
+    from ..mempool.transaction import reset_tx_ids
+    from ..net.events import reset_message_ids
+
+    reset_tx_ids()
+    reset_message_ids()
+
+
+def _execute_record(spec: RunSpec, timeout_s: float | None) -> RunRecord:
+    """Run one spec to completion and wrap the outcome in a record.
+
+    Task exceptions are captured as ``status="error"`` records rather than
+    raised: a failing cell must not abort the sweep around it.
+    """
+
+    task = get_task(spec.task)
+    _reset_global_counters()
+    use_alarm = timeout_s is not None and timeout_s > 0 and _alarm_supported()
+    previous_handler = None
+    if use_alarm:
+
+        def _on_alarm(signum, frame):
+            raise _RunTimeout(f"run exceeded timeout of {timeout_s:g}s")
+
+        previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        result = task(dict(spec.params))
+    except _RunTimeout as exc:
+        return RunRecord.build(spec, status="error", error=str(exc))
+    except Exception as exc:  # noqa: BLE001 - captured into the record
+        return RunRecord.build(
+            spec, status="error", error=f"{type(exc).__name__}: {exc}"
+        )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+    return RunRecord.build(spec, result=result)
+
+
+def _worker_execute(spec_doc: dict, timeout_s: float | None) -> dict:
+    """Pool-worker entry point: plain dicts in, plain dict out."""
+
+    record = _execute_record(RunSpec.from_json(spec_doc), timeout_s)
+    return dict(record)
+
+
+# ----------------------------------------------------------------------
+# The sweep driver
+# ----------------------------------------------------------------------
+
+
+def _normalize_specs(specs: SweepSpec | Iterable[RunSpec]) -> list[RunSpec]:
+    expanded = specs.expand() if isinstance(specs, SweepSpec) else list(specs)
+    if not expanded:
+        raise ConfigurationError("run_sweep needs at least one RunSpec")
+    unique: dict[str, RunSpec] = {}
+    for spec in expanded:
+        if not isinstance(spec, RunSpec):
+            raise ConfigurationError(f"expected RunSpec, got {type(spec).__name__}")
+        unique.setdefault(spec.spec_hash, spec)
+    return list(unique.values())
+
+
+def _ensure_importable_pythonpath() -> None:
+    """Make sure spawn children can ``import repro``.
+
+    Spawned workers re-import this module from scratch; when the library is
+    used straight from a source tree (``PYTHONPATH=src``), the child only
+    inherits what the environment carries.  Prepending the package's own
+    parent directory to ``PYTHONPATH`` covers source-tree, editable and
+    installed layouts alike.
+    """
+
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    current = os.environ.get("PYTHONPATH", "")
+    parts = current.split(os.pathsep) if current else []
+    if package_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([package_root, *parts])
+
+
+def run_sweep(
+    specs: SweepSpec | Iterable[RunSpec],
+    *,
+    store: ResultStore | MemoryStore | None = None,
+    jobs: int = 1,
+    resume: bool = True,
+    timeout_s: float | None = None,
+    retries: int = 2,
+    progress: ProgressFn | None = None,
+) -> SweepReport:
+    """Execute every spec, skipping completed ones, and report all records.
+
+    Parameters
+    ----------
+    specs: a :class:`SweepSpec` (expanded in grid order) or any iterable of
+        :class:`RunSpec`; duplicate cells are executed once.
+    store: where records live.  ``None`` means a throwaway in-memory store
+        (nothing to resume from later).
+    jobs: worker processes; ``1`` (default) executes serially in-process.
+    resume: skip cells whose records already exist in *store*.
+    timeout_s: per-run wall-clock budget, enforced inside the executing
+        process; a timed-out run is recorded as an error.
+    retries: how many times a run may be requeued after a *worker crash*
+        before being recorded as failed (deterministic task errors are never
+        retried).
+    progress: optional callback ``(record, done, total)`` invoked as each
+        run finishes (including resumed ones, with their stored records).
+    """
+
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    ordered = _normalize_specs(specs)
+    if store is None:
+        store = MemoryStore()
+
+    started = time.perf_counter()
+    report = SweepReport()
+    by_hash: dict[str, RunRecord] = {}
+    pending: list[RunSpec] = []
+    if resume:
+        for spec in ordered:
+            record = store.load(spec)
+            if record is not None and record.ok:
+                by_hash[spec.spec_hash] = record
+            else:
+                pending.append(spec)
+        report.skipped = len(ordered) - len(pending)
+    else:
+        pending = list(ordered)
+
+    done_count = len(ordered) - len(pending)
+    total = len(ordered)
+    if progress is not None:
+        for spec in ordered:
+            if spec.spec_hash in by_hash:
+                progress(by_hash[spec.spec_hash], done_count, total)
+
+    def finish(record: RunRecord) -> None:
+        nonlocal done_count
+        by_hash[record["spec_hash"]] = record
+        store.save(record)
+        report.executed += 1
+        if not record.ok:
+            report.failed += 1
+        done_count += 1
+        if progress is not None:
+            progress(record, done_count, total)
+
+    if pending:
+        if jobs == 1:
+            for spec in pending:
+                finish(_execute_record(spec, timeout_s))
+        else:
+            _run_parallel(pending, jobs, timeout_s, retries, finish)
+
+    report.records = [by_hash[spec.spec_hash] for spec in ordered]
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def _run_parallel(
+    pending: Sequence[RunSpec],
+    jobs: int,
+    timeout_s: float | None,
+    retries: int,
+    finish: Callable[[RunRecord], None],
+) -> None:
+    """Fan *pending* out over a spawn pool, rebuilding it after crashes."""
+
+    _ensure_importable_pythonpath()
+    context = get_context("spawn")
+    queue = deque(pending)
+    attempts: dict[str, int] = {}
+    while queue:
+        batch = list(queue)
+        queue.clear()
+        requeued: list[RunSpec] = []
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            future_to_spec = {
+                pool.submit(_worker_execute, spec.to_json(), timeout_s): spec
+                for spec in batch
+            }
+            outstanding = set(future_to_spec)
+            broken = False
+            while outstanding:
+                finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec = future_to_spec[future]
+                    try:
+                        doc = future.result()
+                    except BrokenExecutor:
+                        broken = True
+                        count = attempts.get(spec.spec_hash, 0) + 1
+                        attempts[spec.spec_hash] = count
+                        if count > retries:
+                            finish(
+                                RunRecord.build(
+                                    spec,
+                                    status="error",
+                                    error=(
+                                        "worker crashed and retry budget "
+                                        f"exhausted after {count} attempts"
+                                    ),
+                                    attempts=count,
+                                )
+                            )
+                        else:
+                            requeued.append(spec)
+                    except Exception as exc:  # unpicklable result etc.
+                        finish(
+                            RunRecord.build(
+                                spec,
+                                status="error",
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                    else:
+                        finish(RunRecord(doc))
+                if broken:
+                    # The pool is unusable; everything still outstanding
+                    # comes back as BrokenExecutor on the next wait() pass.
+                    continue
+        queue.extend(requeued)

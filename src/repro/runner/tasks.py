@@ -1,0 +1,205 @@
+"""The task registry: named, spawn-safe run functions.
+
+A *task* is a module-level function ``params -> JSON-serializable result``
+registered under a stable name.  Workers receive only ``(task name, params)``
+across the process boundary and look the function up in this registry after
+importing it fresh, which is what makes the executor spawn-safe: nothing
+unpicklable ever travels to a worker.
+
+Tasks must be deterministic functions of their parameters — every seed they
+consume has to be part of ``params`` — because the result store addresses
+records by the content hash of exactly those parameters.
+
+Built-in tasks:
+
+``dissemination``
+    One protocol disseminating a transaction workload over a generated
+    network, optionally under a byzantine fault plan.  The general-purpose
+    cell for ad-hoc ``python -m repro sweep`` grids.
+``fig3a.protocol`` / ``fig3b.protocol`` / ``fig5a.trial`` / ``fig5b.trial``
+    The repetition cells of the corresponding figure scripts (see each
+    ``repro.experiments.fig*`` module's ``run_cell``).
+``selftest.*``
+    Tiny diagnostic tasks (echo / sleep / crash) used by the harness's own
+    tests and by operators validating a new results directory.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Mapping
+
+from ..errors import ConfigurationError
+
+__all__ = ["register_task", "get_task", "task_names", "dissemination"]
+
+TaskFn = Callable[[Mapping[str, Any]], Any]
+
+_REGISTRY: dict[str, TaskFn] = {}
+
+
+def register_task(name: str) -> Callable[[TaskFn], TaskFn]:
+    """Register a task function under *name* (decorator)."""
+
+    def decorate(fn: TaskFn) -> TaskFn:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"task {name!r} is already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def get_task(name: str) -> TaskFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown task {name!r}; known tasks: {', '.join(task_names())}"
+        )
+
+
+def task_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# General-purpose dissemination cell
+# ----------------------------------------------------------------------
+
+
+@register_task("dissemination")
+def dissemination(params: Mapping[str, Any]) -> dict[str, Any]:
+    """One protocol run: workload of transactions, optional fault fraction.
+
+    Parameters (all JSON scalars; defaults in parentheses): ``protocol``
+    ('hermes'), ``num_nodes`` (60), ``f`` (1), ``k`` (4), ``transactions``
+    (3), ``horizon_ms`` (6000), ``fault_fraction`` (0.0), ``behavior``
+    ('drop-relay'), ``seed`` (0).
+
+    Returns the raw per-run measurements the aggregation layer folds:
+    delivery latencies, setup overheads, honest coverage, bandwidth.
+    """
+
+    from ..experiments.harness import build_environment, protocol_factories
+    from ..mempool.transaction import Transaction
+    from ..net.faults import Behavior, FaultPlan
+    from ..utils.rng import derive_rng
+
+    protocol = str(params.get("protocol", "hermes"))
+    num_nodes = int(params.get("num_nodes", 60))
+    f = int(params.get("f", 1))
+    k = int(params.get("k", 4))
+    transactions = int(params.get("transactions", 3))
+    horizon_ms = float(params.get("horizon_ms", 6_000.0))
+    fault_fraction = float(params.get("fault_fraction", 0.0))
+    behavior = Behavior(str(params.get("behavior", "drop-relay")))
+    seed = int(params.get("seed", 0))
+
+    env = build_environment(num_nodes=num_nodes, f=f, k=k, seed=seed)
+    factories = protocol_factories(env)
+    if protocol not in factories:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; choose from {sorted(factories)}"
+        )
+    nodes = env.physical.nodes()
+    rng = derive_rng(seed, "runner-dissemination", protocol)
+    origins = [rng.choice(nodes) for _ in range(transactions)]
+    plan = (
+        FaultPlan.random_fraction(
+            nodes, fault_fraction, behavior, seed=seed, protected=tuple(origins)
+        )
+        if fault_fraction > 0
+        else None
+    )
+    system = factories[protocol](plan)
+    system.start()
+    items = []
+    for origin in origins:
+        tx = Transaction.create(origin=origin, created_at=0.0)
+        items.append(tx.tx_id)
+        system.submit(origin, tx)
+    system.run(until_ms=horizon_ms)
+
+    stats = system.stats
+    honest = plan.honest_nodes(nodes) if plan is not None else list(nodes)
+    coverages = []
+    for item in items:
+        delivered = set(stats.deliveries.get(item, {}))
+        coverages.append(
+            sum(1 for n in honest if n in delivered) / len(honest) if honest else 0.0
+        )
+    return {
+        "protocol": protocol,
+        "latencies": stats.all_delivery_latencies(),
+        "setup_overheads": stats.setup_overheads(),
+        "coverage": sum(coverages) / len(coverages) if coverages else 0.0,
+        "total_bytes": stats.total_bytes(),
+        "kb_per_minute": stats.bandwidth_kb_per_minute(horizon_ms),
+        "messages_dropped": stats.messages_dropped,
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure repetition cells (implemented next to their figure scripts; the
+# lazy imports keep `repro.runner` importable without pulling in the whole
+# experiments package, and avoid an import cycle with the fig modules'
+# own `run_parallel` entry points).
+# ----------------------------------------------------------------------
+
+
+@register_task("fig3a.protocol")
+def _fig3a_protocol(params: Mapping[str, Any]) -> dict[str, Any]:
+    from ..experiments import fig3a_latency
+
+    return fig3a_latency.run_cell(params)
+
+
+@register_task("fig3b.protocol")
+def _fig3b_protocol(params: Mapping[str, Any]) -> dict[str, Any]:
+    from ..experiments import fig3b_bandwidth
+
+    return fig3b_bandwidth.run_cell(params)
+
+
+@register_task("fig5a.trial")
+def _fig5a_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    from ..experiments import fig5a_frontrunning
+
+    return fig5a_frontrunning.run_cell(params)
+
+
+@register_task("fig5b.trial")
+def _fig5b_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    from ..experiments import fig5b_robustness
+
+    return fig5b_robustness.run_cell(params)
+
+
+# ----------------------------------------------------------------------
+# Diagnostic tasks (harness self-tests)
+# ----------------------------------------------------------------------
+
+
+@register_task("selftest.echo")
+def _selftest_echo(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Return the parameters unchanged (pipeline smoke test)."""
+
+    return dict(params)
+
+
+@register_task("selftest.sleep")
+def _selftest_sleep(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Sleep ``seconds`` then echo (exercises per-run timeouts)."""
+
+    seconds = float(params.get("seconds", 0.0))
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+@register_task("selftest.crash")
+def _selftest_crash(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Kill the executing process outright (exercises crash retry)."""
+
+    os._exit(int(params.get("code", 17)))

@@ -1,0 +1,110 @@
+"""Integration: the sweep runner's parallel execution and resume guarantees.
+
+The acceptance bar for the runner subsystem:
+
+* a seeded sweep produces **byte-identical** per-run records under
+  ``jobs=1`` and ``jobs=4`` — scheduling must not leak into results;
+* re-invoking a completed sweep with ``resume=True`` executes **zero** new
+  runs while reproducing the same aggregate report;
+* a crashing worker is retried up to the budget and then recorded as a
+  failure instead of hanging or aborting the sweep.
+
+Spawn pools are slow to start, so the grids here are tiny (N=30, a few
+transactions); the properties under test are scheduling properties, not
+statistics, and do not need large runs.
+"""
+
+import pytest
+
+from repro.runner import (
+    ResultStore,
+    RunSpec,
+    SweepSpec,
+    latency_summaries,
+    run_sweep,
+)
+
+# One small but non-trivial grid: two protocols x two seeds, with faults on
+# one axis so the FaultPlan path is exercised through the workers too.
+SWEEP = SweepSpec(
+    task="dissemination",
+    base={"num_nodes": 30, "f": 1, "k": 2, "transactions": 2, "horizon_ms": 4_000.0},
+    grid={
+        "protocol": ["hermes", "lzero"],
+        "seed": [0, 1],
+        "fault_fraction": [0.0, 0.2],
+    },
+)
+
+
+def _store_bytes(store: ResultStore) -> dict[str, bytes]:
+    return {path.name: path.read_bytes() for path in sorted(store.root.glob("*.json"))}
+
+
+class TestSerialParallelIdentity:
+    def test_jobs1_and_jobs4_write_identical_records(self, tmp_path):
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+
+        serial = run_sweep(SWEEP, store=serial_store, jobs=1)
+        parallel = run_sweep(SWEEP, store=parallel_store, jobs=4)
+
+        assert serial.failed == 0 and parallel.failed == 0
+        assert serial.executed == parallel.executed == len(SWEEP) == 8
+
+        serial_bytes = _store_bytes(serial_store)
+        parallel_bytes = _store_bytes(parallel_store)
+        assert set(serial_bytes) == set(parallel_bytes)
+        assert serial_bytes == parallel_bytes  # byte-for-byte identical
+
+        # Records come back in request order on both paths.
+        order = [r["spec_hash"] for r in serial.records]
+        assert order == [r["spec_hash"] for r in parallel.records]
+
+    def test_resume_executes_nothing_and_reproduces_aggregates(self, tmp_path):
+        store = ResultStore(tmp_path / "resumable")
+        first = run_sweep(SWEEP, store=store, jobs=4)
+        assert first.executed == len(SWEEP) and first.failed == 0
+        before = _store_bytes(store)
+        first_summaries = latency_summaries(first.records)
+
+        again = run_sweep(SWEEP, store=store, jobs=4)
+        assert again.executed == 0
+        assert again.skipped == len(SWEEP)
+        assert _store_bytes(store) == before  # nothing rewritten
+        assert latency_summaries(again.records) == first_summaries
+
+    def test_interrupted_sweep_continues_where_it_stopped(self, tmp_path):
+        store = ResultStore(tmp_path / "partial")
+        cells = SWEEP.expand()
+        # Simulate an interruption: only the first half completed.
+        head = run_sweep(cells[: len(cells) // 2], store=store, jobs=1)
+        assert head.executed == len(cells) // 2
+
+        finished = run_sweep(SWEEP, store=store, jobs=4)
+        assert finished.skipped == len(cells) // 2
+        assert finished.executed == len(cells) - len(cells) // 2
+        assert finished.failed == 0
+        assert len(store) == len(cells)
+
+
+class TestWorkerCrashes:
+    def test_crash_exhausts_retries_and_is_recorded(self, tmp_path):
+        store = ResultStore(tmp_path / "crashes")
+        spec = RunSpec(task="selftest.crash", params={"code": 17})
+        report = run_sweep([spec], store=store, jobs=2, retries=1)
+        assert report.failed == 1
+        record = report.records[0]
+        assert not record.ok
+        assert "worker crashed" in record["error"]
+        assert record["attempts"] == 2  # initial try + one retry
+
+    def test_healthy_runs_survive_a_crashing_neighbour(self, tmp_path):
+        store = ResultStore(tmp_path / "mixed")
+        specs = [
+            RunSpec(task="selftest.echo", params={"x": i}) for i in range(4)
+        ] + [RunSpec(task="selftest.crash", params={"code": 17})]
+        report = run_sweep(specs, store=store, jobs=2, retries=1)
+        assert report.failed == 1
+        ok = [r for r in report.records if r.ok]
+        assert sorted(r.result["x"] for r in ok) == [0, 1, 2, 3]

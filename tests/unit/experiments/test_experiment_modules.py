@@ -40,6 +40,29 @@ class TestHarness:
         assert config.num_overlays == 3
         assert not config.gossip_fallback_enabled
 
+    def test_min_degree_is_part_of_the_cache_key(self):
+        # Regression: min_degree changes the generated topology, so two calls
+        # differing only in min_degree must not alias to one cached entry.
+        sparse = build_environment(num_nodes=24, f=1, k=2, seed=5, min_degree=2)
+        dense = build_environment(num_nodes=24, f=1, k=2, seed=5, min_degree=6)
+        assert sparse is not dense
+        degree_of = lambda env: min(
+            len(env.physical.neighbors(n)) for n in env.physical.nodes()
+        )
+        assert degree_of(sparse) < degree_of(dense)
+        # Same min_degree still hits the cache.
+        assert build_environment(num_nodes=24, f=1, k=2, seed=5, min_degree=2) is sparse
+
+    def test_clear_environment_cache(self):
+        from repro.experiments.harness import clear_environment_cache
+
+        first = build_environment(num_nodes=24, f=1, k=2, seed=6)
+        assert build_environment(num_nodes=24, f=1, k=2, seed=6) is first
+        clear_environment_cache()
+        rebuilt = build_environment(num_nodes=24, f=1, k=2, seed=6)
+        assert rebuilt is not first
+        assert rebuilt.physical.num_nodes == first.physical.num_nodes
+
 
 class TestFig2:
     def test_rows_and_shape(self):
@@ -69,6 +92,26 @@ class TestFig3a:
         assert result.setup_overhead_ms["mercury"] == 0
         text = fig3a_latency.format_result(result)
         assert "Fig. 3a" in text
+
+
+class TestFig3aSweep:
+    def test_run_parallel_serial_and_resume(self, env, tmp_path):
+        config = fig3a_latency.Fig3aConfig(
+            num_nodes=40, f=1, k=3, transactions=3, horizon_ms=6_000, seed=1
+        )
+        result, report = fig3a_latency.run_parallel(
+            config, jobs=1, results_dir=str(tmp_path)
+        )
+        assert report.executed == 4 and report.failed == 0
+        assert set(result.summaries) == {"hermes", "lzero", "narwhal", "mercury"}
+        assert all(s.count > 0 for s in result.summaries.values())
+
+        again, again_report = fig3a_latency.run_parallel(
+            config, jobs=1, results_dir=str(tmp_path)
+        )
+        assert again_report.executed == 0 and again_report.skipped == 4
+        assert again.summaries == result.summaries
+        assert again.setup_overhead_ms == result.setup_overhead_ms
 
 
 class TestFig3b:

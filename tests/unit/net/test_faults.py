@@ -52,3 +52,84 @@ class TestFaultPlan:
     def test_zero_fraction(self):
         plan = FaultPlan.random_fraction(list(range(10)), 0.0, Behavior.CRASH)
         assert plan.count() == 0
+
+
+class TestRandomFractionEdgeCases:
+    """The ⌊n/3⌋ cap, the protected pool and seed stability interact."""
+
+    def test_cap_floors_not_rounds(self):
+        # n = 10 → cap is floor(10/3) = 3, even though 0.33 * 10 rounds to 3
+        # and 0.4 * 10 would request 4.
+        plan = FaultPlan.random_fraction(list(range(10)), 0.4, Behavior.CRASH, seed=0)
+        assert plan.count() == 3
+
+    def test_requested_fraction_below_cap_wins(self):
+        nodes = list(range(90))  # cap = 30
+        plan = FaultPlan.random_fraction(nodes, 0.1, Behavior.CRASH, seed=0)
+        assert plan.count() == 9  # round(0.1 * 90), nowhere near the cap
+
+    def test_cap_is_zero_for_tiny_networks(self):
+        for n in (1, 2):
+            plan = FaultPlan.random_fraction(
+                list(range(n)), 1.0, Behavior.CRASH, seed=0
+            )
+            assert plan.count() == 0
+
+    def test_cap_uses_total_nodes_not_eligible_pool(self):
+        # Protecting nodes shrinks the *eligible* pool but the §IV bound is
+        # over the whole network: cap stays floor(9/3) = 3.
+        nodes = list(range(9))
+        plan = FaultPlan.random_fraction(
+            nodes, 1.0, Behavior.CRASH, seed=0, protected=[0, 1, 2, 3]
+        )
+        assert plan.count() == 3
+        assert not any(plan.is_byzantine(p) for p in (0, 1, 2, 3))
+
+    def test_eligible_pool_smaller_than_target(self):
+        # Everyone but one node protected: only that node can be corrupted.
+        nodes = list(range(30))
+        plan = FaultPlan.random_fraction(
+            nodes, 0.33, Behavior.DROP_RELAY, seed=0, protected=list(range(29))
+        )
+        assert plan.byzantine_nodes() == [29]
+
+    def test_all_nodes_protected_yields_honest_plan(self):
+        nodes = list(range(12))
+        plan = FaultPlan.random_fraction(
+            nodes, 0.33, Behavior.CRASH, seed=0, protected=nodes
+        )
+        assert plan.count() == 0
+
+    def test_protected_never_corrupted_at_the_cap(self):
+        # Requested count exceeds the cap, and the protected nodes would be
+        # attractive picks: across many seeds they must still never appear.
+        nodes = list(range(30))
+        protected = (0, 7, 29)
+        for seed in range(25):
+            plan = FaultPlan.random_fraction(
+                nodes, 1.0, Behavior.DROP_RELAY, seed=seed, protected=protected
+            )
+            assert plan.count() == 10
+            assert set(plan.byzantine_nodes()).isdisjoint(protected)
+
+    def test_same_seed_same_plan_across_behaviors_differs(self):
+        # The seed stream is labelled by behavior, so equal seeds give equal
+        # plans only for equal behaviors.
+        nodes = list(range(60))
+        a = FaultPlan.random_fraction(nodes, 0.2, Behavior.CRASH, seed=3)
+        b = FaultPlan.random_fraction(nodes, 0.2, Behavior.CRASH, seed=3)
+        c = FaultPlan.random_fraction(nodes, 0.2, Behavior.DROP_RELAY, seed=3)
+        assert a.byzantine_nodes() == b.byzantine_nodes()
+        assert a.byzantine_nodes() != c.byzantine_nodes()
+
+    def test_different_seeds_differ(self):
+        nodes = list(range(60))
+        plans = {
+            tuple(
+                FaultPlan.random_fraction(
+                    nodes, 0.2, Behavior.CRASH, seed=s
+                ).byzantine_nodes()
+            )
+            for s in range(8)
+        }
+        assert len(plans) > 1

@@ -102,3 +102,61 @@ class TestRun:
         simulator.schedule(1.0, lambda: None)
         simulator.clear()
         assert simulator.pending_events() == 0
+
+    def test_clear_keeps_the_clock(self):
+        simulator = Simulator()
+        simulator.schedule(3.0, lambda: None)
+        simulator.run()
+        simulator.clear()
+        assert simulator.now == 3.0
+
+
+class TestReset:
+    def test_reset_restores_constructed_state(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.run()
+        simulator.schedule(5.0, lambda: None)  # left pending
+        simulator.reset()
+        assert simulator.now == 0.0
+        assert simulator.pending_events() == 0
+        assert simulator.events_processed == 0
+
+    def test_reset_rewinds_tie_break_sequence(self):
+        # After a reset, same-time events must replay in the same order a
+        # fresh simulator would produce — the sequence counter restarts too.
+        def ordering(simulator):
+            order = []
+            for label in ("a", "b", "c"):
+                simulator.schedule(1.0, lambda label=label: order.append(label))
+            simulator.run()
+            return order
+
+        simulator = Simulator()
+        first = ordering(simulator)
+        simulator.reset()
+        assert ordering(simulator) == first == ["a", "b", "c"]
+
+    def test_reset_allows_rescheduling_at_time_zero(self):
+        simulator = Simulator()
+        simulator.run(until_ms=100.0)
+        simulator.reset()
+        seen = []
+        simulator.schedule_at(1.0, lambda: seen.append(simulator.now))
+        simulator.run()
+        assert seen == [1.0]
+
+    def test_reset_rejected_mid_run(self):
+        simulator = Simulator()
+        failures = []
+
+        def try_reset():
+            try:
+                simulator.reset()
+            except SimulationError:
+                failures.append(True)
+
+        simulator.schedule(0.0, try_reset)
+        simulator.run()
+        assert failures == [True]

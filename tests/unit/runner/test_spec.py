@@ -1,0 +1,110 @@
+"""Unit tests for run/sweep specifications and content hashing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import RunSpec, SweepSpec, canonical_json, spec_hash
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_fixed_separators(self):
+        assert canonical_json({"a": [1, 2]}) == '{"a":[1,2]}'
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"fn": lambda: None})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"x": float("nan")})
+
+
+class TestSpecHash:
+    def test_stable_across_param_order(self):
+        a = spec_hash("t", {"x": 1, "y": 2})
+        b = spec_hash("t", {"y": 2, "x": 1})
+        assert a == b
+
+    def test_known_value_is_pinned(self):
+        # The hash is a storage address: changing the hashing scheme silently
+        # orphans every existing results directory, so pin one known vector.
+        assert (
+            spec_hash("selftest.echo", {"x": 1})
+            == "d1eaef95f2a67db7d666e9183e15bb8ac4c41921fa9cbccf92ee0e3f727492a5"
+        )
+
+    def test_task_and_params_both_matter(self):
+        base = spec_hash("t", {"x": 1})
+        assert spec_hash("u", {"x": 1}) != base
+        assert spec_hash("t", {"x": 2}) != base
+
+
+class TestRunSpec:
+    def test_hash_matches_function(self):
+        spec = RunSpec(task="t", params={"x": 1})
+        assert spec.spec_hash == spec_hash("t", {"x": 1})
+
+    def test_params_copied_not_aliased(self):
+        params = {"x": 1}
+        spec = RunSpec(task="t", params=params)
+        params["x"] = 99
+        assert spec.params["x"] == 1
+
+    def test_bad_params_fail_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(task="t", params={"obj": object()})
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunSpec(task="")
+
+    def test_json_round_trip(self):
+        spec = RunSpec(task="t", params={"x": 1, "name": "a"})
+        again = RunSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash == spec.spec_hash
+
+    def test_equality_and_set_membership(self):
+        a = RunSpec(task="t", params={"x": 1})
+        b = RunSpec(task="t", params={"x": 1})
+        c = RunSpec(task="t", params={"x": 2})
+        assert a == b and a != c
+        assert len({a, b, c}) == 2
+
+
+class TestSweepSpec:
+    def test_expansion_order_last_axis_fastest(self):
+        sweep = SweepSpec(
+            task="t", grid={"p": ["a", "b"], "s": [0, 1]}
+        )
+        cells = [(spec.params["p"], spec.params["s"]) for spec in sweep]
+        assert cells == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_base_merged_and_overridden_by_grid(self):
+        sweep = SweepSpec(task="t", base={"n": 10, "s": 99}, grid={"s": [0, 1]})
+        cells = sweep.expand()
+        assert all(spec.params["n"] == 10 for spec in cells)
+        assert [spec.params["s"] for spec in cells] == [0, 1]
+
+    def test_len_is_grid_product(self):
+        sweep = SweepSpec(task="t", grid={"a": [1, 2, 3], "b": [1, 2]})
+        assert len(sweep) == 6
+        assert len(sweep.expand()) == 6
+
+    def test_empty_grid_is_single_base_cell(self):
+        sweep = SweepSpec(task="t", base={"x": 1})
+        cells = sweep.expand()
+        assert len(cells) == 1
+        assert cells[0].params == {"x": 1}
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(task="t", grid={"a": []})
+
+    def test_expansion_is_deterministic(self):
+        sweep = SweepSpec(task="t", grid={"a": [1, 2], "b": ["x", "y"]})
+        hashes = [spec.spec_hash for spec in sweep.expand()]
+        assert hashes == [spec.spec_hash for spec in sweep.expand()]
