@@ -11,6 +11,7 @@ Top-level convenience re-exports. The subpackages are:
 - :mod:`repro.mempool` — transactions, mempools, block ordering
 - :mod:`repro.baselines` — L-zero, Narwhal, Mercury, gossip, simple tree
 - :mod:`repro.attacks` — front-running and censorship adversaries
+- :mod:`repro.chaos` — fault-injection campaigns with online invariant checking
 - :mod:`repro.obs` — structured observability: tracing, metrics, profiling
 - :mod:`repro.runner` — parallel sweep engine with a content-addressed result cache
 - :mod:`repro.experiments` — one module per paper table/figure
@@ -29,6 +30,7 @@ __version__ = "1.0.0"
 _SUBPACKAGES = (
     "attacks",
     "baselines",
+    "chaos",
     "core",
     "crypto",
     "experiments",

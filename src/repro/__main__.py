@@ -3,7 +3,9 @@
 ``python -m repro [report options]`` runs the full paper-reproduction
 report (see :mod:`repro.experiments.report`); ``python -m repro sweep ...``
 runs ad-hoc parameter sweeps through :mod:`repro.runner` (see
-``python -m repro sweep --help`` and ``docs/runner.md``).
+``python -m repro sweep --help`` and ``docs/runner.md``); ``python -m repro
+chaos ...`` runs fault-injection campaigns with online invariant checking
+(see ``python -m repro chaos --help`` and ``docs/chaos.md``).
 """
 
 import sys
@@ -16,6 +18,10 @@ def main(argv: list[str] | None = None) -> int:
         from .runner.cli import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from .chaos.cli import main as chaos_main
+
+        return chaos_main(argv[1:])
     from .experiments.report import main as report_main
 
     report_main(argv)

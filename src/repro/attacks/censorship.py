@@ -23,6 +23,10 @@ class CensorshipResult:
     malicious_fraction: float
     honest_nodes: int
     reached: int
+    #: :meth:`~repro.core.accountability.ViolationLog.summary` of the evidence
+    #: the run produced, when the protocol keeps a violation log (HERMES);
+    #: None for unaccountable baselines.
+    violation_summary: dict | None = None
 
     @property
     def coverage(self) -> float:
@@ -56,8 +60,12 @@ def run_censorship_trial(
     honest = plan.honest_nodes(node_ids)
     delivered = set(system.stats.deliveries.get(tx.tx_id, {}))
     reached = sum(1 for node in honest if node in delivered)
+    violation_log = getattr(system, "violation_log", None)
     return CensorshipResult(
         malicious_fraction=malicious_fraction,
         honest_nodes=len(honest),
         reached=reached,
+        violation_summary=(
+            violation_log.summary() if violation_log is not None else None
+        ),
     )

@@ -47,6 +47,10 @@ class FrontRunResult:
     observation_time: float | None
     victim_arrival_at_proposer: float | None
     adversarial_arrival_at_proposer: float | None
+    #: :meth:`~repro.core.accountability.ViolationLog.summary` of the evidence
+    #: the run produced, when the protocol keeps a violation log (HERMES);
+    #: None for unaccountable baselines.
+    violation_summary: dict | None = None
 
     @property
     def attack_launched(self) -> bool:
@@ -187,6 +191,7 @@ def run_front_running_trial(
             return None
         return proposer_node.mempool.arrival_time(tx_id)
 
+    violation_log = getattr(system, "violation_log", None)
     return FrontRunResult(
         verdict=verdict,
         attacker=trial.attacker,
@@ -194,5 +199,8 @@ def run_front_running_trial(
         victim_arrival_at_proposer=arrival(victim_tx.tx_id),
         adversarial_arrival_at_proposer=arrival(
             trial.adversarial_tx.tx_id if trial.adversarial_tx else None
+        ),
+        violation_summary=(
+            violation_log.summary() if violation_log is not None else None
         ),
     )

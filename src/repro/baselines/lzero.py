@@ -79,8 +79,9 @@ class LZeroNode(BaselineNode):
         self._forward(tx)
 
     def on_start(self) -> None:
-        if self.behavior is Behavior.CRASH:
-            return
+        # The loop runs even for crashed nodes (each round no-ops while the
+        # node is down) so a chaos recovery resumes reconciliation without
+        # rewiring; see the matching pattern in HermesNode.on_start.
         first = self.config.reconcile_period_ms * (1 + self.rng.random())
         self.schedule(first, self._reconcile_round)
 
@@ -111,6 +112,10 @@ class LZeroNode(BaselineNode):
     # -- reconciliation ----------------------------------------------------
 
     def _reconcile_round(self) -> None:
+        if self.behavior is Behavior.CRASH:
+            # Down: no snapshot, no sends, no rng draws — just keep ticking.
+            self.schedule(self.config.reconcile_period_ms, self._reconcile_round)
+            return
         self.commitment_history.append((self.now, self.mempool.known_ids()))
         if self.partners and self.behavior is not Behavior.DROP_RELAY:
             partner = self.rng.choice(self.partners)

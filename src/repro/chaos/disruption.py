@@ -1,0 +1,102 @@
+"""Time-windowed link disruption: partitions, latency spikes, loss windows.
+
+The :class:`LinkDisruptor` is consulted by :meth:`repro.net.node.Network.send`
+once per transmission (when installed); it answers with a
+:class:`LinkVerdict` — drop the message, or stretch its latency.  Windows are
+registered up front by the chaos compiler, so a run's disruption schedule is
+part of the deterministic record.
+
+Randomness discipline: the disruptor owns a dedicated derived RNG that is
+*only* drawn from while a loss window is active.  Scenarios without loss
+windows therefore consume zero extra randomness, and every other component's
+stream is untouched either way.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["LinkVerdict", "LinkDisruptor"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkVerdict:
+    """What happens to one transmission: dropped, or delayed by a factor."""
+
+    dropped: bool = False
+    latency_factor: float = 1.0
+
+
+_PASS = LinkVerdict()
+
+
+class LinkDisruptor:
+    """Evaluates active fault windows for each (src, dst, now) transmission."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        # (start_ms, end_ms, isolated node group): messages crossing the
+        # group boundary are dropped while the window is active.
+        self._partitions: list[tuple[float, float, frozenset[int]]] = []
+        self._latency: list[tuple[float, float, float]] = []
+        self._loss: list[tuple[float, float, float]] = []
+        # Deterministic counters for the chaos report.
+        self.dropped_by_partition = 0
+        self.dropped_by_loss = 0
+
+    # -- window registration (compile time) ------------------------------
+
+    def add_partition(self, start_ms: float, end_ms: float, group: frozenset[int]) -> None:
+        self._check(start_ms, end_ms)
+        self._partitions.append((start_ms, end_ms, frozenset(group)))
+
+    def add_latency_spike(self, start_ms: float, end_ms: float, factor: float) -> None:
+        self._check(start_ms, end_ms)
+        if factor < 1.0:
+            raise ConfigurationError(f"latency factor must be >= 1, got {factor}")
+        self._latency.append((start_ms, end_ms, factor))
+
+    def add_loss_window(
+        self, start_ms: float, end_ms: float, probability: float
+    ) -> None:
+        self._check(start_ms, end_ms)
+        if not 0.0 < probability < 1.0:
+            raise ConfigurationError(
+                f"loss probability must be in (0, 1), got {probability}"
+            )
+        self._loss.append((start_ms, end_ms, probability))
+
+    @staticmethod
+    def _check(start_ms: float, end_ms: float) -> None:
+        if end_ms <= start_ms:
+            raise ConfigurationError(
+                f"window must end after it starts ({start_ms} -> {end_ms})"
+            )
+
+    # -- evaluation (per transmission) -----------------------------------
+
+    def apply(self, src: int, dst: int, now: float) -> LinkVerdict:
+        """The fate of a message sent from *src* to *dst* at time *now*.
+
+        Windows are half-open ``[start, end)``: a message sent at the heal
+        instant already passes.
+        """
+
+        for start, end, group in self._partitions:
+            if start <= now < end and (src in group) != (dst in group):
+                self.dropped_by_partition += 1
+                return LinkVerdict(dropped=True)
+        for start, end, probability in self._loss:
+            if start <= now < end and self._rng.random() < probability:
+                self.dropped_by_loss += 1
+                return LinkVerdict(dropped=True)
+        factor = 1.0
+        for start, end, spike in self._latency:
+            if start <= now < end:
+                factor *= spike
+        if factor == 1.0:
+            return _PASS
+        return LinkVerdict(latency_factor=factor)

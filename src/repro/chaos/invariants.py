@@ -1,0 +1,618 @@
+"""Online protocol invariant checking for chaos campaigns.
+
+The :class:`InvariantSuite` watches a running system through the network's
+``on_send`` / ``on_receive`` taps plus periodic audit events on the simulator,
+and checks four invariants while the scenario unfolds:
+
+``sequence-uniqueness``
+    No two distinct transactions ever travel under the same ``(origin,
+    sequence)`` claim — the no-duplicate-delivery-per-sequence-number
+    guarantee the TRS provides in HERMES.
+``accountability``
+    Every observed deviation is attributed to the deviating node and no
+    honest node is ever accused.  The suite contributes its own evidence:
+    the global auditor accuses ``RELAY_OMISSION`` when a node provably
+    received an item it owed its successors (witnessed *pre-loss* at the
+    sender side, so packet loss can never frame anyone) yet forwarded it to
+    none of them, or sat on legitimate receipts without delivering (crash).
+    ``SEQUENCE_GAP`` entries are tallied separately as *suspicions*: a
+    partitioned run can starve an honest origin's audit window, so gaps
+    never count as accusations here.
+``delivery-liveness``
+    Every workload transaction reaches ``min_coverage`` of the eligible
+    (never-deviant) nodes within the scenario's deadline — the gossip
+    fallback is what makes this hold under fault densities beyond ``f``.
+``overlay-connectivity``
+    While at most ``f`` nodes are crashed/censoring, every overlay still
+    reaches all of its non-faulty members (probed periodically).  Beyond
+    ``f`` the probe degrades to an informational reachability metric.
+
+Why witnessing *sends* is sound: honest relays forward synchronously inside
+the delivery callback, and ``on_send`` fires before loss is sampled.  So by
+the time any later audit event runs, an honest node's forwards are already on
+record — a node with a duty receipt and zero matching sends chose not to
+forward.  The per-protocol :class:`DutyAdapter` decides what constitutes a
+duty receipt (HERMES: an overlay-legitimate envelope; L∅: the partner-gossip
+copy that first delivered the transaction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..core.accountability import (
+    AUDITOR_REPORTER,
+    Violation,
+    ViolationKind,
+    ViolationLog,
+)
+from ..net.events import Message
+from ..net.faults import Behavior, TimelineFaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..overlay.base import Overlay
+
+__all__ = [
+    "InvariantViolation",
+    "InvariantResult",
+    "DutyAdapter",
+    "HermesDutyAdapter",
+    "LZeroDutyAdapter",
+    "NullDutyAdapter",
+    "InvariantSuite",
+    "adapter_for",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantViolation:
+    """One failed invariant check."""
+
+    invariant: str
+    time_ms: float
+    detail: str
+    node: int | None = None
+    item: int | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "time_ms": self.time_ms,
+            "detail": self.detail,
+            "node": self.node,
+            "item": self.item,
+        }
+
+
+class InvariantResult:
+    """Accumulated outcome of one invariant across the run."""
+
+    def __init__(self, name: str, applicable: bool = True) -> None:
+        self.name = name
+        self.applicable = applicable
+        self.checks = 0
+        self.violations: list[InvariantViolation] = []
+
+    @property
+    def status(self) -> str:
+        if not self.applicable:
+            return "n/a"
+        return "fail" if self.violations else "pass"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "checks": self.checks,
+            "violations": [v.to_json() for v in self.violations],
+        }
+
+
+# ----------------------------------------------------------------------
+# Duty adapters
+# ----------------------------------------------------------------------
+
+
+class DutyAdapter:
+    """Protocol-specific answers to "who owed what to whom"."""
+
+    name = "null"
+    #: Whether the relay-accountability and sequence invariants apply at all.
+    accountable = False
+
+    def sent_tx_ids(self, message: Message) -> tuple[int, ...]:
+        """Transaction ids whose *forwarding duty* this send discharges."""
+
+        return ()
+
+    def duty_receipt(
+        self, src: int, dst: int, message: Message
+    ) -> tuple[int, Any] | None:
+        """``(tx_id, duty_key)`` when this arrival creates a forwarding duty
+        candidate at *dst*, else None.  Only protocol-legitimate receipts of
+        workload transactions qualify — forged or misaddressed traffic never
+        creates duties (that is what keeps honest nodes unaccusable)."""
+
+        return None
+
+    def duty_targets(self, dst: int, duty_key: Any) -> Sequence[int]:
+        return ()
+
+    def has_censorship_duty(
+        self,
+        dst: int,
+        receipts: Sequence[tuple[float, int, Any]],
+        delivery_ms: float | None,
+    ) -> bool:
+        """Did *dst* owe a forward, given its receipts and delivery time?"""
+
+        return False
+
+    def is_excluded(self, dst: int, src: int) -> bool:
+        """Whether *dst* legitimately refuses traffic from *src*."""
+
+        return False
+
+    def sequence_claim(self, message: Message) -> tuple[tuple[int, int], int] | None:
+        """``((origin, sequence), tx_id)`` asserted by this send, if any."""
+
+        return None
+
+    def overlays(self) -> "list[Overlay] | None":
+        """The certified overlay family, when connectivity probes apply."""
+
+        return None
+
+
+class HermesDutyAdapter(DutyAdapter):
+    """HERMES duties: forward overlay-legitimate envelopes to successors."""
+
+    name = "hermes"
+    accountable = True
+
+    def __init__(self, system, workload_ids: Iterable[int]) -> None:
+        from ..core.dissemination import DISSEMINATE_KIND
+
+        self._kind = DISSEMINATE_KIND
+        self._system = system
+        self._workload = frozenset(workload_ids)
+        self._overlays = {o.overlay_id: o for o in system.overlays}
+
+    def sent_tx_ids(self, message: Message) -> tuple[int, ...]:
+        if message.kind != self._kind:
+            return ()
+        tx_id = message.payload.tx.tx_id
+        return (tx_id,) if tx_id in self._workload else ()
+
+    def duty_receipt(
+        self, src: int, dst: int, message: Message
+    ) -> tuple[int, Any] | None:
+        if message.kind != self._kind:
+            return None
+        envelope = message.payload
+        if envelope.tx.tx_id not in self._workload:
+            return None
+        overlay = self._overlays.get(envelope.overlay_id)
+        if overlay is None or not overlay.contains(dst):
+            return None
+        # Mirror the §VI-C predecessor-legitimacy check: entry points accept
+        # only from the origin; everyone else only from overlay predecessors.
+        if overlay.is_entry(dst):
+            if src != envelope.origin:
+                return None
+        elif src not in overlay.valid_senders(dst):
+            return None
+        if not overlay.successors.get(dst):
+            return None  # leaves owe nothing
+        return envelope.tx.tx_id, envelope.overlay_id
+
+    def duty_targets(self, dst: int, duty_key: Any) -> Sequence[int]:
+        overlay = self._overlays.get(duty_key)
+        if overlay is None:
+            return ()
+        return tuple(overlay.successors.get(dst, ()))
+
+    def has_censorship_duty(
+        self,
+        dst: int,
+        receipts: Sequence[tuple[float, int, Any]],
+        delivery_ms: float | None,
+    ) -> bool:
+        # Delivered the transaction and holds a legitimate overlay copy: an
+        # honest relay forwards that copy synchronously on arrival.
+        return delivery_ms is not None and bool(receipts)
+
+    def is_excluded(self, dst: int, src: int) -> bool:
+        return self._system.nodes[dst].monitor.is_excluded(src)
+
+    def sequence_claim(self, message: Message) -> tuple[tuple[int, int], int] | None:
+        if message.kind != self._kind:
+            return None
+        envelope = message.payload
+        return (envelope.origin, envelope.sequence), envelope.tx.tx_id
+
+    def overlays(self) -> "list[Overlay] | None":
+        return list(self._system.overlays)
+
+
+class LZeroDutyAdapter(DutyAdapter):
+    """L∅ duties: forward a transaction to every partner on first delivery."""
+
+    name = "lzero"
+    accountable = True
+
+    def __init__(self, system, workload_ids: Iterable[int]) -> None:
+        from ..baselines.lzero import LZERO_TX_KIND, LZERO_TXS_KIND
+
+        self._tx_kind = LZERO_TX_KIND
+        self._txs_kind = LZERO_TXS_KIND
+        self._system = system
+        self._workload = frozenset(workload_ids)
+
+    def sent_tx_ids(self, message: Message) -> tuple[int, ...]:
+        if message.kind != self._tx_kind:
+            return ()
+        tx_id = message.payload[0].tx_id
+        return (tx_id,) if tx_id in self._workload else ()
+
+    def duty_receipt(
+        self, src: int, dst: int, message: Message
+    ) -> tuple[int, Any] | None:
+        # Track both kinds of arrival: partner gossip ("tx") creates the
+        # forwarding duty, reconciliation pushes ("txs") only deliver — they
+        # are recorded so has_censorship_duty can tell the two apart when a
+        # delivery time matches.
+        if message.kind == self._tx_kind:
+            tx_id = message.payload[0].tx_id
+            if tx_id in self._workload:
+                return tx_id, "tx"
+        elif message.kind == self._txs_kind:
+            for tx in message.payload:
+                if tx.tx_id in self._workload:
+                    return tx.tx_id, "txs"
+        return None
+
+    def duty_targets(self, dst: int, duty_key: Any) -> Sequence[int]:
+        if duty_key != "tx":
+            return ()
+        return tuple(self._system.partners_of(dst))
+
+    def has_censorship_duty(
+        self,
+        dst: int,
+        receipts: Sequence[tuple[float, int, Any]],
+        delivery_ms: float | None,
+    ) -> bool:
+        # An honest L∅ node forwards exactly when an ``lzero-tx`` arrival is
+        # the one that first delivered the transaction.  Require the delivery
+        # instant to match a "tx" receipt and no other-kind receipt, so a
+        # same-instant reconciliation push can never frame an honest node.
+        if delivery_ms is None:
+            return False
+        tx_at_delivery = any(
+            t == delivery_ms and key == "tx" for t, _, key in receipts
+        )
+        other_at_delivery = any(
+            t == delivery_ms and key != "tx" for t, _, key in receipts
+        )
+        return tx_at_delivery and not other_at_delivery
+
+
+class NullDutyAdapter(DutyAdapter):
+    """Protocols without relay accountability (Narwhal, Mercury, gossip)."""
+
+    def __init__(self, system, workload_ids: Iterable[int]) -> None:
+        self._system = system
+
+
+_ADAPTERS = {
+    "hermes": HermesDutyAdapter,
+    "lzero": LZeroDutyAdapter,
+}
+
+
+def adapter_for(protocol: str, system, workload_ids: Iterable[int]) -> DutyAdapter:
+    """The duty adapter for *protocol* (a null adapter when none exists)."""
+
+    cls = _ADAPTERS.get(protocol, NullDutyAdapter)
+    return cls(system, workload_ids)
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+
+
+class InvariantSuite:
+    """Attaches to one system and checks the four chaos invariants online."""
+
+    def __init__(
+        self,
+        system,
+        plan: TimelineFaultPlan,
+        adapter: DutyAdapter,
+        violation_log: ViolationLog,
+        eligible_nodes: Sequence[int],
+        min_coverage: float = 1.0,
+        audit_period_ms: float = 500.0,
+        probe_period_ms: float = 1_000.0,
+        f: int = 1,
+    ) -> None:
+        self._system = system
+        self._plan = plan
+        self._adapter = adapter
+        self._log = violation_log
+        self._eligible = tuple(sorted(eligible_nodes))
+        self._min_coverage = min_coverage
+        self._audit_period_ms = audit_period_ms
+        self._probe_period_ms = probe_period_ms
+        self._f = f
+        self._obs = getattr(system, "obs", None)
+
+        # Evidence gathered by the taps.
+        self._sent: dict[tuple[int, int], set[int]] = {}
+        self._receipts: dict[tuple[int, int], list[tuple[float, int, Any]]] = {}
+        self._sequence_claims: dict[tuple[int, int], int] = {}
+        self._accused: set[tuple[int, int, str]] = set()
+        self._expected_detections: set[int] = set()
+
+        self.results = {
+            "sequence-uniqueness": InvariantResult(
+                "sequence-uniqueness", applicable=adapter.accountable
+            ),
+            "accountability": InvariantResult(
+                "accountability", applicable=adapter.accountable
+            ),
+            "delivery-liveness": InvariantResult("delivery-liveness"),
+            "overlay-connectivity": InvariantResult(
+                "overlay-connectivity", applicable=adapter.overlays() is not None
+            ),
+        }
+        #: Informational reachability timeline for probes beyond the f bound.
+        self.reachability: list[dict[str, Any]] = []
+        #: Per-transaction coverage measured at each liveness deadline.
+        self.liveness_coverage: dict[int, float] = {}
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, horizon_ms: float) -> None:
+        """Install the network taps and schedule the periodic audits."""
+
+        network = self._system.network
+        network.on_send = self._on_send
+        network.on_receive = self._on_receive
+        simulator = self._system.simulator
+        t = self._audit_period_ms
+        while t < horizon_ms:
+            simulator.schedule_at(t, self._audit_omissions)
+            t += self._audit_period_ms
+        if self._adapter.overlays() is not None:
+            t = self._probe_period_ms / 2
+            while t < horizon_ms:
+                simulator.schedule_at(t, self._probe_connectivity)
+                t += self._probe_period_ms
+
+    def expect_detection(self, node: int) -> None:
+        """Register a deviation (e.g. a forgery injection) that *must* end up
+        attributed to *node* by the end of the run."""
+
+        self._expected_detections.add(node)
+
+    def schedule_liveness_check(self, tx_id: int, deadline_ms: float) -> None:
+        self._system.simulator.schedule_at(
+            deadline_ms, lambda: self._check_liveness(tx_id)
+        )
+
+    # -- taps ------------------------------------------------------------
+
+    def _on_send(self, src: int, dst: int, message: Message, time_ms: float) -> None:
+        adapter = self._adapter
+        for tx_id in adapter.sent_tx_ids(message):
+            self._sent.setdefault((src, tx_id), set()).add(dst)
+        claim = adapter.sequence_claim(message)
+        if claim is not None:
+            key, tx_id = claim
+            result = self.results["sequence-uniqueness"]
+            known = self._sequence_claims.setdefault(key, tx_id)
+            result.checks += 1
+            if known != tx_id:
+                result.violations.append(
+                    InvariantViolation(
+                        invariant="sequence-uniqueness",
+                        time_ms=time_ms,
+                        detail=(
+                            f"sequence {key[1]} of origin {key[0]} claimed by "
+                            f"tx {known} and tx {tx_id}"
+                        ),
+                        node=src,
+                        item=tx_id,
+                    )
+                )
+
+    def _on_receive(self, src: int, dst: int, message: Message, time_ms: float) -> None:
+        receipt = self._adapter.duty_receipt(src, dst, message)
+        if receipt is not None:
+            tx_id, duty_key = receipt
+            self._receipts.setdefault((dst, tx_id), []).append(
+                (time_ms, src, duty_key)
+            )
+
+    # -- periodic audits -------------------------------------------------
+
+    def _audit_omissions(self) -> None:
+        """Accuse relays that provably sat on a forwarding duty.
+
+        Only evidence strictly older than *now* is audited: an honest relay's
+        forwards happen inside the delivery callback that created the duty,
+        so by any later audit event they are on record.
+        """
+
+        if not self._adapter.accountable:
+            return
+        now = self._system.simulator.now
+        adapter = self._adapter
+        deliveries = self._system.network.stats.deliveries
+        result = self.results["accountability"]
+        for (dst, tx_id), receipts in self._receipts.items():
+            past = [
+                r
+                for r in receipts
+                if r[0] < now and not adapter.is_excluded(dst, r[1])
+            ]
+            if not past:
+                continue
+            delivery_ms = deliveries.get(tx_id, {}).get(dst)
+            result.checks += 1
+            if delivery_ms is None:
+                # Legitimate receipts but no delivery: the node was down when
+                # they arrived (honest nodes deliver synchronously).
+                self._accuse(dst, tx_id, now, "unresponsive")
+                continue
+            duty_receipts = [r for r in past if adapter.duty_targets(dst, r[2])]
+            if not adapter.has_censorship_duty(dst, duty_receipts, delivery_ms):
+                continue
+            owed: set[int] = set()
+            for _, _, duty_key in duty_receipts:
+                owed.update(adapter.duty_targets(dst, duty_key))
+            if owed and not (self._sent.get((dst, tx_id), set()) & owed):
+                self._accuse(dst, tx_id, now, "silent censorship")
+
+    def _accuse(self, node: int, tx_id: int, now: float, rule: str) -> None:
+        if (node, tx_id, rule) in self._accused:
+            return
+        self._accused.add((node, tx_id, rule))
+        behavior = self._plan.behavior_at(node, now).value
+        self._log.record(
+            Violation(
+                kind=ViolationKind.RELAY_OMISSION,
+                accused=node,
+                reporter=AUDITOR_REPORTER,
+                time_ms=now,
+                detail=f"{rule}: tx {tx_id} (behavior at audit: {behavior})",
+            )
+        )
+        if self._obs is not None:
+            self._obs.event(
+                "chaos.accuse", node=node, tx_id=tx_id, rule=rule, behavior=behavior
+            )
+
+    def _probe_connectivity(self) -> None:
+        overlays = self._adapter.overlays()
+        if not overlays:
+            return
+        now = self._system.simulator.now
+        members = set(overlays[0].depth_of)
+        failed = {
+            n
+            for n in members
+            if self._plan.behavior_at(n, now)
+            in (Behavior.CRASH, Behavior.DROP_RELAY)
+        }
+        result = self.results["overlay-connectivity"]
+        fractions: list[float] = []
+        for overlay in overlays:
+            expected = set(overlay.depth_of) - failed
+            reached = overlay.reachable(failed) & expected
+            fractions.append(len(reached) / len(expected) if expected else 1.0)
+            if len(failed) <= self._f:
+                result.checks += 1
+                missing = expected - reached
+                if missing:
+                    result.violations.append(
+                        InvariantViolation(
+                            invariant="overlay-connectivity",
+                            time_ms=now,
+                            detail=(
+                                f"overlay {overlay.overlay_id} cut off "
+                                f"{len(missing)} nodes with |failed|="
+                                f"{len(failed)} <= f"
+                            ),
+                        )
+                    )
+        self.reachability.append(
+            {
+                "time_ms": now,
+                "failed": len(failed),
+                "min_fraction": round(min(fractions), 6) if fractions else 1.0,
+            }
+        )
+
+    def _check_liveness(self, tx_id: int) -> None:
+        now = self._system.simulator.now
+        delivered = set(self._system.network.stats.deliveries.get(tx_id, {}))
+        eligible = self._eligible
+        covered = sum(1 for n in eligible if n in delivered)
+        coverage = covered / len(eligible) if eligible else 1.0
+        self.liveness_coverage[tx_id] = round(coverage, 6)
+        result = self.results["delivery-liveness"]
+        result.checks += 1
+        if coverage < self._min_coverage:
+            missing = [n for n in eligible if n not in delivered]
+            result.violations.append(
+                InvariantViolation(
+                    invariant="delivery-liveness",
+                    time_ms=now,
+                    detail=(
+                        f"tx {tx_id} reached {coverage:.1%} of eligible nodes "
+                        f"by its deadline (need {self._min_coverage:.1%}); "
+                        f"missing {missing[:8]}"
+                    ),
+                    item=tx_id,
+                )
+            )
+
+    # -- finalization ----------------------------------------------------
+
+    def finalize(self) -> dict[str, Any]:
+        """Run the terminal audit and compute the accountability verdict."""
+
+        if self._adapter.accountable:
+            self._audit_omissions()
+        deviants = set(self._plan.deviant_nodes())
+        accusations = [
+            v for v in self._log.entries if v.kind is not ViolationKind.SEQUENCE_GAP
+        ]
+        gap_suspicions = [
+            v for v in self._log.entries if v.kind is ViolationKind.SEQUENCE_GAP
+        ]
+        accused = {v.accused for v in accusations}
+        false_accusations = sorted(accused - deviants)
+        observed = {n for n, _, _ in self._accused} | self._expected_detections
+        observed &= deviants
+        missed = sorted(observed - accused)
+        result = self.results["accountability"]
+        if self._adapter.accountable:
+            for node in false_accusations:
+                result.violations.append(
+                    InvariantViolation(
+                        invariant="accountability",
+                        time_ms=self._system.simulator.now,
+                        detail=f"honest node {node} was accused",
+                        node=node,
+                    )
+                )
+            for node in missed:
+                result.violations.append(
+                    InvariantViolation(
+                        invariant="accountability",
+                        time_ms=self._system.simulator.now,
+                        detail=(
+                            f"deviant node {node} had an observed deviation "
+                            "but no violation attributes it"
+                        ),
+                        node=node,
+                    )
+                )
+        attributed = sorted(accused & deviants)
+        return {
+            "deviants": sorted(deviants),
+            "observed_deviants": sorted(observed),
+            "attributed": attributed,
+            "missed": missed,
+            "false_accusations": false_accusations,
+            "attribution_rate": (
+                round(len(attributed) / len(observed), 6) if observed else 1.0
+            ),
+            "auditor_accusations": len(self._accused),
+            "sequence_gap_suspicions": len(gap_suspicions),
+        }

@@ -12,8 +12,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
-__all__ = ["ViolationKind", "Violation", "ViolationLog", "AccountabilityMonitor"]
+__all__ = [
+    "ViolationKind",
+    "Violation",
+    "ViolationLog",
+    "AccountabilityMonitor",
+    "AUDITOR_REPORTER",
+]
+
+#: Reporter id used by system-level auditors (e.g. the chaos invariant
+#: monitors) that are not protocol participants.  Node ids are non-negative,
+#: so the sentinel can never collide with a real reporter.
+AUDITOR_REPORTER = -1
 
 
 class ViolationKind(enum.Enum):
@@ -22,6 +34,11 @@ class ViolationKind(enum.Enum):
     ILLEGITIMATE_PREDECESSOR = "illegitimate-predecessor"
     SEQUENCE_GAP = "sequence-gap"
     EXCLUDED_SENDER = "excluded-sender"
+    # A relay received an item it was obliged to forward (it has successors /
+    # partners for it) yet provably sent it to none of them — the global
+    # auditor's stand-in for the paper's "tamper-proof evidence of each
+    # transmission path" exposing silent censorship.
+    RELAY_OMISSION = "relay-omission"
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,6 +69,32 @@ class ViolationLog:
 
     def accused_nodes(self) -> set[int]:
         return {v.accused for v in self.entries}
+
+    def summary(self) -> dict[str, Any]:
+        """A JSON-ready digest: counts by kind and accused, detection window.
+
+        ``by_kind`` / ``by_accused`` map kind values and accused node ids
+        (stringified, for JSON key stability) to entry counts;
+        ``first_detection_ms`` / ``last_detection_ms`` bound when evidence
+        appeared (None for an empty log).  Deterministic: keys are sorted, so
+        the same log always serializes to the same bytes.
+        """
+
+        by_kind: dict[str, int] = {}
+        by_accused: dict[str, int] = {}
+        for violation in self.entries:
+            by_kind[violation.kind.value] = by_kind.get(violation.kind.value, 0) + 1
+            key = str(violation.accused)
+            by_accused[key] = by_accused.get(key, 0) + 1
+        times = [v.time_ms for v in self.entries]
+        return {
+            "total": len(self.entries),
+            "by_kind": dict(sorted(by_kind.items())),
+            "by_accused": dict(sorted(by_accused.items(), key=lambda kv: int(kv[0]))),
+            "accused": sorted(self.accused_nodes()),
+            "first_detection_ms": min(times) if times else None,
+            "last_detection_ms": max(times) if times else None,
+        }
 
     def __len__(self) -> int:
         return len(self.entries)

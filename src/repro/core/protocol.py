@@ -382,6 +382,8 @@ class HermesNode(ProtocolNode):
             return
 
         def check_later() -> None:
+            if self.behavior is Behavior.CRASH:
+                return
             for missing in self.auditor.expired_gaps(origin, self.now):
                 key = (origin, missing)
                 if key not in self._flagged_gaps:
@@ -417,7 +419,7 @@ class HermesNode(ProtocolNode):
         """
 
         key = (tx_id, overlay_id)
-        if self.behavior is Behavior.DROP_RELAY:
+        if self.behavior in (Behavior.DROP_RELAY, Behavior.CRASH):
             return
         overlay = self.overlays.get(overlay_id)
         origin = self._ack_origin.get(key)
@@ -484,13 +486,21 @@ class HermesNode(ProtocolNode):
     # ------------------------------------------------------------------
 
     def on_start(self) -> None:
-        if not self.config.gossip_fallback_enabled or self.behavior is Behavior.CRASH:
+        if not self.config.gossip_fallback_enabled:
             return
-        # Stagger the first round to avoid a synchronized burst.
+        # Stagger the first round to avoid a synchronized burst.  The loop is
+        # scheduled even for crashed nodes: each round no-ops while the node
+        # is down (see _gossip_round), so a chaos recovery flips the node
+        # straight back into the reconciliation cadence without rewiring.
         first = self.config.gossip_fallback_delay_ms * (1 + self.rng.random())
         self.schedule(first, self._gossip_round)
 
     def _gossip_round(self) -> None:
+        if self.behavior is Behavior.CRASH:
+            # Down — keep the cadence ticking but touch nothing (no sends, no
+            # rng draws), so honest nodes' random streams are unaffected.
+            self.schedule(self.config.gossip_period_ms, self._gossip_round)
+            return
         peers = [n for n in self.network.node_ids() if n != self.node_id]
         fanout = min(self.config.gossip_fanout, len(peers))
         if fanout:

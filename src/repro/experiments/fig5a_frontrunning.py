@@ -13,7 +13,7 @@ Narwhal 10% → 51%, Mercury 25% → 70%.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..attacks.frontrun import run_front_running_trial
@@ -66,6 +66,10 @@ class Fig5aResult:
     config: Fig5aConfig
     # protocol -> fraction -> success rate in [0, 1]
     success_rates: dict[str, dict[float, float]]
+    # protocol -> fraction -> total ViolationLog entries across trials (0 for
+    # protocols without an accountability layer) — the evidence HERMES's
+    # monitors produced while resisting the attack.
+    violations: dict[str, dict[float, int]] = field(default_factory=dict)
 
     def rate(self, protocol: str, fraction: float) -> float:
         return self.success_rates[protocol][fraction]
@@ -93,11 +97,14 @@ def run(
     pairs = _trial_pairs(config, env)
 
     rates: dict[str, dict[float, float]] = {}
+    violations: dict[str, dict[float, int]] = {}
     for name in PROTOCOL_NAMES:
         factory = factories[name]
         rates[name] = {}
+        violations[name] = {}
         for fraction in config.fractions:
             wins = 0
+            evidence = 0
             for trial, (victim, proposer) in enumerate(pairs):
                 result = run_front_running_trial(
                     factory,
@@ -109,8 +116,11 @@ def run(
                     seed=_trial_seed(fraction, trial),
                 )
                 wins += result.verdict.attacker_won
+                if result.violation_summary is not None:
+                    evidence += result.violation_summary["total"]
             rates[name][fraction] = wins / config.trials
-    return Fig5aResult(config=config, success_rates=rates)
+            violations[name][fraction] = evidence
+    return Fig5aResult(config=config, success_rates=rates, violations=violations)
 
 
 def _trial_pairs(
@@ -195,6 +205,11 @@ def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
         "fraction": fraction,
         "trial": trial,
         "attacker_won": int(result.verdict.attacker_won),
+        "violations": (
+            result.violation_summary["total"]
+            if result.violation_summary is not None
+            else 0
+        ),
     }
 
 
@@ -204,6 +219,7 @@ def from_records(
     """Fold stored trial records back into per-(protocol, fraction) rates."""
 
     wins: dict[str, dict[float, int]] = {}
+    evidence: dict[str, dict[float, int]] = {}
     for record in records:
         if record.get("status") != "ok":
             continue
@@ -212,11 +228,16 @@ def from_records(
         by_fraction[result["fraction"]] = (
             by_fraction.get(result["fraction"], 0) + result["attacker_won"]
         )
+        # Records written before the violation column existed fold as zero.
+        counts = evidence.setdefault(result["protocol"], {})
+        counts[result["fraction"]] = counts.get(result["fraction"], 0) + result.get(
+            "violations", 0
+        )
     rates = {
         name: {fraction: count / config.trials for fraction, count in by_fraction.items()}
         for name, by_fraction in wins.items()
     }
-    return Fig5aResult(config=config, success_rates=rates)
+    return Fig5aResult(config=config, success_rates=rates, violations=evidence)
 
 
 def run_parallel(
@@ -252,15 +273,18 @@ def run_parallel(
 def format_result(result: Fig5aResult) -> str:
     fractions = result.config.fractions
     headers = ["protocol"] + [f"{f:.0%} malicious" for f in fractions] + [
-        "paper (10%→33%)"
+        "paper (10%→33%)",
+        "evidence",
     ]
     rows = []
     for name, by_fraction in result.success_rates.items():
         paper = PAPER_VALUES.get(name, {})
+        evidence = sum(result.violations.get(name, {}).values())
         rows.append(
             [name]
             + [f"{by_fraction[f]:.0%}" for f in fractions]
             + [f"{paper.get(0.10, 0):.0%}→{paper.get(0.33, 0):.0%}"]
+            + [str(evidence) if evidence else "-"]
         )
     return format_table(
         headers,

@@ -12,7 +12,7 @@ Narwhal 95% → 79%, Mercury 89% → 55%.
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..attacks.censorship import run_censorship_trial
@@ -71,6 +71,9 @@ class Fig5bResult:
     config: Fig5bConfig
     # protocol -> fraction -> mean honest coverage in [0, 1]
     coverage: dict[str, dict[float, float]]
+    # protocol -> fraction -> total ViolationLog entries across trials (0 for
+    # protocols without an accountability layer).
+    violations: dict[str, dict[float, int]] = field(default_factory=dict)
 
     def ordering_at(self, fraction: float) -> list[str]:
         """Protocols from most to least robust."""
@@ -95,11 +98,14 @@ def run(
     senders = _trial_senders(config, env)
 
     coverage: dict[str, dict[float, float]] = {}
+    violations: dict[str, dict[float, int]] = {}
     for name in PROTOCOL_NAMES:
         factory = factories[name]
         coverage[name] = {}
+        violations[name] = {}
         for fraction in config.fractions:
             trial_coverages = []
+            evidence = 0
             for trial, sender in enumerate(senders):
                 result = run_censorship_trial(
                     lambda plan: factory(plan),
@@ -110,8 +116,11 @@ def run(
                     seed=_trial_seed(fraction, trial),
                 )
                 trial_coverages.append(result.coverage)
+                if result.violation_summary is not None:
+                    evidence += result.violation_summary["total"]
             coverage[name][fraction] = statistics.mean(trial_coverages)
-    return Fig5bResult(config=config, coverage=coverage)
+            violations[name][fraction] = evidence
+    return Fig5bResult(config=config, coverage=coverage, violations=violations)
 
 
 def _trial_senders(config: Fig5bConfig, env: ExperimentEnvironment) -> list[int]:
@@ -186,6 +195,11 @@ def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
         "fraction": fraction,
         "trial": trial,
         "coverage": result.coverage,
+        "violations": (
+            result.violation_summary["total"]
+            if result.violation_summary is not None
+            else 0
+        ),
     }
 
 
@@ -195,12 +209,18 @@ def from_records(
     """Fold stored trial records back into mean coverage per cell."""
 
     samples: dict[str, dict[float, list[float]]] = {}
+    evidence: dict[str, dict[float, int]] = {}
     for record in records:
         if record.get("status") != "ok":
             continue
         result = record["result"]
         by_fraction = samples.setdefault(result["protocol"], {})
         by_fraction.setdefault(result["fraction"], []).append(result["coverage"])
+        # Records written before the violation column existed fold as zero.
+        counts = evidence.setdefault(result["protocol"], {})
+        counts[result["fraction"]] = counts.get(result["fraction"], 0) + result.get(
+            "violations", 0
+        )
     coverage = {
         name: {
             fraction: statistics.mean(values)
@@ -208,7 +228,7 @@ def from_records(
         }
         for name, by_fraction in samples.items()
     }
-    return Fig5bResult(config=config, coverage=coverage)
+    return Fig5bResult(config=config, coverage=coverage, violations=evidence)
 
 
 def run_parallel(
@@ -244,15 +264,18 @@ def run_parallel(
 def format_result(result: Fig5bResult) -> str:
     fractions = result.config.fractions
     headers = ["protocol"] + [f"{f:.0%} byzantine" for f in fractions] + [
-        "paper (10%→33%)"
+        "paper (10%→33%)",
+        "evidence",
     ]
     rows = []
     for name, by_fraction in result.coverage.items():
         paper = PAPER_VALUES.get(name, {})
+        evidence = sum(result.violations.get(name, {}).values())
         rows.append(
             [name]
             + [f"{by_fraction[f]:.1%}" for f in fractions]
             + [f"{paper.get(0.10, 0):.1%}→{paper.get(0.33, 0):.1%}"]
+            + [str(evidence) if evidence else "-"]
         )
     return format_table(
         headers,

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Iterable
 from ..errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> net.stats)
+    from ..chaos.disruption import LinkDisruptor
     from ..obs import Observability
 from ..utils.rng import derive_rng
 from .channel import LossModel
@@ -63,6 +64,17 @@ class Network:
         self.seed = seed
         self._nodes: dict[int, "ProtocolNode"] = {}
         self._rng = derive_rng(seed, "network")
+        # Chaos hooks (repro.chaos): an optional link disruptor consulted per
+        # transmission (partitions, latency spikes, loss windows) and an
+        # optional send listener used by the invariant monitors to witness
+        # forwarding *before* loss is sampled.  Both default to None and cost
+        # nothing when absent.
+        self.disruptor: "LinkDisruptor | None" = None
+        self.on_send: Callable[[int, int, Message, float], None] | None = None
+        # Fires at delivery time, just before the receiver processes the
+        # message — i.e. only for transmissions that survived loss and
+        # disruption.  on_send witnesses intent; on_receive witnesses arrival.
+        self.on_receive: Callable[[int, int, Message, float], None] | None = None
 
     # ------------------------------------------------------------------
     # Node management
@@ -117,11 +129,25 @@ class Network:
         if dst not in self._nodes:
             raise SimulationError(f"send to unknown node {dst}")
         wire = message.wire_size()
+        now = self.simulator.now
+        if self.on_send is not None:
+            self.on_send(src, dst, message, now)
         self.stats.record_send(src, dst, wire)
         obs = self.obs
         if obs is not None:
             obs.metrics.counter("net.messages.sent", kind=message.kind).inc()
             obs.metrics.counter("net.bytes.sent", kind=message.kind).inc(wire)
+        latency_factor = 1.0
+        if self.disruptor is not None:
+            verdict = self.disruptor.apply(src, dst, now)
+            if verdict.dropped:
+                self.stats.record_drop()
+                if obs is not None:
+                    obs.metrics.counter(
+                        "net.messages.disrupted", kind=message.kind
+                    ).inc()
+                return
+            latency_factor = verdict.latency_factor
         if self.loss_model.drops(self._rng):
             self.stats.record_drop()
             if obs is not None:
@@ -129,7 +155,9 @@ class Network:
                 obs.event("net.drop", src=src, dst=dst, kind=message.kind, bytes=wire)
             return
         delay = (
-            self.base_latency(src, dst) * self.loss_model.jitter_factor(self._rng)
+            self.base_latency(src, dst)
+            * latency_factor
+            * self.loss_model.jitter_factor(self._rng)
             + self.processing_delay_ms
         )
         if self.service_time_ms > 0:
@@ -141,7 +169,16 @@ class Network:
             if obs is not None:
                 obs.metrics.histogram("net.service.queue_ms").observe(start - arrival)
         receiver = self._nodes[dst]
-        self.simulator.schedule(delay, lambda: receiver.receive(src, message))
+        if self.on_receive is None:
+            self.simulator.schedule(delay, lambda: receiver.receive(src, message))
+        else:
+
+            def deliver() -> None:
+                if self.on_receive is not None:
+                    self.on_receive(src, dst, message, self.simulator.now)
+                receiver.receive(src, message)
+
+            self.simulator.schedule(delay, deliver)
 
     def multicast(self, src: int, dsts: Iterable[int], message: Message) -> None:
         """Send *message* to every destination (self is skipped)."""

@@ -133,8 +133,11 @@ class Simulator:
         Drops pending events AND rewinds the clock, the event counter and the
         tie-breaking sequence, so the next repetition starts at ``t = 0`` with
         deterministic ordering — unlike :meth:`clear`, which keeps the clock
-        where the previous run left it.  Rejected mid-run: callbacks must not
-        reset the machine that is executing them.
+        where the previous run left it.  An attached profiler stays attached
+        but its accumulated state is wiped, so back-to-back repetitions (e.g.
+        chaos campaigns) never leak wall-time attribution or queue samples
+        from one repetition into the next.  Rejected mid-run: callbacks must
+        not reset the machine that is executing them.
         """
 
         if self._running:
@@ -143,3 +146,5 @@ class Simulator:
         self._now = 0.0
         self._sequence = itertools.count()
         self.events_processed = 0
+        if self._profiler is not None:
+            self._profiler.clear()

@@ -193,6 +193,7 @@ class Tracer:
         self._next_seq = 0
         self.events_dropped = 0
         self.spans_dropped = 0
+        self._listeners: list[Callable[[TraceEvent], None]] = []
 
     # -- clock ----------------------------------------------------------
 
@@ -241,15 +242,38 @@ class Tracer:
         self._stack.append(span)
         return span
 
+    def detached_span(self, name: str, **attrs: Any) -> Span:
+        """Open a span that does NOT join the nesting stack.
+
+        Detached spans are for intervals that overlap arbitrarily instead of
+        nesting — chaos fault windows (a partition may outlive a latency
+        spike that started inside it), connection lifetimes, and the like.
+        They never become the parent of stack spans, and ending one leaves
+        the stack untouched.
+        """
+
+        span = Span(
+            tracer=self,
+            seq=self._take_seq(),
+            span_id=self._next_span_id,
+            parent_id=None,
+            name=name,
+            start_ms=self._clock(),
+            attrs=dict(attrs),
+        )
+        self._next_span_id += 1
+        return span
+
     def _finish(self, span: Span) -> None:
         span.end_ms = self._clock()
-        # Close any children left open (exception unwinding, explicit end()).
-        while self._stack and self._stack[-1] is not span:
-            dangling = self._stack.pop()
-            if dangling.end_ms is None:
-                dangling.end_ms = span.end_ms
-                self._store_span(dangling)
-        if self._stack and self._stack[-1] is span:
+        if span in self._stack:
+            # Close any children left open (exception unwinding, explicit
+            # end()); detached spans never sit on the stack and skip this.
+            while self._stack[-1] is not span:
+                dangling = self._stack.pop()
+                if dangling.end_ms is None:
+                    dangling.end_ms = span.end_ms
+                    self._store_span(dangling)
             self._stack.pop()
         self._store_span(span)
 
@@ -272,7 +296,26 @@ class Tracer:
         if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
             self.events_dropped += 1
         self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
         return event
+
+    # -- listeners --------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Call *listener* on every recorded event (online consumers, e.g.
+        the chaos invariant monitors).  Listeners must not record events or
+        spans themselves — that would recurse."""
+
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Detach a previously added listener (missing listeners are ignored)."""
+
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def _take_seq(self) -> int:
         seq = self._next_seq

@@ -177,6 +177,31 @@ def _fig5b_trial(params: Mapping[str, Any]) -> dict[str, Any]:
     return fig5b_robustness.run_cell(params)
 
 
+@register_task("chaos.run")
+def _chaos_run(params: Mapping[str, Any]) -> dict[str, Any]:
+    """One chaos campaign: a scenario against one protocol (see docs/chaos.md).
+
+    Parameters: ``scenario`` ('escalation' — a bundled name or a path to a
+    scenario JSON file), ``protocol`` ('hermes'), ``num_nodes`` (48), ``f``
+    (1), ``k`` (4), ``seed`` (0).  Returns the full
+    :class:`~repro.chaos.report.ChaosReport` as JSON — deterministic for a
+    given parameter set, so finished sweeps replay entirely from the store.
+    """
+
+    from ..chaos import get_scenario, run_chaos
+
+    scenario = get_scenario(str(params.get("scenario", "escalation")))
+    report = run_chaos(
+        scenario,
+        protocol=str(params.get("protocol", "hermes")),
+        num_nodes=int(params.get("num_nodes", 48)),
+        f=int(params.get("f", 1)),
+        k=int(params.get("k", 4)),
+        seed=int(params.get("seed", 0)),
+    )
+    return report.to_json()
+
+
 # ----------------------------------------------------------------------
 # Diagnostic tasks (harness self-tests)
 # ----------------------------------------------------------------------

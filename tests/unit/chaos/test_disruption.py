@@ -1,0 +1,70 @@
+"""LinkDisruptor window semantics."""
+
+import random
+
+import pytest
+
+from repro.chaos import LinkDisruptor
+from repro.errors import ConfigurationError
+
+
+def make() -> LinkDisruptor:
+    return LinkDisruptor(random.Random(0))
+
+
+class TestPartitions:
+    def test_drops_only_cross_group_traffic_inside_window(self):
+        disruptor = make()
+        disruptor.add_partition(100.0, 200.0, frozenset({1, 2}))
+        assert disruptor.apply(1, 5, 150.0).dropped  # crossing out
+        assert disruptor.apply(5, 2, 150.0).dropped  # crossing in
+        assert not disruptor.apply(1, 2, 150.0).dropped  # within the island
+        assert not disruptor.apply(5, 6, 150.0).dropped  # outside entirely
+        assert disruptor.dropped_by_partition == 2
+
+    def test_window_is_half_open(self):
+        disruptor = make()
+        disruptor.add_partition(100.0, 200.0, frozenset({1}))
+        assert not disruptor.apply(1, 2, 99.9).dropped
+        assert disruptor.apply(1, 2, 100.0).dropped
+        assert not disruptor.apply(1, 2, 200.0).dropped  # healed at the instant
+
+
+class TestLatencyAndLoss:
+    def test_latency_factors_multiply_across_overlapping_windows(self):
+        disruptor = make()
+        disruptor.add_latency_spike(0.0, 100.0, 2.0)
+        disruptor.add_latency_spike(50.0, 150.0, 3.0)
+        assert disruptor.apply(1, 2, 25.0).latency_factor == 2.0
+        assert disruptor.apply(1, 2, 75.0).latency_factor == 6.0
+        assert disruptor.apply(1, 2, 125.0).latency_factor == 3.0
+        assert disruptor.apply(1, 2, 200.0).latency_factor == 1.0
+
+    def test_loss_draws_randomness_only_inside_window(self):
+        rng = random.Random(7)
+        disruptor = LinkDisruptor(rng)
+        disruptor.add_loss_window(100.0, 200.0, 0.5)
+        state = rng.getstate()
+        disruptor.apply(1, 2, 50.0)  # outside: must not touch the rng
+        assert rng.getstate() == state
+        disruptor.apply(1, 2, 150.0)  # inside: consumes one draw
+        assert rng.getstate() != state
+
+    def test_loss_counter_is_deterministic(self):
+        a, b = LinkDisruptor(random.Random(3)), LinkDisruptor(random.Random(3))
+        for d in (a, b):
+            d.add_loss_window(0.0, 100.0, 0.4)
+            for i in range(50):
+                d.apply(1, 2, float(i))
+        assert a.dropped_by_loss == b.dropped_by_loss > 0
+
+
+class TestValidation:
+    def test_bad_windows_rejected(self):
+        disruptor = make()
+        with pytest.raises(ConfigurationError):
+            disruptor.add_partition(10.0, 10.0, frozenset({1}))
+        with pytest.raises(ConfigurationError):
+            disruptor.add_latency_spike(0.0, 10.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            disruptor.add_loss_window(0.0, 10.0, 1.5)

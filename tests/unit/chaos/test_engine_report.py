@@ -1,0 +1,197 @@
+"""End-to-end chaos runs at small scale, plus the report contract.
+
+These use a reduced deployment (24 nodes) and short horizons so the whole
+module stays fast; the full-size campaigns live behind ``python -m repro
+chaos`` and the property tests.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    BehaviorFlip,
+    ChaosReport,
+    ChaosScenario,
+    ChaosWorkload,
+    ForgeryInjection,
+    run_chaos,
+)
+from repro.errors import ConfigurationError
+
+NODES = 24
+
+
+def tiny(name="tiny", events=(), horizon_ms=3_000.0, transactions=2):
+    return ChaosScenario(
+        name=name,
+        description="unit-test campaign",
+        horizon_ms=horizon_ms,
+        workload=ChaosWorkload(
+            transactions=transactions, start_ms=100.0, period_ms=200.0
+        ),
+        events=tuple(events),
+        liveness_deadline_ms=horizon_ms - 500.0,
+    )
+
+
+CENSOR = tiny(
+    name="tiny-censor",
+    events=(BehaviorFlip(at_ms=50.0, behavior="drop-relay", fraction=0.15),),
+)
+
+
+class TestHonestRuns:
+    def test_honest_run_passes_with_zero_violations(self):
+        report = run_chaos(tiny(), protocol="hermes", num_nodes=NODES, seed=1)
+        assert report.passed
+        assert report.violation_summary["total"] == 0
+        assert report.accountability["deviants"] == []
+        assert report.accountability["false_accusations"] == []
+        assert report.accountability["attribution_rate"] == 1.0
+        # Every workload transaction reached every node by the deadline.
+        assert len(report.transactions) == 2
+        assert all(t["coverage"] == 1.0 for t in report.transactions)
+
+    def test_honest_lzero_also_passes(self):
+        report = run_chaos(tiny(), protocol="lzero", num_nodes=NODES, seed=1)
+        assert report.passed
+        assert report.accountability["false_accusations"] == []
+
+
+class TestAttribution:
+    def test_every_accusation_names_a_real_deviant(self):
+        report = run_chaos(CENSOR, protocol="hermes", num_nodes=NODES, seed=3)
+        acct = report.accountability
+        assert acct["deviants"]  # the flip resolved to concrete nodes
+        assert set(acct["attributed"]) <= set(acct["deviants"])
+        assert acct["false_accusations"] == []
+        assert acct["attribution_rate"] == 1.0
+        assert report.fault_log, "resolved fault log must not be empty"
+        flip = report.fault_log[0]
+        assert flip["kind"] == "behavior-flip"
+        assert sorted(flip["nodes"]) == acct["deviants"]
+
+    def test_forgery_is_attributed_on_hermes(self):
+        scenario = tiny(
+            name="tiny-forge",
+            events=(ForgeryInjection(at_ms=400.0, targets=2),),
+        )
+        report = run_chaos(scenario, protocol="hermes", num_nodes=NODES, seed=5)
+        acct = report.accountability
+        (injector,) = acct["deviants"]
+        assert injector in acct["attributed"]
+        assert acct["false_accusations"] == []
+        assert report.violation_summary["by_kind"].get("bad-signature", 0) >= 1
+
+    def test_forgery_skipped_on_protocols_without_envelopes(self):
+        scenario = tiny(
+            name="tiny-forge",
+            events=(ForgeryInjection(at_ms=400.0, targets=2),),
+        )
+        report = run_chaos(scenario, protocol="lzero", num_nodes=NODES, seed=5)
+        (entry,) = [e for e in report.fault_log if e["kind"] == "inject-forgery"]
+        assert entry["applied"] is False
+        assert report.accountability["deviants"] == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        first = run_chaos(CENSOR, protocol="hermes", num_nodes=NODES, seed=9)
+        second = run_chaos(CENSOR, protocol="hermes", num_nodes=NODES, seed=9)
+        assert first.dumps() == second.dumps()
+        assert first.content_hash() == second.content_hash()
+
+    def test_different_seed_different_bytes(self):
+        first = run_chaos(CENSOR, protocol="hermes", num_nodes=NODES, seed=9)
+        other = run_chaos(CENSOR, protocol="hermes", num_nodes=NODES, seed=10)
+        assert first.dumps() != other.dumps()
+
+
+class TestReportContract:
+    def test_round_trips_through_json(self):
+        report = run_chaos(CENSOR, protocol="hermes", num_nodes=NODES, seed=3)
+        wire = json.loads(json.dumps(report.to_json()))
+        assert ChaosReport.from_json(wire).dumps() == report.dumps()
+
+    def test_passed_reflects_invariant_status(self):
+        report = ChaosReport(
+            scenario="x",
+            protocol="hermes",
+            seed=0,
+            num_nodes=4,
+            f=1,
+            horizon_ms=1.0,
+            final_time_ms=1.0,
+            invariants={
+                "a": {"status": "pass", "checks": 1, "violations": []},
+                "b": {"status": "n/a", "checks": 0, "violations": []},
+            },
+        )
+        assert report.passed
+        failing = ChaosReport(
+            scenario="x",
+            protocol="hermes",
+            seed=0,
+            num_nodes=4,
+            f=1,
+            horizon_ms=1.0,
+            final_time_ms=1.0,
+            invariants={
+                "a": {
+                    "status": "fail",
+                    "checks": 1,
+                    "violations": [{"detail": "boom"}],
+                }
+            },
+        )
+        assert not failing.passed
+        assert "FAIL" in failing.format()
+        assert "boom" in failing.format()
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_chaos(tiny(), protocol="carrier-pigeon", num_nodes=NODES)
+
+
+class TestRunnerIntegration:
+    def test_chaos_task_is_registered_and_returns_report_json(self):
+        from repro.runner.tasks import get_task
+
+        task = get_task("chaos.run")
+        doc = task(
+            {
+                "scenario": "honest",
+                "protocol": "hermes",
+                "num_nodes": NODES,
+                "seed": 2,
+            }
+        )
+        report = ChaosReport.from_json(doc)
+        assert report.scenario == "honest"
+        assert report.passed
+
+    def test_chaos_sweeps_resume_from_the_store(self, tmp_path):
+        from repro.runner import ResultStore, RunSpec, run_sweep
+
+        specs = [
+            RunSpec(
+                task="chaos.run",
+                params={
+                    "scenario": "honest",
+                    "protocol": "hermes",
+                    "num_nodes": NODES,
+                    "seed": seed,
+                },
+            )
+            for seed in (1, 2)
+        ]
+        store = ResultStore(str(tmp_path))
+        first = run_sweep(specs, store=store)
+        assert (first.executed, first.skipped, first.failed) == (2, 0, 0)
+        # A finished sweep re-invoked against the same store runs nothing.
+        second = run_sweep(specs, store=store)
+        assert (second.executed, second.skipped, second.failed) == (0, 2, 0)
+        assert [r.result for r in second.records] == [
+            r.result for r in first.records
+        ]

@@ -1,0 +1,114 @@
+"""Scenario declaration, validation and JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    BehaviorFlip,
+    ChaosEvent,
+    ChaosScenario,
+    ChaosWorkload,
+    ChurnBurst,
+    ForgeryInjection,
+    LatencySpike,
+    LossWindow,
+    RegionalPartition,
+    Restore,
+    builtin_scenarios,
+    get_scenario,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEventValidation:
+    def test_flip_requires_exactly_one_selector(self):
+        with pytest.raises(ConfigurationError):
+            BehaviorFlip(at_ms=100.0, nodes=(1, 2), fraction=0.1)
+        with pytest.raises(ConfigurationError):
+            BehaviorFlip(at_ms=100.0)
+
+    def test_flip_rejects_unknown_behavior(self):
+        with pytest.raises(ValueError):
+            BehaviorFlip(at_ms=100.0, behavior="teleport", nodes=(1,))
+
+    def test_partition_rejects_unknown_region(self):
+        with pytest.raises(ValueError):
+            RegionalPartition(at_ms=100.0, heal_ms=200.0, regions=("atlantis",))
+
+    def test_windows_must_end_after_start(self):
+        with pytest.raises(ConfigurationError):
+            LatencySpike(at_ms=500.0, end_ms=500.0)
+        with pytest.raises(ConfigurationError):
+            LossWindow(at_ms=500.0, end_ms=100.0)
+        with pytest.raises(ConfigurationError):
+            RegionalPartition(at_ms=500.0, heal_ms=400.0, regions=("frankfurt",))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Restore(at_ms=-1.0)
+
+    def test_churn_and_forgery_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ChurnBurst(at_ms=0.0, fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnBurst(at_ms=0.0, down_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            ForgeryInjection(at_ms=0.0, targets=0)
+
+
+class TestScenarioValidation:
+    def test_event_beyond_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosScenario(
+                name="x",
+                horizon_ms=1_000.0,
+                workload=ChaosWorkload(transactions=1, start_ms=0.0, period_ms=1.0),
+                events=(Restore(at_ms=2_000.0),),
+                liveness_deadline_ms=500.0,
+            )
+
+    def test_deadline_beyond_horizon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosScenario(
+                name="x",
+                horizon_ms=1_000.0,
+                workload=ChaosWorkload(transactions=2, start_ms=500.0, period_ms=400.0),
+                liveness_deadline_ms=900.0,
+            )
+
+    def test_workload_submit_times(self):
+        workload = ChaosWorkload(transactions=3, start_ms=100.0, period_ms=50.0)
+        assert workload.submit_times() == [100.0, 150.0, 200.0]
+
+
+class TestSerialization:
+    def test_every_builtin_round_trips(self):
+        for name, scenario in builtin_scenarios().items():
+            doc = scenario.to_json()
+            # The wire form must survive an actual JSON encode/decode.
+            restored = ChaosScenario.from_json(json.loads(json.dumps(doc)))
+            assert restored == scenario, name
+
+    def test_event_dispatch_by_kind(self):
+        event = RegionalPartition(
+            at_ms=10.0, heal_ms=20.0, regions=("frankfurt", "tokyo")
+        )
+        restored = ChaosEvent.from_json(event.to_json())
+        assert restored == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChaosEvent.from_json({"kind": "meteor-strike", "at_ms": 1.0})
+
+    def test_load_from_file(self, tmp_path):
+        scenario = builtin_scenarios()["escalation"]
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(scenario.to_json()))
+        assert ChaosScenario.load(str(path)) == scenario
+        assert get_scenario(str(path)) == scenario
+
+    def test_get_scenario_by_name_and_unknown(self):
+        assert get_scenario("honest").name == "honest"
+        with pytest.raises(ConfigurationError):
+            get_scenario("no-such-campaign")

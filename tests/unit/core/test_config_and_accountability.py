@@ -68,3 +68,43 @@ class TestMonitor:
         monitor.flag(ViolationKind.BAD_SIGNATURE, accused=5, time_ms=0.0)
         monitor.flag(ViolationKind.BAD_SIGNATURE, accused=6, time_ms=0.0)
         assert monitor.excluded_nodes() == frozenset({5, 6})
+
+
+class TestViolationSummary:
+    def test_empty_log_summary(self):
+        summary = ViolationLog().summary()
+        assert summary == {
+            "total": 0,
+            "by_kind": {},
+            "by_accused": {},
+            "accused": [],
+            "first_detection_ms": None,
+            "last_detection_ms": None,
+        }
+
+    def test_summary_counts_and_bounds(self):
+        log = ViolationLog()
+        log.record(Violation(ViolationKind.BAD_SIGNATURE, accused=3, reporter=1, time_ms=5.0))
+        log.record(Violation(ViolationKind.SEQUENCE_GAP, accused=3, reporter=2, time_ms=9.0))
+        log.record(Violation(ViolationKind.BAD_SIGNATURE, accused=11, reporter=1, time_ms=7.0))
+        summary = log.summary()
+        assert summary["total"] == 3
+        assert summary["by_kind"] == {"bad-signature": 2, "sequence-gap": 1}
+        assert summary["by_accused"] == {"3": 2, "11": 1}
+        assert summary["accused"] == [3, 11]
+        assert summary["first_detection_ms"] == 5.0
+        assert summary["last_detection_ms"] == 9.0
+
+    def test_summary_is_json_stable(self):
+        import json
+
+        log = ViolationLog()
+        for accused in (30, 4, 30):
+            log.record(
+                Violation(ViolationKind.RELAY_OMISSION, accused=accused, reporter=-1, time_ms=1.0)
+            )
+        # Accused keys sort numerically (not lexicographically) and the
+        # document round-trips through JSON unchanged.
+        assert list(log.summary()["by_accused"]) == ["4", "30"]
+        encoded = json.dumps(log.summary(), sort_keys=True)
+        assert json.loads(encoded) == log.summary()

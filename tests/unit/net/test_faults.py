@@ -133,3 +133,68 @@ class TestRandomFractionEdgeCases:
             for s in range(8)
         }
         assert len(plans) > 1
+
+
+class TestTimelineFaultPlan:
+    def _plan(self):
+        from repro.net.faults import TimelineFaultPlan
+
+        return TimelineFaultPlan.from_plan(FaultPlan.honest())
+
+    def test_from_plan_copies_initial_assignment(self):
+        from repro.net.faults import TimelineFaultPlan
+
+        static = FaultPlan(behaviors={5: Behavior.CRASH})
+        plan = TimelineFaultPlan.from_plan(static)
+        assert plan.behavior_of(5) is Behavior.CRASH
+        plan.behaviors[6] = Behavior.CRASH
+        assert not static.is_byzantine(6)  # independent copy
+
+    def test_behavior_at_last_transition_wins(self):
+        plan = self._plan()
+        plan.record_flip(7, 100.0, Behavior.DROP_RELAY)
+        plan.record_flip(7, 300.0, Behavior.HONEST)
+        assert plan.behavior_at(7, 50.0) is Behavior.HONEST
+        assert plan.behavior_at(7, 100.0) is Behavior.DROP_RELAY  # inclusive
+        assert plan.behavior_at(7, 200.0) is Behavior.DROP_RELAY
+        assert plan.behavior_at(7, 300.0) is Behavior.HONEST
+        assert plan.behavior_at(7, 1e9) is Behavior.HONEST
+
+    def test_behavior_at_falls_back_to_static_assignment(self):
+        from repro.net.faults import TimelineFaultPlan
+
+        plan = TimelineFaultPlan.from_plan(
+            FaultPlan(behaviors={2: Behavior.FRONT_RUN})
+        )
+        assert plan.behavior_at(2, 500.0) is Behavior.FRONT_RUN
+        assert plan.behavior_at(3, 500.0) is Behavior.HONEST
+
+    def test_record_flip_rejects_time_travel(self):
+        plan = self._plan()
+        plan.record_flip(1, 200.0, Behavior.CRASH)
+        with pytest.raises(ConfigurationError):
+            plan.record_flip(1, 100.0, Behavior.HONEST)
+        # Equal times are allowed (the later record wins).
+        plan.record_flip(1, 200.0, Behavior.HONEST)
+        assert plan.behavior_at(1, 200.0) is Behavior.HONEST
+
+    def test_ever_byzantine_sees_recovered_nodes(self):
+        plan = self._plan()
+        plan.record_flip(4, 100.0, Behavior.CRASH)
+        plan.record_flip(4, 200.0, Behavior.HONEST)
+        plan.record_flip(5, 100.0, Behavior.HONEST)  # flip to honest only
+        assert plan.ever_byzantine(4)
+        assert not plan.ever_byzantine(5)
+        assert plan.deviant_nodes() == [4]
+        assert plan.honest_nodes([3, 4, 5]) == [3, 5]
+
+    def test_byzantine_at_is_a_time_slice(self):
+        plan = self._plan()
+        plan.record_flip(1, 100.0, Behavior.DROP_RELAY)
+        plan.record_flip(2, 300.0, Behavior.CRASH)
+        plan.record_flip(1, 400.0, Behavior.HONEST)
+        nodes = [1, 2, 3]
+        assert plan.byzantine_at(nodes, 50.0) == []
+        assert plan.byzantine_at(nodes, 150.0) == [1]
+        assert plan.byzantine_at(nodes, 350.0) == [1, 2]
+        assert plan.byzantine_at(nodes, 450.0) == [2]

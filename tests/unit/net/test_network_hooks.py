@@ -1,0 +1,120 @@
+"""Chaos hooks on the transport: on_send, on_receive and the disruptor.
+
+The invariant monitors of :mod:`repro.chaos` hang off these three attach
+points, so their semantics are load-bearing: ``on_send`` must witness intent
+*before* loss is sampled (a dropped message can never frame its sender) and
+``on_receive`` must fire only for transmissions that actually arrive.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos import LinkDisruptor
+from repro.net.channel import LossModel
+from repro.net.events import Message
+from repro.net.node import Network, ProtocolNode
+from repro.net.simulator import Simulator
+
+
+class Sink(ProtocolNode):
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.received = []
+
+    def on_message(self, sender, message):
+        self.received.append((sender, message.payload))
+
+
+@pytest.fixture()
+def network(physical40):
+    return Network(Simulator(), physical40, seed=3)
+
+
+class TestOnSend:
+    def test_fires_before_loss_with_send_time(self, physical40):
+        # 100% loss: nothing is delivered, yet the send hook still witnesses
+        # the forwarding intent.
+        network = Network(
+            Simulator(), physical40, loss_model=LossModel(loss_probability=1.0), seed=1
+        )
+        a, b = Sink(0, network), Sink(1, network)
+        sends = []
+        network.on_send = lambda src, dst, message, t: sends.append((src, dst, t))
+        a.send(1, Message("k", "x", 5))
+        network.simulator.run()
+        assert sends == [(0, 1, 0.0)]
+        assert not b.received
+
+    def test_fires_before_disruptor_drop(self, network):
+        disruptor = LinkDisruptor(random.Random(0))
+        disruptor.add_partition(0.0, 1_000.0, frozenset({0}))
+        network.disruptor = disruptor
+        _a, b = Sink(0, network), Sink(1, network)
+        sends = []
+        network.on_send = lambda src, dst, message, t: sends.append((src, dst))
+        network.send(0, 1, Message("k", "x", 5))
+        network.simulator.run()
+        assert sends == [(0, 1)]
+        assert not b.received
+        assert disruptor.dropped_by_partition == 1
+        assert network.stats.messages_dropped == 1
+
+
+class TestOnReceive:
+    def test_fires_at_delivery_time_before_the_receiver(self, network):
+        a, b = Sink(0, network), Sink(1, network)
+        arrivals = []
+
+        def on_receive(src, dst, message, t):
+            # The receiver must not have processed the message yet.
+            arrivals.append((src, dst, t, len(b.received)))
+
+        network.on_receive = on_receive
+        a.send(1, Message("k", "hello", 5))
+        network.simulator.run()
+        ((src, dst, t, backlog),) = arrivals
+        assert (src, dst) == (0, 1)
+        assert t > 0.0  # delivery time, not send time
+        assert backlog == 0
+        assert b.received == [(0, "hello")]
+
+    def test_silent_for_lost_messages(self, physical40):
+        network = Network(
+            Simulator(), physical40, loss_model=LossModel(loss_probability=1.0), seed=1
+        )
+        a, _b = Sink(0, network), Sink(1, network)
+        arrivals = []
+        network.on_receive = lambda *record: arrivals.append(record)
+        a.send(1, Message("k", "x", 5))
+        network.simulator.run()
+        assert arrivals == []
+
+
+class TestDisruptor:
+    def test_latency_factor_stretches_delivery(self, network):
+        a, b = Sink(0, network), Sink(1, network)
+        a.send(1, Message("k", "first", 5))
+        network.simulator.run()
+        baseline = network.simulator.now
+
+        disruptor = LinkDisruptor(random.Random(0))
+        disruptor.add_latency_spike(0.0, 1e9, 4.0)
+        network.disruptor = disruptor
+        a.send(1, Message("k", "second", 5))
+        network.simulator.run()
+        stretched = network.simulator.now - baseline
+        # Jitter differs between sends, so compare against a loose 2x bound
+        # rather than exactly 4x the first delivery.
+        assert stretched > 2.0 * baseline
+        assert [p for (_s, p) in b.received] == ["first", "second"]
+
+    def test_disrupted_drops_count_separately_from_loss(self, network):
+        disruptor = LinkDisruptor(random.Random(0))
+        disruptor.add_partition(0.0, 1_000.0, frozenset({0}))
+        network.disruptor = disruptor
+        Sink(0, network), Sink(1, network)
+        network.send(0, 1, Message("k", "x", 5))
+        assert disruptor.dropped_by_partition == 1
+        assert disruptor.dropped_by_loss == 0
+        assert network.stats.messages_dropped == 1

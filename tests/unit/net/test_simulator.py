@@ -160,3 +160,28 @@ class TestReset:
         simulator.schedule(0.0, try_reset)
         simulator.run()
         assert failures == [True]
+
+
+class TestResetClearsProfiler:
+    def test_reset_wipes_profiler_state_but_keeps_it_attached(self):
+        from repro.obs.profiler import SimulatorProfiler
+
+        simulator = Simulator()
+        profiler = SimulatorProfiler(queue_sample_interval=1)
+        simulator.set_profiler(profiler)
+        simulator.schedule(1.0, lambda: None)
+        simulator.schedule(2.0, lambda: None)
+        simulator.run()
+        assert simulator.profile().events == 2
+        simulator.reset()
+        # Still attached, but no wall-time attribution or queue samples leak
+        # from the previous repetition.
+        assert simulator.profiler is profiler
+        profile = simulator.profile()
+        assert profile.events == 0
+        assert profile.wall_s == 0.0
+        assert profile.callbacks == {}
+        assert profile.queue_samples == []
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        assert simulator.profile().events == 1

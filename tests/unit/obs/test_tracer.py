@@ -130,3 +130,68 @@ class TestNullTracer:
         assert span.set(x=2) is NULL_SPAN
         assert len(tracer) == 0
         assert tracer.records() == []
+
+
+class TestDetachedSpans:
+    def test_detached_span_never_joins_the_stack(self):
+        tracer = Tracer()
+        window = tracer.detached_span("chaos.partition", regions=("frankfurt",))
+        with tracer.span("outer") as outer:
+            event = tracer.event("inside")
+            assert tracer.current_span is outer
+        # The event attributes to the stack span, not the detached window.
+        assert event.span_id == outer.span_id
+        assert window.parent_id is None
+        window.end()
+        assert window in tracer.spans
+
+    def test_ending_detached_span_leaves_stack_spans_open(self):
+        simulator = Simulator()
+        tracer = Tracer()
+        tracer.bind_clock(simulator)
+        window = tracer.detached_span("window")
+        simulator.schedule(100.0, window.end)
+        with tracer.span("outer") as outer:
+            simulator.run()
+            assert outer.end_ms is None  # unharmed by the detached end
+        assert window.end_ms == 100.0
+        assert outer.end_ms is not None
+
+    def test_detached_spans_may_overlap_arbitrarily(self):
+        simulator = Simulator()
+        tracer = Tracer()
+        tracer.bind_clock(simulator)
+        a = tracer.detached_span("a")
+        b = None
+
+        def open_b():
+            nonlocal b
+            b = tracer.detached_span("b")
+
+        simulator.schedule(10.0, open_b)
+        simulator.schedule(20.0, a.end)  # a ends while b is still open
+        simulator.run()
+        b.end()
+        assert (a.start_ms, a.end_ms) == (0.0, 20.0)
+        assert (b.start_ms, b.end_ms) == (10.0, 20.0)
+
+
+class TestListeners:
+    def test_listener_sees_every_event_online(self):
+        tracer = Tracer()
+        seen = []
+        tracer.add_listener(seen.append)
+        first = tracer.event("one", x=1)
+        second = tracer.event("two", x=2)
+        assert seen == [first, second]
+
+    def test_remove_listener_stops_delivery_and_tolerates_missing(self):
+        tracer = Tracer()
+        seen = []
+        listener = seen.append
+        tracer.add_listener(listener)
+        tracer.event("before")
+        tracer.remove_listener(listener)
+        tracer.event("after")
+        assert [e.name for e in seen] == ["before"]
+        tracer.remove_listener(listener)  # already removed: ignored
