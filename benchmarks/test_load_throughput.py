@@ -1,0 +1,92 @@
+"""Benchmark: load-driver throughput at N = 200.
+
+Drives a sustained open-loop Poisson workload through the L∅ baseline (the
+cheapest full dissemination stack, so the numbers measure the driver and the
+capacity model rather than protocol crypto) on the N=200 physical network,
+once with infinite links and once with the capacity model installed.
+
+Reports simulator events per wall-second and simulated transactions per
+wall-second for each mode, emitting ``BENCH_load.json`` at the repo root.
+The assertion is about correctness (open-loop injection count, deliveries
+happening), not speed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from conftest import report
+
+from repro.baselines import LZeroSystem
+from repro.load.arrival import PoissonArrivals
+from repro.load.capacity import CapacityConfig, CapacityModel
+from repro.load.driver import LoadDriver
+from repro.net.topology import generate_physical_network
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_load.json"
+
+NUM_NODES = 200
+RATE_TPS = 20.0
+DURATION_MS = 10_000.0
+DRAIN_MS = 2_000.0
+
+
+def _drive(capacity: CapacityModel | None) -> dict:
+    physical = generate_physical_network(NUM_NODES, seed=0)
+    system = LZeroSystem(physical, seed=13)
+    system.network.capacity = capacity
+    arrivals = PoissonArrivals(
+        rate_tps=RATE_TPS, origins=system.network.node_ids(), seed=7
+    )
+    driver = LoadDriver(system, arrivals, protocol="lzero")
+    start = time.perf_counter()
+    result = driver.run(DURATION_MS, drain_ms=DRAIN_MS)
+    wall = time.perf_counter() - start
+    events = system.simulator.events_processed
+    assert result.injected > 0
+    assert result.delivered > 0
+    return {
+        "wall_seconds": round(wall, 4),
+        "events_processed": events,
+        "events_per_second": round(events / wall, 1) if wall else None,
+        "injected_tx": result.injected,
+        "simulated_tx_per_second": round(result.injected / wall, 1)
+        if wall
+        else None,
+        "goodput_tps": round(result.goodput_tps, 3),
+        "capacity_drops": result.capacity_drops,
+    }
+
+
+def test_load_driver_throughput():
+    infinite = _drive(None)
+    finite = _drive(
+        CapacityModel(
+            CapacityConfig(
+                uplink_kb_per_s=32.0, downlink_kb_per_s=128.0, queue_bytes=32 * 1024
+            )
+        )
+    )
+
+    doc = {
+        "num_nodes": NUM_NODES,
+        "rate_tps": RATE_TPS,
+        "duration_ms": DURATION_MS,
+        "infinite_links": infinite,
+        "finite_links": finite,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+
+    lines = [
+        f"load driver throughput — N={NUM_NODES}, {RATE_TPS:.0f} tx/s offered, "
+        f"{DURATION_MS / 1000:.0f}s simulated",
+        f"  infinite links:  {infinite['events_per_second']:>12,.0f} events/s  "
+        f"{infinite['simulated_tx_per_second']:>8,.1f} sim-tx/s",
+        f"  finite links:    {finite['events_per_second']:>12,.0f} events/s  "
+        f"{finite['simulated_tx_per_second']:>8,.1f} sim-tx/s  "
+        f"({finite['capacity_drops']} capacity drops)",
+        f"  -> {BENCH_PATH.name}",
+    ]
+    report("load_throughput", "\n".join(lines))

@@ -12,6 +12,7 @@ Top-level convenience re-exports. The subpackages are:
 - :mod:`repro.baselines` — L-zero, Narwhal, Mercury, gossip, simple tree
 - :mod:`repro.attacks` — front-running and censorship adversaries
 - :mod:`repro.chaos` — fault-injection campaigns with online invariant checking
+- :mod:`repro.load` — open-loop workload generation and link capacity modeling
 - :mod:`repro.obs` — structured observability: tracing, metrics, profiling
 - :mod:`repro.runner` — parallel sweep engine with a content-addressed result cache
 - :mod:`repro.experiments` — one module per paper table/figure
@@ -34,6 +35,7 @@ _SUBPACKAGES = (
     "core",
     "crypto",
     "experiments",
+    "load",
     "mempool",
     "net",
     "obs",

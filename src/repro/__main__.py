@@ -5,7 +5,9 @@ report (see :mod:`repro.experiments.report`); ``python -m repro sweep ...``
 runs ad-hoc parameter sweeps through :mod:`repro.runner` (see
 ``python -m repro sweep --help`` and ``docs/runner.md``); ``python -m repro
 chaos ...`` runs fault-injection campaigns with online invariant checking
-(see ``python -m repro chaos --help`` and ``docs/chaos.md``).
+(see ``python -m repro chaos --help`` and ``docs/chaos.md``); ``python -m
+repro load ...`` sweeps offered load under finite link capacity (see
+``python -m repro load --help`` and ``docs/load.md``).
 """
 
 import sys
@@ -22,6 +24,10 @@ def main(argv: list[str] | None = None) -> int:
         from .chaos.cli import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "load":
+        from .load.cli import main as load_main
+
+        return load_main(argv[1:])
     from .experiments.report import main as report_main
 
     report_main(argv)

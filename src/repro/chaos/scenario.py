@@ -233,34 +233,73 @@ class ChaosWorkload:
     ``transactions`` submissions start at ``start_ms``, one every
     ``period_ms``, from distinct seeded origins that the compiler keeps
     honest for the whole run (so delivery-liveness is well-defined).
+
+    When ``flash_at_ms`` is set, submissions inside the window ``[flash_at_ms,
+    flash_at_ms + flash_duration_ms)`` arrive ``flash_factor`` times faster —
+    the fixed-count flash-crowd shape of
+    :func:`repro.load.arrival.flash_crowd_times`, still fully deterministic.
     """
 
     transactions: int = 6
     start_ms: float = 200.0
     period_ms: float = 500.0
+    flash_at_ms: float | None = None
+    flash_duration_ms: float = 1_000.0
+    flash_factor: float = 4.0
 
     def __post_init__(self) -> None:
         if self.transactions < 1:
             raise ConfigurationError("workload needs at least one transaction")
         if self.start_ms < 0 or self.period_ms <= 0:
             raise ConfigurationError("workload times must be positive")
+        if self.flash_at_ms is not None:
+            if self.flash_at_ms < 0 or self.flash_duration_ms <= 0:
+                raise ConfigurationError(
+                    "flash window must start >= 0 and have length > 0"
+                )
+            if self.flash_factor < 1.0:
+                raise ConfigurationError(
+                    f"flash_factor must be >= 1, got {self.flash_factor}"
+                )
 
     def submit_times(self) -> list[float]:
-        return [self.start_ms + i * self.period_ms for i in range(self.transactions)]
+        if self.flash_at_ms is None:
+            return [
+                self.start_ms + i * self.period_ms for i in range(self.transactions)
+            ]
+        from ..load.arrival import flash_crowd_times
+
+        return flash_crowd_times(
+            self.transactions,
+            self.start_ms,
+            self.period_ms,
+            self.flash_at_ms,
+            self.flash_duration_ms,
+            self.flash_factor,
+        )
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "transactions": self.transactions,
             "start_ms": self.start_ms,
             "period_ms": self.period_ms,
         }
+        if self.flash_at_ms is not None:
+            doc["flash_at_ms"] = self.flash_at_ms
+            doc["flash_duration_ms"] = self.flash_duration_ms
+            doc["flash_factor"] = self.flash_factor
+        return doc
 
     @classmethod
     def from_json(cls, doc: Mapping[str, Any]) -> "ChaosWorkload":
+        flash_at = doc.get("flash_at_ms")
         return cls(
             transactions=int(doc.get("transactions", 6)),
             start_ms=float(doc.get("start_ms", 200.0)),
             period_ms=float(doc.get("period_ms", 500.0)),
+            flash_at_ms=None if flash_at is None else float(flash_at),
+            flash_duration_ms=float(doc.get("flash_duration_ms", 1_000.0)),
+            flash_factor=float(doc.get("flash_factor", 4.0)),
         )
 
 
@@ -407,6 +446,28 @@ def _frontrun_burst() -> ChaosScenario:
     )
 
 
+def _flash_crowd() -> ChaosScenario:
+    return ChaosScenario(
+        name="flash-crowd",
+        description=(
+            "A demand spike: submissions accelerate 4x mid-run while a lossy "
+            "window stresses dissemination of the burst."
+        ),
+        horizon_ms=8_000.0,
+        workload=ChaosWorkload(
+            transactions=8,
+            start_ms=200.0,
+            period_ms=500.0,
+            flash_at_ms=1_200.0,
+            flash_duration_ms=1_200.0,
+            flash_factor=4.0,
+        ),
+        events=(LossWindow(at_ms=1_400.0, end_ms=2_200.0, probability=0.10),),
+        liveness_deadline_ms=4_000.0,
+        min_coverage=1.0,
+    )
+
+
 def _churn_storm() -> ChaosScenario:
     return ChaosScenario(
         name="churn-storm",
@@ -428,6 +489,7 @@ _BUILTINS: dict[str, Callable[[], ChaosScenario]] = {
     "honest": _honest,
     "partition-heal": _partition_heal,
     "frontrun-burst": _frontrun_burst,
+    "flash-crowd": _flash_crowd,
     "churn-storm": _churn_storm,
 }
 

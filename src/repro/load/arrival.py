@@ -1,0 +1,345 @@
+"""Seeded open-loop arrival processes with Zipf-skewed origin selection.
+
+An arrival process answers one question: *when does each transaction enter
+the system, and from which node?*  Open-loop means the schedule is fixed up
+front and injections never wait for the system — exactly the regime in which
+offered load can exceed capacity and saturation becomes measurable.
+
+Four patterns:
+
+* ``deterministic`` — one injection every ``1000 / rate_tps`` ms;
+* ``poisson`` — exponential inter-arrival times (memoryless clients);
+* ``mmpp`` — a two-state Markov-modulated Poisson process: quiet and burst
+  states with exponential dwell times, burst rate ``burst_factor`` times the
+  quiet rate, calibrated so the *long-run mean* still equals ``rate_tps``;
+* ``flash-crowd`` — the base pattern with one window of ``flash_factor``-fold
+  rate (an NFT mint, a liquidation cascade).
+
+Origins are drawn Zipf-skewed (exponent ``zipf_s``; 0 = uniform) over a
+seeded permutation of the node list, approximating the few-exchanges-send-
+most-transactions shape of real mempool traffic.
+
+Everything is replayable from ``(seed, params)``: a process object carries no
+mutable state and :meth:`ArrivalProcess.schedule` derives fresh RNG streams
+on every call, so the same process yields an identical schedule every time.
+
+>>> process = make_arrivals("deterministic", rate_tps=10.0, origins=(1, 2, 3), seed=7)
+>>> [round(inj.time_ms) for inj in process.schedule(500.0)]
+[0, 100, 200, 300, 400]
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from ..utils.rng import derive_rng
+from ..utils.validation import require_positive
+
+__all__ = [
+    "Injection",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "FlashCrowdArrivals",
+    "flash_crowd_times",
+    "make_arrivals",
+    "ARRIVAL_PATTERNS",
+]
+
+ARRIVAL_PATTERNS = ("deterministic", "poisson", "mmpp", "flash-crowd")
+
+
+@dataclass(frozen=True, slots=True)
+class Injection:
+    """One scheduled submission: a time on the simulation clock and an origin."""
+
+    time_ms: float
+    origin: int
+
+
+class ArrivalProcess:
+    """Base class: a replayable (seed, params) → injection-schedule function.
+
+    Subclasses implement :meth:`_times`; origin selection is shared.  The
+    ``pattern`` attribute names the process for factories and reports.
+    """
+
+    pattern = "abstract"
+
+    def __init__(
+        self,
+        rate_tps: float,
+        origins: Sequence[int],
+        seed: int,
+        zipf_s: float = 0.0,
+    ) -> None:
+        require_positive(rate_tps, "rate_tps")
+        if not origins:
+            raise ConfigurationError("arrival process needs at least one origin")
+        if zipf_s < 0:
+            raise ConfigurationError(f"zipf_s must be >= 0, got {zipf_s}")
+        self.rate_tps = float(rate_tps)
+        self.origins = tuple(origins)
+        self.seed = int(seed)
+        self.zipf_s = float(zipf_s)
+
+    # -- the schedule -----------------------------------------------------
+
+    def schedule(self, horizon_ms: float) -> tuple[Injection, ...]:
+        """All injections in ``[0, horizon_ms)``, identical on every call."""
+
+        require_positive(horizon_ms, "horizon_ms")
+        times = self._times(horizon_ms, derive_rng(self.seed, "load", self.pattern))
+        pick = self._origin_picker()
+        return tuple(Injection(time_ms=t, origin=pick()) for t in times)
+
+    def _times(self, horizon_ms: float, rng: random.Random) -> list[float]:
+        raise NotImplementedError
+
+    # -- origin selection -------------------------------------------------
+
+    def _origin_picker(self):
+        """A Zipf-skewed (or uniform) seeded origin sampler.
+
+        Ranks are assigned over a seeded permutation of the origin list, so
+        *which* nodes are hot depends on the seed rather than on node-id
+        order; weight of rank ``r`` is ``(r + 1) ** -zipf_s``.
+        """
+
+        rng = derive_rng(self.seed, "load", "origins", self.pattern)
+        if self.zipf_s == 0.0:
+            return lambda: rng.choice(self.origins)
+        permuted = list(self.origins)
+        derive_rng(self.seed, "load", "zipf-permutation").shuffle(permuted)
+        cumulative = list(
+            itertools.accumulate(
+                (rank + 1) ** -self.zipf_s for rank in range(len(permuted))
+            )
+        )
+        total = cumulative[-1]
+
+        def pick() -> int:
+            return permuted[bisect.bisect_left(cumulative, rng.random() * total)]
+
+        return pick
+
+    # -- bookkeeping ------------------------------------------------------
+
+    @property
+    def interval_ms(self) -> float:
+        """Mean inter-arrival spacing implied by the configured rate."""
+
+        return 1000.0 / self.rate_tps
+
+    def describe(self) -> dict:
+        """JSON-ready parameters (for manifests and reports)."""
+
+        return {
+            "pattern": self.pattern,
+            "rate_tps": self.rate_tps,
+            "zipf_s": self.zipf_s,
+            "seed": self.seed,
+            "origins": len(self.origins),
+        }
+
+
+class DeterministicArrivals(ArrivalProcess):
+    """A metronome: one injection every ``1000 / rate_tps`` ms, starting at 0."""
+
+    pattern = "deterministic"
+
+    def _times(self, horizon_ms: float, rng: random.Random) -> list[float]:
+        interval = self.interval_ms
+        count = max(1, int(horizon_ms / interval + 1e-9))
+        return [i * interval for i in range(count) if i * interval < horizon_ms]
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless clients: exponential inter-arrival times at ``rate_tps``."""
+
+    pattern = "poisson"
+
+    def _times(self, horizon_ms: float, rng: random.Random) -> list[float]:
+        rate_per_ms = self.rate_tps / 1000.0
+        times: list[float] = []
+        t = rng.expovariate(rate_per_ms)
+        while t < horizon_ms:
+            times.append(t)
+            t += rng.expovariate(rate_per_ms)
+        return times
+
+
+class MMPPArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    Dwell times in the quiet and burst states are exponential with means
+    ``dwell_ms`` and ``burst_dwell_ms``; the burst rate is ``burst_factor``
+    times the quiet rate.  The quiet rate is solved so that the long-run mean
+    rate equals ``rate_tps`` — bursty and smooth runs offer the *same* load,
+    which is what makes their saturation curves comparable.
+    """
+
+    pattern = "mmpp"
+
+    def __init__(
+        self,
+        rate_tps: float,
+        origins: Sequence[int],
+        seed: int,
+        zipf_s: float = 0.0,
+        burst_factor: float = 8.0,
+        dwell_ms: float = 2_000.0,
+        burst_dwell_ms: float = 400.0,
+    ) -> None:
+        super().__init__(rate_tps, origins, seed, zipf_s)
+        if burst_factor < 1.0:
+            raise ConfigurationError(
+                f"burst_factor must be >= 1, got {burst_factor}"
+            )
+        require_positive(dwell_ms, "dwell_ms")
+        require_positive(burst_dwell_ms, "burst_dwell_ms")
+        self.burst_factor = float(burst_factor)
+        self.dwell_ms = float(dwell_ms)
+        self.burst_dwell_ms = float(burst_dwell_ms)
+        # Long-run mean = (r_q * dwell + r_q * factor * burst_dwell) / total.
+        total = self.dwell_ms + self.burst_dwell_ms
+        self.quiet_rate_tps = rate_tps * total / (
+            self.dwell_ms + self.burst_factor * self.burst_dwell_ms
+        )
+
+    def _times(self, horizon_ms: float, rng: random.Random) -> list[float]:
+        times: list[float] = []
+        t = 0.0
+        bursting = False
+        while t < horizon_ms:
+            dwell_mean = self.burst_dwell_ms if bursting else self.dwell_ms
+            state_end = min(horizon_ms, t + rng.expovariate(1.0 / dwell_mean))
+            rate = self.quiet_rate_tps * (self.burst_factor if bursting else 1.0)
+            rate_per_ms = rate / 1000.0
+            t += rng.expovariate(rate_per_ms)
+            while t < state_end:
+                times.append(t)
+                t += rng.expovariate(rate_per_ms)
+            t = state_end
+            bursting = not bursting
+        return times
+
+
+def flash_crowd_times(
+    count: int,
+    start_ms: float,
+    period_ms: float,
+    flash_at_ms: float,
+    flash_duration_ms: float,
+    flash_factor: float,
+) -> list[float]:
+    """*count* deterministic submission times with one accelerated window.
+
+    Spacing is ``period_ms`` outside ``[flash_at_ms, flash_at_ms +
+    flash_duration_ms)`` and ``period_ms / flash_factor`` inside — the
+    fixed-count flash-crowd shape chaos scenarios use
+    (:class:`repro.chaos.scenario.ChaosWorkload`), needing no randomness.
+    """
+
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1, got {count}")
+    require_positive(period_ms, "period_ms")
+    if flash_factor < 1.0:
+        raise ConfigurationError(f"flash_factor must be >= 1, got {flash_factor}")
+    flash_end = flash_at_ms + flash_duration_ms
+    times = []
+    t = start_ms
+    for _ in range(count):
+        times.append(t)
+        in_flash = flash_at_ms <= t < flash_end
+        t += period_ms / (flash_factor if in_flash else 1.0)
+    return times
+
+
+class FlashCrowdArrivals(ArrivalProcess):
+    """The base pattern with one window of ``flash_factor``-fold rate.
+
+    ``base`` selects the underlying pattern (``"poisson"`` or
+    ``"deterministic"``); inside the window the instantaneous rate is
+    multiplied, modeling a correlated demand spike rather than a change in
+    long-run load.
+    """
+
+    pattern = "flash-crowd"
+
+    def __init__(
+        self,
+        rate_tps: float,
+        origins: Sequence[int],
+        seed: int,
+        zipf_s: float = 0.0,
+        flash_at_ms: float = 2_000.0,
+        flash_duration_ms: float = 1_000.0,
+        flash_factor: float = 6.0,
+        base: str = "poisson",
+    ) -> None:
+        super().__init__(rate_tps, origins, seed, zipf_s)
+        if flash_at_ms < 0 or flash_duration_ms <= 0:
+            raise ConfigurationError("flash window must start >= 0 and have length > 0")
+        if flash_factor < 1.0:
+            raise ConfigurationError(f"flash_factor must be >= 1, got {flash_factor}")
+        if base not in ("poisson", "deterministic"):
+            raise ConfigurationError(f"unknown flash-crowd base {base!r}")
+        self.flash_at_ms = float(flash_at_ms)
+        self.flash_duration_ms = float(flash_duration_ms)
+        self.flash_factor = float(flash_factor)
+        self.base = base
+
+    def _rate_at(self, t: float) -> float:
+        in_flash = self.flash_at_ms <= t < self.flash_at_ms + self.flash_duration_ms
+        return self.rate_tps * (self.flash_factor if in_flash else 1.0)
+
+    def _times(self, horizon_ms: float, rng: random.Random) -> list[float]:
+        times: list[float] = []
+        t = 0.0
+        while True:
+            rate_per_ms = self._rate_at(t) / 1000.0
+            if self.base == "poisson":
+                t += rng.expovariate(rate_per_ms)
+            else:
+                t += 1.0 / rate_per_ms
+            if t >= horizon_ms:
+                return times
+            times.append(t)
+
+
+_PATTERNS: dict[str, type[ArrivalProcess]] = {
+    "deterministic": DeterministicArrivals,
+    "poisson": PoissonArrivals,
+    "mmpp": MMPPArrivals,
+    "flash-crowd": FlashCrowdArrivals,
+}
+
+
+def make_arrivals(
+    pattern: str,
+    *,
+    rate_tps: float,
+    origins: Sequence[int],
+    seed: int,
+    zipf_s: float = 0.0,
+    **params,
+) -> ArrivalProcess:
+    """Build an arrival process by pattern name (CLI / runner-task entry).
+
+    Extra keyword arguments are forwarded to the pattern's constructor (e.g.
+    ``burst_factor`` for ``mmpp``, ``flash_factor`` for ``flash-crowd``).
+    """
+
+    cls = _PATTERNS.get(pattern)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown arrival pattern {pattern!r}; choose from {ARRIVAL_PATTERNS}"
+        )
+    return cls(rate_tps, origins, seed, zipf_s, **params)

@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..utils.validation import require_probability, require_positive
+from ..utils.validation import require_probability
 
 __all__ = ["LossModel"]
 
@@ -26,7 +26,11 @@ class LossModel:
     def __post_init__(self) -> None:
         require_probability(self.loss_probability, "loss_probability")
         if self.jitter_sigma < 0:
-            require_positive(self.jitter_sigma, "jitter_sigma")
+            # Zero is legal (jitter disabled), so require_positive's "must be
+            # positive" message would misstate the constraint.
+            raise ValueError(
+                f"jitter_sigma must be >= 0, got {self.jitter_sigma}"
+            )
 
     def drops(self, rng: random.Random) -> bool:
         """True when this transmission is lost."""

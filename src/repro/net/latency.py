@@ -26,10 +26,12 @@ from dataclasses import dataclass
 from ..types import Region
 from ..utils.validation import require_positive
 
-__all__ = ["LatencyParameters", "LatencyModel"]
+__all__ = ["LatencyParameters", "LatencyModel", "MIN_LATENCY_MS"]
 
 # Floor applied to every sample: physical links never deliver in < 0.1 ms.
-_MIN_LATENCY_MS = 0.1
+# Shared with the pair-specific matrix model (repro.net.region_matrix) so
+# every sampling path clamps to the same physical floor.
+MIN_LATENCY_MS = 0.1
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,10 +100,10 @@ class LatencyModel:
         # 1 / Gamma(shape, rate=scale) ~ InvGamma(shape, scale).
         gamma_draw = rng.gammavariate(p.intra_shape, 1.0 / p.intra_scale)
         if gamma_draw <= 0.0:  # pragma: no cover - gammavariate is positive
-            return _MIN_LATENCY_MS
-        return max(_MIN_LATENCY_MS, 1.0 / gamma_draw)
+            return MIN_LATENCY_MS
+        return max(MIN_LATENCY_MS, 1.0 / gamma_draw)
 
     def _sample_inter(self, rng: random.Random) -> float:
         p = self.parameters
         draw = rng.normalvariate(p.inter_mean, math.sqrt(p.inter_variance))
-        return max(_MIN_LATENCY_MS, draw)
+        return max(MIN_LATENCY_MS, draw)

@@ -22,6 +22,7 @@ from ..errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> net.stats)
     from ..chaos.disruption import LinkDisruptor
+    from ..load.capacity import CapacityModel
     from ..obs import Observability
 from ..utils.rng import derive_rng
 from .channel import LossModel
@@ -70,6 +71,12 @@ class Network:
         # forwarding *before* loss is sampled.  Both default to None and cost
         # nothing when absent.
         self.disruptor: "LinkDisruptor | None" = None
+        # Load hook (repro.load): an optional per-node capacity model giving
+        # links finite rates and bounded egress queues.  None (the default)
+        # keeps the infinite-capacity transport, byte-identical to before the
+        # hook existed; the model itself draws no randomness, so enabled runs
+        # replay deterministically too.
+        self.capacity: "CapacityModel | None" = None
         self.on_send: Callable[[int, int, Message, float], None] | None = None
         # Fires at delivery time, just before the receiver processes the
         # message — i.e. only for transmissions that survived loss and
@@ -137,11 +144,31 @@ class Network:
         if obs is not None:
             obs.metrics.counter("net.messages.sent", kind=message.kind).inc()
             obs.metrics.counter("net.bytes.sent", kind=message.kind).inc(wire)
+        # Egress capacity runs before the wire: an overflowing uplink queue
+        # drops the message at the sender, before loss or disruption can act.
+        capacity = self.capacity
+        egress = None
+        if capacity is not None:
+            egress = capacity.admit_egress(src, wire, now)
+            if egress.dropped:
+                self.stats.record_capacity_drop(src, wire)
+                if obs is not None:
+                    obs.metrics.counter(
+                        "net.messages.capacity_dropped", kind=message.kind
+                    ).inc()
+                    obs.event(
+                        "net.capacity_drop",
+                        src=src,
+                        dst=dst,
+                        kind=message.kind,
+                        bytes=wire,
+                    )
+                return
         latency_factor = 1.0
         if self.disruptor is not None:
             verdict = self.disruptor.apply(src, dst, now)
             if verdict.dropped:
-                self.stats.record_drop()
+                self.stats.record_drop(wire)
                 if obs is not None:
                     obs.metrics.counter(
                         "net.messages.disrupted", kind=message.kind
@@ -149,7 +176,7 @@ class Network:
                 return
             latency_factor = verdict.latency_factor
         if self.loss_model.drops(self._rng):
-            self.stats.record_drop()
+            self.stats.record_drop(wire)
             if obs is not None:
                 obs.metrics.counter("net.messages.dropped", kind=message.kind).inc()
                 obs.event("net.drop", src=src, dst=dst, kind=message.kind, bytes=wire)
@@ -160,6 +187,16 @@ class Network:
             * self.loss_model.jitter_factor(self._rng)
             + self.processing_delay_ms
         )
+        if capacity is not None and egress is not None:
+            # Serialization: propagation starts when the last byte leaves the
+            # uplink, and delivery completes once the receiver's downlink has
+            # drained the message.
+            finish = capacity.ingress_finish(dst, wire, egress.finish_ms + delay)
+            delay = finish - now
+            if obs is not None:
+                obs.metrics.histogram("net.capacity.queue_ms").observe(
+                    egress.queued_ms
+                )
         if self.service_time_ms > 0:
             arrival = self.simulator.now + delay
             start = max(arrival, self._busy_until.get(dst, 0.0))

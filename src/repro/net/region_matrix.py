@@ -20,7 +20,7 @@ import random
 from typing import Mapping
 
 from ..types import Region
-from .latency import LatencyModel, LatencyParameters
+from .latency import MIN_LATENCY_MS, LatencyModel, LatencyParameters
 
 __all__ = [
     "REALISTIC_ONE_WAY_MS",
@@ -123,7 +123,7 @@ class MatrixLatencyModel(LatencyModel):
     ) -> float:
         mean = self._pair_mean(src, dst)
         draw = rng.normalvariate(mean, math.sqrt(self.parameters.inter_variance))
-        return max(0.1, draw)
+        return max(MIN_LATENCY_MS, draw)
 
 
 def realistic_latency_model(

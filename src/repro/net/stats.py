@@ -110,6 +110,16 @@ class NetworkStats:
     messages_sent: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     messages_received: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     messages_dropped: int = 0
+    # Wire bytes of every dropped transmission (loss, disruption or capacity
+    # overflow) — what separates offered bytes from goodput.
+    bytes_dropped: int = 0
+    # Capacity-induced egress-queue overflows, kept distinct from stochastic
+    # loss so saturation reports can attribute drops to the right cause.
+    capacity_drops: int = 0
+    capacity_dropped_bytes: int = 0
+    capacity_drops_by_node: dict[int, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
     # item id -> node id -> first delivery time (ms)
     deliveries: dict[object, dict[int, float]] = field(
         default_factory=lambda: defaultdict(dict)
@@ -126,8 +136,17 @@ class NetworkStats:
         self.bytes_received[receiver] += wire_bytes
         self.messages_received[receiver] += 1
 
-    def record_drop(self) -> None:
+    def record_drop(self, wire_bytes: int = 0) -> None:
         self.messages_dropped += 1
+        self.bytes_dropped += wire_bytes
+
+    def record_capacity_drop(self, sender: int, wire_bytes: int) -> None:
+        """One egress-queue overflow at *sender* (also counted as a drop)."""
+
+        self.record_drop(wire_bytes)
+        self.capacity_drops += 1
+        self.capacity_dropped_bytes += wire_bytes
+        self.capacity_drops_by_node[sender] += 1
 
     def record_submission(self, item: object, time_ms: float) -> None:
         """Mark the moment the application submitted *item* to the protocol."""
@@ -223,3 +242,31 @@ class NetworkStats:
         """Messages forwarded per node — the Fig. 2 load metric."""
 
         return dict(self.messages_sent)
+
+    def drop_rate(self) -> float:
+        """Fraction of attempted transmissions that were dropped (any cause).
+
+        Zero when nothing was sent; capacity overflows, stochastic loss and
+        chaos disruption all count — use :attr:`capacity_drops` to attribute.
+        """
+
+        attempted = sum(self.messages_sent.values())
+        if attempted == 0:
+            return 0.0
+        return self.messages_dropped / attempted
+
+    def goodput_kb_per_minute(self, duration_ms: float) -> float:
+        """Per-node *delivered* bandwidth in KB/min over *duration_ms*.
+
+        The capacity-aware counterpart of :meth:`bandwidth_kb_per_minute`:
+        wire bytes of dropped transmissions are subtracted, so under an
+        egress-queue overload goodput plateaus while offered bandwidth keeps
+        climbing.  Without drops the two accessors agree exactly.
+        """
+
+        if duration_ms <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ms}")
+        node_count = len(self.bytes_sent) or 1
+        delivered = self.total_bytes() - self.bytes_dropped
+        minutes = duration_ms / 60_000.0
+        return (delivered / 1024.0) / (node_count * minutes)

@@ -16,7 +16,8 @@ Built-in tasks:
     One protocol disseminating a transaction workload over a generated
     network, optionally under a byzantine fault plan.  The general-purpose
     cell for ad-hoc ``python -m repro sweep`` grids.
-``fig3a.protocol`` / ``fig3b.protocol`` / ``fig5a.trial`` / ``fig5b.trial``
+``fig3a.protocol`` / ``fig3b.protocol`` / ``fig5a.trial`` / ``fig5b.trial`` /
+``fig6.point``
     The repetition cells of the corresponding figure scripts (see each
     ``repro.experiments.fig*`` module's ``run_cell``).
 ``selftest.*``
@@ -175,6 +176,13 @@ def _fig5b_trial(params: Mapping[str, Any]) -> dict[str, Any]:
     from ..experiments import fig5b_robustness
 
     return fig5b_robustness.run_cell(params)
+
+
+@register_task("fig6.point")
+def _fig6_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    from ..experiments import fig6_saturation
+
+    return fig6_saturation.run_cell(params)
 
 
 @register_task("chaos.run")

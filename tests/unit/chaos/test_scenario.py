@@ -112,3 +112,43 @@ class TestSerialization:
         assert get_scenario("honest").name == "honest"
         with pytest.raises(ConfigurationError):
             get_scenario("no-such-campaign")
+
+
+class TestFlashCrowdWorkload:
+    def test_plain_workload_unchanged(self):
+        workload = ChaosWorkload(transactions=3, start_ms=100.0, period_ms=200.0)
+        assert workload.submit_times() == [100.0, 300.0, 500.0]
+        assert "flash_at_ms" not in workload.to_json()
+
+    def test_flash_window_accelerates_submissions(self):
+        workload = ChaosWorkload(
+            transactions=8,
+            start_ms=200.0,
+            period_ms=500.0,
+            flash_at_ms=1_200.0,
+            flash_duration_ms=1_200.0,
+            flash_factor=4.0,
+        )
+        times = workload.submit_times()
+        assert len(times) == 8
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) == pytest.approx(125.0)
+        assert max(gaps) == pytest.approx(500.0)
+
+    def test_flash_fields_round_trip_through_json(self):
+        workload = ChaosWorkload(
+            transactions=5, flash_at_ms=800.0, flash_duration_ms=600.0,
+            flash_factor=3.0,
+        )
+        assert ChaosWorkload.from_json(workload.to_json()) == workload
+
+    def test_flash_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosWorkload(flash_at_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChaosWorkload(flash_at_ms=100.0, flash_factor=0.5)
+
+    def test_flash_crowd_builtin_registered(self):
+        scenario = get_scenario("flash-crowd")
+        assert scenario.workload.flash_at_ms is not None
+        assert ChaosScenario.from_json(scenario.to_json()) == scenario

@@ -1,0 +1,174 @@
+"""Unit tests for the seeded open-loop arrival processes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.load.arrival import (
+    ARRIVAL_PATTERNS,
+    DeterministicArrivals,
+    FlashCrowdArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    flash_crowd_times,
+    make_arrivals,
+)
+
+ORIGINS = tuple(range(10))
+
+
+class TestDeterministic:
+    def test_metronome_spacing(self):
+        process = DeterministicArrivals(rate_tps=10.0, origins=ORIGINS, seed=0)
+        times = [inj.time_ms for inj in process.schedule(500.0)]
+        assert times == [0.0, 100.0, 200.0, 300.0, 400.0]
+
+    def test_horizon_is_exclusive(self):
+        process = DeterministicArrivals(rate_tps=10.0, origins=ORIGINS, seed=0)
+        assert all(inj.time_ms < 300.0 for inj in process.schedule(300.0))
+
+
+class TestPoisson:
+    def test_sorted_and_inside_horizon(self):
+        process = PoissonArrivals(rate_tps=50.0, origins=ORIGINS, seed=3)
+        times = [inj.time_ms for inj in process.schedule(2_000.0)]
+        assert times == sorted(times)
+        assert all(0.0 < t < 2_000.0 for t in times)
+
+    def test_different_seeds_differ(self):
+        a = PoissonArrivals(rate_tps=50.0, origins=ORIGINS, seed=1).schedule(1_000.0)
+        b = PoissonArrivals(rate_tps=50.0, origins=ORIGINS, seed=2).schedule(1_000.0)
+        assert a != b
+
+
+class TestMMPP:
+    def test_long_run_rate_matches_configured(self):
+        process = MMPPArrivals(rate_tps=40.0, origins=ORIGINS, seed=5)
+        horizon = 300_000.0
+        count = len(process.schedule(horizon))
+        assert count / (horizon / 1000.0) == pytest.approx(40.0, rel=0.15)
+
+    def test_quiet_rate_below_configured_mean(self):
+        process = MMPPArrivals(rate_tps=40.0, origins=ORIGINS, seed=5)
+        assert process.quiet_rate_tps < process.rate_tps
+        assert process.quiet_rate_tps * process.burst_factor > process.rate_tps
+
+    def test_burst_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MMPPArrivals(rate_tps=10.0, origins=ORIGINS, seed=0, burst_factor=0.5)
+
+
+class TestFlashCrowd:
+    def test_window_is_denser(self):
+        process = FlashCrowdArrivals(
+            rate_tps=20.0,
+            origins=ORIGINS,
+            seed=7,
+            flash_at_ms=2_000.0,
+            flash_duration_ms=1_000.0,
+            flash_factor=6.0,
+        )
+        times = [inj.time_ms for inj in process.schedule(5_000.0)]
+        inside = sum(1 for t in times if 2_000.0 <= t < 3_000.0)
+        outside = sum(1 for t in times if t < 2_000.0 or t >= 3_000.0)
+        # The 1s window holds a 6x rate; the other 4s hold the base rate.
+        assert inside > outside / 4.0 * 2.0
+
+    def test_deterministic_base(self):
+        process = FlashCrowdArrivals(
+            rate_tps=10.0, origins=ORIGINS, seed=0, base="deterministic"
+        )
+        first = process.schedule(4_000.0)
+        assert first == process.schedule(4_000.0)
+
+    def test_unknown_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlashCrowdArrivals(rate_tps=10.0, origins=ORIGINS, seed=0, base="mmpp")
+
+
+class TestFlashCrowdTimes:
+    def test_fixed_count_and_acceleration(self):
+        times = flash_crowd_times(
+            8,
+            start_ms=200.0,
+            period_ms=500.0,
+            flash_at_ms=1_200.0,
+            flash_duration_ms=1_200.0,
+            flash_factor=4.0,
+        )
+        assert len(times) == 8
+        assert times == sorted(times)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) == pytest.approx(125.0)
+        assert max(gaps) == pytest.approx(500.0)
+
+    def test_no_flash_factor_one_is_plain_periodic(self):
+        times = flash_crowd_times(4, 0.0, 100.0, 150.0, 100.0, 1.0)
+        assert times == [0.0, 100.0, 200.0, 300.0]
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flash_crowd_times(0, 0.0, 100.0, 0.0, 100.0, 2.0)
+
+
+class TestOrigins:
+    def test_origins_come_from_the_pool(self):
+        process = PoissonArrivals(rate_tps=100.0, origins=(4, 5, 6), seed=1)
+        assert {inj.origin for inj in process.schedule(3_000.0)} <= {4, 5, 6}
+
+    def test_zipf_skews_toward_few_origins(self):
+        process = PoissonArrivals(
+            rate_tps=200.0, origins=tuple(range(20)), seed=1, zipf_s=1.5
+        )
+        schedule = process.schedule(20_000.0)
+        counts: dict[int, int] = {}
+        for inj in schedule:
+            counts[inj.origin] = counts.get(inj.origin, 0) + 1
+        top = max(counts.values())
+        assert top > len(schedule) * 0.25  # the hottest origin dominates
+
+    def test_uniform_when_zipf_zero(self):
+        process = PoissonArrivals(
+            rate_tps=200.0, origins=tuple(range(20)), seed=1, zipf_s=0.0
+        )
+        schedule = process.schedule(20_000.0)
+        counts: dict[int, int] = {}
+        for inj in schedule:
+            counts[inj.origin] = counts.get(inj.origin, 0) + 1
+        assert max(counts.values()) < len(schedule) * 0.15
+
+    def test_empty_origins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate_tps=10.0, origins=(), seed=0)
+
+    def test_negative_zipf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate_tps=10.0, origins=ORIGINS, seed=0, zipf_s=-1.0)
+
+
+class TestFactory:
+    def test_every_pattern_constructs(self):
+        for pattern in ARRIVAL_PATTERNS:
+            process = make_arrivals(
+                pattern, rate_tps=20.0, origins=ORIGINS, seed=2
+            )
+            assert process.pattern == pattern
+            assert process.schedule(1_000.0)
+
+    def test_extra_params_forwarded(self):
+        process = make_arrivals(
+            "mmpp", rate_tps=20.0, origins=ORIGINS, seed=2, burst_factor=3.0
+        )
+        assert process.burst_factor == 3.0
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_arrivals("fractal", rate_tps=20.0, origins=ORIGINS, seed=2)
+
+    def test_describe_is_json_scalars(self):
+        doc = make_arrivals(
+            "poisson", rate_tps=20.0, origins=ORIGINS, seed=2, zipf_s=0.9
+        ).describe()
+        assert doc["pattern"] == "poisson"
+        assert doc["rate_tps"] == 20.0
+        assert doc["zipf_s"] == 0.9
+        assert doc["origins"] == len(ORIGINS)

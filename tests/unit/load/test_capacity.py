@@ -1,0 +1,135 @@
+"""Unit tests for the per-node link capacity model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.load.capacity import CapacityConfig, CapacityModel
+
+
+def model(**overrides) -> CapacityModel:
+    defaults = dict(
+        uplink_kb_per_s=1000.0 / 1.024,  # exactly 1000 bytes/ms
+        downlink_kb_per_s=2000.0 / 1.024,  # exactly 2000 bytes/ms
+        queue_bytes=4_000,
+    )
+    defaults.update(overrides)
+    return CapacityModel(CapacityConfig(**defaults))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = CapacityConfig()
+        assert config.uplink_bytes_per_ms == pytest.approx(1024 * 1024 / 1000)
+
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CapacityConfig(uplink_kb_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CapacityConfig(downlink_kb_per_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            CapacityConfig(queue_bytes=0)
+
+
+class TestEgress:
+    def test_idle_link_serializes_immediately(self):
+        m = model()
+        verdict = m.admit_egress(1, 2_000, now=10.0)
+        assert not verdict.dropped
+        assert verdict.finish_ms == pytest.approx(12.0)
+        assert verdict.queued_ms == 0.0
+
+    def test_back_to_back_messages_queue_fifo(self):
+        m = model()
+        first = m.admit_egress(1, 2_000, now=0.0)
+        second = m.admit_egress(1, 1_000, now=0.0)
+        assert first.finish_ms == pytest.approx(2.0)
+        assert second.finish_ms == pytest.approx(3.0)
+        assert second.queued_ms == pytest.approx(2.0)
+
+    def test_backlog_drains_over_time(self):
+        m = model()
+        m.admit_egress(1, 3_000, now=0.0)
+        assert m.backlog_bytes(1, 0.0) == pytest.approx(3_000)
+        assert m.backlog_bytes(1, 1.5) == pytest.approx(1_500)
+        assert m.backlog_bytes(1, 10.0) == 0.0
+
+    def test_overflow_drops_and_counts(self):
+        m = model()  # queue bound 4000 bytes
+        assert not m.admit_egress(1, 3_000, now=0.0).dropped
+        verdict = m.admit_egress(1, 1_500, now=0.0)  # 4500 > 4000
+        assert verdict.dropped
+        assert m.drops == 1
+        assert m.drops_by_node == {1: 1}
+        # The dropped message must not occupy the link.
+        assert m.backlog_bytes(1, 0.0) == pytest.approx(3_000)
+
+    def test_drop_frees_room_for_later_traffic(self):
+        m = model()
+        m.admit_egress(1, 3_000, now=0.0)
+        assert m.admit_egress(1, 1_500, now=0.0).dropped
+        # After 2ms the backlog drained to 1000 bytes; 1500 now fits.
+        assert not m.admit_egress(1, 1_500, now=2.0).dropped
+
+    def test_nodes_are_independent(self):
+        m = model()
+        m.admit_egress(1, 4_000, now=0.0)
+        verdict = m.admit_egress(2, 4_000, now=0.0)
+        assert not verdict.dropped
+        assert verdict.queued_ms == 0.0
+
+    def test_high_water_mark_tracked(self):
+        m = model()
+        m.admit_egress(1, 2_000, now=0.0)
+        m.admit_egress(1, 1_500, now=0.0)
+        assert m.max_backlog_bytes == pytest.approx(3_500)
+
+
+class TestIngress:
+    def test_idle_downlink(self):
+        m = model()
+        assert m.ingress_finish(2, 2_000, arrival_ms=5.0) == pytest.approx(6.0)
+
+    def test_downlink_fifo(self):
+        m = model()
+        first = m.ingress_finish(2, 4_000, arrival_ms=0.0)
+        second = m.ingress_finish(2, 2_000, arrival_ms=0.5)
+        assert first == pytest.approx(2.0)
+        assert second == pytest.approx(3.0)
+
+    def test_downlink_never_drops(self):
+        m = model()
+        for _ in range(50):
+            m.ingress_finish(2, 4_000, arrival_ms=0.0)
+        assert m.drops == 0
+
+
+class TestBookkeeping:
+    def test_total_backlog_sums_nodes(self):
+        m = model()
+        m.admit_egress(1, 2_000, now=0.0)
+        m.admit_egress(2, 1_000, now=0.0)
+        assert m.total_backlog_bytes(0.0) == pytest.approx(3_000)
+
+    def test_reset_clears_everything(self):
+        m = model()
+        m.admit_egress(1, 4_000, now=0.0)
+        m.admit_egress(1, 4_000, now=0.0)
+        m.ingress_finish(2, 1_000, arrival_ms=0.0)
+        m.reset()
+        assert m.drops == 0
+        assert m.drops_by_node == {}
+        assert m.max_backlog_bytes == 0.0
+        assert m.total_backlog_bytes(0.0) == 0.0
+        assert m.admit_egress(1, 4_000, now=0.0).queued_ms == 0.0
+
+    def test_determinism_no_randomness(self):
+        def trace():
+            m = model()
+            out = []
+            for i in range(20):
+                verdict = m.admit_egress(i % 3, 1_000 + 37 * i, now=float(i))
+                out.append((verdict.dropped, verdict.finish_ms, verdict.queued_ms))
+                out.append(m.ingress_finish(i % 2, 500, arrival_ms=float(i)))
+            return out
+
+        assert trace() == trace()

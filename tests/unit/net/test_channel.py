@@ -40,3 +40,12 @@ class TestLossModel:
     def test_zero_jitter_is_identity(self):
         model = LossModel(jitter_sigma=0.0)
         assert model.jitter_factor(random.Random(0)) == 1.0
+
+
+class TestJitterValidation:
+    def test_zero_jitter_is_legal(self):
+        assert LossModel(jitter_sigma=0.0).jitter_sigma == 0.0
+
+    def test_negative_jitter_rejected_with_accurate_message(self):
+        with pytest.raises(ValueError, match=r"jitter_sigma must be >= 0"):
+            LossModel(jitter_sigma=-0.1)

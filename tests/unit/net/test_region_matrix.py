@@ -88,3 +88,24 @@ class TestNetworkGeneration:
         assert network.transport_latency(london, dublin) < network.transport_latency(
             london, sydney
         )
+
+
+class TestMatrixCompleteness:
+    def test_covers_all_36_unordered_pairs_symmetrically(self):
+        unordered = {frozenset(pair) for pair in REALISTIC_ONE_WAY_MS}
+        expected = len(ALL_REGIONS) * (len(ALL_REGIONS) - 1) // 2
+        assert expected == 36
+        assert len(unordered) == expected
+        # Every unordered pair appears in both orders with equal values.
+        assert len(REALISTIC_ONE_WAY_MS) == 2 * expected
+        for (a, b), value in REALISTIC_ONE_WAY_MS.items():
+            assert REALISTIC_ONE_WAY_MS[(b, a)] == value
+
+    def test_inter_pair_samples_respect_shared_latency_floor(self):
+        from repro.net.latency import MIN_LATENCY_MS
+
+        model = realistic_latency_model(seed=3)
+        samples = [
+            model.sample(Region.LONDON, Region.FRANKFURT) for _ in range(2000)
+        ]
+        assert min(samples) >= MIN_LATENCY_MS

@@ -128,3 +128,53 @@ class TestNetworkStats:
         stats = NetworkStats()
         stats.record_dissemination_start("tx", 10.0)
         assert stats.setup_overheads() == [0.0]
+
+
+class TestDropAccounting:
+    def test_record_drop_accumulates_bytes(self):
+        stats = NetworkStats()
+        stats.record_drop(512)
+        stats.record_drop()  # legacy no-arg call sites still work
+        assert stats.messages_dropped == 2
+        assert stats.bytes_dropped == 512
+
+    def test_record_capacity_drop_counts_both_ways(self):
+        stats = NetworkStats()
+        stats.record_capacity_drop(sender=3, wire_bytes=700)
+        stats.record_capacity_drop(sender=3, wire_bytes=300)
+        stats.record_capacity_drop(sender=5, wire_bytes=100)
+        assert stats.messages_dropped == 3
+        assert stats.bytes_dropped == 1100
+        assert stats.capacity_drops == 3
+        assert stats.capacity_dropped_bytes == 1100
+        assert stats.capacity_drops_by_node == {3: 2, 5: 1}
+
+    def test_drop_rate(self):
+        stats = NetworkStats()
+        assert stats.drop_rate() == 0.0
+        for _ in range(4):
+            stats.record_send(1, 2, 100)
+        stats.record_drop(100)
+        assert stats.drop_rate() == pytest.approx(0.25)
+
+    def test_goodput_subtracts_dropped_bytes(self):
+        stats = NetworkStats()
+        # 2 nodes, 1024 bytes each over 30s, half of node 1's bytes dropped.
+        stats.record_send(1, 2, 1024)
+        stats.record_send(2, 1, 1024)
+        stats.record_capacity_drop(sender=1, wire_bytes=1024)
+        assert stats.bandwidth_kb_per_minute(30_000.0) == pytest.approx(2.0)
+        assert stats.goodput_kb_per_minute(30_000.0) == pytest.approx(1.0)
+
+    def test_goodput_equals_bandwidth_without_drops(self):
+        stats = NetworkStats()
+        stats.record_send(1, 2, 4096)
+        stats.record_send(2, 1, 4096)
+        assert stats.goodput_kb_per_minute(60_000.0) == pytest.approx(
+            stats.bandwidth_kb_per_minute(60_000.0)
+        )
+
+    def test_goodput_invalid_duration(self):
+        stats = NetworkStats()
+        with pytest.raises(ValueError):
+            stats.goodput_kb_per_minute(0.0)
