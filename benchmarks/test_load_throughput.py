@@ -13,13 +13,13 @@ happening), not speed.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
 from conftest import report
 
 from repro.baselines import LZeroSystem
+from repro.obs.analysis import bench_record, write_bench_record
 from repro.load.arrival import PoissonArrivals
 from repro.load.capacity import CapacityConfig, CapacityModel
 from repro.load.driver import LoadDriver
@@ -70,14 +70,18 @@ def test_load_driver_throughput():
         )
     )
 
-    doc = {
-        "num_nodes": NUM_NODES,
-        "rate_tps": RATE_TPS,
-        "duration_ms": DURATION_MS,
-        "infinite_links": infinite,
-        "finite_links": finite,
-    }
-    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    metrics = {}
+    for mode, numbers in (("infinite", infinite), ("finite", finite)):
+        for key, value in numbers.items():
+            metrics[f"{mode}_{key}"] = value
+    doc = bench_record(
+        "load_throughput",
+        metrics,
+        meta={"rate_tps": RATE_TPS, "duration_ms": DURATION_MS},
+        num_nodes=NUM_NODES,
+        seed=0,
+    )
+    write_bench_record(BENCH_PATH, doc)
 
     lines = [
         f"load driver throughput — N={NUM_NODES}, {RATE_TPS:.0f} tx/s offered, "

@@ -12,12 +12,12 @@ is about correctness (identical record sets), not speed.
 
 from __future__ import annotations
 
-import json
 import os
 import pathlib
 
 from conftest import report
 
+from repro.obs.analysis import bench_record, write_bench_record
 from repro.runner import ResultStore, SweepSpec, run_sweep
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
@@ -56,24 +56,28 @@ def test_sweep_throughput(tmp_path):
 
     serial_wall = walls[1]
     parallel_wall = walls[PARALLEL_JOBS]
-    doc = {
-        "grid_cells": len(SWEEP),
-        "task": SWEEP.task,
-        "parallel_jobs": PARALLEL_JOBS,
-        "serial_wall_seconds": round(serial_wall, 4),
-        "parallel_wall_seconds": round(parallel_wall, 4),
-        "speedup": round(serial_wall / parallel_wall, 4) if parallel_wall else None,
-        "runs_per_second_serial": round(len(SWEEP) / serial_wall, 4)
-        if serial_wall
-        else None,
-    }
-    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    doc = bench_record(
+        "sweep_throughput",
+        {
+            "grid_cells": len(SWEEP),
+            "serial_wall_seconds": round(serial_wall, 4),
+            "parallel_wall_seconds": round(parallel_wall, 4),
+            "speedup": round(serial_wall / parallel_wall, 4) if parallel_wall else 0.0,
+            "runs_per_second_serial": round(len(SWEEP) / serial_wall, 4)
+            if serial_wall
+            else 0.0,
+        },
+        meta={"task": SWEEP.task, "parallel_jobs": PARALLEL_JOBS},
+        seed=SWEEP.grid["seed"],
+        num_nodes=SWEEP.base["num_nodes"],
+    )
+    write_bench_record(BENCH_PATH, doc)
 
     lines = [
         f"sweep throughput — {len(SWEEP)} cells of task {SWEEP.task!r}",
         f"  jobs=1:              {serial_wall:8.2f}s wall",
         f"  jobs={PARALLEL_JOBS}:              {parallel_wall:8.2f}s wall",
-        f"  speedup:             {doc['speedup']:8.2f}x "
+        f"  speedup:             {doc['metrics']['speedup']:8.2f}x "
         "(spawn start-up dominates at this grid size)",
         f"  -> {BENCH_PATH.name}",
     ]

@@ -7,7 +7,10 @@ runs ad-hoc parameter sweeps through :mod:`repro.runner` (see
 chaos ...`` runs fault-injection campaigns with online invariant checking
 (see ``python -m repro chaos --help`` and ``docs/chaos.md``); ``python -m
 repro load ...`` sweeps offered load under finite link capacity (see
-``python -m repro load --help`` and ``docs/load.md``).
+``python -m repro load --help`` and ``docs/load.md``); ``python -m repro
+analyze / report / bench-gate`` run the trace analytics, run-report and
+regression-gate front ends (see :mod:`repro.obs.analysis` and
+``docs/observability.md``).
 """
 
 import sys
@@ -28,6 +31,18 @@ def main(argv: list[str] | None = None) -> int:
         from .load.cli import main as load_main
 
         return load_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        from .obs.analysis.cli import analyze_main
+
+        return analyze_main(argv[1:])
+    if argv and argv[0] == "report":
+        from .obs.analysis.cli import report_main
+
+        return report_main(argv[1:])
+    if argv and argv[0] == "bench-gate":
+        from .obs.analysis.cli import bench_gate_main
+
+        return bench_gate_main(argv[1:])
     from .experiments.report import main as report_main
 
     report_main(argv)

@@ -51,13 +51,26 @@ class BaselineNode(ProtocolNode):
         """Record the paper's latency reference point for *tx*."""
 
         self.network.stats.record_dissemination_start(tx.tx_id, self.now)
+        obs = self.network.obs
+        if obs is not None:
+            obs.event("tx.dispatch", tx_id=tx.tx_id, origin=self.node_id)
 
-    def deliver_locally(self, tx: Transaction, record_stats: bool = True) -> bool:
+    def deliver_locally(
+        self,
+        tx: Transaction,
+        record_stats: bool = True,
+        sender: int | None = None,
+        **attrs: object,
+    ) -> bool:
         """Record *tx* in the mempool (and, by default, the delivery stats).
 
         Protocols whose *usable* delivery lags mempool arrival (Narwhal's
         certificate) pass ``record_stats=False`` here and log the stats
-        delivery themselves at the later point.  Returns True if new.
+        delivery themselves at the later point.  *sender* is the immediate
+        predecessor the transaction arrived from (None for the origin's own
+        copy); fresh remote arrivals emit a ``tx.deliver`` trace event — the
+        parent edge :mod:`repro.obs.analysis` reconstructs dissemination
+        trees from.  Returns True if new.
         """
 
         if not self.mempool.add(tx, self.now):
@@ -68,6 +81,14 @@ class BaselineNode(ProtocolNode):
         if obs is not None:
             obs.metrics.counter("mempool.insertions").inc()
             obs.metrics.gauge("mempool.depth.max").track_max(len(self.mempool))
+            if sender is not None and sender != self.node_id:
+                obs.event(
+                    "tx.deliver",
+                    tx_id=tx.tx_id,
+                    node=self.node_id,
+                    sender=sender,
+                    **attrs,
+                )
         if self.observe_hook is not None:
             self.observe_hook(self, tx)
         return True
@@ -110,6 +131,8 @@ class BaseSystem:
 
     def submit(self, origin: int, tx: Transaction) -> None:
         self.network.stats.record_submission(tx.tx_id, self.simulator.now)
+        if self.obs is not None:
+            self.obs.event("tx.submit", tx_id=tx.tx_id, origin=origin)
         self.nodes[origin].submit_transaction(tx)
 
     def run(self, until_ms: float | None = None) -> float:

@@ -52,7 +52,7 @@ class GossipNode(BaselineNode):
         if message.kind != GOSSIP_TX_KIND:
             return
         tx: Transaction = message.payload
-        if not self.deliver_locally(tx):
+        if not self.deliver_locally(tx, sender=sender):
             return
         if self.behavior is Behavior.DROP_RELAY or self.censors(tx):
             return
@@ -63,7 +63,7 @@ class GossipNode(BaselineNode):
         fanout = min(self.config.fanout, len(peers))
         if not fanout:
             return
-        message = Message(GOSSIP_TX_KIND, tx, tx.size_bytes)
+        message = Message(GOSSIP_TX_KIND, tx, tx.size_bytes, tx_id=tx.tx_id)
         for peer in self.rng.sample(peers, fanout):
             self.send(peer, message)
 

@@ -91,7 +91,10 @@ class LZeroNode(BaselineNode):
         if message.kind == LZERO_TX_KIND:
             tx, commitment = message.payload
             self.peer_commitments[sender] = commitment
-            if self.deliver_locally(tx) and self.behavior is not Behavior.DROP_RELAY:
+            if (
+                self.deliver_locally(tx, sender=sender)
+                and self.behavior is not Behavior.DROP_RELAY
+            ):
                 self._forward(tx)
         elif message.kind == LZERO_DIGEST_KIND:
             self._on_digest(sender, message.payload)
@@ -99,13 +102,15 @@ class LZeroNode(BaselineNode):
             self._on_request(sender, message.payload)
         elif message.kind == LZERO_TXS_KIND:
             for tx in message.payload:
-                self.deliver_locally(tx)
+                self.deliver_locally(tx, sender=sender, via="reconcile")
 
     # -- gossip over the partner overlay ---------------------------------
 
     def _forward(self, tx: Transaction) -> None:
         body = (tx, self.mempool.commitment())
-        message = Message(LZERO_TX_KIND, body, tx.size_bytes + _COMMITMENT_BYTES)
+        message = Message(
+            LZERO_TX_KIND, body, tx.size_bytes + _COMMITMENT_BYTES, tx_id=tx.tx_id
+        )
         for partner in self.partners:
             self.send(partner, message)
 
@@ -136,7 +141,12 @@ class LZeroNode(BaselineNode):
         if extra:
             self.send(
                 sender,
-                Message(LZERO_TXS_KIND, tuple(extra), sum(t.size_bytes for t in extra)),
+                Message(
+                    LZERO_TXS_KIND,
+                    tuple(extra),
+                    sum(t.size_bytes for t in extra),
+                    tx_id=extra[0].tx_id if len(extra) == 1 else None,
+                ),
             )
 
     def _on_request(self, sender: int, tx_ids: tuple[int, ...]) -> None:
@@ -147,7 +157,12 @@ class LZeroNode(BaselineNode):
         if txs:
             self.send(
                 sender,
-                Message(LZERO_TXS_KIND, tuple(txs), sum(t.size_bytes for t in txs)),
+                Message(
+                    LZERO_TXS_KIND,
+                    tuple(txs),
+                    sum(t.size_bytes for t in txs),
+                    tx_id=txs[0].tx_id if len(txs) == 1 else None,
+                ),
             )
 
 

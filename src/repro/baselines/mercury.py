@@ -92,7 +92,7 @@ class MercuryNode(BaselineNode):
             return
         if message.kind == MERCURY_TX_KIND:
             tx: Transaction = message.payload
-            fresh = self.deliver_locally(tx)
+            fresh = self.deliver_locally(tx, sender=sender)
             # No relay accountability: a colluding node can silently censor
             # the transaction it is racing (marked by the observe hook).
             if fresh and self.behavior is not Behavior.DROP_RELAY and not self.censors(tx):
@@ -103,7 +103,7 @@ class MercuryNode(BaselineNode):
     def _outburst(self, tx: Transaction, skip: int | None = None) -> None:
         """Early outburst: push to every peer immediately."""
 
-        message = Message(MERCURY_TX_KIND, tx, tx.size_bytes)
+        message = Message(MERCURY_TX_KIND, tx, tx.size_bytes, tx_id=tx.tx_id)
         for peer in self.peers:
             if peer != skip:
                 self.send(peer, message)

@@ -125,7 +125,9 @@ class NarwhalNode(BaselineNode):
         self.mark_first_transmission(tx)
         self._origin_state[tx.tx_id] = _BatchState()
         self._on_batch(self.node_id, tx)
-        message = Message(BATCH_KIND, tx, tx.size_bytes + _BATCH_HEADER_BYTES)
+        message = Message(
+            BATCH_KIND, tx, tx.size_bytes + _BATCH_HEADER_BYTES, tx_id=tx.tx_id
+        )
         for validator in self.validators:
             if validator != self.node_id:
                 self.send(validator, message)
@@ -151,17 +153,21 @@ class NarwhalNode(BaselineNode):
         # receipt).  The *measured* delivery — when the transaction becomes
         # referenceable by a DAG consensus — additionally needs the
         # availability certificate (see _maybe_record_usable).
-        self.deliver_locally(tx, record_stats=False)
+        self.deliver_locally(tx, record_stats=False, sender=sender)
         self._maybe_record_usable(tx.tx_id)
         if self.censors(tx):
             return
         if tx.origin != self.node_id:
             # Availability ack back to the origin (honest nodes only).
             if self.behavior is not Behavior.DROP_RELAY:
-                self.send(tx.origin, Message(ACK_KIND, tx.tx_id, _ACK_BYTES))
+                self.send(
+                    tx.origin, Message(ACK_KIND, tx.tx_id, _ACK_BYTES, tx_id=tx.tx_id)
+                )
         if self.behavior is Behavior.DROP_RELAY:
             return
-        push = Message(BATCH_KIND, tx, tx.size_bytes + _BATCH_HEADER_BYTES)
+        push = Message(
+            BATCH_KIND, tx, tx.size_bytes + _BATCH_HEADER_BYTES, tx_id=tx.tx_id
+        )
         if self.node_id in self.validators:
             # Worker batch sync: each validator relays the batch once to all
             # other validators so availability survives a faulty origin.
@@ -188,7 +194,7 @@ class NarwhalNode(BaselineNode):
 
     def _broadcast_cert(self, tx_id: int) -> None:
         self._on_cert(self.node_id, tx_id)
-        message = Message(CERT_KIND, tx_id, _CERT_BYTES)
+        message = Message(CERT_KIND, tx_id, _CERT_BYTES, tx_id=tx_id)
         for validator in self.validators:
             if validator != self.node_id:
                 self.send(validator, message)
@@ -199,7 +205,7 @@ class NarwhalNode(BaselineNode):
         self._certs.add(tx_id)
         self._maybe_record_usable(tx_id)
         if self.subscribers and self.behavior is not Behavior.DROP_RELAY:
-            message = Message(CERT_KIND, tx_id, _CERT_BYTES)
+            message = Message(CERT_KIND, tx_id, _CERT_BYTES, tx_id=tx_id)
             for subscriber in self.subscribers:
                 if subscriber != self.node_id:
                     self.send(subscriber, message)

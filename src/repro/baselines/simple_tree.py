@@ -63,13 +63,15 @@ class SimpleTreeNode(BaselineNode):
         if self._position == 0:
             self._push_down(tx)
         else:
-            self.send(self.root_id, Message(TREE_TX_KIND, tx, tx.size_bytes))
+            self.send(
+                self.root_id, Message(TREE_TX_KIND, tx, tx.size_bytes, tx_id=tx.tx_id)
+            )
 
     def on_message(self, sender: int, message: Message) -> None:
         if self.behavior is Behavior.CRASH or message.kind != TREE_TX_KIND:
             return
         tx: Transaction = message.payload
-        self.deliver_locally(tx)
+        self.deliver_locally(tx, sender=sender)
         # A node may already hold the transaction (it is the origin) and still
         # owe its subtree a push when the tree copy arrives via its parent.
         if self.behavior is Behavior.DROP_RELAY:
@@ -80,7 +82,7 @@ class SimpleTreeNode(BaselineNode):
         if tx.tx_id in self._pushed:
             return
         self._pushed.add(tx.tx_id)
-        message = Message(TREE_TX_KIND, tx, tx.size_bytes)
+        message = Message(TREE_TX_KIND, tx, tx.size_bytes, tx_id=tx.tx_id)
         for child_position in tree_children(
             self._position, self.config.branching, len(self._order)
         ):

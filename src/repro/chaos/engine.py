@@ -413,4 +413,7 @@ def _open_window(obs, simulator, name: str, attrs: dict, end_ms: float) -> None:
     """Start a detached trace span for one fault window and end it on cue."""
 
     span = obs.tracer.detached_span(name, **attrs)
+    # Span.event (not obs.event): detached spans never join the stack, so a
+    # plain tracer event here would attach to whatever ambient span is open.
+    span.event(f"{name}.open", until_ms=end_ms)
     simulator.schedule_at(end_ms, span.end)

@@ -164,9 +164,11 @@ class BatchingHermesNode(HermesNode):
 
     # -- receiving -----------------------------------------------------------
 
-    def _deliver_locally(self, tx: Transaction) -> None:
+    def _deliver_locally(
+        self, tx: Transaction, sender: int | None = None, **attrs: object
+    ) -> None:
         was_new = tx.tx_id not in self.mempool
-        super()._deliver_locally(tx)
+        super()._deliver_locally(tx, sender=sender, **attrs)
         if was_new and tx.tag == _SHARD_TAG and tx.payload:
             self._absorb_shard(tx)
 

@@ -157,7 +157,7 @@ class HermesNode(ProtocolNode):
         obs = self._obs
         if obs is not None:
             self._trs_started[tx.tx_id] = self.now
-            obs.event("hermes.submit", tx_id=tx.tx_id, origin=self.node_id)
+            obs.event("tx.submit", tx_id=tx.tx_id, origin=self.node_id)
         self._deliver_locally(tx)
 
         def on_seed(result: TrsResult) -> None:
@@ -197,20 +197,30 @@ class HermesNode(ProtocolNode):
         self._trace(ActivityKind.DISPATCHED, envelope.tx.tx_id, envelope.overlay_id)
         if self._obs is not None:
             self._obs.event(
-                "hermes.dispatch",
+                "tx.dispatch",
                 tx_id=envelope.tx.tx_id,
                 origin=self.node_id,
                 overlay_id=envelope.overlay_id,
                 entry_points=len(overlay.entry_points),
             )
         size = envelope.wire_bytes(self.backend)
+        tx_id, overlay_id = envelope.tx.tx_id, envelope.overlay_id
         if not self.config.use_physical_paths:
             # The transport provides f+1 trivially disjoint internet paths.
             for entry in overlay.entry_points:
                 if entry == self.node_id:
                     self._accept(self.node_id, envelope)
                 else:
-                    self.send(entry, Message(DISSEMINATE_KIND, envelope, size))
+                    self.send(
+                        entry,
+                        Message(
+                            DISSEMINATE_KIND,
+                            envelope,
+                            size,
+                            tx_id=tx_id,
+                            overlay_id=overlay_id,
+                        ),
+                    )
             return
         paths = find_disjoint_paths(
             self.network.physical.graph,
@@ -222,10 +232,28 @@ class HermesNode(ProtocolNode):
             if len(path) == 1:  # we are the entry point
                 self._accept(self.node_id, envelope)
             elif len(path) == 2:
-                self.send(path[1], Message(DISSEMINATE_KIND, envelope, size))
+                self.send(
+                    path[1],
+                    Message(
+                        DISSEMINATE_KIND,
+                        envelope,
+                        size,
+                        tx_id=tx_id,
+                        overlay_id=overlay_id,
+                    ),
+                )
             else:
                 body = (envelope, tuple(path), 1)
-                self.send(path[1], Message(ROUTE_KIND, body, size + _ROUTE_EXTRA_BYTES))
+                self.send(
+                    path[1],
+                    Message(
+                        ROUTE_KIND,
+                        body,
+                        size + _ROUTE_EXTRA_BYTES,
+                        tx_id=tx_id,
+                        overlay_id=overlay_id,
+                    ),
+                )
 
     # ------------------------------------------------------------------
     # Receiving
@@ -272,7 +300,13 @@ class HermesNode(ProtocolNode):
             return
         self.send(
             path[index + 1],
-            Message(ROUTE_KIND, (envelope, path, index + 1), message.size_bytes),
+            Message(
+                ROUTE_KIND,
+                (envelope, path, index + 1),
+                message.size_bytes,
+                tx_id=envelope.tx.tx_id,
+                overlay_id=envelope.overlay_id,
+            ),
         )
 
     def _accept(self, sender: int, envelope: DisseminationEnvelope) -> None:
@@ -333,15 +367,12 @@ class HermesNode(ProtocolNode):
             if self._obs is not None:
                 depth = overlay.depth_of.get(self.node_id, 0)
                 self._obs.metrics.histogram("hermes.overlay.hops").observe(depth)
-                self._obs.event(
-                    "hermes.deliver",
-                    tx_id=envelope.tx.tx_id,
-                    node=self.node_id,
-                    overlay_id=envelope.overlay_id,
-                    sender=sender,
-                    hops=depth,
-                )
-        self._deliver_locally(envelope.tx)
+        self._deliver_locally(
+            envelope.tx,
+            sender=sender,
+            overlay_id=envelope.overlay_id,
+            hops=overlay.depth_of.get(self.node_id, 0),
+        )
         key = (envelope.tx.tx_id, envelope.overlay_id)
         if key in self._forwarded:
             return
@@ -356,7 +387,13 @@ class HermesNode(ProtocolNode):
             )
             self.send(
                 successor,
-                Message(DISSEMINATE_KIND, envelope, envelope.wire_bytes(self.backend)),
+                Message(
+                    DISSEMINATE_KIND,
+                    envelope,
+                    envelope.wire_bytes(self.backend),
+                    tx_id=envelope.tx.tx_id,
+                    overlay_id=envelope.overlay_id,
+                ),
             )
         if self.config.acknowledgments_enabled:
             self._ack_origin[key] = envelope.origin
@@ -470,7 +507,19 @@ class HermesNode(ProtocolNode):
         if set(overlay.successors[self.node_id]) <= state or key in self._ack_flushed:
             self._flush_ack(tx_id, overlay_id)
 
-    def _deliver_locally(self, tx: Transaction) -> None:
+    def _deliver_locally(
+        self,
+        tx: Transaction,
+        sender: int | None = None,
+        **attrs: object,
+    ) -> None:
+        """Record *tx* in the mempool; fresh remote arrivals emit ``tx.deliver``.
+
+        *sender* is the immediate predecessor the transaction arrived from
+        (None for the origin's own copy), which is the parent edge the
+        dissemination-tree reconstruction in :mod:`repro.obs.analysis` reads.
+        """
+
         if self.mempool.add(tx, self.now):
             self.network.stats.record_delivery(tx.tx_id, self.node_id, self.now)
             if self._obs is not None:
@@ -478,6 +527,14 @@ class HermesNode(ProtocolNode):
                 self._obs.metrics.gauge("mempool.depth.max").track_max(
                     len(self.mempool)
                 )
+                if sender is not None and sender != self.node_id:
+                    self._obs.event(
+                        "tx.deliver",
+                        tx_id=tx.tx_id,
+                        node=self.node_id,
+                        sender=sender,
+                        **attrs,
+                    )
             if self.observe_hook is not None:
                 self.observe_hook(self, tx)
 
@@ -522,7 +579,8 @@ class HermesNode(ProtocolNode):
             txs = [tx for tx in txs if tx is not None]
             if txs:
                 size = sum(tx.size_bytes for tx in txs)
-                self.send(sender, Message(GOSSIP_TXS_KIND, tuple(txs), size))
+                self.send(sender, Message(GOSSIP_TXS_KIND, tuple(txs), size,
+                                          tx_id=txs[0].tx_id if len(txs) == 1 else None))
 
     def _on_gossip_request(self, sender: int, tx_ids: tuple[int, ...]) -> None:
         if self.behavior is Behavior.DROP_RELAY:
@@ -531,11 +589,12 @@ class HermesNode(ProtocolNode):
         txs = [tx for tx in txs if tx is not None]
         if txs:
             size = sum(tx.size_bytes for tx in txs)
-            self.send(sender, Message(GOSSIP_TXS_KIND, tuple(txs), size))
+            self.send(sender, Message(GOSSIP_TXS_KIND, tuple(txs), size,
+                                      tx_id=txs[0].tx_id if len(txs) == 1 else None))
 
     def _on_gossip_txs(self, sender: int, txs: tuple[Transaction, ...]) -> None:
         for tx in txs:
-            self._deliver_locally(tx)
+            self._deliver_locally(tx, sender=sender, via="gossip")
 
 
 class HermesSystem:

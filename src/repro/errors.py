@@ -62,5 +62,10 @@ class SweepExecutionError(ReproError):
     """The sweep runner could not execute a run (see ``repro.runner``)."""
 
 
+class TraceReadError(ReproError):
+    """A JSONL trace or bench record is malformed or has an unsupported
+    version (see ``repro.obs.analysis``)."""
+
+
 class MembershipError(ReproError):
     """A join/leave operation is inconsistent with the current membership."""

@@ -46,6 +46,14 @@ class Message:
     payload: Any
     size_bytes: int
     msg_id: int = field(default_factory=lambda: next(_message_counter))
+    # Optional dissemination context, set by protocols on messages that carry
+    # exactly one transaction.  The network layer copies both onto its
+    # ``net.send`` trace events, which is what lets the offline analysis
+    # (repro.obs.analysis) join per-hop latency components to per-transaction
+    # dissemination trees.  None (the default) means "not a single-tx hop"
+    # (acks, digests, multi-tx gossip payloads, control traffic).
+    tx_id: int | None = None
+    overlay_id: int | None = None
 
     def wire_size(self) -> int:
         """Total bytes on the wire, including the envelope overhead."""

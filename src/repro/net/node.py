@@ -162,6 +162,7 @@ class Network:
                         dst=dst,
                         kind=message.kind,
                         bytes=wire,
+                        tx_id=message.tx_id,
                     )
                 return
         latency_factor = 1.0
@@ -179,32 +180,65 @@ class Network:
             self.stats.record_drop(wire)
             if obs is not None:
                 obs.metrics.counter("net.messages.dropped", kind=message.kind).inc()
-                obs.event("net.drop", src=src, dst=dst, kind=message.kind, bytes=wire)
+                obs.event(
+                    "net.drop",
+                    src=src,
+                    dst=dst,
+                    kind=message.kind,
+                    bytes=wire,
+                    tx_id=message.tx_id,
+                )
             return
-        delay = (
+        link_ms = (
             self.base_latency(src, dst)
             * latency_factor
             * self.loss_model.jitter_factor(self._rng)
-            + self.processing_delay_ms
         )
+        delay = link_ms + self.processing_delay_ms
+        queue_ms = 0.0
         if capacity is not None and egress is not None:
             # Serialization: propagation starts when the last byte leaves the
             # uplink, and delivery completes once the receiver's downlink has
             # drained the message.
             finish = capacity.ingress_finish(dst, wire, egress.finish_ms + delay)
             delay = finish - now
+            queue_ms += egress.queued_ms
             if obs is not None:
                 obs.metrics.histogram("net.capacity.queue_ms").observe(
                     egress.queued_ms
                 )
         if self.service_time_ms > 0:
-            arrival = self.simulator.now + delay
+            arrival = now + delay
             start = max(arrival, self._busy_until.get(dst, 0.0))
             finish = start + self.service_time_ms
             self._busy_until[dst] = finish
-            delay = finish - self.simulator.now
+            delay = finish - now
+            queue_ms += start - arrival
             if obs is not None:
                 obs.metrics.histogram("net.service.queue_ms").observe(start - arrival)
+        if obs is not None:
+            # One record per scheduled transmission, decomposing its delay so
+            # the offline critical-path analysis can attribute every hop:
+            #   delay = queue + serialization + link + proc      (exactly)
+            # Serialization is the residual — with the capacity model off and
+            # service_time zero it is 0.0 by construction, so the identity
+            # holds in every configuration.
+            obs.event(
+                "net.send",
+                src=src,
+                dst=dst,
+                kind=message.kind,
+                bytes=wire,
+                msg_id=message.msg_id,
+                tx_id=message.tx_id,
+                overlay_id=message.overlay_id,
+                queue_ms=queue_ms,
+                serialization_ms=delay - queue_ms - link_ms - self.processing_delay_ms,
+                link_ms=link_ms,
+                proc_ms=self.processing_delay_ms,
+                delay_ms=delay,
+                deliver_ms=now + delay,
+            )
         receiver = self._nodes[dst]
         if self.on_receive is None:
             self.simulator.schedule(delay, lambda: receiver.receive(src, message))

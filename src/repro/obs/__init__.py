@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from .manifest import MANIFEST_SCHEMA, build_manifest, write_manifest
+from .manifest import MANIFEST_SCHEMA, build_manifest, run_manifest, write_manifest
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import (
     CallbackStats,
@@ -64,6 +64,7 @@ __all__ = [
     "callback_key",
     "MANIFEST_SCHEMA",
     "build_manifest",
+    "run_manifest",
     "write_manifest",
 ]
 

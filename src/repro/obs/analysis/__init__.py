@@ -1,0 +1,84 @@
+"""Trace analytics and run reports (``repro.obs.analysis``).
+
+Post-hoc analysis over the simulator's observability output:
+
+* :mod:`~repro.obs.analysis.trace` — versioned JSONL trace reading and
+  per-transaction dissemination-tree reconstruction;
+* :mod:`~repro.obs.analysis.critical_path` — hop-by-hop latency attribution
+  along each transaction's slowest root-to-leaf path;
+* :mod:`~repro.obs.analysis.baseline` / :mod:`~repro.obs.analysis.compare` —
+  canonical bench-record schema, committed baselines, cross-run regression
+  verdicts;
+* :mod:`~repro.obs.analysis.report` — self-contained markdown/HTML run
+  reports;
+* :mod:`~repro.obs.analysis.cli` — ``python -m repro analyze | report |
+  bench-gate``.
+"""
+
+from .baseline import (
+    BASELINE_SCHEMA,
+    BENCH_SCHEMA,
+    Baseline,
+    BaselineMetric,
+    bench_record,
+    load_baseline,
+    load_bench_record,
+    update_baseline,
+    write_baseline,
+    write_bench_record,
+)
+from .compare import ComparisonResult, MetricComparison, compare, compare_many
+from .critical_path import (
+    COMPONENTS,
+    CriticalPath,
+    Hop,
+    ProtocolBreakdown,
+    aggregate,
+    critical_path,
+    critical_paths,
+)
+from .report import render_html, render_report
+from .trace import (
+    Delivery,
+    DisseminationTree,
+    ReadEvent,
+    ReadSpan,
+    Trace,
+    TraceHeader,
+    build_trees,
+    read_trace,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "BENCH_SCHEMA",
+    "COMPONENTS",
+    "Baseline",
+    "BaselineMetric",
+    "ComparisonResult",
+    "CriticalPath",
+    "Delivery",
+    "DisseminationTree",
+    "Hop",
+    "MetricComparison",
+    "ProtocolBreakdown",
+    "ReadEvent",
+    "ReadSpan",
+    "Trace",
+    "TraceHeader",
+    "aggregate",
+    "bench_record",
+    "build_trees",
+    "compare",
+    "compare_many",
+    "critical_path",
+    "critical_paths",
+    "load_baseline",
+    "load_bench_record",
+    "read_trace",
+    "render_html",
+    "render_report",
+    "update_baseline",
+    "write_baseline",
+    "write_bench_record",
+]

@@ -1,0 +1,212 @@
+"""Canonical bench-record schema and committed regression baselines.
+
+Benchmarks and sweep aggregates used to emit ad-hoc JSON documents; this
+module gives them one shape so they can be diffed across runs and gated in
+CI:
+
+* a **bench record** (``repro.bench/1``): name, a flat ``metrics`` mapping of
+  numeric observations, the :func:`repro.obs.manifest.run_manifest` stamp
+  (git sha, python, platform, seed, N, ...), and free-form ``meta``;
+* a **baseline** (``repro.bench-baseline/1``): committed under
+  ``benchmarks/baselines/``, holding per-metric expected value, relative
+  tolerance and direction.  The committed baseline — not the incoming record
+  — is the source of truth for tolerances and directions; refreshing a
+  baseline (``--update``) rewrites values only.
+
+Directions:
+
+``lower``
+    Lower is better; a regression is the current value exceeding
+    ``value * (1 + tolerance)``.
+``higher``
+    Higher is better; a regression is falling below
+    ``value * (1 - tolerance)``.
+``info``
+    Tracked for the report but never gates (wall-clock curiosities,
+    machine-dependent rates).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ...errors import TraceReadError
+from ..manifest import run_manifest
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BASELINE_SCHEMA",
+    "DIRECTIONS",
+    "BaselineMetric",
+    "Baseline",
+    "bench_record",
+    "load_bench_record",
+    "write_bench_record",
+    "load_baseline",
+    "write_baseline",
+    "update_baseline",
+]
+
+BENCH_SCHEMA = "repro.bench/1"
+BASELINE_SCHEMA = "repro.bench-baseline/1"
+DIRECTIONS = ("lower", "higher", "info")
+
+
+def bench_record(
+    name: str,
+    metrics: Mapping[str, float],
+    *,
+    meta: Mapping[str, Any] | None = None,
+    **manifest_extra: Any,
+) -> dict[str, Any]:
+    """Build a ``repro.bench/1`` record, stamped with the run manifest.
+
+    ``metrics`` must be flat name → number; non-numeric observations belong
+    in ``meta``.  Extra keyword arguments (seed, num_nodes, ...) go into the
+    manifest stamp.
+    """
+
+    clean: dict[str, float] = {}
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TraceReadError(
+                f"bench record {name!r}: metric {key!r} is not numeric "
+                f"({type(value).__name__}); put non-numeric data in meta"
+            )
+        clean[key] = float(value)
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "metrics": clean,
+        "manifest": run_manifest(**manifest_extra),
+        "meta": dict(meta) if meta else {},
+    }
+
+
+def load_bench_record(path: str | Path) -> dict[str, Any]:
+    """Load and validate a ``repro.bench/1`` record."""
+
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TraceReadError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(record, dict) or record.get("schema") != BENCH_SCHEMA:
+        raise TraceReadError(
+            f"{path}: not a {BENCH_SCHEMA} record "
+            f"(schema={record.get('schema')!r} if it is a dict at all)"
+        )
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        raise TraceReadError(f"{path}: 'metrics' must be an object")
+    for key, value in metrics.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TraceReadError(f"{path}: metric {key!r} is not numeric")
+    if not isinstance(record.get("name"), str):
+        raise TraceReadError(f"{path}: missing record 'name'")
+    return record
+
+
+def write_bench_record(path: str | Path, record: Mapping[str, Any]) -> None:
+    Path(path).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineMetric:
+    """Expectation for one metric: value, relative tolerance, direction."""
+
+    value: float
+    tolerance: float
+    direction: str = "lower"
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise TraceReadError(
+                f"unknown baseline direction {self.direction!r}; "
+                f"expected one of {DIRECTIONS}"
+            )
+        if self.tolerance < 0:
+            raise TraceReadError("baseline tolerance must be >= 0")
+
+
+@dataclass
+class Baseline:
+    """A committed set of metric expectations for one benchmark."""
+
+    name: str
+    metrics: dict[str, BaselineMetric]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "name": self.name,
+            "metrics": {
+                key: {
+                    "value": metric.value,
+                    "tolerance": metric.tolerance,
+                    "direction": metric.direction,
+                }
+                for key, metric in sorted(self.metrics.items())
+            },
+        }
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise TraceReadError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise TraceReadError(
+            f"{path}: not a {BASELINE_SCHEMA} document "
+            f"(schema={doc.get('schema')!r} if it is a dict at all)"
+        )
+    metrics: dict[str, BaselineMetric] = {}
+    raw = doc.get("metrics")
+    if not isinstance(raw, dict):
+        raise TraceReadError(f"{path}: 'metrics' must be an object")
+    for key, spec in raw.items():
+        try:
+            metrics[key] = BaselineMetric(
+                value=float(spec["value"]),
+                tolerance=float(spec.get("tolerance", 0.0)),
+                direction=str(spec.get("direction", "lower")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceReadError(f"{path}: malformed metric {key!r}: {exc}") from exc
+    if not isinstance(doc.get("name"), str):
+        raise TraceReadError(f"{path}: missing baseline 'name'")
+    return Baseline(name=doc["name"], metrics=metrics)
+
+
+def write_baseline(path: str | Path, baseline: Baseline) -> None:
+    Path(path).write_text(
+        json.dumps(baseline.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def update_baseline(baseline: Baseline, record: Mapping[str, Any]) -> Baseline:
+    """Refresh *baseline*'s values from *record*, keeping tolerance/direction.
+
+    Metrics absent from the record keep their old value; metrics new in the
+    record are *not* added (adding a gated metric is a deliberate edit to the
+    committed file, not a side effect of refreshing).
+    """
+
+    metrics = dict(baseline.metrics)
+    record_metrics = record.get("metrics", {})
+    for key, metric in baseline.metrics.items():
+        if key in record_metrics:
+            metrics[key] = BaselineMetric(
+                value=float(record_metrics[key]),
+                tolerance=metric.tolerance,
+                direction=metric.direction,
+            )
+    return Baseline(name=baseline.name, metrics=metrics)

@@ -1,0 +1,281 @@
+"""Command-line front ends for trace analytics and the bench gate.
+
+* ``python -m repro analyze <trace.jsonl>`` — reconstruct dissemination
+  trees, attribute critical paths, print (or ``--json``-dump) the result;
+  ``--strict`` exits non-zero on any orphan delivery or integrity problem.
+* ``python -m repro report`` — compose a markdown (or ``--html``) run report
+  from any combination of ``--trace``, ``--chaos`` and bench records.
+* ``python -m repro bench-gate <BENCH_*.json ...>`` — judge records against
+  the committed baselines in ``benchmarks/baselines/``; exits 1 on
+  regression (the CI gate), ``--update`` refreshes baseline values in place.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from ...errors import TraceReadError
+from .baseline import load_baseline, load_bench_record, update_baseline, write_baseline
+from .compare import ComparisonResult, compare
+from .critical_path import COMPONENTS, critical_paths
+from .report import render_html, render_report
+from .trace import read_trace, build_trees
+
+__all__ = ["analyze_main", "report_main", "bench_gate_main"]
+
+
+def _print(text: str) -> None:
+    print(text)
+
+
+# ----------------------------------------------------------------------
+# analyze
+# ----------------------------------------------------------------------
+
+
+def analyze_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Reconstruct dissemination trees and attribute critical "
+        "paths from a JSONL trace.",
+    )
+    parser.add_argument("trace", help="path to a repro.trace/1 JSONL file")
+    parser.add_argument(
+        "--protocol", help="only analyze transactions of this protocol"
+    )
+    parser.add_argument(
+        "--tx", type=int, help="only analyze this transaction id"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on orphan deliveries or trace integrity problems",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        trace = read_trace(args.trace)
+    except (TraceReadError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems = trace.validate()
+    trees = build_trees(trace)
+    if args.protocol is not None:
+        trees = [t for t in trees if t.protocol == args.protocol]
+    if args.tx is not None:
+        trees = [t for t in trees if t.tx_id == args.tx]
+    paths = critical_paths(trees, trace)
+    orphans = sum(len(t.orphans) for t in trees)
+
+    if args.json:
+        doc: dict[str, Any] = {
+            "trace": {
+                "events": len(trace.events),
+                "spans": len(trace.spans),
+                "lossy": trace.header.lossy,
+                "problems": problems,
+            },
+            "trees": [
+                {
+                    "protocol": t.protocol,
+                    "tx_id": t.tx_id,
+                    "origin": t.origin,
+                    "overlay_id": t.overlay_id,
+                    "submit_ms": t.submit_ms,
+                    "dispatch_ms": t.dispatch_ms,
+                    "nodes": t.node_count,
+                    "max_depth": t.max_depth(),
+                    "orphans": len(t.orphans),
+                    "edges": {
+                        str(parent): children
+                        for parent, children in sorted(t.children.items())
+                    },
+                }
+                for t in trees
+            ],
+            "critical_paths": [
+                {
+                    "protocol": p.protocol,
+                    "tx_id": p.tx_id,
+                    "path": p.path,
+                    "e2e_ms": p.e2e_ms,
+                    "trs_wait_ms": p.trs_wait_ms,
+                    "matched_fraction": p.matched_fraction,
+                    "components_ms": p.component_sums(),
+                }
+                for p in paths
+            ],
+        }
+        _print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        _print(
+            f"{args.trace}: {len(trace.events)} events, {len(trace.spans)} spans"
+            + (" (lossy)" if trace.header.lossy else "")
+        )
+        for problem in problems:
+            _print(f"  integrity: {problem}")
+        _print(
+            f"{len(trees)} tree(s), {len(paths)} critical path(s), "
+            f"{orphans} orphan delivery(ies)"
+        )
+        for p in paths:
+            sums = p.component_sums()
+            parts = "  ".join(
+                f"{name}={sums[name]:.3f}" for name in COMPONENTS if sums[name]
+            )
+            _print(
+                f"  [{p.protocol or '?'}] tx {p.tx_id}: "
+                f"{' -> '.join(map(str, p.path))}  "
+                f"e2e={p.e2e_ms:.3f}ms  ({parts})"
+            )
+    if args.strict and (orphans or problems):
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro report",
+        description="Render a self-contained markdown/HTML run report.",
+    )
+    parser.add_argument("--trace", help="JSONL trace to analyze")
+    parser.add_argument("--chaos", help="ChaosReport JSON file")
+    parser.add_argument(
+        "--bench",
+        nargs="*",
+        default=[],
+        metavar="RECORD",
+        help="repro.bench/1 record(s) to compare against --baselines",
+    )
+    parser.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        help="directory of committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument("--title", default="Run report")
+    parser.add_argument("-o", "--output", help="write to file instead of stdout")
+    parser.add_argument("--html", action="store_true", help="emit HTML")
+    args = parser.parse_args(argv)
+
+    trace = trees = paths = chaos = None
+    manifest: dict[str, Any] = {}
+    bench_results: list[ComparisonResult] = []
+    try:
+        if args.trace:
+            trace = read_trace(args.trace)
+            trees = build_trees(trace)
+            paths = critical_paths(trees, trace)
+        if args.chaos:
+            chaos = json.loads(Path(args.chaos).read_text(encoding="utf-8"))
+        for record_path in args.bench:
+            record = load_bench_record(record_path)
+            manifest.update(record.get("manifest", {}))
+            baseline_path = Path(args.baselines) / f"{record['name']}.json"
+            if baseline_path.exists():
+                bench_results.append(compare(record, load_baseline(baseline_path)))
+    except (TraceReadError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    markdown = render_report(
+        title=args.title,
+        manifest=manifest or None,
+        trace=trace,
+        trees=trees,
+        paths=paths,
+        chaos=chaos,
+        bench=bench_results if bench_results else None,
+    )
+    text = render_html(markdown, title=args.title) if args.html else markdown
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        _print(f"wrote {args.output}")
+    else:
+        _print(text.rstrip())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench-gate
+# ----------------------------------------------------------------------
+
+
+def bench_gate_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench-gate",
+        description="Compare bench records against committed baselines; "
+        "exit 1 on regression.",
+    )
+    parser.add_argument(
+        "records", nargs="+", metavar="RECORD", help="repro.bench/1 JSON file(s)"
+    )
+    parser.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        help="directory of committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh baseline values from the records (tolerances and "
+        "directions are kept) instead of gating",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (the CI override)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines_dir = Path(args.baselines)
+    failed = False
+    for record_path in args.records:
+        try:
+            record = load_bench_record(record_path)
+        except TraceReadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"error: {record_path}: {exc}", file=sys.stderr)
+            return 2
+        baseline_path = baselines_dir / f"{record['name']}.json"
+        if not baseline_path.exists():
+            _print(f"{record['name']}: no baseline at {baseline_path} — skipped")
+            continue
+        try:
+            baseline = load_baseline(baseline_path)
+        except TraceReadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.update:
+            write_baseline(baseline_path, update_baseline(baseline, record))
+            _print(f"{record['name']}: refreshed {baseline_path}")
+            continue
+        result = compare(record, baseline)
+        _print(result.summary())
+        for c in result.regressions:
+            current = "missing" if c.current is None else f"{c.current:g}"
+            _print(
+                f"  REGRESSION {c.metric}: current={current} "
+                f"baseline={c.baseline:g} tol={c.tolerance:.0%} "
+                f"[{c.direction}] — {c.note}"
+            )
+        failed = failed or not result.ok
+    if failed and not args.warn_only:
+        return 1
+    if failed:
+        _print("regressions present, but --warn-only given; exiting 0")
+    return 0

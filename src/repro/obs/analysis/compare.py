@@ -1,0 +1,145 @@
+"""Cross-run bench diffing and the regression verdict.
+
+:func:`compare` judges one ``repro.bench/1`` record against its committed
+:class:`~repro.obs.analysis.baseline.Baseline`:
+
+* every **gated** baseline metric (direction ``lower``/``higher``) must be
+  present in the record and within its relative tolerance of the expected
+  value — missing or out-of-band is a regression;
+* ``info`` metrics and metrics only the record has are reported but never
+  fail the gate (new metrics become gated by editing the committed file);
+* a zero-valued ``lower`` baseline means "this must stay zero": any positive
+  current value regresses regardless of relative tolerance (there is nothing
+  to be relative to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from .baseline import Baseline, BaselineMetric
+
+__all__ = ["MetricComparison", "ComparisonResult", "compare", "compare_many"]
+
+
+@dataclass(frozen=True, slots=True)
+class MetricComparison:
+    """One metric's verdict against the baseline."""
+
+    metric: str
+    baseline: float | None  # None: metric exists only in the record
+    current: float | None  # None: metric missing from the record
+    tolerance: float
+    direction: str
+    regressed: bool
+    note: str
+
+    @property
+    def delta(self) -> float | None:
+        if self.baseline is None or self.current is None:
+            return None
+        return self.current - self.baseline
+
+    @property
+    def relative_delta(self) -> float | None:
+        delta = self.delta
+        if delta is None or self.baseline == 0:
+            return None
+        return delta / abs(self.baseline)  # type: ignore[arg-type]
+
+
+@dataclass
+class ComparisonResult:
+    """All metric verdicts for one benchmark."""
+
+    name: str
+    comparisons: list[MetricComparison]
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        gated = sum(1 for c in self.comparisons if c.direction != "info")
+        verdict = "OK" if self.ok else f"{len(self.regressions)} regression(s)"
+        return f"{self.name}: {verdict} ({gated} gated metric(s) checked)"
+
+
+def _judge(metric: str, spec: BaselineMetric, current: float | None) -> MetricComparison:
+    if current is None:
+        regressed = spec.direction != "info"
+        note = "metric missing from record" + ("" if regressed else " (info)")
+        return MetricComparison(
+            metric=metric,
+            baseline=spec.value,
+            current=None,
+            tolerance=spec.tolerance,
+            direction=spec.direction,
+            regressed=regressed,
+            note=note,
+        )
+    if spec.direction == "info":
+        regressed, note = False, "informational"
+    elif spec.direction == "lower":
+        if spec.value == 0.0:
+            regressed = current > 0.0
+            note = "must stay zero" if regressed else "within tolerance"
+        else:
+            limit = spec.value * (1.0 + spec.tolerance)
+            regressed = current > limit
+            note = (
+                f"exceeds {spec.value:g} by more than {spec.tolerance:.0%}"
+                if regressed
+                else "within tolerance"
+            )
+    else:  # higher
+        limit = spec.value * (1.0 - spec.tolerance)
+        regressed = current < limit
+        note = (
+            f"below {spec.value:g} by more than {spec.tolerance:.0%}"
+            if regressed
+            else "within tolerance"
+        )
+    return MetricComparison(
+        metric=metric,
+        baseline=spec.value,
+        current=current,
+        tolerance=spec.tolerance,
+        direction=spec.direction,
+        regressed=regressed,
+        note=note,
+    )
+
+
+def compare(record: Mapping[str, Any], baseline: Baseline) -> ComparisonResult:
+    """Judge one bench record against its committed baseline."""
+
+    record_metrics: Mapping[str, float] = record.get("metrics", {})
+    comparisons = [
+        _judge(metric, spec, record_metrics.get(metric))
+        for metric, spec in sorted(baseline.metrics.items())
+    ]
+    for metric in sorted(set(record_metrics) - set(baseline.metrics)):
+        comparisons.append(
+            MetricComparison(
+                metric=metric,
+                baseline=None,
+                current=float(record_metrics[metric]),
+                tolerance=0.0,
+                direction="info",
+                regressed=False,
+                note="not in baseline (ungated)",
+            )
+        )
+    return ComparisonResult(name=str(record.get("name", baseline.name)), comparisons=comparisons)
+
+
+def compare_many(
+    pairs: Iterable[tuple[Mapping[str, Any], Baseline]]
+) -> list[ComparisonResult]:
+    return [compare(record, baseline) for record, baseline in pairs]

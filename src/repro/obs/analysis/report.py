@@ -1,0 +1,253 @@
+"""Self-contained run reports from traces, chaos reports and bench records.
+
+:func:`render_report` composes a single markdown document:
+
+* run manifest (git sha, python, platform, whatever the record was stamped
+  with);
+* per-protocol dissemination-tree statistics (trees, coverage, depth,
+  orphans);
+* per-protocol critical-path latency breakdown (hold / queue / serialization
+  / link / proc / other, plus TRS wait);
+* overlay-usage histogram (which of the ``k`` overlays the TRS selected);
+* fault / invariant-violation timeline from a chaos campaign.
+
+:func:`render_html` wraps the same content in a dependency-free HTML shell
+(the markdown is readable as-is inside ``<pre>`` — no renderer required),
+so a report can be attached to a CI run and opened in a browser.
+"""
+
+from __future__ import annotations
+
+import html
+from collections import Counter
+from typing import Any, Iterable, Mapping
+
+from .compare import ComparisonResult
+from .critical_path import COMPONENTS, CriticalPath, ProtocolBreakdown, aggregate
+from .trace import DisseminationTree, Trace
+
+__all__ = ["render_report", "render_html"]
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join([" --- "] * len(headers)) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _ms(value: float) -> str:
+    return f"{value:.3f}"
+
+
+def _tree_section(trees: list[DisseminationTree]) -> list[str]:
+    lines = ["## Dissemination trees", ""]
+    by_protocol: dict[str | None, list[DisseminationTree]] = {}
+    for tree in trees:
+        by_protocol.setdefault(tree.protocol, []).append(tree)
+    rows = []
+    for protocol in sorted(by_protocol, key=str):
+        group = by_protocol[protocol]
+        total_orphans = sum(len(t.orphans) for t in group)
+        depths = [t.max_depth() for t in group]
+        nodes = [t.node_count for t in group]
+        rows.append(
+            [
+                str(protocol or "?"),
+                str(len(group)),
+                f"{sum(nodes) / len(group):.1f}",
+                str(max(depths) if depths else 0),
+                str(total_orphans),
+            ]
+        )
+    lines += _table(
+        ["protocol", "trees", "mean nodes/tree", "max depth", "orphan deliveries"],
+        rows,
+    )
+    lines.append("")
+    return lines
+
+
+def _critical_path_section(paths: list[CriticalPath]) -> list[str]:
+    lines = ["## Critical-path latency attribution", ""]
+    breakdowns: list[ProtocolBreakdown] = aggregate(paths)
+    headers = ["protocol", "txs", "mean hops", "mean e2e (ms)", "trs wait (ms)"] + [
+        f"{name} %" for name in COMPONENTS
+    ]
+    rows = []
+    for b in breakdowns:
+        shares = b.component_shares()
+        rows.append(
+            [
+                str(b.protocol or "?"),
+                str(b.tx_count),
+                f"{b.mean_hops:.1f}",
+                _ms(b.mean_e2e_ms),
+                _ms(b.trs_wait_ms / b.tx_count if b.tx_count else 0.0),
+            ]
+            + [f"{shares[name] * 100:.1f}" for name in COMPONENTS]
+        )
+    lines += _table(headers, rows)
+    unmatched = sum(
+        len(p.hops) - sum(1 for h in p.hops if h.matched) for p in paths
+    )
+    if unmatched:
+        lines.append("")
+        lines.append(
+            f"*{unmatched} hop(s) had no matching `net.send` record "
+            "(multi-transaction frames or dropped events); their full delta "
+            "is attributed to `other`.*"
+        )
+    lines.append("")
+    return lines
+
+
+def _overlay_section(trees: list[DisseminationTree]) -> list[str]:
+    usage: Counter[tuple[str | None, int]] = Counter()
+    for tree in trees:
+        if tree.overlay_id is not None:
+            usage[(tree.protocol, tree.overlay_id)] += 1
+    if not usage:
+        return []
+    lines = ["## Overlay usage", ""]
+    rows = []
+    peak = max(usage.values())
+    for (protocol, overlay_id), count in sorted(usage.items(), key=lambda kv: (str(kv[0][0]), kv[0][1])):
+        bar = "█" * max(1, round(count / peak * 20))
+        rows.append([str(protocol or "?"), str(overlay_id), str(count), bar])
+    lines += _table(["protocol", "overlay", "txs", ""], rows)
+    lines.append("")
+    return lines
+
+
+def _chaos_section(chaos: Mapping[str, Any]) -> list[str]:
+    lines = [
+        "## Fault & violation timeline",
+        "",
+        f"Scenario `{chaos.get('scenario', '?')}` against "
+        f"`{chaos.get('protocol', '?')}` "
+        f"(seed {chaos.get('seed', '?')}, N={chaos.get('num_nodes', '?')}, "
+        f"f={chaos.get('f', '?')}) — "
+        + ("**passed**" if chaos.get("passed") else "**FAILED**"),
+        "",
+    ]
+    timeline: list[tuple[float, str, str]] = []
+    for entry in chaos.get("fault_log", ()):
+        timeline.append(
+            (
+                float(entry.get("at_ms", 0.0)),
+                "fault",
+                f"{entry.get('kind', '?')}: {entry.get('summary', '')}",
+            )
+        )
+    for name, doc in chaos.get("invariants", {}).items():
+        for violation in doc.get("violations", ()):
+            timeline.append(
+                (
+                    float(violation.get("at_ms", 0.0)),
+                    "violation",
+                    f"{name}: {violation.get('detail', violation)}",
+                )
+            )
+    if timeline:
+        rows = [
+            [_ms(at_ms), kind, str(text)]
+            for at_ms, kind, text in sorted(timeline, key=lambda t: (t[0], t[1]))
+        ]
+        lines += _table(["t (ms)", "type", "what"], rows)
+    else:
+        lines.append("*(no faults injected, no violations detected)*")
+    lines.append("")
+    return lines
+
+
+def _bench_section(results: Iterable[ComparisonResult]) -> list[str]:
+    lines = ["## Benchmark comparison", ""]
+    for result in results:
+        lines.append(f"### {result.name} — {'OK' if result.ok else 'REGRESSED'}")
+        lines.append("")
+        rows = []
+        for c in result.comparisons:
+            rel = c.relative_delta
+            rows.append(
+                [
+                    c.metric,
+                    "-" if c.baseline is None else f"{c.baseline:g}",
+                    "-" if c.current is None else f"{c.current:g}",
+                    "-" if rel is None else f"{rel:+.1%}",
+                    c.direction,
+                    "**REGRESSED**" if c.regressed else "ok",
+                ]
+            )
+        lines += _table(
+            ["metric", "baseline", "current", "Δ rel", "direction", "verdict"], rows
+        )
+        lines.append("")
+    return lines
+
+
+def render_report(
+    *,
+    title: str = "Run report",
+    manifest: Mapping[str, Any] | None = None,
+    trace: Trace | None = None,
+    trees: list[DisseminationTree] | None = None,
+    paths: list[CriticalPath] | None = None,
+    chaos: Mapping[str, Any] | None = None,
+    bench: Iterable[ComparisonResult] | None = None,
+) -> str:
+    """Compose a markdown run report from whichever inputs are available."""
+
+    lines: list[str] = [f"# {title}", ""]
+    if manifest:
+        lines.append("## Manifest")
+        lines.append("")
+        lines += _table(
+            ["key", "value"],
+            [[str(k), f"`{manifest[k]}`"] for k in sorted(manifest)],
+        )
+        lines.append("")
+    if trace is not None:
+        problems = trace.validate()
+        lines.append(
+            f"Trace: {len(trace.events)} events, {len(trace.spans)} spans"
+            + (
+                f" (lossy: {trace.header.events_dropped} events / "
+                f"{trace.header.spans_dropped} spans dropped)"
+                if trace.header.lossy
+                else ""
+            )
+            + (f" — **{len(problems)} integrity problem(s)**" if problems else "")
+        )
+        lines.append("")
+        for problem in problems:
+            lines.append(f"- {problem}")
+        if problems:
+            lines.append("")
+    if trees:
+        lines += _tree_section(trees)
+        lines += _overlay_section(trees)
+    if paths:
+        lines += _critical_path_section(paths)
+    if chaos is not None:
+        lines += _chaos_section(chaos)
+    if bench is not None:
+        lines += _bench_section(bench)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_html(markdown: str, *, title: str = "Run report") -> str:
+    """Wrap *markdown* in a minimal self-contained HTML page."""
+
+    return (
+        "<!doctype html>\n"
+        "<html><head><meta charset=\"utf-8\">"
+        f"<title>{html.escape(title)}</title>"
+        "<style>body{font:14px/1.5 -apple-system,sans-serif;max-width:60rem;"
+        "margin:2rem auto;padding:0 1rem}pre{white-space:pre-wrap;"
+        "background:#f6f8fa;padding:1rem;border-radius:6px}</style>"
+        "</head><body>\n"
+        f"<pre>{html.escape(markdown)}</pre>\n"
+        "</body></html>\n"
+    )

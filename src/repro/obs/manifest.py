@@ -24,14 +24,53 @@ Everything except ``profile`` is deterministic for a fixed seed.
 from __future__ import annotations
 
 import json
+import platform
+import subprocess
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from . import Observability
 
-__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_manifest"]
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "run_manifest", "write_manifest"]
 
 MANIFEST_SCHEMA = "repro.obs/1"
+
+
+def _git_sha() -> str | None:
+    """The checkout's HEAD commit, or None outside a git working tree."""
+
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover - no git
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def run_manifest(**extra: Any) -> dict[str, Any]:
+    """Provenance stamp for benchmark records and run reports.
+
+    Answers "*what* produced this number": the git commit, interpreter and
+    platform, plus any caller-supplied run parameters (seed, N, ...).  Unlike
+    :func:`build_manifest` this needs no live :class:`Observability` bundle,
+    so BENCH_*.json emitters can stamp their records without instrumenting
+    the measured run.
+    """
+
+    manifest: dict[str, Any] = {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    manifest.update(extra)
+    return manifest
 
 
 def build_manifest(

@@ -15,14 +15,19 @@ stamped with the *simulation* clock, never the wall clock, so a seeded run
 produces a byte-for-byte identical trace every time.  Wall-clock attribution
 lives in :mod:`repro.obs.profiler` instead.
 
-Export is JSON Lines (one record per line, in creation order — simulation
-time is monotonic during a run, so creation order is time order for events;
-spans are ordered by their start):
+Export is JSON Lines: a version header first, then one record per line in
+creation order — simulation time is monotonic during a run, so creation order
+is time order for events; spans are ordered by their start:
 
+* ``{"type": "header", "v": 1, "schema": "repro.trace/1", "events": n,
+  "spans": n, "events_dropped": n, "spans_dropped": n}``
 * ``{"type": "span", "seq": 3, "span_id": 1, "parent_id": null,
   "name": ..., "start_ms": ..., "end_ms": ..., "attrs": {...}}``
 * ``{"type": "event", "seq": 4, "time_ms": ..., "name": ...,
   "span_id": 1, "attrs": {...}}``
+
+The header is what lets :mod:`repro.obs.analysis.trace` reject trace files
+written by a future incompatible format instead of mis-parsing them.
 
 The clock is bound late (:meth:`Tracer.bind_clock`) because the tracer is
 usually constructed before the simulator it observes.
@@ -34,7 +39,20 @@ import json
 from collections import deque
 from typing import Any, Callable, TextIO
 
-__all__ = ["Span", "TraceEvent", "Tracer", "NullTracer", "NULL_SPAN"]
+__all__ = [
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "TRACE_SCHEMA",
+    "TRACE_VERSION",
+]
+
+#: Schema tag written into the JSONL header line.
+TRACE_SCHEMA = "repro.trace/1"
+#: Format version written into the JSONL header line (``"v"``).
+TRACE_VERSION = 1
 
 #: Default capacity of the event ring buffer.
 DEFAULT_MAX_EVENTS = 65_536
@@ -114,6 +132,18 @@ class Span:
         self.attrs.update(attrs)
         return self
 
+    def event(self, name: str, **attrs: Any) -> "TraceEvent":
+        """Record an event owned by *this* span.
+
+        ``Tracer.event`` attributes to the innermost *stack* span — which is
+        wrong for work done inside a :meth:`Tracer.detached_span` (detached
+        spans never join the stack, so their events would silently attach to
+        whatever ambient span happened to be open).  Recording through the
+        span itself pins the owning ``span_id`` explicitly.
+        """
+
+        return self._tracer.record_event(name, self.span_id, attrs)
+
     def end(self) -> None:
         """Close the span at the current simulation time (idempotent)."""
 
@@ -159,6 +189,9 @@ class _NullSpan:
 
     def set(self, **attrs: Any) -> "_NullSpan":
         return self
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
 
     def end(self) -> None:
         pass
@@ -283,14 +316,29 @@ class Tracer:
         self._spans.append(span)
 
     def event(self, name: str, **attrs: Any) -> TraceEvent:
-        """Record one structured event at the current sim time."""
+        """Record one structured event, owned by the innermost stack span.
+
+        Inside a :meth:`detached_span`, record through :meth:`Span.event`
+        instead — detached spans are invisible to the stack, so this method
+        would attribute the event to the wrong owner.
+        """
 
         current = self.current_span
+        return self.record_event(
+            name, current.span_id if current is not None else None, attrs
+        )
+
+    def record_event(
+        self, name: str, span_id: int | None, attrs: dict[str, Any]
+    ) -> TraceEvent:
+        """Record one event with an explicit owning span id (see
+        :meth:`Span.event`)."""
+
         event = TraceEvent(
             seq=self._take_seq(),
             time_ms=self._clock(),
             name=name,
-            span_id=current.span_id if current is not None else None,
+            span_id=span_id,
             attrs=attrs,
         )
         if self._events.maxlen is not None and len(self._events) == self._events.maxlen:
@@ -341,16 +389,31 @@ class Tracer:
         merged.sort(key=lambda record: record["seq"])
         return merged
 
-    def export_jsonl(self, destination: str | TextIO) -> int:
-        """Write the trace as JSON Lines; returns the number of records."""
+    def header(self) -> dict[str, Any]:
+        """The JSONL header record: format version plus buffer accounting."""
 
-        records = self.records()
+        return {
+            "type": "header",
+            "v": TRACE_VERSION,
+            "schema": TRACE_SCHEMA,
+            "events": len(self._events),
+            "spans": len(self._spans),
+            "events_dropped": self.events_dropped,
+            "spans_dropped": self.spans_dropped,
+        }
+
+    def export_jsonl(self, destination: str | TextIO) -> int:
+        """Write the trace as JSON Lines (header line first); returns the
+        number of lines written, header included."""
+
         if isinstance(destination, str):
             with open(destination, "w", encoding="utf-8") as handle:
                 return self.export_jsonl(handle)
+        records = self.records()
+        destination.write(json.dumps(self.header(), sort_keys=True) + "\n")
         for record in records:
             destination.write(json.dumps(record, sort_keys=True) + "\n")
-        return len(records)
+        return len(records) + 1
 
     def clear(self) -> None:
         """Drop all retained records (used between experiment repetitions)."""
@@ -377,4 +440,7 @@ class NullTracer(Tracer):
         return NULL_SPAN
 
     def event(self, name: str, **attrs: Any) -> None:  # type: ignore[override]
+        return None
+
+    def record_event(self, name, span_id, attrs) -> None:  # type: ignore[override]
         return None

@@ -1,0 +1,134 @@
+"""Bench records, committed baselines and the regression verdict."""
+
+import pytest
+
+from repro.errors import TraceReadError
+from repro.obs.analysis import (
+    Baseline,
+    BaselineMetric,
+    bench_record,
+    compare,
+    load_baseline,
+    load_bench_record,
+    update_baseline,
+    write_baseline,
+    write_bench_record,
+)
+
+
+class TestBenchRecord:
+    def test_record_round_trips_with_manifest_stamp(self, tmp_path):
+        record = bench_record(
+            "demo", {"latency_ms": 12.5, "count": 3}, meta={"note": "x"}, seed=7
+        )
+        assert record["schema"] == "repro.bench/1"
+        assert record["manifest"]["seed"] == 7
+        assert "python" in record["manifest"]
+        path = tmp_path / "BENCH_demo.json"
+        write_bench_record(path, record)
+        assert load_bench_record(path) == record
+
+    def test_non_numeric_metric_is_rejected(self):
+        with pytest.raises(TraceReadError, match="not numeric"):
+            bench_record("demo", {"mode": "fast"})
+
+    def test_foreign_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"schema": "something/2"}')
+        with pytest.raises(TraceReadError, match="not a repro.bench/1"):
+            load_bench_record(path)
+
+
+class TestGateSemantics:
+    BASE = Baseline(
+        name="demo",
+        metrics={
+            "latency_ms": BaselineMetric(value=100.0, tolerance=0.10, direction="lower"),
+            "goodput": BaselineMetric(value=50.0, tolerance=0.10, direction="higher"),
+            "drops": BaselineMetric(value=0.0, tolerance=0.50, direction="lower"),
+            "wall_s": BaselineMetric(value=3.0, tolerance=0.0, direction="info"),
+        },
+    )
+
+    def _record(self, **metrics):
+        return {"schema": "repro.bench/1", "name": "demo", "metrics": metrics}
+
+    def test_within_tolerance_passes(self):
+        result = compare(
+            self._record(latency_ms=109.9, goodput=45.1, drops=0.0, wall_s=99.0),
+            self.BASE,
+        )
+        assert result.ok
+
+    def test_lower_direction_flags_increase_beyond_tolerance(self):
+        result = compare(
+            self._record(latency_ms=111.0, goodput=50.0, drops=0.0, wall_s=3.0),
+            self.BASE,
+        )
+        assert [c.metric for c in result.regressions] == ["latency_ms"]
+
+    def test_higher_direction_flags_decrease_beyond_tolerance(self):
+        result = compare(
+            self._record(latency_ms=100.0, goodput=44.9, drops=0.0, wall_s=3.0),
+            self.BASE,
+        )
+        assert [c.metric for c in result.regressions] == ["goodput"]
+
+    def test_zero_lower_baseline_means_must_stay_zero(self):
+        result = compare(
+            self._record(latency_ms=100.0, goodput=50.0, drops=0.001, wall_s=3.0),
+            self.BASE,
+        )
+        (regression,) = result.regressions
+        assert regression.metric == "drops"
+        assert regression.note == "must stay zero"
+
+    def test_info_metric_never_gates(self):
+        result = compare(
+            self._record(latency_ms=100.0, goodput=50.0, drops=0.0, wall_s=1e9),
+            self.BASE,
+        )
+        assert result.ok
+
+    def test_missing_gated_metric_is_a_regression(self):
+        result = compare(self._record(goodput=50.0, drops=0.0, wall_s=3.0), self.BASE)
+        (regression,) = result.regressions
+        assert regression.metric == "latency_ms"
+        assert regression.current is None
+
+    def test_new_record_metric_is_reported_ungated(self):
+        result = compare(
+            self._record(
+                latency_ms=100.0, goodput=50.0, drops=0.0, wall_s=3.0, extra=1.0
+            ),
+            self.BASE,
+        )
+        assert result.ok
+        extra = next(c for c in result.comparisons if c.metric == "extra")
+        assert extra.baseline is None and not extra.regressed
+
+
+class TestBaselineFiles:
+    def test_baseline_round_trips(self, tmp_path):
+        path = tmp_path / "demo.json"
+        write_baseline(path, TestGateSemantics.BASE)
+        loaded = load_baseline(path)
+        assert loaded.metrics == TestGateSemantics.BASE.metrics
+
+    def test_unknown_direction_is_rejected(self):
+        with pytest.raises(TraceReadError, match="unknown baseline direction"):
+            BaselineMetric(value=1.0, tolerance=0.0, direction="sideways")
+
+    def test_update_refreshes_values_only(self):
+        record = {
+            "schema": "repro.bench/1",
+            "name": "demo",
+            "metrics": {"latency_ms": 120.0, "brand_new": 9.0},
+        }
+        updated = update_baseline(TestGateSemantics.BASE, record)
+        assert updated.metrics["latency_ms"].value == 120.0
+        assert updated.metrics["latency_ms"].tolerance == 0.10
+        assert updated.metrics["latency_ms"].direction == "lower"
+        # Untouched metric keeps its old value; new metrics are not adopted.
+        assert updated.metrics["goodput"].value == 50.0
+        assert "brand_new" not in updated.metrics

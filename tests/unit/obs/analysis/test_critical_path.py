@@ -1,0 +1,117 @@
+"""Critical-path attribution: the exact-sum identity and hop matching."""
+
+import json
+
+from repro.obs.analysis import aggregate, build_trees, critical_paths, read_trace
+
+
+def _lines(*records: dict) -> list[str]:
+    return [json.dumps(r) for r in records]
+
+
+def _header() -> dict:
+    return {
+        "type": "header",
+        "v": 1,
+        "schema": "repro.trace/1",
+        "events": 0,
+        "spans": 0,
+        "events_dropped": 0,
+        "spans_dropped": 0,
+    }
+
+
+def _event(seq, time_ms, name, **attrs) -> dict:
+    return {
+        "type": "event",
+        "seq": seq,
+        "time_ms": time_ms,
+        "name": name,
+        "span_id": None,
+        "attrs": attrs,
+    }
+
+
+def _send(seq, time_ms, src, dst, tx_id, queue, ser, link, proc):
+    delay = queue + ser + link + proc
+    return _event(
+        seq,
+        time_ms,
+        "net.send",
+        src=src,
+        dst=dst,
+        tx_id=tx_id,
+        queue_ms=queue,
+        serialization_ms=ser,
+        link_ms=link,
+        proc_ms=proc,
+        delay_ms=delay,
+        deliver_ms=time_ms + delay,
+    )
+
+
+class TestAttribution:
+    def test_components_sum_exactly_to_end_to_end(self):
+        # 0 dispatches at 1.0; holds 2ms, sends to 1 (arrives 10.0);
+        # 1 holds 3ms, sends to 2 (arrives 20.5).
+        trace = read_trace(
+            _lines(
+                _header(),
+                _event(0, 0.0, "tx.submit", tx_id=5, origin=0),
+                _event(1, 1.0, "tx.dispatch", tx_id=5, origin=0),
+                _send(2, 3.0, 0, 1, 5, queue=1.0, ser=0.5, link=5.0, proc=0.5),
+                _event(3, 10.0, "tx.deliver", tx_id=5, node=1, sender=0),
+                _send(4, 13.0, 1, 2, 5, queue=0.0, ser=1.5, link=5.0, proc=1.0),
+                _event(5, 20.5, "tx.deliver", tx_id=5, node=2, sender=1),
+            )
+        )
+        trees = build_trees(trace)
+        (path,) = critical_paths(trees, trace)
+        assert path.path == [0, 1, 2]
+        assert path.trs_wait_ms == 1.0  # submit 0.0 -> dispatch 1.0
+        assert path.e2e_ms == 19.5  # 20.5 - dispatch 1.0
+        sums = path.component_sums()
+        assert abs(sum(sums.values()) - path.e2e_ms) < 1e-9
+        assert sums["hold"] == 2.0 + 3.0
+        assert sums["queue"] == 1.0
+        assert sums["serialization"] == 2.0
+        assert sums["link"] == 10.0
+        assert sums["proc"] == 1.5
+        assert sums["other"] == 0.0
+        assert path.matched_fraction == 1.0
+
+    def test_unmatched_hop_lands_entirely_in_other(self):
+        # No net.send record exists (e.g. a multi-tx gossip frame).
+        trace = read_trace(
+            _lines(
+                _header(),
+                _event(0, 0.0, "tx.dispatch", tx_id=1, origin=0),
+                _event(1, 8.0, "tx.deliver", tx_id=1, node=1, sender=0),
+            )
+        )
+        trees = build_trees(trace)
+        (path,) = critical_paths(trees, trace)
+        (hop,) = path.hops
+        assert not hop.matched
+        assert hop.other_ms == 8.0
+        assert abs(sum(path.component_sums().values()) - path.e2e_ms) < 1e-9
+        assert path.matched_fraction == 0.0
+
+    def test_aggregate_groups_by_protocol(self):
+        trace = read_trace(
+            _lines(
+                _header(),
+                _event(0, 0.0, "tx.dispatch", tx_id=1, origin=0),
+                _event(1, 4.0, "tx.deliver", tx_id=1, node=1, sender=0),
+                _event(2, 0.0, "tx.dispatch", tx_id=2, origin=5),
+                _event(3, 6.0, "tx.deliver", tx_id=2, node=6, sender=5),
+            )
+        )
+        paths = critical_paths(build_trees(trace), trace)
+        (breakdown,) = aggregate(paths)
+        assert breakdown.tx_count == 2
+        assert breakdown.hop_count == 2
+        assert breakdown.e2e_ms == 10.0
+        assert breakdown.mean_e2e_ms == 5.0
+        shares = breakdown.component_shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9

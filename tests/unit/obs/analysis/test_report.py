@@ -1,0 +1,101 @@
+"""Run-report rendering: sections appear, HTML is self-contained."""
+
+import json
+
+from repro.obs.analysis import (
+    Baseline,
+    BaselineMetric,
+    build_trees,
+    compare,
+    critical_paths,
+    read_trace,
+    render_html,
+    render_report,
+)
+
+
+def _trace():
+    records = [
+        {
+            "type": "header",
+            "v": 1,
+            "schema": "repro.trace/1",
+            "events": 0,
+            "spans": 0,
+            "events_dropped": 0,
+            "spans_dropped": 0,
+        },
+        {
+            "type": "event",
+            "seq": 0,
+            "time_ms": 0.0,
+            "name": "tx.dispatch",
+            "span_id": None,
+            "attrs": {"tx_id": 1, "origin": 0, "overlay_id": 2},
+        },
+        {
+            "type": "event",
+            "seq": 1,
+            "time_ms": 7.0,
+            "name": "tx.deliver",
+            "span_id": None,
+            "attrs": {"tx_id": 1, "node": 1, "sender": 0},
+        },
+    ]
+    return read_trace([json.dumps(r) for r in records])
+
+
+def test_report_contains_all_requested_sections():
+    trace = _trace()
+    trees = build_trees(trace)
+    paths = critical_paths(trees, trace)
+    chaos = {
+        "scenario": "partition_snap",
+        "protocol": "hermes",
+        "seed": 3,
+        "num_nodes": 20,
+        "f": 1,
+        "passed": False,
+        "fault_log": [{"at_ms": 100.0, "kind": "partition", "summary": "split"}],
+        "invariants": {
+            "delivery": {"violations": [{"at_ms": 240.0, "detail": "tx 4 missing"}]}
+        },
+    }
+    baseline = Baseline(
+        name="demo", metrics={"x": BaselineMetric(value=1.0, tolerance=0.0)}
+    )
+    bench = [
+        compare({"schema": "repro.bench/1", "name": "demo", "metrics": {"x": 2.0}}, baseline)
+    ]
+    markdown = render_report(
+        title="Tiny run",
+        manifest={"git_sha": "abc123", "python": "3.12"},
+        trace=trace,
+        trees=trees,
+        paths=paths,
+        chaos=chaos,
+        bench=bench,
+    )
+    assert "# Tiny run" in markdown
+    assert "## Manifest" in markdown and "`abc123`" in markdown
+    assert "## Dissemination trees" in markdown
+    assert "## Overlay usage" in markdown
+    assert "## Critical-path latency attribution" in markdown
+    assert "## Fault & violation timeline" in markdown
+    assert "partition: split" in markdown
+    assert "delivery: tx 4 missing" in markdown
+    assert "**FAILED**" in markdown
+    assert "## Benchmark comparison" in markdown
+    assert "**REGRESSED**" in markdown
+
+
+def test_html_wrapper_escapes_and_embeds_the_markdown():
+    html_text = render_html("# Hello <world>", title="A & B")
+    assert html_text.startswith("<!doctype html>")
+    assert "&lt;world&gt;" in html_text
+    assert "A &amp; B" in html_text
+
+
+def test_empty_report_is_still_valid_markdown():
+    markdown = render_report(title="Nothing")
+    assert markdown == "# Nothing\n"

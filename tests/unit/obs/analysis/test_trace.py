@@ -1,0 +1,149 @@
+"""Trace reading: header versioning, integrity, tree reconstruction."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import TraceReadError
+from repro.obs import Tracer
+from repro.obs.analysis import build_trees, read_trace
+
+
+def _lines(*records: dict) -> list[str]:
+    return [json.dumps(r) for r in records]
+
+
+def _header(**overrides) -> dict:
+    header = {
+        "type": "header",
+        "v": 1,
+        "schema": "repro.trace/1",
+        "events": 0,
+        "spans": 0,
+        "events_dropped": 0,
+        "spans_dropped": 0,
+    }
+    header.update(overrides)
+    return header
+
+
+def _event(seq, time_ms, name, span_id=None, **attrs) -> dict:
+    return {
+        "type": "event",
+        "seq": seq,
+        "time_ms": time_ms,
+        "name": name,
+        "span_id": span_id,
+        "attrs": attrs,
+    }
+
+
+class TestVersioning:
+    def test_round_trips_a_real_tracer_export(self):
+        tracer = Tracer()
+        with tracer.span("fig3a.protocol", protocol="hermes"):
+            tracer.event("tx.submit", tx_id=0, origin=3)
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        buffer.seek(0)
+        trace = read_trace(buffer)
+        assert trace.header.v == 1
+        assert not trace.header.lossy
+        assert trace.validate() == []
+        (event,) = trace.events_named("tx.submit")
+        assert trace.protocol_of(event) == "hermes"
+
+    def test_missing_header_is_rejected(self):
+        with pytest.raises(TraceReadError, match="first line must be"):
+            read_trace(_lines(_event(0, 0.0, "x")))
+
+    def test_unknown_version_is_rejected_naming_the_supported_one(self):
+        with pytest.raises(TraceReadError, match=r"v=99.*understands\s+v=1"):
+            read_trace(_lines(_header(v=99)))
+
+    def test_empty_input_is_rejected(self):
+        with pytest.raises(TraceReadError, match="missing header"):
+            read_trace([])
+
+    def test_malformed_json_is_rejected_with_line_number(self):
+        with pytest.raises(TraceReadError, match="line 2"):
+            read_trace(_lines(_header()) + ["{not json"])
+
+    def test_unknown_record_type_is_rejected(self):
+        with pytest.raises(TraceReadError, match="unknown record type 'bogus'"):
+            read_trace(_lines(_header(), {"type": "bogus"}))
+
+    def test_lossy_header_suppresses_dangling_reference_problems(self):
+        strict = read_trace(_lines(_header(), _event(0, 0.0, "e", span_id=42)))
+        assert strict.validate()  # span 42 was never exported
+        lossy = read_trace(
+            _lines(_header(spans_dropped=1), _event(0, 0.0, "e", span_id=42))
+        )
+        assert lossy.validate() == []
+
+
+class TestTreeReconstruction:
+    def _delivery_trace(self):
+        # origin 0 -> 1 -> 2, plus 0 -> 3; a duplicate arrival at 2 later.
+        return read_trace(
+            _lines(
+                _header(),
+                _event(0, 0.0, "tx.submit", tx_id=7, origin=0),
+                _event(1, 1.0, "tx.dispatch", tx_id=7, origin=0, overlay_id=4),
+                _event(2, 10.0, "tx.deliver", tx_id=7, node=1, sender=0),
+                _event(3, 12.0, "tx.deliver", tx_id=7, node=3, sender=0),
+                _event(4, 20.0, "tx.deliver", tx_id=7, node=2, sender=1),
+                _event(5, 25.0, "tx.deliver", tx_id=7, node=2, sender=3),
+            )
+        )
+
+    def test_tree_edges_follow_first_delivery(self):
+        (tree,) = build_trees(self._delivery_trace())
+        assert tree.origin == 0
+        assert tree.overlay_id == 4
+        assert tree.node_count == 4
+        assert tree.orphans == []
+        assert tree.parent_of(2) == 1  # the 25.0ms arrival from 3 was a dup
+        assert tree.path_to(2) == [0, 1, 2]
+        assert tree.max_depth() == 2
+        assert tree.last_delivery().node == 2
+
+    def test_delivery_from_unreachable_sender_is_an_orphan(self):
+        trace = read_trace(
+            _lines(
+                _header(),
+                _event(0, 0.0, "tx.dispatch", tx_id=1, origin=0),
+                _event(1, 5.0, "tx.deliver", tx_id=1, node=2, sender=9),
+            )
+        )
+        (tree,) = build_trees(trace)
+        assert tree.deliveries == {}
+        assert len(tree.orphans) == 1
+        assert tree.orphans[0].sender == 9
+
+    def test_trees_are_keyed_by_protocol_and_tx_id(self):
+        # Two protocols reuse tx_id 0; the events sit in differently
+        # labelled spans, so two distinct trees come back.
+        records = [_header(spans=2, events=2)]
+        for span_id, protocol in ((1, "hermes"), (2, "lzero")):
+            records.append(
+                {
+                    "type": "span",
+                    "seq": span_id,
+                    "span_id": span_id,
+                    "parent_id": None,
+                    "name": "fig3a.protocol",
+                    "start_ms": 0.0,
+                    "end_ms": 100.0,
+                    "attrs": {"protocol": protocol},
+                }
+            )
+            records.append(
+                _event(10 + span_id, 1.0, "tx.dispatch", span_id=span_id, tx_id=0, origin=span_id)
+            )
+        trees = build_trees(read_trace(_lines(*records)))
+        assert [(t.protocol, t.tx_id, t.origin) for t in trees] == [
+            ("hermes", 0, 1),
+            ("lzero", 0, 2),
+        ]

@@ -1,0 +1,56 @@
+"""Manifests: JSON round-trip of build_manifest, run_manifest provenance."""
+
+import json
+
+from repro.net.simulator import Simulator
+from repro.obs import Observability, build_manifest, run_manifest, write_manifest
+
+
+def _observed_run() -> Observability:
+    obs = Observability.enabled(profile=True)
+    simulator = Simulator()
+    obs.attach(simulator)
+    simulator.schedule(5.0, lambda: obs.event("tick"))
+    obs.metrics.counter("txs").inc(3)
+    simulator.run()
+    return obs
+
+
+class TestBuildManifest:
+    def test_manifest_round_trips_through_json(self, tmp_path):
+        obs = _observed_run()
+        path = tmp_path / "run.manifest.json"
+        written = write_manifest(str(path), obs, meta={"figure": "3a", "seed": 7})
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == written
+        assert loaded["schema"] == "repro.obs/1"
+        assert loaded["meta"] == {"figure": "3a", "seed": 7}
+        assert loaded["trace"]["events"] == 1
+        assert loaded["trace"]["events_dropped"] == 0
+        counters = {c["name"]: c for c in loaded["metrics"]["counters"]}
+        assert counters["txs"]["value"] == 3
+
+    def test_manifest_matches_build_manifest(self, tmp_path):
+        obs = _observed_run()
+        direct = build_manifest(obs, meta={"x": 1})
+        written = write_manifest(str(tmp_path / "m.json"), obs, meta={"x": 1})
+        # Both views of the same run agree except for the wall-clock profile.
+        direct.pop("profile")
+        written.pop("profile")
+        assert direct == written
+
+
+class TestRunManifest:
+    def test_stamp_carries_provenance_and_extras(self):
+        stamp = run_manifest(seed=13, num_nodes=200)
+        assert stamp["seed"] == 13
+        assert stamp["num_nodes"] == 200
+        assert isinstance(stamp["python"], str) and stamp["python"].count(".") == 2
+        assert isinstance(stamp["platform"], str) and stamp["platform"]
+        # In this repo's checkout the git sha resolves; the field may be
+        # None only outside a git working tree.
+        assert stamp["git_sha"] is None or len(stamp["git_sha"]) == 40
+
+    def test_stamp_is_json_serializable(self):
+        stamp = run_manifest(tag="bench")
+        assert json.loads(json.dumps(stamp)) == stamp

@@ -100,12 +100,18 @@ class TestExport:
         buffer = io.StringIO()
         count = tracer.export_jsonl(buffer)
         lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
-        assert count == len(lines) == 2
-        assert [r["seq"] for r in lines] == sorted(r["seq"] for r in lines)
-        kinds = {r["type"] for r in lines}
+        assert count == len(lines) == 3
+        header, *records = lines
+        assert header["type"] == "header"
+        assert header["v"] == 1
+        assert header["schema"] == "repro.trace/1"
+        assert header["events"] == header["spans"] == 1
+        assert header["events_dropped"] == header["spans_dropped"] == 0
+        assert [r["seq"] for r in records] == sorted(r["seq"] for r in records)
+        kinds = {r["type"] for r in records}
         assert kinds == {"span", "event"}
-        span = next(r for r in lines if r["type"] == "span")
-        event = next(r for r in lines if r["type"] == "event")
+        span = next(r for r in records if r["type"] == "span")
+        event = next(r for r in records if r["type"] == "event")
         assert span["start_ms"] == span["end_ms"] == 5.0
         assert event["span_id"] == span["span_id"]
         assert event["attrs"] == {"x": 1}
@@ -144,6 +150,25 @@ class TestDetachedSpans:
         assert window.parent_id is None
         window.end()
         assert window in tracer.spans
+
+    def test_span_event_attributes_to_the_detached_span(self):
+        # Regression: tracer.event() inside a detached span attaches to the
+        # ambient stack span; Span.event records the owning span id correctly.
+        tracer = Tracer()
+        window = tracer.detached_span("chaos.partition")
+        with tracer.span("ambient") as ambient:
+            owned = window.event("partition.open", regions=1)
+            stacked = tracer.event("unrelated")
+        assert owned.span_id == window.span_id
+        assert owned.attrs == {"regions": 1}
+        assert stacked.span_id == ambient.span_id
+        window.end()
+
+    def test_null_span_event_is_a_noop(self):
+        tracer = NullTracer()
+        span = tracer.span("s")
+        assert span.event("e", x=1) is None
+        assert len(tracer) == 0
 
     def test_ending_detached_span_leaves_stack_spans_open(self):
         simulator = Simulator()

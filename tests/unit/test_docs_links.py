@@ -24,7 +24,9 @@ DOC_FILES = sorted(
 )
 
 FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
-SUBPACKAGE_RE = re.compile(r"\brepro\.([a-z_]+)\b")
+# `(?![-/])` skips versioned schema identifiers such as `repro.trace/1`
+# and `repro.bench-baseline/1`, which name on-disk formats, not modules.
+SUBPACKAGE_RE = re.compile(r"\brepro\.([a-z_]+)\b(?![-/])")
 
 
 def python_fences(path: Path) -> list[str]:
