@@ -1,0 +1,136 @@
+"""Benchmark: raw simulation-kernel throughput (events per wall-second).
+
+Drives a fixed dissemination workload — L∅ flooding, the cheapest full
+protocol stack, so the numbers measure the event loop, the latency sampler
+and the channel layer rather than protocol crypto — at N = 200 and N = 2,000,
+and reports simulator events per wall-second for each.
+
+The same workload, run against the pre-optimization kernel (commit
+``da8f324``), is recorded in the baseline file's ``meta`` so the achieved
+speedup stays visible; see docs/performance.md for the full scaling study.
+The gated metrics guard the *optimized* kernel against regressions:
+events/sec with a generous tolerance (CI runners are noisy), and the exact
+event/delivery counts with zero tolerance (the kernel must stay
+deterministic — byte-identical event economy — while being fast).
+
+A third cell re-runs N = 200 with a wall-clock profiler installed, so the
+observability overhead (``docs/observability.md`` claims the no-profiler
+path costs nothing — the instrumented loop is a separate code path) is
+measured, not asserted.
+
+Emits ``BENCH_kernel.json`` at the repo root for the CI bench gate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from conftest import report
+
+from repro.baselines import LZeroSystem
+from repro.mempool.transaction import Transaction, reset_tx_ids
+from repro.net.events import reset_message_ids
+from repro.net.topology import generate_physical_network
+from repro.obs.analysis import bench_record, write_bench_record
+from repro.obs.profiler import SimulatorProfiler
+from repro.utils.rng import derive_rng
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernel.json"
+
+SUBMIT_INTERVAL_MS = 25.0
+HORIZON_MS = 8_000.0
+TRANSACTIONS = 200
+
+# Events/sec of the pre-optimization kernel (commit da8f324) on this exact
+# workload, measured on the same machine as the committed baseline values.
+# Recorded in the baseline meta so the speedup multiple is auditable.
+SEED_EVENTS_PER_SECOND = {200: 35_544.0, 2_000: 27_071.0}
+
+
+def _dissemination_cell(num_nodes: int, profiled: bool = False) -> dict:
+    """One benchmark cell: flood TRANSACTIONS txs through L∅ at *num_nodes*.
+
+    Must stay byte-identical to the seed-kernel measurement harness: same
+    seeds, same submit schedule, same horizon.
+    """
+
+    reset_tx_ids()
+    reset_message_ids()
+    physical = generate_physical_network(num_nodes, seed=0)
+    system = LZeroSystem(physical, seed=13)
+    if profiled:
+        system.simulator.set_profiler(SimulatorProfiler())
+    rng = derive_rng(11, "kernel-bench", num_nodes)
+    node_ids = system.network.node_ids()
+    origins = [rng.choice(node_ids) for _ in range(TRANSACTIONS)]
+    system.start()
+    for i, origin in enumerate(origins):
+        when = i * SUBMIT_INTERVAL_MS
+
+        def submit(origin=origin, when=when):
+            system.submit(origin, Transaction.create(origin=origin, created_at=when))
+
+        system.simulator.schedule(when, submit)
+    start = time.perf_counter()
+    system.run(until_ms=HORIZON_MS)
+    wall = time.perf_counter() - start
+    events = system.simulator.events_processed
+    deliveries = sum(len(nodes) for nodes in system.stats.deliveries.values())
+    assert deliveries == TRANSACTIONS * num_nodes
+    return {
+        "wall_seconds": round(wall, 4),
+        "events_processed": events,
+        "events_per_second": round(events / wall, 1),
+        "deliveries": deliveries,
+    }
+
+
+def test_kernel_throughput():
+    cells = {n: _dissemination_cell(n) for n in (200, 2_000)}
+    profiled = _dissemination_cell(200, profiled=True)
+    # The instrumented loop must replay the identical event sequence.
+    assert profiled["events_processed"] == cells[200]["events_processed"]
+
+    metrics: dict[str, float] = {}
+    for num_nodes, numbers in cells.items():
+        for key, value in numbers.items():
+            metrics[f"n{num_nodes}_{key}"] = value
+        metrics[f"n{num_nodes}_speedup_vs_seed"] = round(
+            numbers["events_per_second"] / SEED_EVENTS_PER_SECOND[num_nodes], 2
+        )
+    profiler_cost = (
+        profiled["wall_seconds"] / cells[200]["wall_seconds"] - 1.0
+        if cells[200]["wall_seconds"]
+        else 0.0
+    )
+    metrics["profiler_overhead_pct"] = round(100.0 * profiler_cost, 1)
+
+    doc = bench_record(
+        "kernel_throughput",
+        metrics,
+        meta={
+            "workload": "lzero flood",
+            "transactions": TRANSACTIONS,
+            "submit_interval_ms": SUBMIT_INTERVAL_MS,
+            "horizon_ms": HORIZON_MS,
+            "seed_commit": "da8f324",
+            "seed_events_per_second": {
+                str(n): v for n, v in SEED_EVENTS_PER_SECOND.items()
+            },
+        },
+        seed=0,
+    )
+    write_bench_record(BENCH_PATH, doc)
+
+    lines = [
+        f"kernel throughput — {TRANSACTIONS} txs, {HORIZON_MS / 1000:.0f}s horizon",
+    ]
+    for num_nodes, numbers in cells.items():
+        lines.append(
+            f"  N={num_nodes:>5}: {numbers['events_per_second']:>12,.0f} events/s  "
+            f"({metrics[f'n{num_nodes}_speedup_vs_seed']:.1f}x over seed kernel)"
+        )
+    lines.append(f"  profiler overhead at N=200: {metrics['profiler_overhead_pct']:+.1f}%")
+    lines.append(f"  -> {BENCH_PATH.name}")
+    report("kernel_throughput", "\n".join(lines))

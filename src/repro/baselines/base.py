@@ -73,11 +73,13 @@ class BaselineNode(ProtocolNode):
         trees from.  Returns True if new.
         """
 
-        if not self.mempool.add(tx, self.now):
+        network = self.network
+        now = network.simulator.now
+        if not self.mempool.add(tx, now):
             return False
         if record_stats:
-            self.network.stats.record_delivery(tx.tx_id, self.node_id, self.now)
-        obs = self.network.obs
+            network.stats.record_delivery(tx.tx_id, self.node_id, now)
+        obs = network.obs
         if obs is not None:
             obs.metrics.counter("mempool.insertions").inc()
             obs.metrics.gauge("mempool.depth.max").track_max(len(self.mempool))

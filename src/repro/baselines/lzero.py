@@ -175,10 +175,21 @@ class LZeroSystem(BaseSystem):
         rng = derive_rng(seed, "lzero-partners")
         node_ids = physical.nodes()
         self._partners: dict[int, list[int]] = {}
-        for node in node_ids:
-            others = [n for n in node_ids if n != node]
-            count = min(self.config.fanout, len(others))
-            self._partners[node] = rng.sample(others, count) if count else []
+        # Sample partner *indices* into the (virtual) node list with self
+        # removed, instead of materializing that O(N) list per node.
+        # rng.sample's draw sequence depends only on the population length
+        # and k, and others[i] == node_ids[i if i < self_idx else i + 1], so
+        # this consumes the identical rng stream and picks the identical
+        # partners as sampling from the explicit list — just in O(fanout).
+        for self_idx, node in enumerate(node_ids):
+            count = min(self.config.fanout, len(node_ids) - 1)
+            if count:
+                picks = rng.sample(range(len(node_ids) - 1), count)
+                self._partners[node] = [
+                    node_ids[i if i < self_idx else i + 1] for i in picks
+                ]
+            else:
+                self._partners[node] = []
         super().__init__(physical, **kwargs)
 
     def partners_of(self, node_id: int) -> list[int]:

@@ -72,6 +72,7 @@ class HermesNode(ProtocolNode):
         behavior: Behavior = Behavior.HONEST,
         observe_hook: Callable[["HermesNode", Transaction], None] | None = None,
         trace: ActivityTrace | None = None,
+        decoded_overlays: dict[int, Overlay] | None = None,
     ) -> None:
         super().__init__(node_id, network)
         self.config = config
@@ -108,13 +109,21 @@ class HermesNode(ProtocolNode):
         self.ack_confirmations: dict[int, set[int]] = {}
 
         # Every node verifies the committee's certificate before trusting an
-        # overlay description (Alg. 5's whole point).
-        self.overlays: dict[int, Overlay] = {}
-        for certificate in certificates:
-            if not certificate.verify(backend):
-                continue  # unsigned overlay descriptions are ignored
-            overlay = decode_overlay(certificate.encoded)
-            self.overlays[overlay.overlay_id] = overlay
+        # overlay description (Alg. 5's whole point).  Verification and
+        # decoding are deterministic per certificate, so a system that owns
+        # many nodes may do both once and share the result (the decoded
+        # Overlay objects are read-only at runtime); *decoded_overlays* is
+        # that precomputed map.  Directly constructed nodes keep the per-node
+        # verify + decode path.
+        if decoded_overlays is not None:
+            self.overlays: dict[int, Overlay] = dict(decoded_overlays)
+        else:
+            self.overlays = {}
+            for certificate in certificates:
+                if not certificate.verify(backend):
+                    continue  # unsigned overlay descriptions are ignored
+                overlay = decode_overlay(certificate.encoded)
+                self.overlays[overlay.overlay_id] = overlay
 
         self.trs_client = TrsClient(
             self, committee, config.f, backend, config.num_overlays
@@ -655,6 +664,17 @@ class HermesSystem:
         self.overlays = overlays
         self.certificates = certify_overlays(overlays, self.backend, self.committee)
 
+        # Verify + decode each certificate once and share the result across
+        # all N nodes (byte-identical to every node doing it itself, since
+        # both steps are deterministic; nodes never mutate these objects).
+        # Without this, construction is O(N · k · overlay size) — the single
+        # largest setup cost at N = 10,000.
+        decoded: dict[int, Overlay] = {}
+        for certificate in self.certificates:
+            if certificate.verify(self.backend):
+                overlay = decode_overlay(certificate.encoded)
+                decoded[overlay.overlay_id] = overlay
+
         self.nodes: dict[int, HermesNode] = {}
         for node_id in node_ids:
             self.nodes[node_id] = self.node_class(
@@ -668,6 +688,7 @@ class HermesSystem:
                 behavior=self.fault_plan.behavior_of(node_id),
                 observe_hook=observe_hook,
                 trace=self.activity_trace,
+                decoded_overlays=decoded,
             )
 
     def _select_committee(self, node_ids: list[int]) -> list[int]:

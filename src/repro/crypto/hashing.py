@@ -8,7 +8,26 @@ from __future__ import annotations
 
 import hashlib
 
-__all__ = ["encode_for_hash", "hash_bytes", "hash_to_int", "sha256_hex"]
+__all__ = ["encode_piece", "encode_for_hash", "hash_bytes", "hash_to_int", "sha256_hex"]
+
+
+def encode_piece(part: bytes | str | int) -> bytes:
+    """The length-prefixed canonical encoding of a single part.
+
+    ``encode_for_hash(a, b) == encode_piece(a) + encode_piece(b)`` — callers
+    that maintain incremental digests (e.g. the mempool commitment) cache
+    per-part pieces and concatenate them instead of re-encoding everything.
+    """
+
+    if isinstance(part, str):
+        raw = part.encode("utf-8")
+    elif isinstance(part, int):
+        raw = part.to_bytes((max(part.bit_length(), 1) + 7) // 8, "big", signed=part < 0)
+    elif isinstance(part, bytes):
+        raw = part
+    else:
+        raise TypeError(f"cannot hash value of type {type(part).__name__}")
+    return len(raw).to_bytes(4, "big") + raw
 
 
 def encode_for_hash(*parts: bytes | str | int) -> bytes:
@@ -18,19 +37,7 @@ def encode_for_hash(*parts: bytes | str | int) -> bytes:
     differently — a classic source of hash-ambiguity bugs.
     """
 
-    pieces: list[bytes] = []
-    for part in parts:
-        if isinstance(part, str):
-            raw = part.encode("utf-8")
-        elif isinstance(part, int):
-            raw = part.to_bytes((max(part.bit_length(), 1) + 7) // 8, "big", signed=part < 0)
-        elif isinstance(part, bytes):
-            raw = part
-        else:
-            raise TypeError(f"cannot hash value of type {type(part).__name__}")
-        pieces.append(len(raw).to_bytes(4, "big"))
-        pieces.append(raw)
-    return b"".join(pieces)
+    return b"".join([encode_piece(part) for part in parts])
 
 
 def hash_bytes(*parts: bytes | str | int) -> bytes:

@@ -58,6 +58,18 @@ class Fig3aConfig:
     transactions: int = 10
     horizon_ms: float = 8_000.0
     seed: int = 0
+    # Fixed Narwhal validator-committee size (None = the protocol default of
+    # N/3).  Paper-scale runs must pin this: every validator relays every
+    # batch to every other validator, so an N/3 committee costs O(N²)
+    # messages per transaction.  See docs/performance.md.
+    narwhal_validators: int | None = None
+
+    def _narwhal_config(self):
+        if self.narwhal_validators is None:
+            return None
+        from ..baselines.narwhal import NarwhalConfig
+
+        return NarwhalConfig(num_validators=self.narwhal_validators)
 
 
 @dataclass(frozen=True, slots=True)
@@ -91,7 +103,10 @@ def run(
             num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
         )
     factories = protocol_factories(
-        env, hermes_overrides={"gossip_fallback_enabled": False}, obs=obs
+        env,
+        hermes_overrides={"gossip_fallback_enabled": False},
+        obs=obs,
+        narwhal_config=config._narwhal_config(),
     )
     origins = _workload(config, env)
 
@@ -130,8 +145,9 @@ def _workload(config: Fig3aConfig, env: ExperimentEnvironment) -> list[int]:
 def cell_params(config: Fig3aConfig) -> list[dict[str, Any]]:
     """The repetition grid: one cell per protocol."""
 
-    return [
-        {
+    cells = []
+    for name in PROTOCOL_NAMES:
+        cell: dict[str, Any] = {
             "protocol": name,
             "num_nodes": config.num_nodes,
             "f": config.f,
@@ -140,8 +156,12 @@ def cell_params(config: Fig3aConfig) -> list[dict[str, Any]]:
             "horizon_ms": config.horizon_ms,
             "seed": config.seed,
         }
-        for name in PROTOCOL_NAMES
-    ]
+        # Only stamp the override when set, so existing stored sweeps keep
+        # their parameter hashes (resume compatibility).
+        if config.narwhal_validators is not None:
+            cell["narwhal_validators"] = config.narwhal_validators
+        cells.append(cell)
+    return cells
 
 
 def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
@@ -153,6 +173,7 @@ def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
     across processes.
     """
 
+    narwhal_validators = params.get("narwhal_validators")
     config = Fig3aConfig(
         num_nodes=int(params["num_nodes"]),
         f=int(params.get("f", 1)),
@@ -160,12 +181,17 @@ def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
         transactions=int(params.get("transactions", 10)),
         horizon_ms=float(params.get("horizon_ms", 8_000.0)),
         seed=int(params.get("seed", 0)),
+        narwhal_validators=(
+            int(narwhal_validators) if narwhal_validators is not None else None
+        ),
     )
     env = build_environment(
         num_nodes=config.num_nodes, f=config.f, k=config.k, seed=config.seed
     )
     factories = protocol_factories(
-        env, hermes_overrides={"gossip_fallback_enabled": False}
+        env,
+        hermes_overrides={"gossip_fallback_enabled": False},
+        narwhal_config=config._narwhal_config(),
     )
     name = str(params["protocol"])
     system = factories[name]()

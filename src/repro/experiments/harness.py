@@ -60,8 +60,14 @@ class ExperimentEnvironment:
 
 
 _environment_cache: dict[
-    tuple[int, int, int, int, bool, int], ExperimentEnvironment
+    tuple[int, int, int, int, bool, int, bool], ExperimentEnvironment
 ] = {}
+
+# At or above this many nodes, build_environment defaults to the paper-scale
+# construction profile (RegionMeanSpace, capped parent wiring, no annealing).
+# Far above every committed small-scale experiment cell, so their outputs are
+# untouched; N = 10,000 runs cross it and build in seconds instead of hours.
+PAPER_SCALE_MIN_NODES = 5_000
 
 
 def clear_environment_cache() -> None:
@@ -77,23 +83,51 @@ def build_environment(
     seed: int = 0,
     optimize: bool = True,
     min_degree: int = 4,
+    paper_scale: bool | None = None,
 ) -> ExperimentEnvironment:
     """Build (or fetch from cache) a shared experiment environment.
 
     Every parameter that shapes the result — including ``min_degree``, which
     changes the generated physical topology — is part of the cache key.
+
+    *paper_scale* selects the construction profile for very large networks:
+    overlay construction measures candidate distances in
+    :class:`~repro.overlay.base.RegionMeanSpace` (expected regional latency,
+    O(1) per pair) instead of per-pair transport draws, wires each non-entry
+    node to its ``f+1`` nearest previous-layer parents instead of the full
+    layer, and skips the annealing pass.  ``None`` (default) auto-enables the
+    profile at ``num_nodes >= PAPER_SCALE_MIN_NODES``.  The resulting family
+    satisfies exactly the same robustness invariants (``Overlay.validate``
+    still runs); see docs/performance.md for the cost model and the
+    deviations this profile accepts.
     """
 
     import time
 
-    key = (num_nodes, f, k, seed, optimize, min_degree)
+    from ..overlay.base import RegionMeanSpace
+    from ..overlay.robust_tree import RobustTreeConfig
+
+    if paper_scale is None:
+        paper_scale = num_nodes >= PAPER_SCALE_MIN_NODES
+    key = (num_nodes, f, k, seed, optimize, min_degree, paper_scale)
     if key in _environment_cache:
         return _environment_cache[key]
     start = time.perf_counter()
     physical = generate_physical_network(num_nodes, min_degree=min_degree, seed=seed)
-    overlays, ranks = build_overlay_family(
-        physical, f=f, k=k, optimize=optimize, seed=seed
-    )
+    if paper_scale:
+        overlays, ranks = build_overlay_family(
+            physical,
+            f=f,
+            k=k,
+            space=RegionMeanSpace(physical),
+            tree_config=RobustTreeConfig(layer_connect_count=f + 1),
+            optimize=False,
+            seed=seed,
+        )
+    else:
+        overlays, ranks = build_overlay_family(
+            physical, f=f, k=k, optimize=optimize, seed=seed
+        )
     env = ExperimentEnvironment(
         num_nodes=num_nodes,
         f=f,
@@ -113,6 +147,7 @@ def protocol_factories(
     seed: int = 13,
     hermes_overrides: dict | None = None,
     obs: Observability | None = None,
+    narwhal_config=None,
 ) -> dict[str, Callable]:
     """Factories ``(fault_plan, observe_hook) -> system`` for each protocol.
 
@@ -120,6 +155,10 @@ def protocol_factories(
     *obs* is given, every constructed system is instrumented against it
     (tracer clocks rebind to each new system's simulator, so build and run
     systems one at a time when sharing a bundle across protocols).
+    *narwhal_config* optionally replaces Narwhal's default
+    :class:`~repro.baselines.narwhal.NarwhalConfig` — paper-scale runs use it
+    to pin a fixed validator committee, since the default ``N/3`` validator
+    set makes Narwhal's all-to-all batch sync quadratic in ``N``.
     """
 
     overrides = dict(hermes_overrides or {})
@@ -135,7 +174,7 @@ def protocol_factories(
             obs=obs,
         )
 
-    def baseline(cls):
+    def baseline(cls, **extra):
         def factory(fault_plan: FaultPlan | None = None, observe_hook=None):
             return cls(
                 env.physical,
@@ -143,14 +182,17 @@ def protocol_factories(
                 observe_hook=observe_hook,
                 seed=seed,
                 obs=obs,
+                **extra,
             )
 
         return factory
 
+    narwhal_extra = {} if narwhal_config is None else {"config": narwhal_config}
+
     return {
         "hermes": hermes,
         "lzero": baseline(LZeroSystem),
-        "narwhal": baseline(NarwhalSystem),
+        "narwhal": baseline(NarwhalSystem, **narwhal_extra),
         "mercury": baseline(MercurySystem),
         "gossip": baseline(GossipSystem),
         "simple-tree": baseline(SimpleTreeSystem),

@@ -12,12 +12,24 @@ protocols need:
 
 from __future__ import annotations
 
+import hashlib
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from functools import lru_cache
 
-from ..crypto.hashing import hash_bytes
+from ..crypto.hashing import encode_piece
 from .transaction import Transaction
 
 __all__ = ["Mempool"]
+
+# encode_piece("mempool-commitment"): the domain-separation prefix of every
+# commitment digest, precomputed once.
+_COMMITMENT_PREFIX = encode_piece("mempool-commitment")
+
+# Every node that learns a transaction encodes the same id; share the bytes
+# process-wide instead of re-encoding per mempool (ids are small ints from a
+# per-run counter, so the cache stays tiny and hit rates are ~#nodes).
+_encoded_id = lru_cache(maxsize=1 << 16)(encode_piece)
 
 
 @dataclass
@@ -27,14 +39,28 @@ class Mempool:
     owner: int
     _transactions: dict[int, Transaction] = field(default_factory=dict)
     _arrival: dict[int, float] = field(default_factory=dict)
+    # Commitment acceleration (compare=False: two mempools are equal iff
+    # their contents are — the caches are derived state).  _sorted_ids keeps
+    # the id set in order incrementally, _pieces holds each id's canonical
+    # encoding at the same index, and _commitment memoizes the digest until
+    # the next add.  list.insert is a C memmove, so maintaining sorted order
+    # costs far less than re-sorting the id set on every commitment.
+    _sorted_ids: list[int] = field(default_factory=list, repr=False, compare=False)
+    _pieces: list[bytes] = field(default_factory=list, repr=False, compare=False)
+    _commitment: bytes | None = field(default=None, repr=False, compare=False)
 
     def add(self, tx: Transaction, now: float) -> bool:
         """Record *tx* (first arrival wins).  Returns True if it was new."""
 
-        if tx.tx_id in self._transactions:
+        tx_id = tx.tx_id
+        if tx_id in self._transactions:
             return False
-        self._transactions[tx.tx_id] = tx
-        self._arrival[tx.tx_id] = now
+        self._transactions[tx_id] = tx
+        self._arrival[tx_id] = now
+        index = bisect_left(self._sorted_ids, tx_id)
+        self._sorted_ids.insert(index, tx_id)
+        self._pieces.insert(index, _encoded_id(tx_id))
+        self._commitment = None
         return True
 
     def __contains__(self, tx_id: int) -> bool:
@@ -66,9 +92,20 @@ class Mempool:
         return frozenset(self._transactions)
 
     def commitment(self) -> bytes:
-        """A digest over the known transaction set (L∅'s mempool commitment)."""
+        """A digest over the known transaction set (L∅'s mempool commitment).
 
-        return hash_bytes("mempool-commitment", *sorted(self._transactions))
+        Byte-identical to ``hash_bytes("mempool-commitment", *sorted(ids))``
+        but computed from incrementally maintained pieces and memoized, so
+        L∅'s per-round commitment exchange costs O(n) hashing only after the
+        set actually changed — not O(n log n) encoding on every call.
+        """
+
+        cached = self._commitment
+        if cached is None:
+            cached = self._commitment = hashlib.sha256(
+                _COMMITMENT_PREFIX + b"".join(self._pieces)
+            ).digest()
+        return cached
 
     def missing_from(self, known_ids: frozenset[int] | set[int]) -> list[int]:
         """Ids we hold that the peer advertising *known_ids* lacks."""

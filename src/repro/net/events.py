@@ -5,6 +5,11 @@ the network layer needs: a kind tag for dispatch, a size for bandwidth
 accounting, and the sending node (as observed by the receiver — the transport
 authenticates the immediate sender, as TCP connections between known peers
 would in a deployment).
+
+``Message`` is slotted and is the only allocation per transmission on the
+kernel's hot path: the scheduler stores flyweight ``(time, seq, fn, args)``
+tuples (see :mod:`repro.net.simulator`), so one in-flight message costs one
+``Message`` plus one tuple — no per-event closure or wrapper objects.
 """
 
 from __future__ import annotations

@@ -25,8 +25,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (obs -> net.stats)
     from ..load.capacity import CapacityModel
     from ..obs import Observability
 from ..utils.rng import derive_rng
-from .channel import LossModel
-from .events import Message
+from .channel import JitterStream, LossModel
+from .events import ENVELOPE_OVERHEAD_BYTES, Message
 from .simulator import Simulator
 from .stats import NetworkStats
 from .topology import PhysicalNetwork
@@ -65,6 +65,12 @@ class Network:
         self.seed = seed
         self._nodes: dict[int, "ProtocolNode"] = {}
         self._rng = derive_rng(seed, "network")
+        # Batched view of the jitter stream (byte-identical to per-send scalar
+        # draws, see JitterStream) and a per-pair base-latency cache keyed by
+        # PhysicalNetwork.version so topology churn invalidates it.
+        self._jitter = JitterStream(self._rng)
+        self._latency_cache: dict[tuple[int, int], float] = {}
+        self._latency_version = physical.version
         # Chaos hooks (repro.chaos): an optional link disruptor consulted per
         # transmission (partitions, latency spikes, loss windows) and an
         # optional send listener used by the invariant monitors to witness
@@ -133,13 +139,22 @@ class Network:
         the drop statistic (the sender still paid the bytes).
         """
 
-        if dst not in self._nodes:
+        receiver = self._nodes.get(dst)
+        if receiver is None:
             raise SimulationError(f"send to unknown node {dst}")
-        wire = message.wire_size()
-        now = self.simulator.now
+        # Message.wire_size() and NetworkStats.record_send(), inlined: this
+        # method runs once per transmission and the two call frames were
+        # measurable at paper scale.  Keep in sync with both definitions.
+        wire = message.size_bytes + ENVELOPE_OVERHEAD_BYTES
+        simulator = self.simulator
+        now = simulator.now
         if self.on_send is not None:
             self.on_send(src, dst, message, now)
-        self.stats.record_send(src, dst, wire)
+        stats = self.stats
+        stats.bytes_sent[src] += wire
+        stats.messages_sent[src] += 1
+        stats.bytes_received[dst] += wire
+        stats.messages_received[dst] += 1
         obs = self.obs
         if obs is not None:
             obs.metrics.counter("net.messages.sent", kind=message.kind).inc()
@@ -176,7 +191,8 @@ class Network:
                     ).inc()
                 return
             latency_factor = verdict.latency_factor
-        if self.loss_model.drops(self._rng):
+        loss_model = self.loss_model
+        if loss_model.loss_probability > 0 and loss_model.drops(self._rng):
             self.stats.record_drop(wire)
             if obs is not None:
                 obs.metrics.counter("net.messages.dropped", kind=message.kind).inc()
@@ -189,11 +205,14 @@ class Network:
                     tx_id=message.tx_id,
                 )
             return
-        link_ms = (
-            self.base_latency(src, dst)
-            * latency_factor
-            * self.loss_model.jitter_factor(self._rng)
-        )
+        if self._latency_version != self.physical.version:
+            self._latency_cache.clear()
+            self._latency_version = self.physical.version
+        base = self._latency_cache.get((src, dst))
+        if base is None:
+            base = self.base_latency(src, dst)
+            self._latency_cache[(src, dst)] = base
+        link_ms = base * latency_factor * self._jitter.factor(loss_model)
         delay = link_ms + self.processing_delay_ms
         queue_ms = 0.0
         if capacity is not None and egress is not None:
@@ -239,9 +258,9 @@ class Network:
                 delay_ms=delay,
                 deliver_ms=now + delay,
             )
-        receiver = self._nodes[dst]
         if self.on_receive is None:
-            self.simulator.schedule(delay, lambda: receiver.receive(src, message))
+            # Flyweight scheduling: no closure allocation on the hot path.
+            simulator.schedule_call(delay, receiver.receive, src, message)
         else:
 
             def deliver() -> None:
@@ -249,7 +268,7 @@ class Network:
                     self.on_receive(src, dst, message, self.simulator.now)
                 receiver.receive(src, message)
 
-            self.simulator.schedule(delay, deliver)
+            simulator.schedule(delay, deliver)
 
     def multicast(self, src: int, dsts: Iterable[int], message: Message) -> None:
         """Send *message* to every destination (self is skipped)."""

@@ -28,6 +28,10 @@ __all__ = ["PhysicalNetwork", "generate_physical_network"]
 # keeps the graph latency-clustered the way real P2P networks are.
 _SAME_REGION_BIAS = 0.5
 
+# Above this size, validate="auto" switches from the exact node-connectivity
+# test (quadratic max-flow) to the O(V+E) structural check.
+_FULL_VALIDATE_MAX_NODES = 1024
+
 
 @dataclass
 class PhysicalNetwork:
@@ -46,6 +50,10 @@ class PhysicalNetwork:
     _pair_cache: dict[tuple[int, int], float] = field(
         default_factory=dict, repr=False, compare=False
     )
+    # Bumped on every topology mutation; consumers holding derived caches
+    # (e.g. Network's per-pair base-latency cache) compare it to decide when
+    # to invalidate without the substrate having to know who they are.
+    version: int = field(default=0, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -121,6 +129,10 @@ class PhysicalNetwork:
             self.latencies[key] = self.latency_model.sample_pair(
                 self.pair_seed, node, neighbor, region, self.regions[neighbor]
             )
+            # A pair that used to ride the internet path is now a direct
+            # link; its old per-pair draw must not shadow the new label.
+            self._pair_cache.pop(key, None)
+        self.version += 1
 
     def remove_node(self, node: int) -> None:
         """Remove a departed node and its links."""
@@ -134,6 +146,11 @@ class PhysicalNetwork:
         self.regions.pop(node, None)
         for neighbor in neighbors:
             self.latencies.pop((min(node, neighbor), max(node, neighbor)), None)
+        # Drop stale per-pair draws too: if this id rejoins later (possibly
+        # in a different region), transport_latency must re-sample.
+        for key in [k for k in self._pair_cache if node in k]:
+            del self._pair_cache[key]
+        self.version += 1
 
     def degree(self, node: int) -> int:
         return self.graph.degree[node]
@@ -144,12 +161,40 @@ class PhysicalNetwork:
         return nx.node_connectivity(self.graph, u, v)
 
     def validate_connectivity(self, t: int) -> None:
-        """Raise unless the graph is *t*-vertex-connected."""
+        """Raise unless the graph is *t*-vertex-connected.
+
+        Exact but expensive: ``nx.node_connectivity`` runs max-flow over
+        many vertex pairs, which is prohibitive beyond a few thousand nodes.
+        Use :meth:`validate_connectivity_fast` when the construction already
+        guarantees *t*-connectivity structurally.
+        """
 
         if self.num_nodes <= t:
             raise TopologyError(f"{self.num_nodes} nodes cannot be {t}-connected")
         if nx.node_connectivity(self.graph) < t:
             raise TopologyError(f"physical network is not {t}-vertex-connected")
+
+    def validate_connectivity_fast(self, t: int) -> None:
+        """Check the cheap necessary conditions for *t*-vertex-connectivity.
+
+        Verifies minimum degree >= *t* and single-component connectivity in
+        O(V + E).  These are necessary but not sufficient in general; they are
+        sufficient for graphs that contain a Harary ring-with-chords skeleton
+        (every graph :func:`generate_physical_network` emits), because the
+        skeleton alone is ``2*ceil(min_degree/2)``-vertex-connected and extra
+        edges never reduce vertex connectivity.
+        """
+
+        if self.num_nodes <= t:
+            raise TopologyError(f"{self.num_nodes} nodes cannot be {t}-connected")
+        degrees = dict(self.graph.degree)
+        worst = min(degrees, key=lambda n: (degrees[n], n))
+        if degrees[worst] < t:
+            raise TopologyError(
+                f"node {worst} has degree {degrees[worst]} < t = {t}"
+            )
+        if not nx.is_connected(self.graph):
+            raise TopologyError("physical network is not connected")
 
 
 def _assign_regions(
@@ -191,16 +236,31 @@ def generate_physical_network(
     latency_parameters: LatencyParameters | None = None,
     latency_model: LatencyModel | None = None,
     seed: int = 0,
+    validate: str = "auto",
 ) -> PhysicalNetwork:
     """Generate a region-clustered physical network.
 
-    Every node ends with degree >= *min_degree*; the construction then adds
-    edges until the graph is ``min_degree``-vertex-connected so the disjoint
-    path assumption of §III holds with ``t = min_degree``.
+    Every node ends with degree >= *min_degree*; the Harary ring-with-chords
+    skeleton guarantees ``min_degree``-vertex-connectivity by construction so
+    the disjoint path assumption of §III holds with ``t = min_degree``.
+
+    *validate* selects how that guarantee is re-checked before returning:
+    ``"full"`` runs the exact (quadratic) ``nx.node_connectivity`` test,
+    ``"fast"`` the O(V+E) structural check (degree + connectedness — sufficient
+    here because the skeleton is t-connected and edges are only ever added),
+    and ``"auto"`` (default) picks ``"full"`` up to
+    ``_FULL_VALIDATE_MAX_NODES`` nodes and ``"fast"`` beyond, which is what
+    makes paper-scale ``N = 10,000`` generation finish in seconds.  Validation
+    draws no randomness, so the returned network is byte-identical across all
+    three modes.
     """
 
     require(num_nodes >= 2, f"need at least 2 nodes, got {num_nodes}")
     require(min_degree >= 1, f"min_degree must be >= 1, got {min_degree}")
+    require(
+        validate in ("auto", "full", "fast"),
+        f"validate must be 'auto', 'full' or 'fast', got {validate!r}",
+    )
     require(
         min_degree < num_nodes,
         f"min_degree {min_degree} impossible with {num_nodes} nodes",
@@ -266,5 +326,9 @@ def generate_physical_network(
         latency_model=latency_model,
         pair_seed=seed,
     )
-    network.validate_connectivity(min(min_degree, num_nodes - 1))
+    t = min(min_degree, num_nodes - 1)
+    if validate == "full" or (validate == "auto" and num_nodes <= _FULL_VALIDATE_MAX_NODES):
+        network.validate_connectivity(t)
+    else:
+        network.validate_connectivity_fast(t)
     return network

@@ -16,23 +16,47 @@ an overlay edge and at what latency:
 * :class:`TransportSpace` — any pair (blockchain P2P runs over the internet;
   this is the mode the paper's evaluation uses, where Narwhal and L∅ get a
   "connected topology");
-* :class:`PhysicalSpace` — only links of the physical graph ``G``.
+* :class:`PhysicalSpace` — only links of the physical graph ``G``;
+* :class:`RegionMeanSpace` — any pair, at the *expected* regional latency.
+  An O(1)-per-query space for paper-scale construction (``N = 10,000``),
+  where per-pair sampling would materialize millions of cached draws.
+
+Besides the two mandatory queries (``are_connected``, ``latency``), a space
+may override the bulk hooks construction hot loops call — ``average_latency``,
+``layer_latency_fn``, ``nearest_parents`` — whose defaults reproduce the
+historical scalar behaviour byte-for-byte.  See docs/performance.md.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..errors import OverlayConnectivityError, TopologyError
 from ..net.topology import PhysicalNetwork
+from ..types import Region
 
-__all__ = ["Overlay", "OverlaySpace", "TransportSpace", "PhysicalSpace"]
+__all__ = [
+    "Overlay",
+    "OverlaySpace",
+    "TransportSpace",
+    "PhysicalSpace",
+    "RegionMeanSpace",
+]
+
+# How many peers to sample when estimating a node's "latency to its
+# neighbours" for entry-point selection (keeps selection O(n · sample)).
+LATENCY_SAMPLE_SIZE = 24
 
 
 class OverlaySpace:
     """Which overlay edges are allowed, and how expensive they are."""
+
+    # True when are_connected(u, v) holds for every distinct pair.  Complete
+    # spaces let construction skip O(candidates × layer) connectivity scans.
+    complete: bool = False
 
     def are_connected(self, u: int, v: int) -> bool:
         raise NotImplementedError
@@ -40,9 +64,55 @@ class OverlaySpace:
     def latency(self, u: int, v: int) -> float:
         raise NotImplementedError
 
+    # -- bulk hooks (defaults = the historical scalar code paths) --------
+
+    def average_latency(
+        self, node: int, peers: Sequence[int], rng: random.Random
+    ) -> float:
+        """Mean latency from *node* to a deterministic sample of *peers*.
+
+        Byte-identical to the original entry-point-selection estimate
+        (including its rng.sample draw); subclasses with closed-form means
+        may skip the sampling entirely.
+        """
+
+        others = [p for p in peers if p != node and self.are_connected(node, p)]
+        if not others:
+            return float("inf")
+        if len(others) > LATENCY_SAMPLE_SIZE:
+            others = rng.sample(others, LATENCY_SAMPLE_SIZE)
+        return sum(self.latency(node, p) for p in others) / len(others)
+
+    def layer_latency_fn(self, layer: Sequence[int]) -> Callable[[int], float]:
+        """A function mapping a node to its mean latency toward *layer*.
+
+        Called once per layer; the returned callable runs once per candidate.
+        The default is the exact historical per-candidate sum.
+        """
+
+        size = len(layer)
+
+        def mean_latency(node: int) -> float:
+            return sum(self.latency(node, p) for p in layer) / size
+
+        return mean_latency
+
+    def nearest_parents(
+        self, node: int, parents: Sequence[int], cap: int
+    ) -> list[int]:
+        """The *cap* lowest-latency members of *parents* for *node*.
+
+        Default: full deterministic sort, byte-identical to the historical
+        inline ``sorted(...)[:cap]``.
+        """
+
+        return sorted(parents, key=lambda p: (self.latency(p, node), p))[:cap]
+
 
 class TransportSpace(OverlaySpace):
     """All pairs connectable; latency comes from the transport model."""
+
+    complete = True
 
     def __init__(self, physical: PhysicalNetwork) -> None:
         self._physical = physical
@@ -65,6 +135,163 @@ class PhysicalSpace(OverlaySpace):
 
     def latency(self, u: int, v: int) -> float:
         return self._physical.latency(u, v)
+
+
+class RegionMeanSpace(OverlaySpace):
+    """All pairs connectable, at the expected latency of their region pair.
+
+    A deliberate paper-scale approximation of :class:`TransportSpace`:
+    ``latency(u, v)`` is the latency model's analytic mean for the two
+    regions (O(1), no per-pair draws to cache), which makes robust-tree
+    construction over ``N = 10,000`` nodes linear-ish instead of quadratic.
+    Two deviations from the per-pair space, both documented in
+    docs/performance.md:
+
+    * construction optimizes against region-level expectations, not the
+      per-pair draws the simulator uses (the simulator itself is unchanged);
+    * :meth:`nearest_parents` breaks the resulting massive latency ties by
+      rotating deterministically on the child's node id, so same-region
+      children spread across the layer instead of piling onto the
+      lexicographically smallest parents.
+
+    All methods are deterministic and draw no randomness.
+    """
+
+    complete = True
+
+    def __init__(self, physical: PhysicalNetwork) -> None:
+        self._physical = physical
+        self._regions = physical.regions
+        model = physical.latency_model
+        # Region enum members keyed by identity; expectations precomputed for
+        # every ordered pair (81 entries) so latency() is two dict hits.
+        self._expected: dict[tuple[object, object], float] = {}
+        regions = sorted({r for r in physical.regions.values()}, key=lambda r: r.value)
+        for a in regions:
+            for b in regions:
+                self._expected[(a, b)] = model.expected(a, b)
+        # Memos for the current construction layer / population: the hot
+        # loops call these once per child with the same sequence object, so
+        # holding a strong reference and comparing identity is safe and O(1).
+        self._layer_ref: Sequence[int] | None = None
+        self._layer_groups: list[tuple[Region, list[int]]] = []
+        self._peers_ref: Sequence[int] | None = None
+        self._peers_histogram: list[tuple[Region, int]] = []
+        self._peers_set: set[int] = set()
+
+    def are_connected(self, u: int, v: int) -> bool:
+        return u != v
+
+    def latency(self, u: int, v: int) -> float:
+        if u == v:
+            return 0.0
+        return self._expected[(self._regions[u], self._regions[v])]
+
+    def average_latency(
+        self, node: int, peers: Sequence[int], rng: random.Random
+    ) -> float:
+        """Exact population mean toward *peers* via a region histogram.
+
+        O(regions) per call after one O(peers) histogram, memoized on the
+        peers sequence object (entry-point selection queries every node
+        against the same population list).  Uses the full population rather
+        than a 24-peer sample — it *is* the expectation the sample estimates.
+        Draws nothing from *rng* (kept for interface compatibility).
+        """
+
+        if self._peers_ref is not peers:
+            counts: dict[Region, int] = {}
+            for peer in peers:
+                region = self._regions[peer]
+                counts[region] = counts.get(region, 0) + 1
+            self._peers_histogram = sorted(
+                counts.items(), key=lambda item: item[0].value
+            )
+            self._peers_set = set(peers)
+            self._peers_ref = peers
+        my_region = self._regions[node]
+        total = 0.0
+        count = 0
+        for region, num in self._peers_histogram:
+            total += num * self._expected[(my_region, region)]
+            count += num
+        if node in self._peers_set:
+            # The population averaged over is "peers other than the node":
+            # drop its own (self-latency) contribution from the mean.
+            total -= self._expected[(my_region, my_region)]
+            count -= 1
+        return total / count if count else float("inf")
+
+    def layer_latency_fn(self, layer: Sequence[int]) -> Callable[[int], float]:
+        """O(1)-per-candidate layer mean from a per-region histogram.
+
+        Assumes the queried node is not itself a layer member (construction
+        evaluates candidates from ``remaining``, which is disjoint from the
+        previous layer) — a member's own zero self-latency is not special-
+        cased the way the default per-pair sum would handle it.
+        """
+
+        size = len(layer)
+        counts: dict[Region, int] = {}
+        for member in layer:
+            region = self._regions[member]
+            counts[region] = counts.get(region, 0) + 1
+        pairs = sorted(counts.items(), key=lambda item: item[0].value)
+        expected = self._expected
+        regions = self._regions
+        memo: dict[Region, float] = {}
+
+        def mean_latency(node: int) -> float:
+            mine = regions[node]
+            cached = memo.get(mine)
+            if cached is None:
+                cached = (
+                    sum(num * expected[(mine, other)] for other, num in pairs) / size
+                )
+                memo[mine] = cached
+            return cached
+
+        return mean_latency
+
+    def nearest_parents(
+        self, node: int, parents: Sequence[int], cap: int
+    ) -> list[int]:
+        """The *cap* nearest parents, with deterministic tie rotation.
+
+        Parents are grouped by region, groups ordered by expected latency
+        from the child's region (ties by region name, then id); within a
+        group the start offset rotates by ``node`` so equal-latency load
+        spreads across the layer.  This is a paper-scale deviation from the
+        exact per-pair sort — see the class docstring.
+        """
+
+        if self._layer_ref is not parents:
+            by_region: dict[Region, list[int]] = {}
+            for member in parents:
+                by_region.setdefault(self._regions[member], []).append(member)
+            self._layer_groups = [
+                (region, sorted(members))
+                for region, members in sorted(
+                    by_region.items(), key=lambda item: item[0].value
+                )
+            ]
+            self._layer_ref = parents
+        my_region = self._regions[node]
+        ordered_groups = sorted(
+            self._layer_groups,
+            key=lambda item: (self._expected[(my_region, item[0])], item[0].value),
+        )
+        picked: list[int] = []
+        for _region, members in ordered_groups:
+            width = len(members)
+            start = node % width
+            for i in range(width):
+                member = members[(start + i) % width]
+                if member != node:
+                    picked.append(member)
+                    if len(picked) == cap:
+                        return picked
+        return picked
 
 
 @dataclass

@@ -38,9 +38,9 @@ __all__ = [
     "build_overlay_family",
 ]
 
-# How many peers to sample when estimating a node's "latency to its
-# neighbours" for entry-point selection (keeps selection O(n · sample)).
-_LATENCY_SAMPLE_SIZE = 24
+# Back-compat alias; the constant now lives next to the default
+# OverlaySpace.average_latency implementation it parameterizes.
+from .base import LATENCY_SAMPLE_SIZE as _LATENCY_SAMPLE_SIZE  # noqa: E402
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,14 +66,13 @@ class RobustTreeConfig:
 def _average_latency_to_peers(
     node: int, peers: list[int], space: OverlaySpace, rng: random.Random
 ) -> float:
-    """Mean latency from *node* to a deterministic sample of *peers*."""
+    """Mean latency from *node* to a deterministic sample of *peers*.
 
-    others = [p for p in peers if p != node and space.are_connected(node, p)]
-    if not others:
-        return float("inf")
-    if len(others) > _LATENCY_SAMPLE_SIZE:
-        others = rng.sample(others, _LATENCY_SAMPLE_SIZE)
-    return sum(space.latency(node, p) for p in others) / len(others)
+    Delegates to :meth:`OverlaySpace.average_latency`, whose default is this
+    function's historical body (spaces with closed-form means override it).
+    """
+
+    return space.average_latency(node, peers, rng)
 
 
 def build_robust_tree(
@@ -113,7 +112,10 @@ def build_robust_tree(
     # previous rank" over a sparse physical graph.  (In transport space the
     # neighbourhood is everyone, so this reduces to plain rank selection.)
     first = ranks.select_for_near_root(all_nodes, 1, latency_key)[0]
-    nearby = [n for n in all_nodes if n != first and space.are_connected(first, n)]
+    if space.complete:
+        nearby = [n for n in all_nodes if n != first]
+    else:
+        nearby = [n for n in all_nodes if n != first and space.are_connected(first, n)]
     pool = nearby if len(nearby) >= f else [n for n in all_nodes if n != first]
     entries = [first] + ranks.select_for_near_root(pool, f, latency_key)
     overlay = Overlay.empty(overlay_id, f, entries)
@@ -124,18 +126,23 @@ def build_robust_tree(
     previous_layer = list(entries)
     while remaining:
         capacity = (config.branching_base**depth) * (f + 1)
-        candidates = [
-            n
-            for n in remaining
-            if all(space.are_connected(n, parent) for parent in previous_layer)
-        ]
+        if space.complete:
+            # Every pair is connectable: the scan below would accept all of
+            # remaining, at O(|remaining| × |layer|) are_connected calls.
+            candidates = remaining
+        else:
+            candidates = [
+                n
+                for n in remaining
+                if all(space.are_connected(n, parent) for parent in previous_layer)
+            ]
         if not candidates:
             break
 
-        def layer_latency(node: int) -> float:
-            return sum(space.latency(node, p) for p in previous_layer) / len(
-                previous_layer
-            )
+        # One layer-mean function per layer; the default closure reproduces
+        # the historical per-candidate sum exactly, closed-form spaces make
+        # it O(1) per candidate (see OverlaySpace.layer_latency_fn).
+        layer_latency = space.layer_latency_fn(previous_layer)
 
         selected = ranks.select_for_near_root(candidates, capacity, layer_latency)
         for node in selected:
@@ -145,9 +152,9 @@ def build_robust_tree(
                 config.layer_connect_count is not None
                 and len(parents) > config.layer_connect_count
             ):
-                parents = sorted(parents, key=lambda p: (space.latency(p, node), p))[
-                    : max(config.layer_connect_count, f + 1)
-                ]
+                parents = space.nearest_parents(
+                    node, previous_layer, max(config.layer_connect_count, f + 1)
+                )
             for parent in parents:
                 overlay.add_edge(parent, node)
         chosen = set(selected)

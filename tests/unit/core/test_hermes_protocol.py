@@ -243,3 +243,43 @@ class TestRobustness:
         system.run(until_ms=4_000)
         coverage = system.stats.coverage(tx.tx_id, system.honest_node_ids())
         assert coverage == 1.0
+
+
+class TestSharedOverlayDecode:
+    """System construction verifies+decodes each certificate once and shares
+    the resulting Overlay objects across nodes (they are read-only at
+    runtime); a directly constructed node still does its own verify+decode."""
+
+    def test_system_nodes_share_decoded_overlay_objects(self, hermes40):
+        nodes = list(hermes40.nodes.values())
+        first, rest = nodes[0], nodes[1:]
+        for overlay_id, overlay in first.overlays.items():
+            for other in rest:
+                assert other.overlays[overlay_id] is overlay
+
+    def test_each_node_keeps_its_own_mapping(self, hermes40):
+        a, b = hermes40.nodes[0], hermes40.nodes[1]
+        assert a.overlays is not b.overlays
+
+    def test_direct_construction_decodes_from_certificates(self, hermes40, physical40):
+        from repro.core.accountability import ViolationLog
+        from repro.core.protocol import HermesNode
+        from repro.net.node import Network
+        from repro.net.simulator import Simulator
+
+        network = Network(Simulator(), physical40, seed=3)
+        node = HermesNode(
+            node_id=0,
+            network=network,
+            config=hermes40.config,
+            backend=hermes40.backend,
+            committee=hermes40.committee,
+            certificates=hermes40.certificates,
+            violation_log=ViolationLog(),
+        )
+        shared = hermes40.nodes[0].overlays
+        assert set(node.overlays) == set(shared)
+        for overlay_id, overlay in node.overlays.items():
+            # Independently decoded: equal structure, distinct objects.
+            assert overlay is not shared[overlay_id]
+            assert overlay.depth_of == shared[overlay_id].depth_of

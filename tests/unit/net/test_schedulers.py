@@ -1,0 +1,128 @@
+"""Scheduler backends: heap vs calendar queue vs auto migration.
+
+Both event-list backends must produce the *same total order* — time first,
+then insertion sequence (FIFO among same-timestamp events).  These tests pin
+that contract directly; the golden-hash integration tests pin it end-to-end.
+"""
+
+import random
+
+import pytest
+
+import repro.net.simulator as simulator_mod
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+BACKENDS = ("heap", "calendar")
+
+
+class TestSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator(scheduler="fifo")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_explicit_backend_sticks(self, backend):
+        sim = Simulator(scheduler=backend)
+        sim.schedule(1.0, lambda: None)
+        assert sim.scheduler == backend
+
+    def test_auto_starts_on_heap_and_migrates(self, monkeypatch):
+        monkeypatch.setattr(simulator_mod, "AUTO_CALENDAR_THRESHOLD", 64)
+        sim = Simulator(scheduler="auto")
+        assert sim.scheduler == "heap"
+        for i in range(100):
+            sim.schedule(float(i), lambda: None)
+        assert sim.scheduler == "calendar"
+
+    def test_explicit_heap_never_migrates(self, monkeypatch):
+        monkeypatch.setattr(simulator_mod, "AUTO_CALENDAR_THRESHOLD", 4)
+        sim = Simulator(scheduler="heap")
+        for i in range(50):
+            sim.schedule(float(i), lambda: None)
+        assert sim.scheduler == "heap"
+
+
+class TestSameTimestampFifo:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ties_run_in_submission_order(self, backend):
+        sim = Simulator(scheduler=backend)
+        order = []
+        for i in range(200):
+            sim.schedule(5.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(200))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ties_scheduled_from_callbacks_queue_behind_existing_ties(self, backend):
+        """An event scheduled *during* time t for time t runs after every
+        event already queued at t (larger sequence number) — on both backends."""
+
+        sim = Simulator(scheduler=backend)
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, lambda: order.append("nested"))
+
+        sim.schedule(3.0, first)
+        sim.schedule(3.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "nested"]
+
+
+class TestCrossBackendIdentity:
+    def _trace(self, backend: str, seed: int) -> list[tuple[float, int]]:
+        """Run a random self-scheduling workload; record (time, id) per event."""
+
+        rng = random.Random(seed)
+        sim = Simulator(scheduler=backend)
+        trace = []
+        counter = iter(range(10_000))
+
+        def fire(ident):
+            trace.append((sim.now, ident))
+            # Fan out with duplicate-prone delays so timestamp ties are common.
+            for _ in range(rng.randrange(0, 3)):
+                sim.schedule(rng.choice((0.0, 1.0, 1.0, 2.5)), lambda i=next(counter): fire(i))
+
+        for _ in range(20):
+            sim.schedule(rng.choice((0.0, 1.0, 2.5)), lambda i=next(counter): fire(i))
+        sim.run(until_ms=40.0, max_events=2_000)
+        return trace
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_heap_and_calendar_replay_identically(self, seed):
+        assert self._trace("heap", seed) == self._trace("calendar", seed)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_auto_migration_mid_run_preserves_order(self, seed, monkeypatch):
+        reference = self._trace("heap", seed)
+        # A tiny threshold forces the heap -> calendar hand-off mid-workload.
+        monkeypatch.setattr(simulator_mod, "AUTO_CALENDAR_THRESHOLD", 8)
+        assert self._trace("auto", seed) == reference
+
+
+class TestCalendarResizing:
+    def test_grow_and_shrink_rebuilds_keep_order(self):
+        """Push far past the initial bucket count, then drain — crossing both
+        the grow and shrink rebuild thresholds — and verify global order."""
+
+        sim = Simulator(scheduler="calendar")
+        rng = random.Random(3)
+        seen = []
+        for i in range(9_000):
+            sim.schedule(rng.uniform(0.0, 1_000.0), lambda i=i: seen.append(i))
+        sim.run()
+        assert len(seen) == 9_000
+        assert sim.pending_events() == 0
+
+    def test_sparse_far_future_event_found(self):
+        """An event many calendar years ahead takes the O(size) scan path."""
+
+        sim = Simulator(scheduler="calendar")
+        seen = []
+        sim.schedule(0.5, lambda: seen.append("near"))
+        sim.schedule(10_000_000.0, lambda: seen.append("far"))
+        sim.run()
+        assert seen == ["near", "far"]

@@ -4,7 +4,8 @@ import networkx as nx
 import pytest
 
 from repro.errors import TopologyError
-from repro.net.topology import generate_physical_network
+from repro.net.latency import LatencyModel
+from repro.net.topology import PhysicalNetwork, generate_physical_network
 from repro.types import Region
 
 
@@ -107,3 +108,69 @@ class TestMutation:
         network = generate_physical_network(20, seed=9)
         with pytest.raises(TopologyError):
             network.remove_node(999)
+
+
+class TestValidationModes:
+    def test_explicit_modes_return_identical_networks(self):
+        fast = generate_physical_network(30, seed=3, validate="fast")
+        full = generate_physical_network(30, seed=3, validate="full")
+        assert sorted(fast.graph.edges) == sorted(full.graph.edges)
+        assert fast.latencies == full.latencies
+        assert fast.regions == full.regions
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(Exception):
+            generate_physical_network(10, validate="eventually")
+
+    def test_fast_check_accepts_generated_graph(self, physical40):
+        physical40.validate_connectivity_fast(4)
+
+    def test_fast_check_rejects_low_degree(self, physical40):
+        with pytest.raises(TopologyError):
+            physical40.validate_connectivity_fast(physical40.num_nodes - 1)
+
+    def test_fast_check_rejects_disconnected(self):
+        graph = nx.Graph()
+        # Two disjoint triangles: min degree 2, but not connected at all.
+        graph.add_edges_from([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+        network = PhysicalNetwork(
+            graph=graph,
+            regions={n: Region.FRANKFURT for n in graph.nodes},
+            latencies={},
+            latency_model=LatencyModel(),
+        )
+        with pytest.raises(TopologyError):
+            network.validate_connectivity_fast(2)
+
+    def test_fast_check_rejects_too_few_nodes(self):
+        graph = nx.complete_graph(3)
+        network = PhysicalNetwork(
+            graph=graph,
+            regions={n: Region.FRANKFURT for n in graph.nodes},
+            latencies={},
+            latency_model=LatencyModel(),
+        )
+        with pytest.raises(TopologyError):
+            network.validate_connectivity_fast(3)
+
+
+class TestVersionAndPairCache:
+    def test_mutations_bump_the_version(self):
+        network = generate_physical_network(20, min_degree=3, seed=2)
+        before = network.version
+        network.add_node_with_links(99, network.region_of(0), [0, 1, 2])
+        assert network.version == before + 1
+        network.remove_node(99)
+        assert network.version == before + 2
+
+    def test_join_purges_stale_pair_draw(self):
+        network = generate_physical_network(20, min_degree=3, seed=2)
+        # Find a non-adjacent pair and warm its internet-path cache entry.
+        u = 0
+        v = next(n for n in network.nodes() if n != u and not network.has_edge(u, n))
+        internet = network.transport_latency(u, v)
+        network.remove_node(v)
+        network.add_node_with_links(v, network.region_of(u), [u])
+        # Now a direct link: the label, not the stale cached draw.
+        assert network.transport_latency(u, v) == network.latency(u, v)
+        assert network.transport_latency(u, v) != internet
