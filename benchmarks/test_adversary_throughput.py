@@ -1,0 +1,158 @@
+"""Benchmark: strategy-agent tap overhead at N = 200.
+
+Attaching a zoo agent installs a ``Network.on_send`` transport tap that fires
+on every frame of the run — the price every adversarial experiment pays even
+when the strategy never acts.  This benchmark drives an identical workload
+through the L∅ baseline (the cheapest full dissemination stack, so the
+numbers measure the tap and not protocol crypto) twice — untapped, and with a
+passive agent observing a 20% coalition — and holds the send-tap overhead
+below 10% of wall time.  Agents deliberately leave ``Network.on_receive``
+alone (see ``repro.adversary.agent``): installing it would disable the
+simulator's flyweight fast path for every delivery and blow this budget.
+
+Also times one full ``run_adversary_trial`` (sandwich vs Mercury at N=200),
+the unit fig7 is built from.  Emits ``BENCH_adversary.json`` at the repo
+root; the committed baseline lives in ``baselines/adversary_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from conftest import report
+
+from repro.adversary import AttackLedger, run_adversary_trial
+from repro.adversary.agent import AgentContext, StrategyAgent
+from repro.baselines import LZeroSystem, MercurySystem
+from repro.mempool.transaction import Transaction, reset_tx_ids
+from repro.net.topology import generate_physical_network
+from repro.obs.analysis import bench_record, write_bench_record
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_adversary.json"
+
+NUM_NODES = 200
+NUM_TXS = 40
+SPACING_MS = 50.0
+HORIZON_MS = 6_000.0
+COALITION_FRACTION = 0.2
+REPEATS = 3
+
+
+class _PassiveAgent(StrategyAgent):
+    """Observes everything, acts on nothing: the pure cost of the taps."""
+
+    name = "bench-passive"
+
+
+def _workload_run(attach_agent: bool) -> tuple[float, int, int]:
+    """One seeded L∅ run; returns (wall seconds, events, frames seen)."""
+
+    reset_tx_ids()
+    physical = generate_physical_network(NUM_NODES, seed=0)
+    system = LZeroSystem(physical, seed=13)
+    frames = 0
+    if attach_agent:
+        nodes = physical.nodes()
+        coalition = frozenset(nodes[:: int(1 / COALITION_FRACTION)])
+        agent = _PassiveAgent()
+        agent.attach(
+            AgentContext(system=system, coalition=coalition, ledger=AttackLedger())
+        )
+    system.start()
+    for index in range(NUM_TXS):
+        origin = (index * 7) % NUM_NODES
+        when = index * SPACING_MS
+        tx = Transaction.create(origin=origin, created_at=when)
+        system.simulator.schedule_at(
+            when, lambda origin=origin, tx=tx: system.submit(origin, tx)
+        )
+    start = time.perf_counter()
+    system.run(until_ms=HORIZON_MS)
+    wall = time.perf_counter() - start
+    assert len(system.stats.deliveries) == NUM_TXS
+    if attach_agent:
+        frames = agent.frames_seen
+        assert frames > 0
+    return wall, system.simulator.events_processed, frames
+
+
+def _best_of(attach_agent: bool) -> tuple[float, int, int]:
+    runs = [_workload_run(attach_agent) for _ in range(REPEATS)]
+    return min(runs, key=lambda r: r[0])
+
+
+def _sandwich_trial_seconds() -> float:
+    reset_tx_ids()
+    physical = generate_physical_network(NUM_NODES, seed=0)
+
+    def factory(plan, hook):
+        return MercurySystem(physical, fault_plan=plan, observe_hook=hook, seed=6)
+
+    start = time.perf_counter()
+    result = run_adversary_trial(
+        factory,
+        physical.nodes(),
+        "sandwich",
+        COALITION_FRACTION,
+        victim=0,
+        proposer=20,
+        background_txs=10,
+        proposal_delay_ms=250.0,
+        horizon_ms=4_000.0,
+        seed=1,
+    )
+    wall = time.perf_counter() - start
+    assert result.attack_launched
+    return wall
+
+
+def test_agent_tap_overhead():
+    untapped_wall, untapped_events, _ = _best_of(attach_agent=False)
+    tapped_wall, tapped_events, frames = _best_of(attach_agent=True)
+    overhead = tapped_wall / untapped_wall - 1.0
+    trial_wall = _sandwich_trial_seconds()
+
+    # The send tap must not change what the simulation does, only observe it.
+    assert tapped_events == untapped_events
+    # The bench budget from repro.adversary.agent: send-tap-only agents stay
+    # under 10% overhead.
+    assert overhead < 0.10, (
+        f"agent tap overhead {overhead:.1%} exceeds the 10% budget "
+        f"({tapped_wall:.3f}s vs {untapped_wall:.3f}s)"
+    )
+
+    metrics = {
+        "untapped_wall_seconds": round(untapped_wall, 4),
+        "tapped_wall_seconds": round(tapped_wall, 4),
+        "tap_overhead_fraction": round(overhead, 4),
+        "events_processed": untapped_events,
+        "frames_seen": frames,
+        "events_per_second": round(untapped_events / untapped_wall, 1),
+        "sandwich_trial_seconds": round(trial_wall, 4),
+    }
+    doc = bench_record(
+        "adversary_throughput",
+        metrics,
+        meta={
+            "txs": NUM_TXS,
+            "horizon_ms": HORIZON_MS,
+            "coalition_fraction": COALITION_FRACTION,
+            "repeats": REPEATS,
+        },
+        num_nodes=NUM_NODES,
+        seed=0,
+    )
+    write_bench_record(BENCH_PATH, doc)
+
+    lines = [
+        f"strategy-agent tap overhead — N={NUM_NODES}, {NUM_TXS} txs, "
+        f"{COALITION_FRACTION:.0%} coalition, best of {REPEATS}",
+        f"  untapped:  {untapped_wall:8.3f}s   "
+        f"{untapped_events / untapped_wall:>12,.0f} events/s",
+        f"  tapped:    {tapped_wall:8.3f}s   overhead {overhead:+.1%}  "
+        f"({frames:,} frames seen)",
+        f"  sandwich trial (Mercury, N={NUM_NODES}): {trial_wall:.3f}s",
+        f"  -> {BENCH_PATH.name}",
+    ]
+    report("adversary_throughput", "\n".join(lines))

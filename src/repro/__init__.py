@@ -10,7 +10,8 @@ Top-level convenience re-exports. The subpackages are:
 - :mod:`repro.core` — the HERMES dissemination protocol
 - :mod:`repro.mempool` — transactions, mempools, block ordering
 - :mod:`repro.baselines` — L-zero, Narwhal, Mercury, gossip, simple tree
-- :mod:`repro.attacks` — front-running and censorship adversaries
+- :mod:`repro.attacks` — legacy attack drivers (now thin aliases over the zoo)
+- :mod:`repro.adversary` — strategy zoo: attacker agents, economics, fairness
 - :mod:`repro.chaos` — fault-injection campaigns with online invariant checking
 - :mod:`repro.load` — open-loop workload generation and link capacity modeling
 - :mod:`repro.obs` — structured observability: tracing, metrics, profiling
@@ -29,6 +30,7 @@ import importlib
 __version__ = "1.0.0"
 
 _SUBPACKAGES = (
+    "adversary",
     "attacks",
     "baselines",
     "chaos",

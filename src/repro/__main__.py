@@ -8,7 +8,10 @@ chaos ...`` runs fault-injection campaigns with online invariant checking
 (see ``python -m repro chaos --help`` and ``docs/chaos.md``); ``python -m
 repro load ...`` sweeps offered load under finite link capacity (see
 ``python -m repro load --help`` and ``docs/load.md``); ``python -m repro
-analyze / report / bench-gate`` run the trace analytics, run-report and
+adversary ...`` runs attack strategies from the zoo against one protocol
+(see ``python -m repro adversary --help`` and ``docs/adversary.md``);
+``python -m repro analyze / report / bench-gate`` run the trace analytics,
+run-report and
 regression-gate front ends (see :mod:`repro.obs.analysis` and
 ``docs/observability.md``).
 """
@@ -31,6 +34,10 @@ def main(argv: list[str] | None = None) -> int:
         from .load.cli import main as load_main
 
         return load_main(argv[1:])
+    if argv and argv[0] == "adversary":
+        from .adversary.cli import main as adversary_main
+
+        return adversary_main(argv[1:])
     if argv and argv[0] == "analyze":
         from .obs.analysis.cli import analyze_main
 

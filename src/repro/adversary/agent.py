@@ -1,0 +1,239 @@
+"""Strategy agents: stateful adversaries that observe taps and act in-protocol.
+
+The legacy attack drivers (:mod:`repro.attacks`) hard-coded one behaviour per
+trial function.  The zoo splits the adversary into a reusable shape:
+
+* a **coalition** — the malicious node set a
+  :class:`~repro.net.faults.FaultPlan` drew, all running the agent's declared
+  :class:`~repro.net.faults.Behavior`;
+* one **agent** — a single stateful object that *is* the adversary's brain.
+  It observes through every coalition node at once (colluders share
+  knowledge instantly — the strongest standard assumption) and acts through
+  whichever node is best placed.
+
+Agents observe through three channels, cheapest first:
+
+1. **content taps** — :meth:`StrategyAgent.on_observe` fires whenever a
+   coalition node's mempool learns a transaction's *content* (the
+   ``observe_hook`` every system already threads to its nodes);
+2. **send taps** — :meth:`StrategyAgent.on_send` sees every frame a coalition
+   node transmits *or is about to be sent* (wired to
+   :attr:`Network.on_send`, filtered to coalition-adjacent traffic);
+3. **receive taps** — :meth:`StrategyAgent.on_receive` sees frames arriving
+   at coalition nodes.  Opt-in via :attr:`StrategyAgent.wants_receive_tap`
+   because installing :attr:`Network.on_receive` disables the simulator's
+   flyweight scheduling fast path for *every* delivery — the benchmark in
+   ``benchmarks/test_adversary_throughput.py`` holds send-tap-only agents to
+   <10% overhead, a budget a receive tap would not meet.
+
+Taps chain: installing an agent composes with whatever callback chaos
+invariant monitors (or another agent) already registered, so strategies and
+fault-window scenarios can observe the same run.
+
+Acting happens through :mod:`repro.adversary.injection` — the fastest path
+each protocol's checks still permit — and targeted censorship through
+:meth:`AgentContext.censor`, which only takes effect where suppression is
+deniable (:func:`~repro.adversary.injection.censorship_is_deniable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ConfigurationError
+from ..mempool.transaction import Transaction
+from ..net.events import Message
+from ..net.faults import Behavior
+from .economics import AttackLedger, ValueModel
+from .injection import adversarial_strategy_for, censorship_is_deniable
+
+__all__ = [
+    "AgentContext",
+    "StrategyAgent",
+    "get_strategy",
+    "register_strategy",
+    "strategy_names",
+]
+
+
+@dataclass
+class AgentContext:
+    """Everything an attached agent needs to perceive and act on one trial."""
+
+    system: object
+    coalition: frozenset[int]
+    ledger: AttackLedger
+    value_model: ValueModel = field(default_factory=ValueModel)
+    victim_tx_id: int | None = None
+    #: A distinguished honest node of interest (the proposer in zoo trials);
+    #: strategies that aim traffic at infrastructure (flooding) default to it.
+    target: int | None = None
+
+    @property
+    def now(self) -> float:
+        return self.system.simulator.now
+
+    @property
+    def deniable(self) -> bool:
+        return censorship_is_deniable(self.system)
+
+    def is_victim(self, tx: Transaction) -> bool:
+        return self.victim_tx_id is not None and tx.tx_id == self.victim_tx_id
+
+    def inject(self, node, tx: Transaction, role: str) -> None:
+        """Launch *tx* from *node* on the protocol's fastest permitted path."""
+
+        self.ledger.record(tx, role, self.now)
+        adversarial_strategy_for(self.system)(self.system, node, tx)
+
+    def censor(self, tx: Transaction) -> bool:
+        """Have the whole coalition withhold *tx* — where deniable.
+
+        Returns whether censorship was actually armed; against accountable
+        protocols (HERMES, L∅) and F3B this is a no-op, because a rational
+        adversary does not censor where it would be attributed (or cannot
+        target ciphertexts it cannot read).
+        """
+
+        if not self.deniable:
+            return False
+        for node_id in self.coalition:
+            self.system.nodes[node_id].censor_ids.add(tx.tx_id)
+        return True
+
+
+# ----------------------------------------------------------------------
+# The agent base class
+# ----------------------------------------------------------------------
+
+
+def _chain(existing: Callable | None, addition: Callable) -> Callable:
+    """Compose single-slot network callbacks, existing first."""
+
+    if existing is None:
+        return addition
+
+    def chained(src: int, dst: int, message: Message, now: float) -> None:
+        existing(src, dst, message, now)
+        addition(src, dst, message, now)
+
+    return chained
+
+
+class StrategyAgent:
+    """Base class for zoo strategies.
+
+    Subclasses override the ``on_*`` hooks they care about, declare the
+    coalition's :class:`Behavior` via :attr:`behavior`, and register
+    themselves with :func:`register_strategy`.  One instance drives one
+    trial; instances are cheap and never reused across runs.
+    """
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+    #: The Behavior every coalition node runs as (what the FaultPlan draws).
+    behavior: Behavior = Behavior.FRONT_RUN
+    #: Whether the proposer judges this strategy's block on the fee market
+    #: (descending :attr:`Transaction.fee`) instead of arrival order.
+    block_priority: bool = False
+    #: Opt into the expensive receive tap (see module docstring).
+    wants_receive_tap: bool = False
+
+    def __init__(self) -> None:
+        self.ctx: AgentContext | None = None
+        #: tx_id -> first simulation time any coalition-adjacent frame
+        #: carrying it was witnessed (transport-level sighting — earlier than
+        #: content observation for protocols that relay before delivering).
+        self.first_frame_ms: dict[int, float] = {}
+        self.frames_seen: int = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def attach(self, ctx: AgentContext) -> None:
+        """Bind to a built (unstarted) system and install the taps."""
+
+        self.ctx = ctx
+        network = ctx.system.network
+        network.on_send = _chain(network.on_send, self._tap_send)
+        if self.wants_receive_tap:
+            network.on_receive = _chain(network.on_receive, self._tap_receive)
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Called once after taps are installed, before the system starts."""
+
+    # -- observation channels ------------------------------------------
+
+    def observe(self, node, tx: Transaction) -> None:
+        """Content-tap entry point (called for coalition nodes only)."""
+
+        self.on_observe(node, tx)
+
+    def on_observe(self, node, tx: Transaction) -> None:
+        """A coalition node's mempool just learned *tx* (content visible)."""
+
+    def _tap_send(self, src: int, dst: int, message: Message, now: float) -> None:
+        coalition = self.ctx.coalition
+        if src in coalition or dst in coalition:
+            self.frames_seen += 1
+            tx_id = message.tx_id
+            if tx_id is not None and tx_id not in self.first_frame_ms:
+                self.first_frame_ms[tx_id] = now
+            self.on_send(src, dst, message, now)
+
+    def on_send(self, src: int, dst: int, message: Message, now: float) -> None:
+        """A frame touching the coalition was put on the wire."""
+
+    def _tap_receive(self, src: int, dst: int, message: Message, now: float) -> None:
+        if dst in self.ctx.coalition:
+            self.on_receive(src, dst, message, now)
+
+    def on_receive(self, src: int, dst: int, message: Message, now: float) -> None:
+        """A frame arrived at a coalition node (receive tap opted in)."""
+
+    # -- wrap-up --------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Called after the simulation horizon, before settlement."""
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[StrategyAgent]] = {}
+
+
+def register_strategy(cls: type[StrategyAgent]) -> type[StrategyAgent]:
+    """Class decorator adding a strategy to the zoo under ``cls.name``."""
+
+    if not cls.name:
+        raise ConfigurationError(f"{cls.__name__} must set a non-empty name")
+    if cls.name in _REGISTRY:
+        raise ConfigurationError(f"strategy {cls.name!r} registered twice")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Every registered strategy, sorted."""
+
+    from . import strategies  # noqa: F401  (ensure builtins are registered)
+
+    return tuple(sorted(_REGISTRY))
+
+
+def get_strategy(name: str, **params) -> StrategyAgent:
+    """Instantiate the registered strategy *name* with *params*."""
+
+    from . import strategies  # noqa: F401  (ensure builtins are registered)
+
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "none"
+        raise ConfigurationError(
+            f"unknown strategy {name!r} (known: {known})"
+        ) from None
+    return cls(**params)

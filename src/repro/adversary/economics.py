@@ -1,0 +1,166 @@
+"""Attack economics: what an attack *extracted*, not just whether it "won".
+
+The paper's success criterion (§VIII-F) is binary — adversarial transaction
+before victim transaction in the block.  The zoo refines it into money, the
+quantity real front-runners optimize:
+
+* a :class:`ValueModel` prices the victim opportunity and the adversary's
+  bidding behaviour;
+* an :class:`AttackLedger` records every adversarial transaction a strategy
+  launches, with the *role* it plays (a sandwich's lead vs. trailing leg, a
+  priority race's bid, a censor's replacement push);
+* :meth:`AttackLedger.settle` reads the proposer's block and converts roles ×
+  positions into gross extracted value, fees paid, and net profit.
+
+Settlement rules (deliberately simple, deterministic, and strategy-agnostic):
+
+==============================  =============================================
+Block outcome                    Gross value extracted
+==============================  =============================================
+victim censored, a leg landed    ``victim_value`` (the opportunity is stolen
+                                 outright — the victim's trade never executes)
+lead *and* trail around victim   ``victim_value`` (complete sandwich)
+lead before victim, no trail     ``victim_value * partial_capture``
+nothing before victim            ``0.0``
+==============================  =============================================
+
+Fees are paid only for adversarial transactions that made it into the block
+(an unincluded bid costs nothing, as on fee markets with failed inclusion),
+and ``net = gross − fees_paid`` can go negative: outbidding a victim whose
+opportunity didn't cover the bid is a loss, which is exactly the calculus a
+defense wants to force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mempool.blocks import Block
+from ..mempool.transaction import Transaction
+
+__all__ = ["AttackLedger", "AttackOutcome", "AttackRecord", "ValueModel"]
+
+#: Roles a ledger understands.  ``lead``/``race``/``push`` count as attempts
+#: to precede the victim; ``trail`` only pays as the back leg of a sandwich.
+LEADING_ROLES = frozenset({"lead", "race", "push"})
+TRAILING_ROLE = "trail"
+
+
+@dataclass(frozen=True, slots=True)
+class ValueModel:
+    """Prices for settling an attack.
+
+    ``victim_value`` is the full opportunity carried by the victim
+    transaction (arbitrary units); ``fee_premium`` is how far above the
+    victim's fee a strategy bids when it races on a fee market;
+    ``partial_capture`` is the fraction of the opportunity a bare front-run
+    (lead lands, trailing leg doesn't) extracts.
+    """
+
+    victim_value: float = 100.0
+    fee_premium: float = 1.0
+    partial_capture: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.victim_value < 0:
+            raise ValueError(f"victim_value must be >= 0, got {self.victim_value}")
+        if self.fee_premium < 0:
+            raise ValueError(f"fee_premium must be >= 0, got {self.fee_premium}")
+        if not 0.0 <= self.partial_capture <= 1.0:
+            raise ValueError(
+                f"partial_capture must be in [0, 1], got {self.partial_capture}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class AttackRecord:
+    """One adversarial transaction a strategy launched."""
+
+    tx_id: int
+    role: str
+    fee: float
+    launched_at: float
+
+
+@dataclass(frozen=True, slots=True)
+class AttackOutcome:
+    """The settled economics of one trial."""
+
+    gross: float
+    fees_paid: float
+    legs_included: int
+    legs_launched: int
+    sandwich_complete: bool = False
+
+    @property
+    def net(self) -> float:
+        return self.gross - self.fees_paid
+
+    @property
+    def profitable(self) -> bool:
+        return self.net > 0
+
+    @property
+    def extracted(self) -> bool:
+        return self.gross > 0
+
+
+@dataclass
+class AttackLedger:
+    """Every adversarial transaction of one trial, awaiting settlement."""
+
+    records: list[AttackRecord] = field(default_factory=list)
+
+    def record(self, tx: Transaction, role: str, now: float) -> AttackRecord:
+        if role != TRAILING_ROLE and role not in LEADING_ROLES:
+            raise ValueError(f"unknown attack role {role!r}")
+        record = AttackRecord(tx_id=tx.tx_id, role=role, fee=tx.fee, launched_at=now)
+        self.records.append(record)
+        return record
+
+    def adversarial_ids(self) -> list[int]:
+        """Transaction ids in launch order (the judge's adversarial set)."""
+
+        return [record.tx_id for record in self.records]
+
+    def settle(
+        self, block: Block, victim_tx_id: int, model: ValueModel
+    ) -> AttackOutcome:
+        """Convert the block's contents into extracted value and fees."""
+
+        included = [record for record in self.records if record.tx_id in block]
+        fees_paid = sum(record.fee for record in included)
+        if victim_tx_id not in block:
+            gross = model.victim_value if included else 0.0
+            return AttackOutcome(
+                gross=gross,
+                fees_paid=fees_paid,
+                legs_included=len(included),
+                legs_launched=len(self.records),
+            )
+        victim_position = block.position_of(victim_tx_id)
+        leads = [
+            record
+            for record in included
+            if record.role in LEADING_ROLES
+            and block.position_of(record.tx_id) < victim_position
+        ]
+        trails = [
+            record
+            for record in included
+            if record.role == TRAILING_ROLE
+            and block.position_of(record.tx_id) > victim_position
+        ]
+        if leads and trails:
+            gross = model.victim_value
+        elif leads:
+            gross = model.victim_value * model.partial_capture
+        else:
+            gross = 0.0
+        return AttackOutcome(
+            gross=gross,
+            fees_paid=fees_paid,
+            legs_included=len(included),
+            legs_launched=len(self.records),
+            sandwich_complete=bool(leads and trails),
+        )

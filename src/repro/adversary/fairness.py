@@ -1,0 +1,248 @@
+"""Order-fairness metrics over per-node receive orders.
+
+Front-running defenses are ultimately about *ordering*: a dissemination layer
+is fair when every honest node receives transactions in (nearly) the same
+order, because then no single proposer's local order hands the adversary a
+different block than any other proposer would have built.  Two metrics from
+the order-fairness literature (Quick Order Fairness, FC'22 — see PAPERS.md)
+quantify "nearly":
+
+* **γ-receive-order-fairness** — for every pair of transactions, some
+  γ-fraction of nodes agrees which came first.  :func:`gamma_fairness`
+  returns the largest γ the observed orders support: the minimum over pairs
+  of the majority share ``max(p, 1-p)``.  γ = 1 means unanimous pairwise
+  agreement; γ close to ½ means some pair is a coin flip across the network.
+  The convenient "badness" form ``1 - γ`` lives in
+  :attr:`FairnessReport.gamma_unfairness` and sits in ``[0, ½]``.
+* **pairwise inversion rate** — build the majority order (mean rank across
+  nodes, i.e. a Borda count) and measure the average fraction of transaction
+  pairs each node sees inverted relative to it.  0 = all nodes identical,
+  and the theoretical maximum is below 1 (a node can't invert every pair
+  against an order derived from the population containing it).
+
+Both metrics are computed over the transactions *common to every order* —
+a node that never received a transaction contributes no opinion on its pairs
+— and both are symmetric under relabeling nodes (only the multiset of orders
+matters), which the property-based tests in
+``tests/property/test_adversary_properties.py`` pin down.
+
+Receive orders come from two independent sources that must agree:
+:func:`receive_orders_from_mempools` reads each node's mempool arrival times
+after a run (this is literally the order a proposer at that node would pack a
+block in, including F3B's commit-time backdating), and
+:func:`receive_orders_from_trace` rebuilds the same orders from ``tx.deliver``
+trace events for offline analysis of recorded runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "FairnessReport",
+    "fairness_report",
+    "gamma_fairness",
+    "majority_order",
+    "pairwise_inversion_rate",
+    "receive_orders_from_mempools",
+    "receive_orders_from_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Collecting receive orders
+# ----------------------------------------------------------------------
+
+
+def receive_orders_from_mempools(
+    system,
+    nodes: Iterable[int] | None = None,
+    tx_ids: Iterable[int] | None = None,
+) -> dict[int, tuple[int, ...]]:
+    """Each node's local receive order, straight from its mempool.
+
+    *nodes* defaults to the system's honest nodes (an adversary's own orders
+    say nothing about the fairness experienced by its targets).  *tx_ids*
+    optionally restricts the orders to an interesting subset (e.g. victim +
+    background transactions), dropping e.g. protocol-internal traffic.
+    """
+
+    if nodes is None:
+        nodes = system.honest_node_ids()
+    keep = None if tx_ids is None else frozenset(tx_ids)
+    orders: dict[int, tuple[int, ...]] = {}
+    for node_id in nodes:
+        mempool = system.nodes[node_id].mempool
+        order = tuple(
+            tx.tx_id
+            for tx in mempool.in_arrival_order()
+            if keep is None or tx.tx_id in keep
+        )
+        orders[node_id] = order
+    return orders
+
+
+def receive_orders_from_trace(
+    events,
+    nodes: Iterable[int] | None = None,
+    tx_ids: Iterable[int] | None = None,
+) -> dict[int, tuple[int, ...]]:
+    """Rebuild per-node receive orders from ``tx.deliver`` trace events.
+
+    A delivery's position is its ``arrival_ms`` attribute when present (F3B
+    backdates deliveries to commit arrival) and the event timestamp otherwise
+    — the same rule :meth:`~repro.baselines.base.BaselineNode.deliver_locally`
+    applies to the mempool, so for remote arrivals these orders match
+    :func:`receive_orders_from_mempools` exactly.  Origins appear only via
+    the trace's remote deliveries, so a transaction's origin node holds one
+    fewer entry here than in its mempool.
+    """
+
+    keep_nodes = None if nodes is None else frozenset(nodes)
+    keep_txs = None if tx_ids is None else frozenset(tx_ids)
+    arrivals: dict[int, list[tuple[float, int]]] = {}
+    for event in events:
+        if event.name != "tx.deliver":
+            continue
+        attrs = event.attrs
+        node = attrs["node"]
+        tx_id = attrs["tx_id"]
+        if keep_nodes is not None and node not in keep_nodes:
+            continue
+        if keep_txs is not None and tx_id not in keep_txs:
+            continue
+        when = attrs.get("arrival_ms", event.time_ms)
+        arrivals.setdefault(node, []).append((when, tx_id))
+    return {
+        node: tuple(tx_id for _, tx_id in sorted(entries))
+        for node, entries in sorted(arrivals.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+
+def _common_transactions(orders: Mapping[int, Sequence[int]]) -> list[int]:
+    """Transactions present in every order, in ascending id order."""
+
+    iterator = iter(orders.values())
+    try:
+        common = set(next(iterator))
+    except StopIteration:
+        return []
+    for order in iterator:
+        common &= set(order)
+    return sorted(common)
+
+
+def majority_order(orders: Mapping[int, Sequence[int]]) -> tuple[int, ...]:
+    """The network's consensus receive order (Borda count over common txs).
+
+    Transactions sort by their mean rank across all orders, ties broken by
+    transaction id; only transactions every node received participate.  Ranks
+    are positions within each order *after* restricting it to the common
+    transactions, so non-common traffic interleaved in an order cannot shift
+    the consensus (restriction invariance — pinned by the property tests).
+    """
+
+    common = _common_transactions(orders)
+    if not common:
+        return ()
+    common_set = frozenset(common)
+    total_rank = {tx_id: 0 for tx_id in common}
+    for order in orders.values():
+        rank = 0
+        for tx_id in order:
+            if tx_id in common_set:
+                total_rank[tx_id] += rank
+                rank += 1
+    return tuple(sorted(common, key=lambda tx_id: (total_rank[tx_id], tx_id)))
+
+
+def gamma_fairness(orders: Mapping[int, Sequence[int]]) -> float:
+    """The largest γ such that every common pair has a γ-majority.
+
+    Returns 1.0 when fewer than two orders or two common transactions exist
+    (no pair can disagree).  Always in ``[½, 1]`` otherwise.
+    """
+
+    common = _common_transactions(orders)
+    if len(common) < 2 or len(orders) < 2:
+        return 1.0
+    positions = [
+        {tx_id: index for index, tx_id in enumerate(order)}
+        for order in orders.values()
+    ]
+    count = len(positions)
+    gamma = 1.0
+    for a, b in combinations(common, 2):
+        before = sum(1 for pos in positions if pos[a] < pos[b])
+        share = before / count
+        gamma = min(gamma, max(share, 1.0 - share))
+    return gamma
+
+
+def pairwise_inversion_rate(
+    orders: Mapping[int, Sequence[int]],
+    reference: Sequence[int] | None = None,
+) -> float:
+    """Mean fraction of common pairs each node sees inverted vs *reference*.
+
+    *reference* defaults to :func:`majority_order`.  0.0 when all orders
+    (restricted to common transactions) are identical; bounded by 1.0.
+    """
+
+    common = _common_transactions(orders)
+    if len(common) < 2 or not orders:
+        return 0.0
+    if reference is None:
+        reference = majority_order(orders)
+    reference_pos = {tx_id: index for index, tx_id in enumerate(reference)}
+    pairs = [
+        (a, b)
+        for a, b in combinations(common, 2)
+        if a in reference_pos and b in reference_pos
+    ]
+    if not pairs:
+        return 0.0
+    total = 0.0
+    for order in orders.values():
+        positions = {tx_id: index for index, tx_id in enumerate(order)}
+        inverted = sum(
+            1
+            for a, b in pairs
+            if (positions[a] < positions[b]) != (reference_pos[a] < reference_pos[b])
+        )
+        total += inverted / len(pairs)
+    return total / len(orders)
+
+
+@dataclass(frozen=True, slots=True)
+class FairnessReport:
+    """Both fairness metrics plus the population they were computed over."""
+
+    gamma: float
+    inversion_rate: float
+    num_orders: int
+    num_transactions: int
+
+    @property
+    def gamma_unfairness(self) -> float:
+        """``1 - γ``: 0 = unanimous pairwise agreement, ½ = a coin-flip pair."""
+
+        return 1.0 - self.gamma
+
+
+def fairness_report(orders: Mapping[int, Sequence[int]]) -> FairnessReport:
+    """Compute every metric over one set of receive orders."""
+
+    return FairnessReport(
+        gamma=gamma_fairness(orders),
+        inversion_rate=pairwise_inversion_rate(orders),
+        num_orders=len(orders),
+        num_transactions=len(_common_transactions(orders)),
+    )

@@ -2,6 +2,12 @@
 
 These modules inject the same adversary into HERMES and every baseline so the
 protocols can be compared under identical attack pressure (Figs. 5a/5b).
+
+.. deprecated::
+    The censorship and overload trials (and the per-protocol injection
+    levers) migrated to the strategy zoo in :mod:`repro.adversary`; this
+    package re-exports them unchanged.  :mod:`frontrun` remains the Fig. 5a
+    driver, now built on the zoo's levers.
 """
 
 from .censorship import CensorshipResult, run_censorship_trial

@@ -1,71 +1,16 @@
 """Censorship / robustness trials (paper §VIII-G, Fig. 5b).
 
-A fraction of nodes silently consumes messages without forwarding
-(``DROP_RELAY``).  Robustness is the fraction of *honest* nodes that still
-receive a disseminated message within the horizon.
+.. deprecated::
+    The canonical implementation moved to :mod:`repro.adversary.zoo`, where
+    the trial runs the strategy-agent API's
+    :class:`~repro.adversary.strategies.BlackoutStrategy` (the same
+    ``DROP_RELAY`` fault plan, bit-identical measurements).  This module
+    re-exports the public names unchanged for older callers; import from
+    :mod:`repro.adversary` in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
-from ..mempool.transaction import Transaction
-from ..net.faults import Behavior, FaultPlan
+from ..adversary.zoo import CensorshipResult, run_censorship_trial
 
 __all__ = ["CensorshipResult", "run_censorship_trial"]
-
-
-@dataclass(frozen=True, slots=True)
-class CensorshipResult:
-    """Coverage outcome of one censorship trial."""
-
-    malicious_fraction: float
-    honest_nodes: int
-    reached: int
-    #: :meth:`~repro.core.accountability.ViolationLog.summary` of the evidence
-    #: the run produced, when the protocol keeps a violation log (HERMES);
-    #: None for unaccountable baselines.
-    violation_summary: dict | None = None
-
-    @property
-    def coverage(self) -> float:
-        return self.reached / self.honest_nodes if self.honest_nodes else 0.0
-
-
-def run_censorship_trial(
-    system_factory: Callable[[FaultPlan], object],
-    node_ids: list[int],
-    malicious_fraction: float,
-    sender: int,
-    horizon_ms: float = 5_000.0,
-    seed: int = 0,
-    protected: tuple[int, ...] = (),
-) -> CensorshipResult:
-    """Disseminate one message under censorship and measure honest coverage."""
-
-    plan = FaultPlan.random_fraction(
-        node_ids,
-        malicious_fraction,
-        Behavior.DROP_RELAY,
-        seed=seed,
-        protected=(sender, *protected),
-    )
-    system = system_factory(plan)
-    system.start()
-    tx = Transaction.create(origin=sender, created_at=0.0)
-    system.submit(sender, tx)
-    system.run(until_ms=horizon_ms)
-
-    honest = plan.honest_nodes(node_ids)
-    delivered = set(system.stats.deliveries.get(tx.tx_id, {}))
-    reached = sum(1 for node in honest if node in delivered)
-    violation_log = getattr(system, "violation_log", None)
-    return CensorshipResult(
-        malicious_fraction=malicious_fraction,
-        honest_nodes=len(honest),
-        reached=reached,
-        violation_summary=(
-            violation_log.summary() if violation_log is not None else None
-        ),
-    )

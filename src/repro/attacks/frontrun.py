@@ -25,17 +25,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..adversary.injection import (
+    adversarial_strategy_for,
+    censorship_is_deniable,
+    default_adversarial_submit,
+    mercury_direct_injection,
+)
 from ..baselines.base import BaseSystem
-from ..baselines.mercury import MERCURY_TX_KIND, MercurySystem
 from ..core.protocol import HermesSystem
 from ..mempool.blocks import build_block
 from ..mempool.ordering import FrontRunVerdict, judge_front_running
 from ..mempool.transaction import Transaction
-from ..net.events import Message
 from ..net.faults import Behavior, FaultPlan
-from ..utils.rng import derive_rng
 
 __all__ = ["FrontRunResult", "FrontRunTrial", "run_front_running_trial"]
+
+# The per-protocol levers moved to repro.adversary.injection when the strategy
+# zoo became their primary consumer; the historical private names stay bound
+# for callers that reached in.
+_default_adversarial_submit = default_adversarial_submit
+_mercury_direct_injection = mercury_direct_injection
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,58 +74,6 @@ class FrontRunTrial:
     attacker: int | None = None
     observation_time: float | None = None
     adversarial_tx: Transaction | None = None
-
-
-def _default_adversarial_submit(system, node, tx: Transaction) -> None:
-    """Submit through the protocol (what accountability forces)."""
-
-    node.submit_transaction(tx)
-
-
-def _mercury_direct_injection(system: MercurySystem, node, tx: Transaction) -> None:
-    """Target Mercury's critical cluster nodes directly.
-
-    Mercury performs no sender verification, so the adversary pushes its
-    transaction straight to every cluster landmark (the relays every cluster's
-    traffic funnels through) in addition to its own peers — skipping the
-    cluster routing the victim's transaction has to take.
-    """
-
-    system.network.stats.record_dissemination_start(tx.tx_id, system.simulator.now)
-    node.deliver_locally(tx)
-    message = Message(MERCURY_TX_KIND, tx, tx.size_bytes)
-    targets = set(node.peers) | set(system.landmarks)
-    for peer in targets:
-        if peer != node.node_id:
-            node.send(peer, message)
-
-
-def adversarial_strategy_for(system) -> Callable:
-    """The fastest injection the protocol's checks still permit."""
-
-    if isinstance(system, MercurySystem):
-        return _mercury_direct_injection
-    return _default_adversarial_submit
-
-
-def censorship_is_deniable(system) -> bool:
-    """Whether a colluding relay can suppress the victim tx without exposure.
-
-    A rational adversary only censors where it cannot be attributed:
-
-    * **HERMES** — relays must prove they forwarded along the signed overlay
-      (§I: nodes "prove adherence to the mempool's dissemination policies");
-      every receiver knows its f+1 predecessors, so a silent predecessor is
-      identified and excluded.  No deniable censorship.
-    * **L∅** — mempool commitments and witnessing uncover selective forwarding
-      with high probability.  No deniable censorship.
-    * **Narwhal / Mercury / plain gossip** — no relay accountability at all.
-    """
-
-    from ..baselines.lzero import LZeroSystem
-    from ..core.protocol import HermesSystem
-
-    return not isinstance(system, (LZeroSystem, HermesSystem))
 
 
 def run_front_running_trial(

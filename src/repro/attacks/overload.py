@@ -1,101 +1,17 @@
 """Targeted overload attack.
 
-The introduction's second threat: "nodes can be systematically overwhelmed by
-a flood of dissemination requests".  A flooder directs junk traffic at one
-victim relay; with per-node sequential service (``Network.service_time_ms``),
-the victim's queue grows and every message it should relay is delayed.
-
-HERMES's defence is structural — ``f+1`` predecessors per node and role
-rotation across ``k`` overlays mean no single overloaded relay sits on the
-only path — so the experiment compares delivery latency degradation between a
-single fixed tree (one bottleneck) and HERMES's robust overlays.
+.. deprecated::
+    The canonical implementation moved to the strategy zoo: the flooder node
+    lives in :mod:`repro.adversary.strategies` (spawnable in any trial via
+    :class:`~repro.adversary.strategies.FloodStrategy`) and the paired
+    with/without-flooder measurement in :mod:`repro.adversary.zoo`.  This
+    module re-exports the public names unchanged for older callers; import
+    from :mod:`repro.adversary` in new code.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
-
-from ..mempool.transaction import Transaction
-from ..net.events import Message
-from ..net.node import ProtocolNode
+from ..adversary.strategies import FlooderNode
+from ..adversary.zoo import OverloadResult, run_overload_trial
 
 __all__ = ["FlooderNode", "OverloadResult", "run_overload_trial"]
-
-_JUNK_KIND = "overload-junk"
-_JUNK_BYTES = 250
-
-
-class FlooderNode(ProtocolNode):
-    """Sends junk to one target at a fixed rate.
-
-    Registered with an id outside the protocol population, so it participates
-    in no overlay — pure background pressure on the target's inbox.
-    """
-
-    def __init__(
-        self, node_id: int, network, target: int, interval_ms: float
-    ) -> None:
-        super().__init__(node_id, network)
-        if interval_ms <= 0:
-            raise ValueError(f"interval_ms must be positive, got {interval_ms}")
-        self.target = target
-        self.interval_ms = interval_ms
-
-    def on_start(self) -> None:
-        self._flood()
-
-    def _flood(self) -> None:
-        self.send(self.target, Message(_JUNK_KIND, None, _JUNK_BYTES))
-        self.schedule(self.interval_ms, self._flood)
-
-    def on_message(self, sender: int, message: Message) -> None:
-        pass  # the flooder ignores everything
-
-
-@dataclass(frozen=True, slots=True)
-class OverloadResult:
-    """Latency with and without the flooder."""
-
-    baseline_mean_ms: float
-    attacked_mean_ms: float
-
-    @property
-    def degradation(self) -> float:
-        """Multiplicative latency blow-up caused by the attack."""
-
-        if self.baseline_mean_ms == 0:
-            return float("inf")
-        return self.attacked_mean_ms / self.baseline_mean_ms
-
-
-def run_overload_trial(
-    system_factory: Callable[[], object],
-    sender: int,
-    target: int,
-    flood_interval_ms: float = 0.5,
-    horizon_ms: float = 5_000.0,
-) -> OverloadResult:
-    """Measure mean delivery latency without and with a flooder on *target*.
-
-    The factory must build systems whose network has ``service_time_ms > 0``
-    (otherwise nodes have infinite capacity and flooding is free).
-    """
-
-    def measure(with_flooder: bool) -> float:
-        system = system_factory()
-        if with_flooder:
-            flooder_id = max(system.network.node_ids()) + 1
-            FlooderNode(
-                flooder_id, system.network, target, interval_ms=flood_interval_ms
-            )
-        system.start()
-        tx = Transaction.create(origin=sender, created_at=0.0)
-        system.submit(sender, tx)
-        system.run(until_ms=horizon_ms)
-        latencies = system.stats.delivery_latencies(tx.tx_id)
-        return sum(latencies) / len(latencies) if latencies else float("inf")
-
-    return OverloadResult(
-        baseline_mean_ms=measure(False), attacked_mean_ms=measure(True)
-    )

@@ -7,7 +7,10 @@
 * :mod:`narwhal` — Narwhal (Danezis et al., EuroSys'22): batch broadcast with
   2f+1 availability certificates;
 * :mod:`mercury` — Mercury (Zhou et al., INFOCOM'23): virtual-coordinate
-  clustering with early outburst.
+  clustering with early outburst;
+* :mod:`f3b` — F3B-style commit-then-reveal dissemination: content stays
+  hidden until each transaction's mempool position is locked (defense
+  baseline for the :mod:`repro.adversary` strategy zoo).
 
 Every system exposes the same driving surface as
 :class:`repro.core.HermesSystem` (``start`` / ``submit`` / ``run`` / ``stats``)
@@ -15,6 +18,7 @@ so the experiment harness treats all five protocols uniformly.
 """
 
 from .base import BaseSystem
+from .f3b import F3BConfig, F3BNode, F3BSystem
 from .gossip import GossipConfig, GossipNode, GossipSystem
 from .lzero import LZeroConfig, LZeroNode, LZeroSystem
 from .mercury import MercuryConfig, MercuryNode, MercurySystem
@@ -23,6 +27,9 @@ from .simple_tree import SimpleTreeConfig, SimpleTreeNode, SimpleTreeSystem
 
 __all__ = [
     "BaseSystem",
+    "F3BConfig",
+    "F3BNode",
+    "F3BSystem",
     "GossipConfig",
     "GossipNode",
     "GossipSystem",

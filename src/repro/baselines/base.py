@@ -60,6 +60,7 @@ class BaselineNode(ProtocolNode):
         tx: Transaction,
         record_stats: bool = True,
         sender: int | None = None,
+        arrival_ms: float | None = None,
         **attrs: object,
     ) -> bool:
         """Record *tx* in the mempool (and, by default, the delivery stats).
@@ -70,12 +71,18 @@ class BaselineNode(ProtocolNode):
         predecessor the transaction arrived from (None for the origin's own
         copy); fresh remote arrivals emit a ``tx.deliver`` trace event — the
         parent edge :mod:`repro.obs.analysis` reconstructs dissemination
-        trees from.  Returns True if new.
+        trees from.  *arrival_ms* backdates the mempool arrival time (F3B
+        records a transaction at its *commitment's* arrival so revealing late
+        cannot reorder it); the emitted event carries it as ``arrival_ms`` so
+        fairness analysis sees the same ordering the proposer uses.  Returns
+        True if new.
         """
 
         network = self.network
         now = network.simulator.now
-        if not self.mempool.add(tx, now):
+        if arrival_ms is not None:
+            attrs["arrival_ms"] = arrival_ms
+        if not self.mempool.add(tx, now if arrival_ms is None else arrival_ms):
             return False
         if record_stats:
             network.stats.record_delivery(tx.tx_id, self.node_id, now)

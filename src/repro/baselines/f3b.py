@@ -1,0 +1,209 @@
+"""F3B-style per-transaction commit-then-reveal dissemination (defense baseline).
+
+F3B (Flash Freezing Flash Boys, PAPERS.md) defends against front-running by
+*withholding transaction content* until the transaction's position is already
+fixed: a sender first disseminates an encrypted transaction alongside a
+commitment, and a secret-management committee releases the decryption key only
+after the ciphertext is committed.  We model the dissemination-relevant core
+of that design on a flood overlay:
+
+1. **Commit phase** — the origin floods a content-free ``CommitRecord``
+   (commitment digest + ciphertext bytes).  Every node timestamps the commit's
+   arrival: that instant is the transaction's *position* in the node's local
+   order, even though nobody can read it yet.
+2. **Reveal phase** — after ``reveal_delay_ms`` (the modeled share-release
+   round of the secret-management committee), the origin floods the plaintext
+   transaction.  On reveal, a node inserts the transaction into its mempool
+   **backdated to the commit's arrival time** and only then does the content
+   become observable (the :class:`~repro.baselines.base.BaselineNode` observe
+   hook — an adversary's content tap — fires at reveal, not at commit).
+
+Security consequence for the strategy zoo (:mod:`repro.adversary`): a
+content-tapping adversary learns *what* a victim transaction does only after
+its mempool position is locked network-wide, so reactive injections (sandwich
+legs, racing replacements) always order behind the victim.  The price is
+latency — measured delivery (content usable) lags commit arrival by the full
+reveal round — and F3B has **no relay accountability**: censorship of commits
+or reveals is deniable, unlike HERMES (the two defenses are complementary,
+which is exactly what fig7 measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..mempool.transaction import Transaction
+from ..net.events import Message
+from ..net.faults import Behavior
+from ..utils.rng import derive_rng
+from .base import BaselineNode, BaseSystem
+
+__all__ = ["CommitRecord", "F3BConfig", "F3BNode", "F3BSystem"]
+
+F3B_COMMIT_KIND = "f3b-commit"
+F3B_REVEAL_KIND = "f3b-reveal"
+
+#: Commitment digest + key-share header riding with every ciphertext.
+_COMMIT_OVERHEAD_BYTES = 96
+
+
+@dataclass(frozen=True, slots=True)
+class CommitRecord:
+    """The content-free frame of the commit phase.
+
+    Carries the transaction id as the commitment handle (the real protocol
+    uses a hash; the id is our simulation's stand-in) and the ciphertext size
+    so bandwidth accounting charges the encrypted payload — but *not* the
+    transaction object itself, so nothing upstream of the reveal can read
+    content, tags or fees.
+    """
+
+    tx_id: int
+    origin: int
+    cipher_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class F3BConfig:
+    """Flood fanout and the secret-management committee's release delay."""
+
+    fanout: int = 8
+    #: Time between a commit being flooded and its key release (one committee
+    #: round of the secret-management committee, §F3B).
+    reveal_delay_ms: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.fanout < 1:
+            raise ConfigurationError(f"fanout must be positive, got {self.fanout}")
+        if self.reveal_delay_ms < 0:
+            raise ConfigurationError("reveal_delay_ms must be >= 0")
+
+
+class F3BNode(BaselineNode):
+    """One F3B participant: floods commits, floods reveals, backdates arrivals."""
+
+    def __init__(
+        self, node_id, network, config: F3BConfig, peers: list[int], **kwargs
+    ) -> None:
+        super().__init__(node_id, network, **kwargs)
+        self.config = config
+        self.peers = peers
+        #: commit handle -> local commit arrival time (the locked position).
+        self.commit_times: dict[int, float] = {}
+        self._revealed: set[int] = set()
+
+    # -- sending -----------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        if self.behavior is Behavior.CRASH:
+            return
+        self.mark_first_transmission(tx)
+        record = CommitRecord(
+            tx_id=tx.tx_id, origin=self.node_id, cipher_bytes=tx.size_bytes
+        )
+        self._accept_commit(record, forward_from=None)
+        # The origin's own mempool entry exists from commit time; content is
+        # its own, so the observe hook fires immediately for it.
+        self.deliver_locally(tx, record_stats=True, arrival_ms=self.now)
+        self._revealed.add(tx.tx_id)
+        self.schedule(self.config.reveal_delay_ms, lambda: self._reveal(tx))
+
+    def _reveal(self, tx: Transaction) -> None:
+        if self.behavior is Behavior.CRASH:
+            return
+        message = Message(
+            F3B_REVEAL_KIND, tx, tx.size_bytes, tx_id=tx.tx_id
+        )
+        for peer in self.peers:
+            self.send(peer, message)
+
+    # -- receiving ---------------------------------------------------------
+
+    def on_message(self, sender: int, message: Message) -> None:
+        if self.behavior is Behavior.CRASH:
+            return
+        if message.kind == F3B_COMMIT_KIND:
+            self._on_commit(sender, message.payload)
+        elif message.kind == F3B_REVEAL_KIND:
+            self._on_reveal(sender, message.payload)
+
+    def _on_commit(self, sender: int, record: CommitRecord) -> None:
+        if record.tx_id in self.commit_times:
+            return
+        self._accept_commit(record, forward_from=sender)
+
+    def _accept_commit(self, record: CommitRecord, forward_from: int | None) -> None:
+        self.commit_times[record.tx_id] = self.now
+        # Censorship here would need to pick the victim's commit out of a
+        # stream of indistinguishable ciphertexts — content-blind dropping is
+        # DROP_RELAY, not targeted censorship, so ``censors()`` is *not*
+        # consulted in the commit phase (the zoo only learns tx ids at
+        # reveal time, by which point every honest node holds the commit).
+        if self.behavior is Behavior.DROP_RELAY and forward_from is not None:
+            return
+        message = Message(
+            F3B_COMMIT_KIND,
+            record,
+            record.cipher_bytes + _COMMIT_OVERHEAD_BYTES,
+            tx_id=record.tx_id,
+        )
+        for peer in self.peers:
+            if peer != forward_from:
+                self.send(peer, message)
+
+    def _on_reveal(self, sender: int, tx: Transaction) -> None:
+        # Position = commit arrival where known; a reveal that outran its own
+        # commit flood (disjoint flood paths) anchors at its own arrival.
+        arrival = self.commit_times.get(tx.tx_id, self.now)
+        fresh = self.deliver_locally(tx, sender=sender, arrival_ms=arrival)
+        if not fresh or tx.tx_id in self._revealed:
+            return
+        self._revealed.add(tx.tx_id)
+        if self.behavior is Behavior.DROP_RELAY or self.censors(tx):
+            # Reveal-phase censorship is possible (content is visible now) but
+            # can only delay usability: the commit already fixed the order.
+            return
+        message = Message(F3B_REVEAL_KIND, tx, tx.size_bytes, tx_id=tx.tx_id)
+        for peer in self.peers:
+            if peer != sender:
+                self.send(peer, message)
+
+
+class F3BSystem(BaseSystem):
+    """An F3B deployment: symmetric random flood overlay + commit/reveal nodes."""
+
+    def __init__(self, physical, config: F3BConfig | None = None, **kwargs) -> None:
+        self.config = config if config is not None else F3BConfig()
+        seed = kwargs.get("seed", 0)
+        rng = derive_rng(seed, "f3b-peers")
+        node_ids = physical.nodes()
+        self._peers: dict[int, list[int]] = {node: [] for node in node_ids}
+        for self_idx, node in enumerate(node_ids):
+            count = min(self.config.fanout, len(node_ids) - 1)
+            if not count:
+                continue
+            picks = rng.sample(range(len(node_ids) - 1), count)
+            for i in picks:
+                peer = node_ids[i if i < self_idx else i + 1]
+                if peer not in self._peers[node]:
+                    self._peers[node].append(peer)
+        # Flood edges are TCP sessions — symmetric, like Mercury's peer graph.
+        for node in node_ids:
+            for peer in self._peers[node]:
+                if node not in self._peers[peer]:
+                    self._peers[peer].append(node)
+        super().__init__(physical, **kwargs)
+
+    def peers_of(self, node_id: int) -> list[int]:
+        return list(self._peers[node_id])
+
+    def _make_node(self, node_id: int, behavior: Behavior) -> F3BNode:
+        return F3BNode(
+            node_id,
+            self.network,
+            self.config,
+            self._peers[node_id],
+            behavior=behavior,
+            observe_hook=self.observe_hook,
+        )

@@ -484,7 +484,67 @@ def _churn_storm() -> ChaosScenario:
     )
 
 
+def _sandwich_squeeze() -> ChaosScenario:
+    """The zoo's racing coalition composed with degraded network conditions.
+
+    A front-running coalition (the behaviour the ``sandwich`` /
+    ``censor-reorder`` strategies ride on) grows to ~25% while a latency
+    spike stretches every link — extraction pressure is highest exactly when
+    honest dissemination is slowest, so this is the window where overlay
+    robustness has to carry fairness.
+    """
+
+    return ChaosScenario(
+        name="sandwich-squeeze",
+        description=(
+            "Front-runner coalition ramp (15% -> 25%) under a 3x latency "
+            "spike: extraction pressure during degraded dissemination."
+        ),
+        horizon_ms=8_000.0,
+        workload=ChaosWorkload(transactions=6, start_ms=200.0, period_ms=500.0),
+        events=(
+            BehaviorFlip(at_ms=800.0, behavior="front-run", fraction=0.15),
+            LatencySpike(at_ms=1_200.0, end_ms=2_600.0, factor=3.0),
+            BehaviorFlip(at_ms=2_000.0, behavior="front-run", fraction=0.10),
+            Restore(at_ms=3_400.0),
+        ),
+        liveness_deadline_ms=4_000.0,
+        min_coverage=1.0,
+    )
+
+
+def _censor_blackout() -> ChaosScenario:
+    """The zoo's withholding coalition composed with a regional blackout.
+
+    Drop-relay censors (the ``blackout`` strategy's behaviour) accumulate
+    while one region is partitioned away — the adversary's best moment to
+    suppress a transaction is while legitimate redundancy is already down a
+    region.  Liveness must still hold via the surviving overlay paths.
+    """
+
+    return ChaosScenario(
+        name="censor-blackout",
+        description=(
+            "Censor coalition ramp (15% -> 25% drop-relay) while a region "
+            "is partitioned away and a lossy window stresses what remains."
+        ),
+        horizon_ms=8_000.0,
+        workload=ChaosWorkload(transactions=6, start_ms=200.0, period_ms=500.0),
+        events=(
+            BehaviorFlip(at_ms=900.0, behavior="drop-relay", fraction=0.15),
+            RegionalPartition(at_ms=1_200.0, heal_ms=2_400.0, regions=("tokyo",)),
+            BehaviorFlip(at_ms=1_800.0, behavior="drop-relay", fraction=0.10),
+            LossWindow(at_ms=2_600.0, end_ms=3_200.0, probability=0.10),
+            Restore(at_ms=3_600.0),
+        ),
+        liveness_deadline_ms=4_500.0,
+        min_coverage=1.0,
+    )
+
+
 _BUILTINS: dict[str, Callable[[], ChaosScenario]] = {
+    "censor-blackout": _censor_blackout,
+    "sandwich-squeeze": _sandwich_squeeze,
     "escalation": _escalation,
     "honest": _honest,
     "partition-heal": _partition_heal,

@@ -10,7 +10,9 @@ published numbers:
 * :mod:`fig3b_bandwidth` — per-node bandwidth overhead;
 * :mod:`fig4_roles` — role (rank) distribution across the overlay family;
 * :mod:`fig5a_frontrunning` — front-running success vs malicious fraction;
-* :mod:`fig5b_robustness` — delivery probability vs malicious fraction.
+* :mod:`fig5b_robustness` — delivery probability vs malicious fraction;
+* :mod:`fig6_saturation` — goodput/latency vs offered load;
+* :mod:`fig7_adversary` — strategy zoo: success, extracted value, fairness.
 """
 
 from .harness import ExperimentEnvironment, build_environment, protocol_factories

@@ -70,6 +70,11 @@ class Fig5aResult:
     # protocols without an accountability layer) — the evidence HERMES's
     # monitors produced while resisting the attack.
     violations: dict[str, dict[float, int]] = field(default_factory=dict)
+    # protocol -> fraction -> count of trials where the victim transaction
+    # never reached the proposer's block at all (the verdict's
+    # ``victim_censored`` flag) — previously folded invisibly into the
+    # "attack failed" bucket when no adversarial transaction landed either.
+    censored: dict[str, dict[float, int]] = field(default_factory=dict)
 
     def rate(self, protocol: str, fraction: float) -> float:
         return self.success_rates[protocol][fraction]
@@ -98,13 +103,16 @@ def run(
 
     rates: dict[str, dict[float, float]] = {}
     violations: dict[str, dict[float, int]] = {}
+    censored: dict[str, dict[float, int]] = {}
     for name in PROTOCOL_NAMES:
         factory = factories[name]
         rates[name] = {}
         violations[name] = {}
+        censored[name] = {}
         for fraction in config.fractions:
             wins = 0
             evidence = 0
+            suppressed = 0
             for trial, (victim, proposer) in enumerate(pairs):
                 result = run_front_running_trial(
                     factory,
@@ -116,11 +124,15 @@ def run(
                     seed=_trial_seed(fraction, trial),
                 )
                 wins += result.verdict.attacker_won
+                suppressed += result.verdict.victim_censored
                 if result.violation_summary is not None:
                     evidence += result.violation_summary["total"]
             rates[name][fraction] = wins / config.trials
             violations[name][fraction] = evidence
-    return Fig5aResult(config=config, success_rates=rates, violations=violations)
+            censored[name][fraction] = suppressed
+    return Fig5aResult(
+        config=config, success_rates=rates, violations=violations, censored=censored
+    )
 
 
 def _trial_pairs(
@@ -205,6 +217,7 @@ def run_cell(params: Mapping[str, Any]) -> dict[str, Any]:
         "fraction": fraction,
         "trial": trial,
         "attacker_won": int(result.verdict.attacker_won),
+        "victim_censored": int(result.verdict.victim_censored),
         "violations": (
             result.violation_summary["total"]
             if result.violation_summary is not None
@@ -220,6 +233,7 @@ def from_records(
 
     wins: dict[str, dict[float, int]] = {}
     evidence: dict[str, dict[float, int]] = {}
+    suppressed: dict[str, dict[float, int]] = {}
     for record in records:
         if record.get("status") != "ok":
             continue
@@ -228,16 +242,23 @@ def from_records(
         by_fraction[result["fraction"]] = (
             by_fraction.get(result["fraction"], 0) + result["attacker_won"]
         )
-        # Records written before the violation column existed fold as zero.
+        # Records written before the violation/censorship columns existed
+        # fold as zero.
         counts = evidence.setdefault(result["protocol"], {})
         counts[result["fraction"]] = counts.get(result["fraction"], 0) + result.get(
             "violations", 0
+        )
+        hidden = suppressed.setdefault(result["protocol"], {})
+        hidden[result["fraction"]] = hidden.get(result["fraction"], 0) + result.get(
+            "victim_censored", 0
         )
     rates = {
         name: {fraction: count / config.trials for fraction, count in by_fraction.items()}
         for name, by_fraction in wins.items()
     }
-    return Fig5aResult(config=config, success_rates=rates, violations=evidence)
+    return Fig5aResult(
+        config=config, success_rates=rates, violations=evidence, censored=suppressed
+    )
 
 
 def run_parallel(
@@ -274,16 +295,19 @@ def format_result(result: Fig5aResult) -> str:
     fractions = result.config.fractions
     headers = ["protocol"] + [f"{f:.0%} malicious" for f in fractions] + [
         "paper (10%→33%)",
+        "censored",
         "evidence",
     ]
     rows = []
     for name, by_fraction in result.success_rates.items():
         paper = PAPER_VALUES.get(name, {})
         evidence = sum(result.violations.get(name, {}).values())
+        hidden = sum(result.censored.get(name, {}).values())
         rows.append(
             [name]
             + [f"{by_fraction[f]:.0%}" for f in fractions]
             + [f"{paper.get(0.10, 0):.0%}→{paper.get(0.33, 0):.0%}"]
+            + [str(hidden) if hidden else "-"]
             + [str(evidence) if evidence else "-"]
         )
     return format_table(

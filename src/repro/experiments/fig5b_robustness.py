@@ -15,7 +15,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
-from ..attacks.censorship import run_censorship_trial
+from ..adversary.zoo import run_censorship_trial
 from ..utils.rng import derive_rng
 from ..utils.tables import format_table
 from .harness import (

@@ -14,6 +14,7 @@ from typing import Callable, Sequence
 from ..core.config import HermesConfig
 from ..core.protocol import HermesSystem
 from ..baselines import (
+    F3BSystem,
     GossipSystem,
     LZeroSystem,
     MercurySystem,
@@ -194,6 +195,7 @@ def protocol_factories(
         "lzero": baseline(LZeroSystem),
         "narwhal": baseline(NarwhalSystem, **narwhal_extra),
         "mercury": baseline(MercurySystem),
+        "f3b": baseline(F3BSystem),
         "gossip": baseline(GossipSystem),
         "simple-tree": baseline(SimpleTreeSystem),
     }

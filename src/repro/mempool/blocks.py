@@ -4,6 +4,15 @@ A proposer packs its mempool into a block in local arrival order — the
 standard behaviour that makes transaction *dissemination* order translate into
 *blockchain* order, and hence makes front-running pay off when an adversary's
 transaction overtakes the victim's on the way to the proposer.
+
+Two optional levers model how real proposers deviate from pure arrival order:
+
+* ``cutoff_ms`` — the proposer seals the block at a decision instant; only
+  transactions that arrived by then are included (late adversarial legs miss
+  the block even if they would otherwise have ordered favourably);
+* ``priority`` — the block is packed by descending fee instead of arrival
+  (the fee market real front-runners outbid; see
+  :meth:`~repro.mempool.mempool.Mempool.in_priority_order`).
 """
 
 from __future__ import annotations
@@ -37,11 +46,26 @@ class Block:
 
 
 def build_block(
-    mempool: Mempool, now: float, max_transactions: int | None = None
+    mempool: Mempool,
+    now: float,
+    max_transactions: int | None = None,
+    cutoff_ms: float | None = None,
+    priority: bool = False,
 ) -> Block:
-    """Form a block from *mempool* in arrival order."""
+    """Form a block from *mempool* (arrival order unless ``priority``).
 
-    ordered: list[Transaction] = mempool.in_arrival_order()
+    ``cutoff_ms`` drops transactions that arrived after the proposer's
+    decision instant; ``priority`` orders by descending fee with arrival as
+    the tie-break.  The defaults reproduce the original behaviour exactly.
+    """
+
+    ordered: list[Transaction] = (
+        mempool.in_priority_order() if priority else mempool.in_arrival_order()
+    )
+    if cutoff_ms is not None:
+        ordered = [
+            tx for tx in ordered if mempool.arrival_time(tx.tx_id) <= cutoff_ms
+        ]
     if max_transactions is not None:
         if max_transactions < 0:
             raise ValueError(f"max_transactions must be >= 0, got {max_transactions}")

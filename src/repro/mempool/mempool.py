@@ -86,6 +86,19 @@ class Mempool:
             key=lambda tx: (self._arrival[tx.tx_id], tx.tx_id),
         )
 
+    def in_priority_order(self) -> list[Transaction]:
+        """Transactions by descending fee, then arrival time (fee market).
+
+        The ordering rule real front-runners bid against: a higher
+        :attr:`~repro.mempool.transaction.Transaction.fee` overtakes earlier
+        arrivals, and fee-less transactions fall back to pure arrival order.
+        """
+
+        return sorted(
+            self._transactions.values(),
+            key=lambda tx: (-tx.fee, self._arrival[tx.tx_id], tx.tx_id),
+        )
+
     # -- reconciliation --------------------------------------------------
 
     def known_ids(self) -> frozenset[int]:

@@ -18,12 +18,20 @@ __all__ = ["FrontRunVerdict", "judge_front_running"]
 
 @dataclass(frozen=True, slots=True)
 class FrontRunVerdict:
-    """Outcome of one front-running attempt."""
+    """Outcome of one front-running attempt.
+
+    ``victim_censored`` distinguishes the two ways a victim can lose without
+    the attacker's transaction winning: it is True whenever the victim never
+    made it into the block at all.  Before this field existed, a censored
+    victim with no adversarial transaction landing was indistinguishable from
+    a failed attack — both reported ``attacker_won=False``.
+    """
 
     victim_tx: int
     victim_included: bool
     attacker_won: bool
     winning_adversarial_tx: int | None = None
+    victim_censored: bool = False
 
 
 def judge_front_running(
@@ -33,8 +41,9 @@ def judge_front_running(
 
     A victim transaction that never made it into the block counts as a
     successful attack only if an adversarial transaction did (the adversary
-    outright censored/overtook it); if neither is present the attempt is void
-    and reported as not-won with ``victim_included=False``.
+    outright censored/overtook it); if neither is present the attempt is
+    reported as not-won — but in both cases ``victim_censored`` is set, so
+    censorship is never silently folded into "attack failed".
     """
 
     adversarial = list(adversarial_txs)
@@ -45,6 +54,7 @@ def judge_front_running(
             victim_included=False,
             attacker_won=winner is not None,
             winning_adversarial_tx=winner,
+            victim_censored=True,
         )
     victim_position = block.position_of(victim_tx)
     for tx in adversarial:

@@ -3,6 +3,11 @@
 The paper's experiments use 250-byte transactions.  A transaction carries an
 origin node, a creation time, and an optional *victim/adversarial* tag used
 only by the front-running experiments (it does not exist on the wire).
+
+``fee`` is the priority bid a sender attaches for fee-market ordering
+(:meth:`repro.mempool.mempool.Mempool.in_priority_order`); it defaults to
+``0.0``, in which case it is absent from :meth:`Transaction.digest` so every
+fee-less run stays byte-identical to the pre-fee protocol.
 """
 
 from __future__ import annotations
@@ -49,6 +54,8 @@ class Transaction:
     size_bytes: int = TX_SIZE_BYTES
     tag: str = ""
     payload: bytes = b""
+    #: Priority bid for fee-market ordering; 0.0 = no bid (arrival order).
+    fee: float = 0.0
 
     @classmethod
     def create(
@@ -58,6 +65,7 @@ class Transaction:
         size_bytes: int = TX_SIZE_BYTES,
         tag: str = "",
         payload: bytes = b"",
+        fee: float = 0.0,
     ) -> "Transaction":
         return cls(
             tx_id=next(_tx_counter),
@@ -66,11 +74,27 @@ class Transaction:
             size_bytes=size_bytes,
             tag=tag,
             payload=payload,
+            fee=fee,
         )
 
     def digest(self) -> bytes:
-        """``H(m)`` — the hash bound by the TRS and checked by relays."""
+        """``H(m)`` — the hash bound by the TRS and checked by relays.
 
+        A zero fee is omitted from the hash input, so transactions created
+        before the fee field existed (and every experiment that leaves fees
+        off) keep their exact historical digests — the golden-hash pins in
+        ``tests/integration`` depend on this.
+        """
+
+        if self.fee:
+            return hash_bytes(
+                "tx",
+                self.tx_id,
+                self.origin,
+                self.size_bytes,
+                self.payload,
+                repr(self.fee),
+            )
         return hash_bytes("tx", self.tx_id, self.origin, self.size_bytes, self.payload)
 
     @property

@@ -9,7 +9,10 @@
 * per-protocol critical-path latency breakdown (hold / queue / serialization
   / link / proc / other, plus TRS wait);
 * overlay-usage histogram (which of the ``k`` overlays the TRS selected);
-* fault / invariant-violation timeline from a chaos campaign.
+* fault / invariant-violation timeline from a chaos campaign;
+* adversary-zoo outcome summary (attack success, extracted value and
+  order-fairness per strategy, from ``AdversaryTrialResult.as_record()``
+  rows).
 
 :func:`render_html` wraps the same content in a dependency-free HTML shell
 (the markdown is readable as-is inside ``<pre>`` — no renderer required),
@@ -162,6 +165,73 @@ def _chaos_section(chaos: Mapping[str, Any]) -> list[str]:
     return lines
 
 
+def _adversary_section(adversary: Mapping[str, Any]) -> list[str]:
+    """Summarize adversary-zoo trials grouped by strategy.
+
+    ``adversary`` carries optional context keys (``protocol``, ``num_nodes``,
+    ``fraction``, ``seed``) plus ``trials``: an iterable of flat trial
+    records as produced by ``AdversaryTrialResult.as_record()``.
+    """
+
+    context = []
+    if "protocol" in adversary:
+        context.append(f"`{adversary['protocol']}`")
+    if "num_nodes" in adversary:
+        context.append(f"N={adversary['num_nodes']}")
+    if "fraction" in adversary:
+        context.append(f"{float(adversary['fraction']):.0%} malicious")
+    if "seed" in adversary:
+        context.append(f"seed {adversary['seed']}")
+    lines = ["## Adversary zoo", ""]
+    if context:
+        lines.append("Target: " + ", ".join(context))
+        lines.append("")
+    by_strategy: dict[str, list[Mapping[str, Any]]] = {}
+    for record in adversary.get("trials", ()):
+        by_strategy.setdefault(str(record.get("strategy", "?")), []).append(record)
+    if not by_strategy:
+        lines.append("*(no trials recorded)*")
+        lines.append("")
+        return lines
+    rows = []
+    for strategy in sorted(by_strategy):
+        group = by_strategy[strategy]
+        count = len(group)
+
+        def mean(key: str) -> float:
+            return sum(float(r.get(key, 0.0)) for r in group) / count
+
+        rows.append(
+            [
+                strategy,
+                str(count),
+                f"{sum(bool(r.get('attacker_won')) for r in group) / count:.0%}",
+                f"{sum(bool(r.get('victim_censored')) for r in group) / count:.0%}",
+                f"{mean('gross'):.1f}",
+                f"{mean('net'):+.1f}",
+                f"{mean('gamma'):.2f}",
+                f"{mean('inversion_rate'):.3f}",
+                str(sum(int(r.get("violations", 0)) for r in group)),
+            ]
+        )
+    lines += _table(
+        [
+            "strategy",
+            "trials",
+            "success",
+            "censored",
+            "mean gross",
+            "mean net",
+            "mean γ",
+            "mean inversions",
+            "evidence",
+        ],
+        rows,
+    )
+    lines.append("")
+    return lines
+
+
 def _bench_section(results: Iterable[ComparisonResult]) -> list[str]:
     lines = ["## Benchmark comparison", ""]
     for result in results:
@@ -195,6 +265,7 @@ def render_report(
     trees: list[DisseminationTree] | None = None,
     paths: list[CriticalPath] | None = None,
     chaos: Mapping[str, Any] | None = None,
+    adversary: Mapping[str, Any] | None = None,
     bench: Iterable[ComparisonResult] | None = None,
 ) -> str:
     """Compose a markdown run report from whichever inputs are available."""
@@ -232,6 +303,8 @@ def render_report(
         lines += _critical_path_section(paths)
     if chaos is not None:
         lines += _chaos_section(chaos)
+    if adversary is not None:
+        lines += _adversary_section(adversary)
     if bench is not None:
         lines += _bench_section(bench)
     return "\n".join(lines).rstrip() + "\n"

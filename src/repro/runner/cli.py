@@ -10,8 +10,8 @@ Two modes:
           --set protocol=hermes,lzero --set seed=0,1,2 \\
           --jobs 4 --results-dir results/adhoc
 
-* ``--figure fig3a|fig3b|fig5a|fig5b|fig6`` submits the corresponding figure
-  script's repetition grid and prints the figure table::
+* ``--figure fig3a|fig3b|fig5a|fig5b|fig6|fig7`` submits the corresponding
+  figure script's repetition grid and prints the figure table::
 
       python -m repro sweep --figure fig5a --jobs 4 --results-dir results/f5a
 
@@ -31,7 +31,7 @@ from ..errors import ConfigurationError, ReproError
 
 __all__ = ["main", "parse_axis"]
 
-_FIGURES = ("fig3a", "fig3b", "fig5a", "fig5b", "fig6")
+_FIGURES = ("fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7")
 
 
 def parse_axis(text: str) -> tuple[str, list[Any]]:
@@ -129,6 +129,15 @@ def _figure_config(figure: str, *, seed: int, quick: bool):
             num_nodes=24 if quick else 40,
             rates_tps=(2.0, 8.0, 24.0) if quick else module.DEFAULT_RATES,
             duration_ms=4_000.0 if quick else 6_000.0,
+            seed=seed,
+        )
+    elif figure == "fig7":
+        from ..experiments import fig7_adversary as module
+
+        config = module.Fig7Config(
+            num_nodes=60 if quick else 200,
+            fractions=(0.20, 0.33) if quick else (0.10, 0.20, 0.33),
+            trials=4 if quick else 10,
             seed=seed,
         )
     else:  # pragma: no cover - argparse's choices guard this

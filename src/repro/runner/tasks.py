@@ -17,7 +17,7 @@ Built-in tasks:
     network, optionally under a byzantine fault plan.  The general-purpose
     cell for ad-hoc ``python -m repro sweep`` grids.
 ``fig3a.protocol`` / ``fig3b.protocol`` / ``fig5a.trial`` / ``fig5b.trial`` /
-``fig6.point``
+``fig6.point`` / ``fig7.point``
     The repetition cells of the corresponding figure scripts (see each
     ``repro.experiments.fig*`` module's ``run_cell``).
 ``selftest.*``
@@ -183,6 +183,13 @@ def _fig6_point(params: Mapping[str, Any]) -> dict[str, Any]:
     from ..experiments import fig6_saturation
 
     return fig6_saturation.run_cell(params)
+
+
+@register_task("fig7.point")
+def _fig7_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    from ..experiments import fig7_adversary
+
+    return fig7_adversary.run_cell(params)
 
 
 @register_task("chaos.run")

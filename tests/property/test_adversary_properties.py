@@ -1,0 +1,138 @@
+"""Property tests for the order-fairness metrics and the front-run judge.
+
+The fairness metrics must behave like *metrics* regardless of what orders a
+protocol produced:
+
+* both are bounded — γ in [½, 1] (or exactly 1 for degenerate inputs),
+  the inversion rate in [0, 1];
+* identical receive orders are perfectly fair — γ = 1, inversions = 0;
+* relabeling honest nodes changes nothing — only the multiset of orders
+  matters, not which node id held which order;
+* restricting every order to the common transactions preserves both values
+  (transactions somebody missed contribute no opinion).
+
+The judge properties pin the ``victim_censored`` column added for fig5a/fig7:
+censorship is flagged exactly when the victim is absent from the block,
+independently of whether the attack "won".
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.fairness import (
+    fairness_report,
+    gamma_fairness,
+    majority_order,
+    pairwise_inversion_rate,
+)
+from repro.mempool.blocks import Block
+from repro.mempool.ordering import judge_front_running
+
+
+@st.composite
+def receive_orders(draw, min_nodes=1, max_nodes=6, max_txs=7):
+    """Per-node receive orders: random subsets of a tx pool, shuffled."""
+
+    pool = draw(st.integers(min_value=1, max_value=max_txs))
+    txs = list(range(pool))
+    num_nodes = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    orders = {}
+    for node in range(num_nodes):
+        subset = draw(st.lists(st.sampled_from(txs), unique=True, max_size=pool))
+        orders[node] = tuple(draw(st.permutations(subset)))
+    return orders
+
+
+@given(orders=receive_orders())
+@settings(max_examples=200, deadline=None)
+def test_metrics_are_bounded(orders):
+    gamma = gamma_fairness(orders)
+    inversions = pairwise_inversion_rate(orders)
+    assert 0.5 <= gamma <= 1.0
+    assert 0.0 <= inversions <= 1.0
+    report = fairness_report(orders)
+    assert 0.0 <= report.gamma_unfairness <= 0.5
+
+
+@given(
+    order=st.permutations(list(range(6))),
+    num_nodes=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_identical_orders_are_perfectly_fair(order, num_nodes):
+    orders = {node: tuple(order) for node in range(num_nodes)}
+    assert gamma_fairness(orders) == 1.0
+    assert pairwise_inversion_rate(orders) == 0.0
+    assert majority_order(orders) == tuple(order)
+
+
+@given(orders=receive_orders(min_nodes=2), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_metrics_are_node_permutation_symmetric(orders, data):
+    relabeled_ids = data.draw(st.permutations(sorted(orders)))
+    relabeled = {
+        new_id: orders[old_id]
+        for new_id, old_id in zip(relabeled_ids, sorted(orders))
+    }
+    assert gamma_fairness(relabeled) == gamma_fairness(orders)
+    assert pairwise_inversion_rate(relabeled) == pairwise_inversion_rate(orders)
+    assert majority_order(relabeled) == majority_order(orders)
+
+
+@given(orders=receive_orders(min_nodes=2))
+@settings(max_examples=100, deadline=None)
+def test_non_common_transactions_contribute_nothing(orders):
+    common = set.intersection(*(set(order) for order in orders.values()))
+    restricted = {
+        node: tuple(tx for tx in order if tx in common)
+        for node, order in orders.items()
+    }
+    assert gamma_fairness(restricted) == gamma_fairness(orders)
+    assert pairwise_inversion_rate(restricted) == pairwise_inversion_rate(orders)
+
+
+# ----------------------------------------------------------------------
+# judge_front_running, including the censorship column
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def judged_blocks(draw):
+    """A block, a victim id, and an adversarial id list over a small pool."""
+
+    pool = list(range(8))
+    tx_ids = tuple(draw(st.permutations(draw(st.lists(
+        st.sampled_from(pool), unique=True, max_size=8
+    )))))
+    victim = draw(st.sampled_from(pool))
+    adversarial = draw(
+        st.lists(st.sampled_from([tx for tx in pool if tx != victim]), unique=True, max_size=4)
+    )
+    return Block(proposer=0, created_at=0.0, tx_ids=tx_ids), victim, adversarial
+
+
+@given(case=judged_blocks())
+@settings(max_examples=200, deadline=None)
+def test_censorship_flag_tracks_victim_absence(case):
+    block, victim, adversarial = case
+    verdict = judge_front_running(block, victim, adversarial)
+    assert verdict.victim_censored == (victim not in block)
+    assert verdict.victim_included == (victim in block)
+    assert verdict.victim_censored != verdict.victim_included
+
+
+@given(case=judged_blocks())
+@settings(max_examples=200, deadline=None)
+def test_verdict_consistency(case):
+    block, victim, adversarial = case
+    verdict = judge_front_running(block, victim, adversarial)
+    if verdict.attacker_won:
+        winner = verdict.winning_adversarial_tx
+        assert winner in adversarial and winner in block
+        if victim in block:
+            assert block.position_of(winner) < block.position_of(victim)
+    else:
+        assert verdict.winning_adversarial_tx is None
+        # Not winning with the victim absent means no adversarial tx landed.
+        if verdict.victim_censored:
+            assert all(tx not in block for tx in adversarial)

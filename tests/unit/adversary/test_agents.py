@@ -1,0 +1,207 @@
+"""Strategy agents, the registry, and zoo trials against small systems."""
+
+import pytest
+
+from repro.adversary import (
+    AdversaryTrialResult,
+    get_strategy,
+    run_adversary_trial,
+    strategy_names,
+)
+from repro.adversary.agent import StrategyAgent, register_strategy
+from repro.adversary.strategies import SandwichStrategy
+from repro.baselines.f3b import F3BSystem
+from repro.baselines.lzero import LZeroSystem
+from repro.baselines.mercury import MercurySystem
+from repro.errors import ConfigurationError
+from repro.net.faults import Behavior
+
+
+@pytest.fixture()
+def mercury_factory(physical40):
+    def factory(plan, hook):
+        return MercurySystem(physical40, fault_plan=plan, observe_hook=hook, seed=6)
+
+    return factory
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = strategy_names()
+        for expected in (
+            "sandwich",
+            "priority-race",
+            "censor-reorder",
+            "blackout",
+            "flood",
+        ):
+            assert expected in names
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown strategy"):
+            get_strategy("does-not-exist")
+
+    def test_get_strategy_forwards_params(self):
+        agent = get_strategy("sandwich", trail_delay_ms=50.0)
+        assert isinstance(agent, SandwichStrategy)
+        assert agent.trail_delay_ms == 50.0
+
+    def test_registering_without_name_raises(self):
+        with pytest.raises(ConfigurationError, match="non-empty name"):
+
+            @register_strategy
+            class Nameless(StrategyAgent):
+                pass
+
+    def test_registering_twice_raises(self):
+        with pytest.raises(ConfigurationError, match="registered twice"):
+
+            @register_strategy
+            class Clone(StrategyAgent):
+                name = "sandwich"
+
+
+class TestSandwichTrial:
+    def test_launches_two_legs(self, mercury_factory, physical40):
+        result = run_adversary_trial(
+            mercury_factory,
+            physical40.nodes(),
+            "sandwich",
+            0.3,
+            victim=0,
+            proposer=20,
+            horizon_ms=4_000,
+            seed=1,
+        )
+        assert isinstance(result, AdversaryTrialResult)
+        assert result.strategy == "sandwich"
+        assert result.outcome.legs_launched == 2
+        assert result.attacker not in (0, 20)
+        assert result.observation_time is not None
+        # The transport sighting can never lag the content observation.
+        if result.first_frame_time is not None:
+            assert result.first_frame_time <= result.observation_time
+
+    def test_zero_malicious_means_no_attack(self, mercury_factory, physical40):
+        result = run_adversary_trial(
+            mercury_factory,
+            physical40.nodes(),
+            "sandwich",
+            0.0,
+            victim=0,
+            proposer=20,
+            horizon_ms=3_000,
+            seed=1,
+        )
+        assert not result.attack_launched
+        assert result.outcome.gross == 0.0
+        assert result.verdict.victim_included
+        assert result.victim_coverage == 1.0
+
+    def test_as_record_round_trips_the_scores(self, mercury_factory, physical40):
+        result = run_adversary_trial(
+            mercury_factory,
+            physical40.nodes(),
+            "sandwich",
+            0.3,
+            victim=0,
+            proposer=20,
+            horizon_ms=4_000,
+            seed=1,
+        )
+        record = result.as_record()
+        assert record["strategy"] == "sandwich"
+        assert record["attacker_won"] == result.verdict.attacker_won
+        assert record["net"] == result.outcome.net
+        assert record["gamma"] == result.fairness.gamma
+
+
+class TestPriorityRace:
+    def test_declares_fee_market_blocks(self):
+        assert get_strategy("priority-race").block_priority
+
+    def test_outbids_victim_on_fee_market(self, mercury_factory, physical40):
+        result = run_adversary_trial(
+            mercury_factory,
+            physical40.nodes(),
+            "priority-race",
+            0.3,
+            victim=0,
+            proposer=20,
+            value_model=None,
+            victim_fee=1.0,
+            horizon_ms=4_000,
+            seed=1,
+        )
+        # The race leg bid victim_fee + fee_premium and no cutoff was set,
+        # so on the fee-market block it must precede the victim.
+        assert result.attack_launched
+        assert result.verdict.attacker_won
+
+
+class TestCensorReorder:
+    def test_arms_coalition_censorship_where_deniable(
+        self, mercury_factory, physical40
+    ):
+        result = run_adversary_trial(
+            mercury_factory,
+            physical40.nodes(),
+            "censor-reorder",
+            0.3,
+            victim=0,
+            proposer=20,
+            horizon_ms=4_000,
+            seed=1,
+        )
+        assert result.attack_launched
+        # Some honest nodes may still be starved by the censoring coalition.
+        assert 0.0 <= result.victim_coverage <= 1.0
+
+    def test_noop_against_accountable_protocol(self, physical40):
+        def factory(plan, hook):
+            return LZeroSystem(
+                physical40, fault_plan=plan, observe_hook=hook, seed=6
+            )
+
+        result = run_adversary_trial(
+            factory,
+            physical40.nodes(),
+            "censor-reorder",
+            0.3,
+            victim=0,
+            proposer=20,
+            horizon_ms=4_000,
+            seed=1,
+        )
+        # Censorship is attributable on L0: no node may arm censor_ids.
+        system_censors = result.victim_coverage
+        assert system_censors == 1.0
+
+
+class TestF3BResistsReactiveStrategies:
+    def test_sandwich_orders_behind_the_victim(self, physical40):
+        def factory(plan, hook):
+            return F3BSystem(physical40, fault_plan=plan, observe_hook=hook, seed=6)
+
+        for seed in range(3):
+            result = run_adversary_trial(
+                factory,
+                physical40.nodes(),
+                "sandwich",
+                0.33,
+                victim=0,
+                proposer=20,
+                horizon_ms=5_000,
+                seed=seed,
+            )
+            # Content reveals only after positions lock: a reactive lead can
+            # never precede the victim in arrival order.
+            assert not result.verdict.attacker_won
+            assert result.outcome.gross == 0.0
+
+
+class TestBlackout:
+    def test_behavior_is_drop_relay(self):
+        agent = get_strategy("blackout")
+        assert agent.behavior is Behavior.DROP_RELAY
+        assert not agent.block_priority

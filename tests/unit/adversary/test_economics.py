@@ -1,0 +1,114 @@
+"""Settlement rules: roles × block positions → extracted value."""
+
+import pytest
+
+from repro.adversary.economics import AttackLedger, ValueModel
+from repro.mempool.blocks import Block
+from repro.mempool.transaction import Transaction
+
+
+MODEL = ValueModel(victim_value=100.0, fee_premium=1.0, partial_capture=0.5)
+
+
+def _tx(fee=0.0):
+    return Transaction.create(origin=0, created_at=0.0, tag="adversarial", fee=fee)
+
+
+def _block(*tx_ids):
+    return Block(proposer=0, created_at=1000.0, tx_ids=tuple(tx_ids))
+
+
+class TestValueModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ValueModel(victim_value=-1.0)
+        with pytest.raises(ValueError):
+            ValueModel(fee_premium=-0.5)
+        with pytest.raises(ValueError):
+            ValueModel(partial_capture=1.5)
+
+
+class TestLedger:
+    def test_rejects_unknown_role(self):
+        ledger = AttackLedger()
+        with pytest.raises(ValueError):
+            ledger.record(_tx(), "steal", now=0.0)
+
+    def test_adversarial_ids_in_launch_order(self):
+        ledger = AttackLedger()
+        first, second = _tx(), _tx()
+        ledger.record(first, "lead", now=0.0)
+        ledger.record(second, "trail", now=5.0)
+        assert ledger.adversarial_ids() == [first.tx_id, second.tx_id]
+
+
+class TestSettlement:
+    def test_complete_sandwich_full_value(self):
+        ledger = AttackLedger()
+        victim = _tx()
+        lead, trail = _tx(fee=2.0), _tx()
+        ledger.record(lead, "lead", now=0.0)
+        ledger.record(trail, "trail", now=5.0)
+        outcome = ledger.settle(
+            _block(lead.tx_id, victim.tx_id, trail.tx_id), victim.tx_id, MODEL
+        )
+        assert outcome.gross == 100.0
+        assert outcome.fees_paid == 2.0
+        assert outcome.net == 98.0
+        assert outcome.sandwich_complete
+        assert outcome.profitable and outcome.extracted
+
+    def test_lead_only_partial_capture(self):
+        ledger = AttackLedger()
+        victim = _tx()
+        lead = _tx(fee=2.0)
+        ledger.record(lead, "lead", now=0.0)
+        outcome = ledger.settle(_block(lead.tx_id, victim.tx_id), victim.tx_id, MODEL)
+        assert outcome.gross == 50.0
+        assert outcome.net == 48.0
+        assert not outcome.sandwich_complete
+
+    def test_trail_on_wrong_side_pays_nothing(self):
+        ledger = AttackLedger()
+        victim = _tx()
+        trail = _tx()
+        ledger.record(trail, "trail", now=0.0)
+        outcome = ledger.settle(_block(trail.tx_id, victim.tx_id), victim.tx_id, MODEL)
+        assert outcome.gross == 0.0
+
+    def test_lead_behind_victim_pays_fee_for_nothing(self):
+        ledger = AttackLedger()
+        victim = _tx()
+        lead = _tx(fee=2.0)
+        ledger.record(lead, "lead", now=0.0)
+        outcome = ledger.settle(_block(victim.tx_id, lead.tx_id), victim.tx_id, MODEL)
+        assert outcome.gross == 0.0
+        assert outcome.fees_paid == 2.0
+        assert outcome.net == -2.0
+        assert not outcome.profitable
+
+    def test_censored_victim_with_landed_leg_steals_full_value(self):
+        ledger = AttackLedger()
+        victim = _tx()
+        push = _tx()
+        ledger.record(push, "push", now=0.0)
+        outcome = ledger.settle(_block(push.tx_id), victim.tx_id, MODEL)
+        assert outcome.gross == 100.0
+        assert outcome.legs_included == 1
+
+    def test_censored_victim_without_legs_pays_nothing(self):
+        ledger = AttackLedger()
+        victim = _tx()
+        push = _tx(fee=3.0)
+        ledger.record(push, "push", now=0.0)
+        outcome = ledger.settle(_block(), victim.tx_id, MODEL)
+        assert outcome.gross == 0.0
+        assert outcome.fees_paid == 0.0  # unincluded bids cost nothing
+        assert outcome.legs_launched == 1 and outcome.legs_included == 0
+
+    def test_no_records_no_value(self):
+        ledger = AttackLedger()
+        victim = _tx()
+        outcome = ledger.settle(_block(victim.tx_id), victim.tx_id, MODEL)
+        assert outcome.gross == 0.0 and outcome.net == 0.0
+        assert outcome.legs_launched == 0

@@ -1,0 +1,149 @@
+"""Exact-value tests for the order-fairness metrics."""
+
+import json
+
+from repro.adversary.fairness import (
+    FairnessReport,
+    fairness_report,
+    gamma_fairness,
+    majority_order,
+    pairwise_inversion_rate,
+    receive_orders_from_trace,
+)
+
+
+class TestGamma:
+    def test_unanimous_orders_give_one(self):
+        orders = {0: (1, 2, 3), 1: (1, 2, 3), 2: (1, 2, 3)}
+        assert gamma_fairness(orders) == 1.0
+
+    def test_coin_flip_pair_gives_half(self):
+        orders = {0: (1, 2), 1: (2, 1)}
+        assert gamma_fairness(orders) == 0.5
+
+    def test_three_of_four_agree(self):
+        orders = {0: (1, 2), 1: (1, 2), 2: (1, 2), 3: (2, 1)}
+        assert gamma_fairness(orders) == 0.75
+
+    def test_minimum_over_pairs(self):
+        # Pair (1,2) is unanimous; pair (2,3) splits 2/4.
+        orders = {
+            0: (1, 2, 3),
+            1: (1, 2, 3),
+            2: (1, 3, 2),
+            3: (1, 3, 2),
+        }
+        assert gamma_fairness(orders) == 0.5
+
+    def test_degenerate_inputs_give_one(self):
+        assert gamma_fairness({}) == 1.0
+        assert gamma_fairness({0: (1, 2, 3)}) == 1.0  # a single order
+        assert gamma_fairness({0: (1,), 1: (1,)}) == 1.0  # a single common tx
+        # No common transaction at all.
+        assert gamma_fairness({0: (1, 2), 1: (3, 4)}) == 1.0
+
+
+class TestMajorityOrder:
+    def test_unanimous(self):
+        orders = {0: (3, 1, 2), 1: (3, 1, 2)}
+        assert majority_order(orders) == (3, 1, 2)
+
+    def test_borda_mean_rank(self):
+        # tx 1 ranks 0,0,2 (total 2); tx 2 ranks 1,2,0 (3); tx 3 ranks 2,1,1 (4).
+        orders = {0: (1, 2, 3), 1: (1, 3, 2), 2: (2, 3, 1)}
+        assert majority_order(orders) == (1, 2, 3)
+
+    def test_tie_breaks_by_tx_id(self):
+        orders = {0: (1, 2), 1: (2, 1)}
+        assert majority_order(orders) == (1, 2)
+
+    def test_restricted_to_common_transactions(self):
+        orders = {0: (9, 1, 2), 1: (1, 2)}
+        assert majority_order(orders) == (1, 2)
+
+
+class TestInversionRate:
+    def test_identical_orders_give_zero(self):
+        orders = {0: (5, 6, 7), 1: (5, 6, 7), 2: (5, 6, 7)}
+        assert pairwise_inversion_rate(orders) == 0.0
+
+    def test_one_dissenter_among_three(self):
+        # Majority order is (1, 2, 3); node 2 inverts exactly pair (2, 3).
+        orders = {0: (1, 2, 3), 1: (1, 2, 3), 2: (1, 3, 2)}
+        assert pairwise_inversion_rate(orders) == (0 + 0 + 1 / 3) / 3
+
+    def test_explicit_reference(self):
+        orders = {0: (1, 2), 1: (1, 2)}
+        assert pairwise_inversion_rate(orders, reference=(2, 1)) == 1.0
+
+    def test_degenerate_inputs_give_zero(self):
+        assert pairwise_inversion_rate({}) == 0.0
+        assert pairwise_inversion_rate({0: (1,), 1: (1,)}) == 0.0
+
+
+class TestReport:
+    def test_bundles_both_metrics(self):
+        orders = {0: (1, 2), 1: (2, 1)}
+        report = fairness_report(orders)
+        assert report == FairnessReport(
+            gamma=0.5, inversion_rate=0.5, num_orders=2, num_transactions=2
+        )
+        assert report.gamma_unfairness == 0.5
+
+
+def _event(seq, time_ms, name, attrs):
+    return {
+        "type": "event",
+        "seq": seq,
+        "time_ms": time_ms,
+        "name": name,
+        "span_id": None,
+        "attrs": attrs,
+    }
+
+
+class TestTraceOrders:
+    def _trace(self, records):
+        from repro.obs.analysis import read_trace
+
+        header = {
+            "type": "header",
+            "v": 1,
+            "schema": "repro.trace/1",
+            "events": 0,
+            "spans": 0,
+            "events_dropped": 0,
+            "spans_dropped": 0,
+        }
+        return read_trace([json.dumps(r) for r in [header] + records])
+
+    def test_orders_by_arrival_with_backdating(self):
+        trace = self._trace(
+            [
+                _event(0, 10.0, "tx.deliver", {"tx_id": 1, "node": 0, "sender": 9}),
+                # tx 2 physically arrives later but is backdated before tx 1
+                # (the F3B commit-anchored position).
+                _event(
+                    1,
+                    20.0,
+                    "tx.deliver",
+                    {"tx_id": 2, "node": 0, "sender": 9, "arrival_ms": 5.0},
+                ),
+                _event(2, 12.0, "tx.deliver", {"tx_id": 1, "node": 1, "sender": 9}),
+                _event(3, 15.0, "tx.deliver", {"tx_id": 2, "node": 1, "sender": 9}),
+                _event(4, 1.0, "tx.dispatch", {"tx_id": 1, "origin": 9}),
+            ]
+        )
+        orders = receive_orders_from_trace(trace.events)
+        assert orders == {0: (2, 1), 1: (1, 2)}
+
+    def test_node_and_tx_filters(self):
+        trace = self._trace(
+            [
+                _event(0, 1.0, "tx.deliver", {"tx_id": 1, "node": 0, "sender": 9}),
+                _event(1, 2.0, "tx.deliver", {"tx_id": 7, "node": 0, "sender": 9}),
+                _event(2, 3.0, "tx.deliver", {"tx_id": 1, "node": 5, "sender": 9}),
+            ]
+        )
+        orders = receive_orders_from_trace(trace.events, nodes=[0], tx_ids=[1])
+        assert orders == {0: (1,)}

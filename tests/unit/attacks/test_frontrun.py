@@ -26,12 +26,12 @@ class TestStrategySelection:
     def test_mercury_gets_direct_injection(self, physical40):
         system = MercurySystem(physical40, seed=6)
         strategy = adversarial_strategy_for(system)
-        assert strategy.__name__ == "_mercury_direct_injection"
+        assert strategy.__name__ == "mercury_direct_injection"
 
     def test_others_get_protocol_submission(self, physical40):
         system = LZeroSystem(physical40, seed=6)
         strategy = adversarial_strategy_for(system)
-        assert strategy.__name__ == "_default_adversarial_submit"
+        assert strategy.__name__ == "default_adversarial_submit"
 
     def test_censorship_deniability(self, physical40, overlay_family40):
         overlays, _ranks = overlay_family40

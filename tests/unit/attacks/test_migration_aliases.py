@@ -1,0 +1,65 @@
+"""The legacy attack modules now alias the adversary subsystem.
+
+``repro.attacks.censorship`` / ``repro.attacks.overload`` kept their public
+names through the migration, so anything importing the old paths keeps
+working — but the objects must be the *same* objects the zoo exports, not
+parallel implementations that could drift.
+"""
+
+from repro import adversary
+from repro.adversary import injection, strategies, zoo
+from repro.attacks import censorship, frontrun, overload
+
+
+class TestAliasIdentity:
+    def test_censorship_trial_is_the_zoo_implementation(self):
+        assert censorship.run_censorship_trial is zoo.run_censorship_trial
+        assert censorship.CensorshipResult is zoo.CensorshipResult
+
+    def test_overload_trial_is_the_zoo_implementation(self):
+        assert overload.run_overload_trial is zoo.run_overload_trial
+        assert overload.OverloadResult is zoo.OverloadResult
+        assert overload.FlooderNode is strategies.FlooderNode
+
+    def test_frontrun_levers_are_the_injection_implementations(self):
+        assert frontrun.adversarial_strategy_for is injection.adversarial_strategy_for
+        assert frontrun.censorship_is_deniable is injection.censorship_is_deniable
+        # The pre-migration private names stay importable for older callers.
+        assert frontrun._default_adversarial_submit is injection.default_adversarial_submit
+        assert frontrun._mercury_direct_injection is injection.mercury_direct_injection
+
+    def test_package_exports_match(self):
+        assert adversary.run_censorship_trial is zoo.run_censorship_trial
+        assert adversary.run_overload_trial is zoo.run_overload_trial
+
+
+class TestLegacyEquivalence:
+    def test_censorship_trial_matches_blackout_fault_plans(self, physical40):
+        """The migrated trial must draw the exact legacy fault plans."""
+
+        from repro.adversary import get_strategy
+        from repro.net.faults import FaultPlan
+
+        blackout = get_strategy("blackout")
+        nodes = physical40.nodes()
+        legacy_plan = FaultPlan.random_fraction(
+            nodes, 0.33, blackout.behavior, seed=3, protected=(0,)
+        )
+        again = FaultPlan.random_fraction(
+            nodes, 0.33, blackout.behavior, seed=3, protected=(0,)
+        )
+        assert [legacy_plan.behavior_of(n) for n in nodes] == [
+            again.behavior_of(n) for n in nodes
+        ]
+
+    def test_censorship_trial_still_runs(self, physical40):
+        from repro.baselines.gossip import GossipSystem
+
+        result = censorship.run_censorship_trial(
+            lambda plan: GossipSystem(physical40, fault_plan=plan, seed=7),
+            physical40.nodes(),
+            malicious_fraction=0.0,
+            sender=0,
+            horizon_ms=3_000,
+        )
+        assert result.coverage == 1.0

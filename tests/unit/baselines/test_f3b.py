@@ -1,0 +1,136 @@
+"""Unit tests for the F3B commit-then-reveal baseline."""
+
+import pytest
+
+from repro.baselines.f3b import F3BConfig, F3BSystem
+from repro.errors import ConfigurationError
+from repro.mempool.transaction import Transaction
+from repro.net.faults import Behavior, FaultPlan
+
+
+def run_tx(system, origin=0, horizon=6_000):
+    system.start()
+    tx = Transaction.create(origin=origin, created_at=0.0)
+    system.submit(origin, tx)
+    system.run(until_ms=horizon)
+    return tx
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = F3BConfig()
+        assert config.fanout == 8
+        assert config.reveal_delay_ms == 300.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            F3BConfig(fanout=0)
+        with pytest.raises(ConfigurationError):
+            F3BConfig(reveal_delay_ms=-1.0)
+
+
+class TestPeerGraph:
+    def test_symmetric(self, physical40):
+        system = F3BSystem(physical40, seed=5)
+        for node in physical40.nodes():
+            for peer in system.peers_of(node):
+                assert node in system.peers_of(peer)
+
+    def test_no_self_loops(self, physical40):
+        system = F3BSystem(physical40, seed=5)
+        for node in physical40.nodes():
+            assert node not in system.peers_of(node)
+
+
+class TestCommitThenReveal:
+    def test_full_coverage_honest(self, physical40):
+        system = F3BSystem(physical40, seed=5)
+        tx = run_tx(system)
+        assert len(system.stats.deliveries[tx.tx_id]) == 40
+
+    def test_position_locks_before_content_is_usable(self, physical40):
+        system = F3BSystem(physical40, seed=5)
+        tx = run_tx(system)
+        deliveries = system.stats.deliveries[tx.tx_id]
+        for node_id, node in system.nodes.items():
+            if node_id == tx.origin:
+                continue
+            commit_at = node.commit_times[tx.tx_id]
+            # The mempool position is the commit's arrival...
+            assert node.mempool.arrival_time(tx.tx_id) == commit_at
+            # ...but usable (stats) delivery waits for the origin's reveal
+            # round to elapse, and always lags the locked position.
+            assert deliveries[node_id] >= system.config.reveal_delay_ms
+            assert deliveries[node_id] > commit_at
+
+    def test_observe_hook_fires_only_at_reveal(self, physical40):
+        observations = []
+
+        def hook(node, tx):
+            observations.append((node.node_id, node.now))
+
+        system = F3BSystem(physical40, observe_hook=hook, seed=5)
+        tx = run_tx(system)
+        by_node = dict(
+            (node_id, when) for node_id, when in observations if node_id != tx.origin
+        )
+        assert len(by_node) == 39
+        for node_id, observed_at in by_node.items():
+            # An adversary's content tap sees the transaction only after its
+            # position locked at commit arrival.
+            assert observed_at > system.nodes[node_id].commit_times[tx.tx_id]
+
+    def test_reveal_backdates_are_commit_arrivals_not_reveal_times(self, physical40):
+        system = F3BSystem(physical40, seed=5)
+        tx1 = run_tx(system, origin=0, horizon=6_000)
+        # A second submission after the first is fully revealed must order
+        # after it everywhere.
+        tx2 = Transaction.create(origin=1, created_at=system.simulator.now)
+        system.submit(1, tx2)
+        system.run(until_ms=12_000)
+        for node in system.nodes.values():
+            order = [t.tx_id for t in node.mempool.in_arrival_order()]
+            assert order.index(tx1.tx_id) < order.index(tx2.tx_id)
+
+
+class TestByzantineBehaviour:
+    def test_drop_relay_nodes_slow_but_rarely_stop_the_flood(self, physical40):
+        plan = FaultPlan.random_fraction(
+            physical40.nodes(), 0.2, Behavior.DROP_RELAY, seed=3, protected=(0,)
+        )
+        system = F3BSystem(physical40, fault_plan=plan, seed=5)
+        tx = run_tx(system)
+        honest = set(system.honest_node_ids())
+        delivered = set(system.stats.deliveries[tx.tx_id])
+        # The fanout-8 flood is redundant enough that content-blind dropping
+        # by 20% of nodes leaves the honest population covered.
+        assert honest <= delivered
+
+    def test_crashed_origin_sends_nothing(self, physical40):
+        plan = FaultPlan(behaviors={0: Behavior.CRASH})
+        system = F3BSystem(physical40, fault_plan=plan, seed=5)
+        tx = run_tx(system, origin=0)
+        assert tx.tx_id not in system.stats.deliveries
+
+    def test_targeted_censorship_cannot_unlock_positions(self, physical40):
+        """Reveal-phase censors delay usability but never reorder."""
+
+        plan = FaultPlan.random_fraction(
+            physical40.nodes(), 0.25, Behavior.FRONT_RUN, seed=3, protected=(0,)
+        )
+        system = F3BSystem(physical40, fault_plan=plan, seed=5)
+        system.start()
+        tx = Transaction.create(origin=0, created_at=0.0)
+        # Arm reveal-phase censorship on every malicious node up front.
+        for node in system.nodes.values():
+            if node.behavior is not Behavior.HONEST:
+                node.censor_ids.add(tx.tx_id)
+        system.submit(0, tx)
+        system.run(until_ms=8_000)
+        for node_id in system.honest_node_ids():
+            node = system.nodes[node_id]
+            if tx.tx_id in node.mempool:
+                assert (
+                    node.mempool.arrival_time(tx.tx_id)
+                    == node.commit_times[tx.tx_id]
+                )

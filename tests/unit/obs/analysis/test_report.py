@@ -67,6 +67,33 @@ def test_report_contains_all_requested_sections():
     bench = [
         compare({"schema": "repro.bench/1", "name": "demo", "metrics": {"x": 2.0}}, baseline)
     ]
+    adversary = {
+        "protocol": "mercury",
+        "num_nodes": 40,
+        "fraction": 0.2,
+        "trials": [
+            {
+                "strategy": "sandwich",
+                "attacker_won": True,
+                "victim_censored": False,
+                "gross": 100.0,
+                "net": 98.0,
+                "gamma": 0.5,
+                "inversion_rate": 0.1,
+                "violations": 3,
+            },
+            {
+                "strategy": "sandwich",
+                "attacker_won": False,
+                "victim_censored": True,
+                "gross": 0.0,
+                "net": -2.0,
+                "gamma": 0.7,
+                "inversion_rate": 0.3,
+                "violations": 0,
+            },
+        ],
+    }
     markdown = render_report(
         title="Tiny run",
         manifest={"git_sha": "abc123", "python": "3.12"},
@@ -74,6 +101,7 @@ def test_report_contains_all_requested_sections():
         trees=trees,
         paths=paths,
         chaos=chaos,
+        adversary=adversary,
         bench=bench,
     )
     assert "# Tiny run" in markdown
@@ -85,8 +113,18 @@ def test_report_contains_all_requested_sections():
     assert "partition: split" in markdown
     assert "delivery: tx 4 missing" in markdown
     assert "**FAILED**" in markdown
+    assert "## Adversary zoo" in markdown
+    assert "`mercury`, N=40, 20% malicious" in markdown
+    # 2 sandwich trials: 50% success, 50% censored, means over both.
+    assert "| sandwich | 2 | 50% | 50% | 50.0 | +48.0 | 0.60 | 0.200 | 3 |" in markdown
     assert "## Benchmark comparison" in markdown
     assert "**REGRESSED**" in markdown
+
+
+def test_adversary_section_without_trials():
+    markdown = render_report(title="t", adversary={"protocol": "hermes", "trials": []})
+    assert "## Adversary zoo" in markdown
+    assert "*(no trials recorded)*" in markdown
 
 
 def test_html_wrapper_escapes_and_embeds_the_markdown():
