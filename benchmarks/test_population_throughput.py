@@ -1,0 +1,159 @@
+"""Benchmark: million-client ingest throughput and constant-memory telemetry.
+
+Drives the ``repro.population`` ingest pipeline — a 10⁶-client
+:class:`ClientPopulation` with a fee market and a capped, TTL'd mempool —
+at two scales (~10⁵ and ~10⁶ injected transactions) and measures events per
+wall-second and peak RSS for each.
+
+Each scale runs in its **own subprocess** so ``ru_maxrss`` is a clean
+per-scale high-water mark rather than the max across both runs.  The gated
+claim is the ISSUE acceptance criterion: peak RSS at 10⁶ transactions stays
+within 1.25x of the 10⁵-transaction run — the streaming sketches, windowed
+counters and mempool cap hold per-metric state constant, so a 10x larger
+workload must not cost 10x the memory.  Injected counts are pure functions
+of ``(seed, params)`` and gate with zero tolerance; rates and absolute RSS
+are machine-dependent and tracked as info.
+
+Emits ``BENCH_population.json`` at the repo root for the CI bench gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+from conftest import report
+
+from repro.obs.analysis import bench_record, write_bench_record
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_population.json"
+
+NUM_CLIENTS = 1_000_000
+RATE_TPS = 1_000.0
+SERVICE_TPS = 800.0
+MEMPOOL_CAP = 5_000
+TTL_MS = 60_000.0
+SEED = 11
+# ~10^5 and >=10^6 injected transactions (session ramp-up eats a few percent
+# of the nominal rate x duration, so the big cell gets headroom).
+DURATIONS_MS = {"small": 100_000.0, "big": 1_100_000.0}
+RSS_RATIO_BOUND = 1.25
+
+_CHILD = """
+import json, resource, sys, time
+from repro.mempool import MempoolPolicy
+from repro.population import (
+    ClientPopulation, FeeMarket, FeeMarketConfig, PopulationConfig, run_ingest,
+)
+
+duration_ms = float(sys.argv[1])
+population = ClientPopulation(
+    PopulationConfig.for_offered_rate(
+        {rate}, num_clients={clients}, num_nodes=16, seed={seed}
+    )
+)
+start = time.perf_counter()
+result = run_ingest(
+    population,
+    duration_ms=duration_ms,
+    service_tps={service},
+    policy=MempoolPolicy(max_size={cap}, ttl_ms={ttl}),
+    fee_market=FeeMarket(FeeMarketConfig(), seed={seed}),
+    drain_ms=5_000.0,
+    target_occupancy={cap} // 2,
+)
+wall = time.perf_counter() - start
+events = result.injected + result.delivered
+print(json.dumps({{
+    "injected": result.injected,
+    "delivered": result.delivered,
+    "evicted": result.evicted,
+    "expired": result.expired,
+    "mempool_peak": result.mempool_peak,
+    "peak_active_sessions": result.peak_active_sessions,
+    "wall_seconds": round(wall, 4),
+    "events_per_second": round(events / wall, 1) if wall else 0.0,
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}}))
+""".format(
+    rate=RATE_TPS, clients=NUM_CLIENTS, seed=SEED,
+    service=SERVICE_TPS, cap=MEMPOOL_CAP, ttl=TTL_MS,
+)
+
+
+def _ingest_cell(duration_ms: float) -> dict:
+    """Run one ingest scale in a fresh interpreter and parse its JSON line."""
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(duration_ms)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=False,
+        timeout=1_200,
+    )
+    assert proc.returncode == 0, f"ingest child failed:\n{proc.stderr}"
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_population_throughput():
+    cells = {scale: _ingest_cell(ms) for scale, ms in DURATIONS_MS.items()}
+
+    # The headline acceptance criterion: >=10^6 injected at the big scale,
+    # sublinear memory growth between the scales.
+    assert cells["small"]["injected"] >= 90_000
+    assert cells["big"]["injected"] >= 1_000_000
+    rss_ratio = cells["big"]["peak_rss_kb"] / cells["small"]["peak_rss_kb"]
+    assert rss_ratio <= RSS_RATIO_BOUND, (
+        f"peak RSS grew {rss_ratio:.2f}x from 10^5 to 10^6 transactions "
+        f"(bound {RSS_RATIO_BOUND}x): telemetry is no longer constant-memory"
+    )
+    # The cap and the churn must both have been exercised.
+    for cell in cells.values():
+        assert cell["mempool_peak"] <= MEMPOOL_CAP
+        assert cell["evicted"] > 0
+
+    metrics: dict[str, float] = {}
+    for scale, cell in cells.items():
+        for key, value in cell.items():
+            metrics[f"{scale}_{key}"] = value
+    metrics["rss_ratio_big_over_small"] = round(rss_ratio, 3)
+
+    doc = bench_record(
+        "population_throughput",
+        metrics,
+        meta={
+            "num_clients": NUM_CLIENTS,
+            "rate_tps": RATE_TPS,
+            "service_tps": SERVICE_TPS,
+            "mempool_cap": MEMPOOL_CAP,
+            "ttl_ms": TTL_MS,
+            "durations_ms": {k: v for k, v in DURATIONS_MS.items()},
+            "rss_ratio_bound": RSS_RATIO_BOUND,
+        },
+        seed=SEED,
+    )
+    write_bench_record(BENCH_PATH, doc)
+
+    lines = [
+        f"population ingest — {NUM_CLIENTS:,} clients, {RATE_TPS:.0f} tx/s offered,"
+        f" cap {MEMPOOL_CAP:,}",
+    ]
+    for scale, cell in cells.items():
+        lines.append(
+            f"  {scale:>5} ({cell['injected']:>9,} tx): "
+            f"{cell['events_per_second']:>9,.0f} events/s, "
+            f"peak RSS {cell['peak_rss_kb'] / 1024:,.0f} MB"
+        )
+    lines.append(
+        f"  RSS ratio 10^6/10^5: {rss_ratio:.2f}x (bound {RSS_RATIO_BOUND}x)"
+    )
+    lines.append(f"  -> {BENCH_PATH.name}")
+    report("population_throughput", "\n".join(lines))

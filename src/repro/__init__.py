@@ -14,6 +14,7 @@ Top-level convenience re-exports. The subpackages are:
 - :mod:`repro.adversary` — strategy zoo: attacker agents, economics, fairness
 - :mod:`repro.chaos` — fault-injection campaigns with online invariant checking
 - :mod:`repro.load` — open-loop workload generation and link capacity modeling
+- :mod:`repro.population` — million-client workloads: fee market, admission control
 - :mod:`repro.obs` — structured observability: tracing, metrics, profiling
 - :mod:`repro.runner` — parallel sweep engine with a content-addressed result cache
 - :mod:`repro.experiments` — one module per paper table/figure
@@ -42,6 +43,7 @@ _SUBPACKAGES = (
     "net",
     "obs",
     "overlay",
+    "population",
     "rbc",
     "runner",
     "trs",

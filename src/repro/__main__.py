@@ -9,7 +9,10 @@ chaos ...`` runs fault-injection campaigns with online invariant checking
 repro load ...`` sweeps offered load under finite link capacity (see
 ``python -m repro load --help`` and ``docs/load.md``); ``python -m repro
 adversary ...`` runs attack strategies from the zoo against one protocol
-(see ``python -m repro adversary --help`` and ``docs/adversary.md``);
+(see ``python -m repro adversary --help`` and ``docs/adversary.md``); ``python -m
+repro population ...`` sweeps sustained client-population load with a fee
+market and bounded mempools (see ``python -m repro population --help`` and
+``docs/population.md``);
 ``python -m repro analyze / report / bench-gate`` run the trace analytics,
 run-report and
 regression-gate front ends (see :mod:`repro.obs.analysis` and
@@ -38,6 +41,10 @@ def main(argv: list[str] | None = None) -> int:
         from .adversary.cli import main as adversary_main
 
         return adversary_main(argv[1:])
+    if argv and argv[0] == "population":
+        from .population.cli import main as population_main
+
+        return population_main(argv[1:])
     if argv and argv[0] == "analyze":
         from .obs.analysis.cli import analyze_main
 

@@ -69,6 +69,11 @@ class AgentContext:
     #: A distinguished honest node of interest (the proposer in zoo trials);
     #: strategies that aim traffic at infrastructure (flooding) default to it.
     target: int | None = None
+    #: Optional live fee market (:class:`repro.population.FeeMarket`).  When
+    #: set, :meth:`bid_fee` prices attack legs against the *current* base fee
+    #: instead of a flat premium over the victim's bid — so a spiking market
+    #: raises the cost of every landed leg (see ``economics.settle``).
+    fee_market: object | None = None
 
     @property
     def now(self) -> float:
@@ -80,6 +85,22 @@ class AgentContext:
 
     def is_victim(self, tx: Transaction) -> bool:
         return self.victim_tx_id is not None and tx.tx_id == self.victim_tx_id
+
+    def bid_fee(self, reference_fee: float) -> float:
+        """The fee an attack leg bids to outrank a *reference_fee* bid.
+
+        Without a :attr:`fee_market` this is the historical flat premium
+        (``reference_fee + value_model.fee_premium`` — byte-identical to the
+        pre-market zoo).  With one, the leg must also clear the current base
+        fee, so market spikes make attacking more expensive — potentially
+        unprofitable (``settle()`` charges this bid for every landed leg).
+        """
+
+        premium = self.value_model.fee_premium
+        market = self.fee_market
+        if market is None:
+            return reference_fee + premium
+        return max(reference_fee, market.base_fee) + premium
 
     def inject(self, node, tx: Transaction, role: str) -> None:
         """Launch *tx* from *node* on the protocol's fastest permitted path."""

@@ -28,7 +28,11 @@ Fees are paid only for adversarial transactions that made it into the block
 (an unincluded bid costs nothing, as on fee markets with failed inclusion),
 and ``net = gross − fees_paid`` can go negative: outbidding a victim whose
 opportunity didn't cover the bid is a loss, which is exactly the calculus a
-defense wants to force.
+defense wants to force.  With a live fee market attached to the trial
+(``run_adversary_trial(..., fee_market=...)``), strategies bid through
+:meth:`~repro.adversary.agent.AgentContext.bid_fee` against the *current*
+base fee, so a sustained-load fee spike raises ``fees_paid`` on every landed
+leg and can push an otherwise-winning attack under water.
 """
 
 from __future__ import annotations

@@ -97,7 +97,7 @@ class SandwichStrategy(_FirstObserverStrategy):
             origin=node.node_id,
             created_at=node.now,
             tag="adversarial",
-            fee=tx.fee + ctx.value_model.fee_premium,
+            fee=ctx.bid_fee(tx.fee),
         )
         ctx.inject(node, lead, role="lead")
 
@@ -131,7 +131,7 @@ class PriorityRaceStrategy(_FirstObserverStrategy):
             origin=node.node_id,
             created_at=node.now,
             tag="adversarial",
-            fee=tx.fee + ctx.value_model.fee_premium,
+            fee=ctx.bid_fee(tx.fee),
         )
         ctx.inject(node, race, role="race")
 

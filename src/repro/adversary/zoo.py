@@ -103,6 +103,7 @@ def run_adversary_trial(
     proposer: int,
     *,
     value_model: ValueModel | None = None,
+    fee_market: object | None = None,
     victim_fee: float = 0.0,
     background_txs: int = 0,
     background_spacing_ms: float = 25.0,
@@ -125,7 +126,11 @@ def run_adversary_trial(
     sealing its block a fixed beat after the victim arrives (late adversarial
     legs miss the cutoff); ``None`` packs everything that arrived by the
     horizon.  ``block_priority`` overrides the strategy's declared block
-    policy (fee market vs arrival order).
+    policy (fee market vs arrival order).  ``fee_market`` (a
+    :class:`repro.population.FeeMarket`) makes fee-bidding strategies price
+    their legs against the live base fee via :meth:`AgentContext.bid_fee`
+    instead of a flat premium; ``None`` (the default) reproduces the
+    historical flat-premium trials exactly.
     """
 
     agent = get_strategy(strategy) if isinstance(strategy, str) else strategy
@@ -148,6 +153,7 @@ def run_adversary_trial(
         ledger=ledger,
         value_model=value_model if value_model is not None else ValueModel(),
         target=proposer,
+        fee_market=fee_market,
     )
 
     def observe_hook(node, tx: Transaction) -> None:

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..mempool.transaction import Transaction
-from ..net.stats import summarize_latencies
+from ..net.stats import StreamingNetworkStats, summarize_latencies
 from ..utils.validation import require_positive
 from .arrival import ArrivalProcess, Injection
 
@@ -102,6 +102,7 @@ class LoadDriver:
         protocol: str = "",
         delivery_fraction: float = 0.99,
         sample_interval_ms: float = 250.0,
+        streaming: bool = False,
     ) -> None:
         if not 0.0 < delivery_fraction <= 1.0:
             raise ValueError(
@@ -113,6 +114,11 @@ class LoadDriver:
         self.protocol = protocol or type(system).__name__
         self.delivery_fraction = delivery_fraction
         self.sample_interval_ms = sample_interval_ms
+        # Opt-in constant-memory mode: network.stats is swapped for a
+        # StreamingNetworkStats before the run and _summarize reads sketches
+        # instead of iterating per-transaction delivery maps.  Off by default
+        # so existing exact-stats runs stay byte-identical.
+        self.streaming = streaming
         # One (mean occupancy, total egress backlog bytes) pair per sample.
         self.samples: list[tuple[float, float, float]] = []
 
@@ -166,6 +172,11 @@ class LoadDriver:
         system = self.system
         horizon_ms = duration_ms + drain_ms
         schedule = self.arrivals.schedule(duration_ms)
+        if self.streaming:
+            system.network.stats = StreamingNetworkStats(
+                node_count=len(system.nodes),
+                delivery_fraction=self.delivery_fraction,
+            )
         system.start()
         for injection in schedule:
             self._schedule_injection(injection)
@@ -194,14 +205,18 @@ class LoadDriver:
         stats = system.stats
         node_count = len(system.nodes)
         duration_s = duration_ms / 1000.0
-        delivered = 0
-        latencies: list[float] = []
-        for item in stats.send_times:
-            reached = len(stats.deliveries.get(item, {}))
-            if reached >= self.delivery_fraction * node_count:
-                delivered += 1
-                latencies.extend(stats.delivery_latencies(item))
-        summary = summarize_latencies(latencies)
+        if isinstance(stats, StreamingNetworkStats):
+            delivered = stats.delivered_items
+            summary = stats.latency_summary()
+        else:
+            delivered = 0
+            latencies: list[float] = []
+            for item in stats.send_times:
+                reached = len(stats.deliveries.get(item, {}))
+                if reached >= self.delivery_fraction * node_count:
+                    delivered += 1
+                    latencies.extend(stats.delivery_latencies(item))
+            summary = summarize_latencies(latencies)
         capacity = system.network.capacity
         occupancies = [occupancy for _, occupancy, _ in self.samples]
         backlogs = [backlog for _, _, backlog in self.samples]

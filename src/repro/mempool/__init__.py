@@ -9,7 +9,7 @@ transaction reached the proposer first (§VIII-F).
 """
 
 from .blocks import Block, build_block
-from .mempool import Mempool
+from .mempool import Mempool, MempoolPolicy
 from .ordering import FrontRunVerdict, judge_front_running
 from .transaction import TX_SIZE_BYTES, Transaction
 
@@ -17,6 +17,7 @@ __all__ = [
     "Block",
     "FrontRunVerdict",
     "Mempool",
+    "MempoolPolicy",
     "TX_SIZE_BYTES",
     "Transaction",
     "build_block",

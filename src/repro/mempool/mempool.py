@@ -13,14 +13,17 @@ protocols need:
 from __future__ import annotations
 
 import hashlib
+import heapq
 from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Callable
 
 from ..crypto.hashing import encode_piece
 from .transaction import Transaction
 
-__all__ = ["Mempool"]
+__all__ = ["Mempool", "MempoolPolicy"]
 
 # encode_piece("mempool-commitment"): the domain-separation prefix of every
 # commitment digest, precomputed once.
@@ -30,6 +33,47 @@ _COMMITMENT_PREFIX = encode_piece("mempool-commitment")
 # process-wide instead of re-encoding per mempool (ids are small ints from a
 # per-run counter, so the cache stays tiny and hit rates are ~#nodes).
 _encoded_id = lru_cache(maxsize=1 << 16)(encode_piece)
+
+
+@dataclass(frozen=True, slots=True)
+class MempoolPolicy:
+    """Admission and retention rules for a bounded mempool.
+
+    The default policy (all fields at their defaults) admits everything and
+    retains it forever — behaviourally identical to an unbounded mempool,
+    which is what every historical figure run uses (``policy=None``; the two
+    are pinned equal by a regression test).  Under sustained load:
+
+    * ``max_size`` caps the pool.  A full pool admits a newcomer only if its
+      fee *strictly* exceeds the lowest resident fee — the lowest-fee (and
+      among fee ties, latest-arrived) resident is evicted to make room.
+      Fee ties reject the newcomer: seats are never churned for equal bids,
+      which keeps the arrival-order semantics the fairness metrics measure.
+    * ``ttl_ms`` expires transactions that have sat unserved for longer than
+      the window (swept lazily on every add, or explicitly via
+      :meth:`Mempool.expire`).
+    * ``min_fee`` rejects bids below the floor outright.
+
+    Every drop is counted on the mempool (``evicted`` / ``expired`` /
+    ``rejected``) and reported through its ``on_drop`` callback so runs can
+    aggregate drop accounting into ``repro.obs`` counters.
+    """
+
+    max_size: int | None = None
+    ttl_ms: float | None = None
+    min_fee: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_size is not None and self.max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {self.max_size}")
+        if self.ttl_ms is not None and self.ttl_ms <= 0:
+            raise ValueError(f"ttl_ms must be positive, got {self.ttl_ms}")
+        if self.min_fee < 0:
+            raise ValueError(f"min_fee must be >= 0, got {self.min_fee}")
+
+    @property
+    def is_unbounded(self) -> bool:
+        return self.max_size is None and self.ttl_ms is None and self.min_fee == 0.0
 
 
 @dataclass
@@ -48,12 +92,45 @@ class Mempool:
     _sorted_ids: list[int] = field(default_factory=list, repr=False, compare=False)
     _pieces: list[bytes] = field(default_factory=list, repr=False, compare=False)
     _commitment: bytes | None = field(default=None, repr=False, compare=False)
+    # Admission/eviction policy.  None (the default, and what every protocol
+    # node constructs) means unbounded: add() takes a single is-None branch
+    # and is otherwise byte-identical to the historical behaviour.
+    policy: MempoolPolicy | None = field(default=None, compare=False)
+    # Called as on_drop(reason, tx) for every policy drop; reasons are
+    # "evicted" (fee-ranked, pool full), "expired" (TTL), "rejected"
+    # (admission refused: below min_fee, or full pool and bid too low).
+    on_drop: Callable[[str, Transaction], None] | None = field(
+        default=None, repr=False, compare=False
+    )
+    evicted: int = field(default=0, compare=False)
+    expired: int = field(default=0, compare=False)
+    rejected: int = field(default=0, compare=False)
+    # Policy-mode service/eviction indexes, all lazily deleted: entries carry
+    # the arrival stamp they were pushed with and are skipped when the id is
+    # gone or was re-added with a different arrival.
+    _fee_heap: list[tuple[float, float, int]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _prio_heap: list[tuple[float, float, int]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    _fifo: deque = field(default_factory=deque, repr=False, compare=False)
+    _ttl_queue: deque = field(default_factory=deque, repr=False, compare=False)
 
     def add(self, tx: Transaction, now: float) -> bool:
-        """Record *tx* (first arrival wins).  Returns True if it was new."""
+        """Record *tx* (first arrival wins).  Returns True if it was new.
+
+        With a :attr:`policy` installed, admission may refuse *tx* (fee below
+        the floor, or pool full and bid not strictly above the cheapest
+        resident) or evict a resident to make room; either way the verdict is
+        reflected in the drop counters and ``on_drop`` callback.
+        """
 
         tx_id = tx.tx_id
         if tx_id in self._transactions:
+            return False
+        policy = self.policy
+        if policy is not None and not self._admit(tx, now, policy):
             return False
         self._transactions[tx_id] = tx
         self._arrival[tx_id] = now
@@ -61,7 +138,189 @@ class Mempool:
         self._sorted_ids.insert(index, tx_id)
         self._pieces.insert(index, _encoded_id(tx_id))
         self._commitment = None
+        if policy is not None:
+            self._index(tx, now)
         return True
+
+    # -- policy machinery -------------------------------------------------
+
+    def _admit(self, tx: Transaction, now: float, policy: MempoolPolicy) -> bool:
+        if policy.ttl_ms is not None:
+            self._sweep_expired(now, policy.ttl_ms)
+        if tx.fee < policy.min_fee:
+            self._count_drop("rejected", tx)
+            return False
+        max_size = policy.max_size
+        if max_size is None:
+            return True
+        while len(self._transactions) >= max_size:
+            victim_id = self._cheapest_resident()
+            if victim_id is None:
+                break  # indexes stale-empty; admit rather than wedge
+            victim = self._transactions[victim_id]
+            if tx.fee <= victim.fee:
+                self._count_drop("rejected", tx)
+                return False
+            heapq.heappop(self._fee_heap)
+            self._discard(victim_id)
+            self._count_drop("evicted", victim)
+        return True
+
+    def _cheapest_resident(self) -> int | None:
+        """Id of the lowest-fee (ties: latest-arrived) resident, or None.
+
+        Leaves the winning entry on the heap so a rejected admission attempt
+        does not disturb it; stale entries are popped along the way.
+        """
+
+        heap = self._fee_heap
+        while heap:
+            _, neg_arrival, tx_id = heap[0]
+            if self._arrival.get(tx_id) == -neg_arrival:
+                return tx_id
+            heapq.heappop(heap)
+        return None
+
+    def _index(self, tx: Transaction, now: float) -> None:
+        """Register *tx* in the policy-mode service/eviction indexes."""
+
+        entry_id = tx.tx_id
+        heapq.heappush(self._fee_heap, (tx.fee, -now, entry_id))
+        heapq.heappush(self._prio_heap, (-tx.fee, now, entry_id))
+        self._fifo.append((now, entry_id))
+        if self.policy is not None and self.policy.ttl_ms is not None:
+            self._ttl_queue.append((now, entry_id))
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild any lazy-deletion index whose stale entries dominate.
+
+        Lazy deletion only sheds an entry when it reaches the *front* of its
+        structure.  Under sustained load with fee-priority service that never
+        happens for whole classes of entries — the FIFO queue is not popped
+        at all, served high-fee ids sink to the bottom of the fee heap, and
+        evicted low-fee ids to the bottom of the priority heap — so each
+        index would otherwise grow O(all transactions ever admitted).
+        Rebuilding once an index exceeds 4x the live set (amortized O(1) per
+        add) keeps the pool's footprint O(live + recent), which is what makes
+        a million-transaction sustained run constant-memory.
+        """
+
+        arrival = self._arrival
+        bound = 4 * len(self._transactions) + 64
+        if len(self._fee_heap) > bound:
+            self._fee_heap = [
+                entry for entry in self._fee_heap if arrival.get(entry[2]) == -entry[1]
+            ]
+            heapq.heapify(self._fee_heap)
+        if len(self._prio_heap) > bound:
+            self._prio_heap = [
+                entry for entry in self._prio_heap if arrival.get(entry[2]) == entry[1]
+            ]
+            heapq.heapify(self._prio_heap)
+        if len(self._fifo) > bound:
+            self._fifo = deque(
+                entry for entry in self._fifo if arrival.get(entry[1]) == entry[0]
+            )
+        if len(self._ttl_queue) > bound:
+            self._ttl_queue = deque(
+                entry for entry in self._ttl_queue if arrival.get(entry[1]) == entry[0]
+            )
+
+    def _discard(self, tx_id: int) -> None:
+        """Remove *tx_id* from the live structures (heap entries die lazily)."""
+
+        del self._transactions[tx_id]
+        del self._arrival[tx_id]
+        index = bisect_left(self._sorted_ids, tx_id)
+        # tx_id is present by precondition, so _sorted_ids[index] == tx_id.
+        del self._sorted_ids[index]
+        del self._pieces[index]
+        self._commitment = None
+
+    def _count_drop(self, reason: str, tx: Transaction) -> None:
+        if reason == "evicted":
+            self.evicted += 1
+        elif reason == "expired":
+            self.expired += 1
+        else:
+            self.rejected += 1
+        if self.on_drop is not None:
+            self.on_drop(reason, tx)
+
+    def _sweep_expired(self, now: float, ttl_ms: float) -> None:
+        cutoff = now - ttl_ms
+        queue = self._ttl_queue
+        while queue:
+            arrival, tx_id = queue[0]
+            if arrival > cutoff:
+                break
+            queue.popleft()
+            if self._arrival.get(tx_id) == arrival:
+                victim = self._transactions[tx_id]
+                self._discard(tx_id)
+                self._count_drop("expired", victim)
+
+    def expire(self, now: float) -> int:
+        """Force a TTL sweep at *now*; returns how many transactions expired.
+
+        Expiry is otherwise lazy (piggybacked on :meth:`add`), so telemetry
+        that reads drop counters on a cadence should call this first.
+        """
+
+        if self.policy is None or self.policy.ttl_ms is None:
+            return 0
+        before = self.expired
+        self._sweep_expired(now, self.policy.ttl_ms)
+        return self.expired - before
+
+    def pop_next(self, *, priority: bool = False) -> tuple[Transaction, float] | None:
+        """Remove and return the next ``(tx, arrival_ms)`` to serve, or None.
+
+        ``priority=False`` serves in first-arrival order; ``priority=True``
+        serves by descending fee (ties: earlier arrival, then id) — the order
+        a fee market's proposer drains the pool in.  Requires a policy-mode
+        mempool (the service indexes are only maintained under a policy).
+        """
+
+        if self.policy is None:
+            raise RuntimeError("pop_next requires a mempool with a policy installed")
+        if priority:
+            heap = self._prio_heap
+            while heap:
+                _, arrival, tx_id = heapq.heappop(heap)
+                if self._arrival.get(tx_id) == arrival:
+                    tx = self._transactions[tx_id]
+                    self._discard(tx_id)
+                    return tx, arrival
+            return None
+        queue = self._fifo
+        while queue:
+            arrival, tx_id = queue.popleft()
+            if self._arrival.get(tx_id) == arrival:
+                tx = self._transactions[tx_id]
+                self._discard(tx_id)
+                return tx, arrival
+        return None
+
+    def install_policy(
+        self,
+        policy: MempoolPolicy,
+        on_drop: Callable[[str, Transaction], None] | None = None,
+    ) -> None:
+        """Attach *policy* (and optional drop callback), indexing any
+        transactions already resident so eviction and service see them."""
+
+        self.policy = policy
+        self.on_drop = on_drop
+        self._fee_heap.clear()
+        self._prio_heap.clear()
+        self._fifo.clear()
+        self._ttl_queue.clear()
+        for tx_id, arrival in sorted(
+            self._arrival.items(), key=lambda kv: (kv[1], kv[0])
+        ):
+            self._index(self._transactions[tx_id], arrival)
 
     def __contains__(self, tx_id: int) -> bool:
         return tx_id in self._transactions

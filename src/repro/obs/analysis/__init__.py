@@ -43,10 +43,12 @@ from .trace import (
     DisseminationTree,
     ReadEvent,
     ReadSpan,
+    StreamedLatencies,
     Trace,
     TraceHeader,
     build_trees,
     read_trace,
+    stream_latencies,
 )
 
 __all__ = [
@@ -64,6 +66,7 @@ __all__ = [
     "ProtocolBreakdown",
     "ReadEvent",
     "ReadSpan",
+    "StreamedLatencies",
     "Trace",
     "TraceHeader",
     "aggregate",
@@ -77,6 +80,7 @@ __all__ = [
     "load_bench_record",
     "read_trace",
     "render_html",
+    "stream_latencies",
     "render_report",
     "update_baseline",
     "write_baseline",

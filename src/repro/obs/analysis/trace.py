@@ -36,8 +36,10 @@ __all__ = [
     "Trace",
     "Delivery",
     "DisseminationTree",
+    "StreamedLatencies",
     "read_trace",
     "build_trees",
+    "stream_latencies",
 ]
 
 
@@ -377,3 +379,136 @@ def build_trees(trace: Trace) -> list[DisseminationTree]:
             reachable.add(delivery.node)
 
     return [trees[key] for key in sorted(trees, key=lambda k: (str(k[0]), k[1]))]
+
+
+# ----------------------------------------------------------------------
+# Streaming latency fold (constant memory per metric)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StreamedLatencies:
+    """Per-protocol delivery-latency sketches folded from a trace stream.
+
+    ``sketches`` maps protocol name (or None) to a
+    :class:`~repro.net.sketch.QuantileSketch` over every ``tx.deliver``
+    latency (delivery time − that transaction's ``tx.dispatch`` time).
+    ``skipped`` counts deliveries that could not be attributed — their
+    dispatch was never seen, or was evicted from the bounded in-flight map —
+    so truncation is always visible, never silent.
+    """
+
+    sketches: dict[str | None, "QuantileSketch"] = field(default_factory=dict)
+    deliveries: int = 0
+    skipped: int = 0
+    events: int = 0
+
+
+def stream_latencies(
+    source: str | TextIO | Iterable[str],
+    *,
+    sketch_capacity: int = 512,
+    max_inflight: int = 100_000,
+) -> StreamedLatencies:
+    """Fold a trace's delivery latencies without materializing the trace.
+
+    :func:`read_trace` + :func:`build_trees` hold every event and every
+    delivery in memory — fine for figure-sized traces, impossible for a
+    sustained 10⁶-transaction run.  This fold reads the JSONL line by line
+    and keeps only: the span table (O(runs), for protocol attribution), one
+    quantile sketch per protocol, and an in-flight ``tx_id → dispatch time``
+    map bounded at *max_inflight* entries (oldest evicted first; affected
+    deliveries are counted in ``skipped``).
+
+    Same validation as :func:`read_trace` for the header and record shapes.
+    """
+
+    from ...net.sketch import QuantileSketch
+
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            return stream_latencies(
+                handle,
+                sketch_capacity=sketch_capacity,
+                max_inflight=max_inflight,
+            )
+
+    header: TraceHeader | None = None
+    # span_id -> (parent_id, protocol attr or None)
+    spans: dict[int, tuple[int | None, str | None]] = {}
+    # (protocol, tx_id) -> dispatch time, insertion-ordered for FIFO eviction.
+    inflight: dict[tuple[str | None, int], float] = {}
+    result = StreamedLatencies()
+
+    def protocol_of(span_id: int | None) -> str | None:
+        seen: set[int] = set()
+        while span_id is not None and span_id not in seen:
+            seen.add(span_id)
+            entry = spans.get(span_id)
+            if entry is None:
+                return None
+            parent_id, protocol = entry
+            if protocol is not None:
+                return protocol
+            span_id = parent_id
+        return None
+
+    for number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceReadError(f"line {number} is not valid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TraceReadError(f"line {number} is not a JSON object")
+        if header is None:
+            header = _parse_header(record)
+            continue
+        kind = record.get("type")
+        if kind == "span":
+            attrs = record.get("attrs") or {}
+            protocol = attrs.get("protocol")
+            spans[int(record["span_id"])] = (
+                record.get("parent_id"),
+                str(protocol) if protocol is not None else None,
+            )
+            continue
+        if kind != "event":
+            raise TraceReadError(
+                f"line {number}: unknown record type {kind!r} "
+                f"(v{TRACE_VERSION} defines 'span' and 'event')"
+            )
+        name = record.get("name")
+        if name not in ("tx.dispatch", "tx.deliver"):
+            continue
+        result.events += 1
+        attrs = record.get("attrs") or {}
+        try:
+            tx_id = int(attrs["tx_id"])
+            time_ms = float(record["time_ms"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceReadError(f"line {number}: malformed event record: {exc}") from exc
+        key = (protocol_of(record.get("span_id")), tx_id)
+        if name == "tx.dispatch":
+            if key not in inflight:
+                if len(inflight) >= max_inflight:
+                    # FIFO eviction: dicts iterate in insertion order.
+                    oldest = next(iter(inflight))
+                    del inflight[oldest]
+                    result.skipped += 1
+                inflight[key] = time_ms
+        else:  # tx.deliver
+            dispatch_ms = inflight.get(key)
+            if dispatch_ms is None:
+                result.skipped += 1
+                continue
+            sketch = result.sketches.get(key[0])
+            if sketch is None:
+                sketch = result.sketches[key[0]] = QuantileSketch(sketch_capacity)
+            sketch.observe(max(0.0, time_ms - dispatch_ms))
+            result.deliveries += 1
+    if header is None:
+        raise TraceReadError("empty input: not a repro trace file (missing header)")
+    return result

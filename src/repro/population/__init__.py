@@ -1,0 +1,36 @@
+"""Million-client workload modeling: who sends, what they bid, what survives.
+
+The load layer (:mod:`repro.load`) injects open-loop arrival schedules; this
+package puts *people* behind those arrivals and an *economy* around them:
+
+* :class:`ClientPopulation` — millions of clients in O(active-sessions)
+  memory, Zipf-skewed activity, session churn, deterministic replay from
+  ``(seed, params)``;
+* :class:`FeeMarket` — per-transaction priority bids from wealth tiers over
+  an EIP-1559-style dynamic base fee responding to mempool pressure;
+* :class:`PopulationDriver` — sustained-load runs of any protocol system
+  with streaming (constant-memory) telemetry and bounded mempools;
+* :func:`run_ingest` — the simulator-free arrival/admission/service pipeline
+  used for 10⁶-transaction memory benchmarks and the Fig. 8 ``ingest``
+  reference curve.
+
+Streaming sketches live in :mod:`repro.net.sketch`; mempool admission
+control in :class:`repro.mempool.MempoolPolicy`.  See ``docs/population.md``.
+"""
+
+from .clients import ClientPopulation, PopulationConfig, Submission, WealthTier
+from .driver import PopulationDriver, PopulationResult
+from .fees import FeeMarket, FeeMarketConfig
+from .pipeline import run_ingest
+
+__all__ = [
+    "ClientPopulation",
+    "FeeMarket",
+    "FeeMarketConfig",
+    "PopulationConfig",
+    "PopulationDriver",
+    "PopulationResult",
+    "Submission",
+    "WealthTier",
+    "run_ingest",
+]

@@ -1,0 +1,332 @@
+"""A client population: millions of users in O(active-sessions) memory.
+
+The load layer's :mod:`repro.load.arrival` answers *when* transactions
+arrive; this module answers *who sends them*.  A :class:`ClientPopulation`
+models ``num_clients`` (millions are fine) without ever materializing a
+per-client table:
+
+* **Sessions, not clients, are the unit of state.**  Clients go online as a
+  Poisson process of session arrivals, stay for an exponentially distributed
+  session, and emit transactions at a per-session Poisson rate while online.
+  The generator holds one heap entry per *active* session — churn bounds the
+  working set at roughly ``session_rate × mean duration``, independent of
+  population size.
+* **Identity is computed, never stored.**  A session's client is drawn from a
+  Zipf-skewed activity distribution by inverting an analytic power-law CDF
+  (O(1) per draw — no cumulative-weight table over 10⁶ clients), then mapped
+  through a seed-derived affine permutation so "rank 0 is the most active
+  client" doesn't mean "client id 0".  Wealth tier and home node follow from
+  deterministic hashes of the client id.
+* **Replayable by construction.**  Like ``load.arrival``, the whole event
+  stream is a pure function of ``(seed, params)``: two populations built with
+  equal configs yield identical submission sequences, pinned by property
+  tests.
+
+>>> from repro.population import ClientPopulation, PopulationConfig
+>>> pop = ClientPopulation(PopulationConfig(
+...     num_clients=1_000_000, session_rate_per_s=2.0,
+...     session_duration_ms=4_000.0, session_tx_rate_tps=1.0,
+...     num_nodes=8, seed=7))
+>>> events = list(pop.events(horizon_ms=10_000.0))
+>>> all(0 <= e.client_id < 1_000_000 for e in events)
+True
+>>> [e.time_ms for e in events] == sorted(e.time_ms for e in events)
+True
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..utils.rng import derive_rng
+
+__all__ = ["ClientPopulation", "PopulationConfig", "Submission", "WealthTier"]
+
+
+@dataclass(frozen=True, slots=True)
+class WealthTier:
+    """One stratum of the client population's fee-bidding power.
+
+    ``share`` is the fraction of clients in the tier; ``bid_scale`` is the
+    multiple of the base fee a member bids on average (the fee market adds
+    per-transaction noise on top).
+    """
+
+    name: str
+    share: float
+    bid_scale: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"share must be in (0, 1], got {self.share}")
+        if self.bid_scale <= 0:
+            raise ValueError(f"bid_scale must be positive, got {self.bid_scale}")
+
+
+#: Retail pays the going rate, professionals bid a multiple, whales pay
+#: whatever it takes — the 90/9/1 stratification fee-market studies assume.
+DEFAULT_TIERS: tuple[WealthTier, ...] = (
+    WealthTier("retail", 0.90, 1.0),
+    WealthTier("pro", 0.09, 4.0),
+    WealthTier("whale", 0.01, 20.0),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Submission:
+    """One client-initiated transaction submission."""
+
+    time_ms: float
+    client_id: int
+    origin: int  # node the client is attached to
+    tier: str  # wealth-tier name, resolved at draw time
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationConfig:
+    """Everything a :class:`ClientPopulation` needs, and nothing mutable.
+
+    ``session_rate_per_s`` is the rate at which *any* client opens a session;
+    the long-run offered load is ``session_rate_per_s × session_duration_ms /
+    1000 × session_tx_rate_tps`` transactions per second (see
+    :meth:`for_offered_rate`).  ``zipf_s`` skews which client each session
+    belongs to (0 = uniform; 1.0+ = heavy head).
+    """
+
+    num_clients: int
+    session_rate_per_s: float
+    session_duration_ms: float
+    session_tx_rate_tps: float
+    num_nodes: int
+    seed: int = 0
+    zipf_s: float = 1.1
+    tiers: tuple[WealthTier, ...] = field(default=DEFAULT_TIERS)
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ValueError(f"num_clients must be >= 1, got {self.num_clients}")
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.session_rate_per_s <= 0:
+            raise ValueError(
+                f"session_rate_per_s must be positive, got {self.session_rate_per_s}"
+            )
+        if self.session_duration_ms <= 0:
+            raise ValueError(
+                f"session_duration_ms must be positive, got {self.session_duration_ms}"
+            )
+        if self.session_tx_rate_tps <= 0:
+            raise ValueError(
+                f"session_tx_rate_tps must be positive, got {self.session_tx_rate_tps}"
+            )
+        if self.zipf_s < 0:
+            raise ValueError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        total_share = sum(tier.share for tier in self.tiers)
+        if not self.tiers or abs(total_share - 1.0) > 1e-9:
+            raise ValueError(
+                f"tier shares must sum to 1, got {total_share} over {len(self.tiers)}"
+            )
+
+    @property
+    def offered_tps(self) -> float:
+        """Long-run expected transactions per second."""
+
+        return (
+            self.session_rate_per_s
+            * (self.session_duration_ms / 1000.0)
+            * self.session_tx_rate_tps
+        )
+
+    @classmethod
+    def for_offered_rate(
+        cls,
+        offered_tps: float,
+        *,
+        num_clients: int,
+        num_nodes: int,
+        seed: int = 0,
+        session_duration_ms: float = 8_000.0,
+        session_tx_rate_tps: float = 1.0,
+        zipf_s: float = 1.1,
+        tiers: tuple[WealthTier, ...] = DEFAULT_TIERS,
+    ) -> "PopulationConfig":
+        """A config whose long-run offered load is *offered_tps*."""
+
+        if offered_tps <= 0:
+            raise ValueError(f"offered_tps must be positive, got {offered_tps}")
+        session_rate = offered_tps / (
+            (session_duration_ms / 1000.0) * session_tx_rate_tps
+        )
+        return cls(
+            num_clients=num_clients,
+            session_rate_per_s=session_rate,
+            session_duration_ms=session_duration_ms,
+            session_tx_rate_tps=session_tx_rate_tps,
+            num_nodes=num_nodes,
+            seed=seed,
+            zipf_s=zipf_s,
+            tiers=tiers,
+        )
+
+
+def _coprime_step(modulus: int, candidate: int) -> int:
+    """The first integer >= *candidate* coprime to *modulus* (for the id
+    permutation; always terminates — gcd(m, m+1) == 1)."""
+
+    step = max(2, candidate)
+    while math.gcd(step, modulus) != 1:
+        step += 1
+    return step
+
+
+class ClientPopulation:
+    """Deterministic, replayable submission stream for a huge client base.
+
+    Memory is O(active sessions): the only per-session state is a heap entry
+    ``(next event time, sequence, session)``.  Nothing is ever stored per
+    client.
+    """
+
+    def __init__(self, config: PopulationConfig) -> None:
+        self.config = config
+        m = config.num_clients
+        rng = derive_rng(config.seed, "population", "permutation")
+        # Affine permutation rank -> client id: decorrelates activity rank
+        # from id without a table.  step is coprime to m, so the map is a
+        # bijection on [0, m).
+        self._perm_step = _coprime_step(m, rng.randrange(1, max(2, m)))
+        self._perm_offset = rng.randrange(m)
+        # Tier thresholds over a deterministic hash of the client id, so a
+        # client's tier is a stable property, not a per-draw sample.
+        bounds: list[float] = []
+        acc = 0.0
+        for tier in config.tiers[:-1]:
+            acc += tier.share
+            bounds.append(acc)
+        self._tier_bounds = bounds
+        self._tier_names = [tier.name for tier in config.tiers]
+        self._tier_scales = {tier.name: tier.bid_scale for tier in config.tiers}
+        # Peak concurrent sessions seen by the last events() iteration —
+        # write-only telemetry, not consumed by the stream itself.
+        self.last_peak_active = 0
+
+    # -- identity ---------------------------------------------------------
+
+    def _rank_to_client(self, rank: int) -> int:
+        return (self._perm_offset + rank * self._perm_step) % self.config.num_clients
+
+    def _draw_rank(self, u: float) -> int:
+        """Invert the truncated power-law CDF: O(1), no weight table.
+
+        Approximates Zipf(s) over ranks 1..M by the continuous density
+        ``x^-s`` on [1, M+1); exact for s=0 (uniform) and the standard
+        continuous approximation otherwise.
+        """
+
+        m = self.config.num_clients
+        s = self.config.zipf_s
+        if m == 1:
+            return 0
+        if s == 0.0:
+            return min(m - 1, int(u * m))
+        top = float(m + 1)
+        if abs(s - 1.0) < 1e-12:
+            x = top**u  # CDF(x) = ln(x) / ln(top)
+        else:
+            one_minus = 1.0 - s
+            x = (u * (top**one_minus - 1.0) + 1.0) ** (1.0 / one_minus)
+        rank = int(x) - 1
+        return min(max(rank, 0), m - 1)
+
+    def client_tier(self, client_id: int) -> str:
+        """The stable wealth tier of *client_id* (seed-derived hash)."""
+
+        rng = derive_rng(self.config.seed, "population", "tier", client_id)
+        u = rng.random()
+        for bound, name in zip(self._tier_bounds, self._tier_names):
+            if u < bound:
+                return name
+        return self._tier_names[-1]
+
+    def tier_bid_scale(self, tier: str) -> float:
+        return self._tier_scales[tier]
+
+    def client_origin(self, client_id: int) -> int:
+        """The node *client_id* submits through (sticky, seed-derived)."""
+
+        rng = derive_rng(self.config.seed, "population", "origin", client_id)
+        return rng.randrange(self.config.num_nodes)
+
+    # -- the event stream -------------------------------------------------
+
+    def events(self, horizon_ms: float) -> Iterator[Submission]:
+        """Yield :class:`Submission`\\ s in time order up to *horizon_ms*.
+
+        Pure function of ``(config, horizon_ms)``; iterating twice gives the
+        same stream.  The heap holds one entry per active session plus one
+        for the next session arrival — that's the whole working set.
+        """
+
+        if horizon_ms <= 0:
+            raise ValueError(f"horizon_ms must be positive, got {horizon_ms}")
+        cfg = self.config
+        arrival_rng = derive_rng(cfg.seed, "population", "sessions")
+        session_gap_ms = 1000.0 / cfg.session_rate_per_s
+        tx_gap_ms = 1000.0 / cfg.session_tx_rate_tps
+
+        # Heap entries: (time_ms, sequence, kind, payload)
+        #   kind 0 = next session arrival (payload: session index)
+        #   kind 1 = next tx of an active session
+        #            (payload: (client, origin, tier, session end, session rng))
+        sequence = 0
+        heap: list = []
+        first = arrival_rng.expovariate(1.0) * session_gap_ms
+        heapq.heappush(heap, (first, sequence, 0, 0))
+        active = 0
+        peak = 0
+
+        while heap:
+            time_ms, _, kind, payload = heapq.heappop(heap)
+            if time_ms >= horizon_ms:
+                break
+            if kind == 0:
+                session_index = payload
+                # Schedule the following session arrival first (keeps the
+                # arrival chain independent of per-session draws).
+                sequence += 1
+                gap = arrival_rng.expovariate(1.0) * session_gap_ms
+                heapq.heappush(heap, (time_ms + gap, sequence, 0, session_index + 1))
+                # Spin up this session: identity and lifetime.
+                session_rng = derive_rng(cfg.seed, "population", "s", session_index)
+                rank = self._draw_rank(session_rng.random())
+                client = self._rank_to_client(rank)
+                origin = self.client_origin(client)
+                tier = self.client_tier(client)
+                duration = session_rng.expovariate(1.0) * cfg.session_duration_ms
+                end_ms = time_ms + duration
+                first_tx = time_ms + session_rng.expovariate(1.0) * tx_gap_ms
+                if first_tx < end_ms:
+                    active += 1
+                    peak = max(peak, active)
+                    sequence += 1
+                    heapq.heappush(
+                        heap,
+                        (first_tx, sequence, 1, (client, origin, tier, end_ms, session_rng)),
+                    )
+            else:
+                client, origin, tier, end_ms, session_rng = payload
+                yield Submission(
+                    time_ms=time_ms, client_id=client, origin=origin, tier=tier
+                )
+                next_tx = time_ms + session_rng.expovariate(1.0) * tx_gap_ms
+                if next_tx < end_ms:
+                    sequence += 1
+                    heapq.heappush(
+                        heap, (next_tx, sequence, 1, (client, origin, tier, end_ms, session_rng))
+                    )
+                else:
+                    active -= 1
+        self.last_peak_active = peak

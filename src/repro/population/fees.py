@@ -1,0 +1,122 @@
+"""The fee market: a dynamic base fee plus tiered priority bids.
+
+Fee-based priority bidding is the lever real front-runners pull (F3B frames
+per-transaction protection exactly against adversaries who pay to jump the
+queue), so sustained-load experiments price transactions instead of treating
+them as free:
+
+* a **base fee** adjusts on a fixed cadence in response to mempool pressure,
+  EIP-1559 style: occupancy above the target raises it (at most
+  ``max_change`` per update), below lowers it, clamped to a floor;
+* each client **bids** a multiple of the base fee set by its wealth tier
+  (see :data:`~repro.population.clients.DEFAULT_TIERS`) with per-transaction
+  lognormal noise, drawn from the market's own seed-derived stream so
+  pricing never perturbs the simulation's random trajectories.
+
+>>> from repro.population import FeeMarket, FeeMarketConfig
+>>> market = FeeMarket(FeeMarketConfig(initial_base_fee=1.0), seed=3)
+>>> market.base_fee
+1.0
+>>> market.on_pressure(occupancy_ratio=2.0, now_ms=500.0)  # pool over target
+>>> market.base_fee
+1.125
+>>> market.bid(bid_scale=4.0) > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils.rng import derive_rng
+
+__all__ = ["FeeMarket", "FeeMarketConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class FeeMarketConfig:
+    """Base-fee controller parameters.
+
+    ``target_occupancy`` is the mempool-fullness ratio (occupancy ÷ target
+    depth) the controller steers toward; ``max_change`` bounds the per-update
+    multiplicative step (0.125 = EIP-1559's 12.5%).
+    """
+
+    initial_base_fee: float = 1.0
+    min_base_fee: float = 0.125
+    max_change: float = 0.125
+    update_interval_ms: float = 500.0
+    bid_sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.initial_base_fee <= 0:
+            raise ValueError(
+                f"initial_base_fee must be positive, got {self.initial_base_fee}"
+            )
+        if not 0 < self.min_base_fee <= self.initial_base_fee:
+            raise ValueError(
+                "min_base_fee must be in (0, initial_base_fee], got "
+                f"{self.min_base_fee}"
+            )
+        if not 0 < self.max_change < 1:
+            raise ValueError(f"max_change must be in (0, 1), got {self.max_change}")
+        if self.update_interval_ms <= 0:
+            raise ValueError(
+                f"update_interval_ms must be positive, got {self.update_interval_ms}"
+            )
+        if self.bid_sigma < 0:
+            raise ValueError(f"bid_sigma must be >= 0, got {self.bid_sigma}")
+
+
+class FeeMarket:
+    """Mutable market state: the current base fee and the bid stream."""
+
+    def __init__(self, config: FeeMarketConfig | None = None, *, seed: int = 0) -> None:
+        self.config = config or FeeMarketConfig()
+        self.base_fee = self.config.initial_base_fee
+        self.last_update_ms = 0.0
+        self._rng = derive_rng(seed, "population", "fees")
+        # (time_ms, base_fee) after each update — O(updates), bounded by
+        # duration / update_interval, for trajectory reporting.
+        self.history: list[tuple[float, float]] = [(0.0, self.base_fee)]
+
+    def on_pressure(self, occupancy_ratio: float, now_ms: float) -> None:
+        """One controller update: *occupancy_ratio* is occupancy ÷ target.
+
+        1.0 holds the fee steady; 2.0 (or anything above) applies the full
+        ``+max_change`` step; 0.0 applies the full ``-max_change`` step.
+        """
+
+        if occupancy_ratio < 0:
+            raise ValueError(
+                f"occupancy_ratio must be >= 0, got {occupancy_ratio}"
+            )
+        cfg = self.config
+        pressure = max(-1.0, min(1.0, occupancy_ratio - 1.0))
+        fee = self.base_fee * (1.0 + cfg.max_change * pressure)
+        self.base_fee = max(cfg.min_base_fee, fee)
+        self.last_update_ms = now_ms
+        self.history.append((now_ms, self.base_fee))
+
+    def bid(self, bid_scale: float = 1.0) -> float:
+        """One priority bid: base fee × tier scale × lognormal noise."""
+
+        if bid_scale <= 0:
+            raise ValueError(f"bid_scale must be positive, got {bid_scale}")
+        noise = (
+            self._rng.lognormvariate(0.0, self.config.bid_sigma)
+            if self.config.bid_sigma > 0
+            else 1.0
+        )
+        return self.base_fee * bid_scale * noise
+
+    def fee_percentiles(self) -> dict[str, float]:
+        """Base-fee trajectory digest (start / min / max / final)."""
+
+        fees = [fee for _, fee in self.history]
+        return {
+            "start": fees[0],
+            "min": min(fees),
+            "max": max(fees),
+            "final": fees[-1],
+        }

@@ -1,0 +1,187 @@
+"""A simulator-free ingest pipeline: population → fee market → one mempool.
+
+The full protocol systems simulate every wire transmission, which makes a
+10⁶-transaction run a question of hours.  For workload-layer questions —
+does admission control hold the pool bounded, where is the service knee,
+what does the fee trajectory do under sustained pressure — the network is
+irrelevant: what matters is arrivals, bids, admission, eviction and service.
+:func:`run_ingest` runs exactly that loop against one policy-governed
+:class:`~repro.mempool.Mempool` drained by a single fee-priority server, at
+hundreds of thousands of events per second and in constant memory (the pool
+is bounded by the policy, the telemetry by the sketches).
+
+This is the path the memory-growth benchmark gates
+(``benchmarks/test_population_throughput.py``) and the ``ingest``
+pseudo-protocol of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from ..mempool.mempool import Mempool, MempoolPolicy
+from ..mempool.transaction import Transaction
+from ..net.sketch import QuantileSketch, WindowedQuantiles
+from ..utils.validation import require_positive
+from .clients import ClientPopulation
+from .driver import PopulationResult
+from .fees import FeeMarket
+
+__all__ = ["run_ingest"]
+
+
+def run_ingest(
+    population: ClientPopulation,
+    *,
+    duration_ms: float,
+    service_tps: float,
+    policy: MempoolPolicy | None = None,
+    fee_market: FeeMarket | None = None,
+    drain_ms: float = 0.0,
+    window_ms: float = 10_000.0,
+    target_occupancy: int = 2_000,
+    sketch_capacity: int = 512,
+) -> PopulationResult:
+    """Run the ingest pipeline and summarize it as a :class:`PopulationResult`.
+
+    The server drains the pool in fee-priority order at *service_tps*;
+    queueing latency (service completion − arrival) is the reported latency.
+    With no *policy* a default (unbounded) one is installed — ``pop_next``
+    needs the service indexes either way.
+    """
+
+    require_positive(duration_ms, "duration_ms")
+    require_positive(service_tps, "service_tps")
+    require_positive(target_occupancy, "target_occupancy")
+    if drain_ms < 0:
+        raise ValueError(f"drain_ms must be >= 0, got {drain_ms}")
+
+    horizon_ms = duration_ms + drain_ms
+    service_gap_ms = 1000.0 / service_tps
+    mempool = Mempool(owner=0)
+    drops = {"evicted": 0, "expired": 0, "rejected": 0}
+
+    def on_drop(reason: str, tx: Transaction) -> None:
+        drops[reason] += 1
+
+    mempool.install_policy(policy or MempoolPolicy(), on_drop)
+
+    latency_sketch = QuantileSketch(sketch_capacity)
+    latency_windows = WindowedQuantiles(window_ms, capacity=128)
+    fee_windows = WindowedQuantiles(window_ms, capacity=128)
+    eviction_series: list[dict] = []
+    last_snapshot = dict(drops)
+    last_window = 0
+
+    injected = 0
+    served = 0
+    server_free_at = 0.0
+    mempool_peak = 0
+
+    update_interval = (
+        fee_market.config.update_interval_ms if fee_market is not None else None
+    )
+
+    def drain_until(t: float) -> None:
+        """Serve backlog while the server would finish by *t*."""
+
+        nonlocal served, server_free_at
+        while len(mempool) and server_free_at <= t:
+            popped = mempool.pop_next(priority=True)
+            if popped is None:
+                break
+            tx, arrival = popped
+            start = server_free_at if server_free_at > arrival else arrival
+            done = start + service_gap_ms
+            latency_sketch.observe(done - arrival)
+            latency_windows.observe(done, done - arrival)
+            server_free_at = done
+            served += 1
+
+    def tick_market(t: float) -> None:
+        if fee_market is None:
+            return
+        while fee_market.last_update_ms + update_interval <= t:
+            boundary = fee_market.last_update_ms + update_interval
+            fee_market.on_pressure(len(mempool) / target_occupancy, boundary)
+
+    def roll_windows(t: float) -> None:
+        nonlocal last_window, last_snapshot
+        window = int(t // window_ms)
+        if window > last_window:
+            snapshot = dict(drops)
+            eviction_series.append(
+                {
+                    "start_ms": last_window * window_ms,
+                    **{r: snapshot[r] - last_snapshot[r] for r in snapshot},
+                }
+            )
+            last_snapshot = snapshot
+            last_window = window
+
+    for submission in population.events(duration_ms):
+        t = submission.time_ms
+        drain_until(t)
+        tick_market(t)
+        roll_windows(t)
+        fee = 0.0
+        if fee_market is not None:
+            fee = fee_market.bid(population.tier_bid_scale(submission.tier))
+            fee_windows.observe(t, fee)
+        tx = Transaction.create(origin=submission.origin, created_at=t, fee=fee)
+        mempool.add(tx, t)
+        injected += 1
+        if len(mempool) > mempool_peak:
+            mempool_peak = len(mempool)
+
+    drain_until(horizon_ms)
+    tick_market(horizon_ms)
+    roll_windows(horizon_ms)
+    if policy is not None and policy.ttl_ms is not None:
+        mempool.expire(horizon_ms)
+
+    duration_s = duration_ms / 1000.0
+    fee_sketch = fee_windows.merged() if fee_market is not None else None
+    fee_digest = (
+        fee_market.fee_percentiles()
+        if fee_market is not None
+        else {"final": 0.0, "max": 0.0}
+    )
+    return PopulationResult(
+        protocol="ingest",
+        offered_tps=injected / duration_s,
+        injected=injected,
+        delivered=served,
+        goodput_tps=served / duration_s,
+        mean_ms=latency_sketch.mean if latency_sketch.count else None,
+        p50_ms=latency_sketch.percentile(50) if latency_sketch.count else None,
+        p95_ms=latency_sketch.percentile(95) if latency_sketch.count else None,
+        p99_ms=latency_sketch.percentile(99) if latency_sketch.count else None,
+        latency_rank_error=latency_sketch.rank_error(),
+        evicted=drops["evicted"],
+        expired=drops["expired"],
+        rejected=drops["rejected"],
+        stats_expired=0,
+        base_fee_final=fee_digest["final"],
+        base_fee_max=fee_digest["max"],
+        fee_p50=(
+            fee_sketch.percentile(50)
+            if fee_sketch is not None and fee_sketch.count
+            else None
+        ),
+        fee_p95=(
+            fee_sketch.percentile(95)
+            if fee_sketch is not None and fee_sketch.count
+            else None
+        ),
+        peak_active_sessions=population.last_peak_active,
+        mempool_peak=mempool_peak,
+        duration_ms=duration_ms,
+        horizon_ms=horizon_ms,
+        latency_series=latency_windows.series((50.0, 95.0)),
+        fee_series=fee_windows.series((50.0, 95.0)),
+        base_fee_series=(
+            [list(pair) for pair in fee_market.history]
+            if fee_market is not None
+            else []
+        ),
+        eviction_series=eviction_series,
+    )

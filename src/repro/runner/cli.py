@@ -10,7 +10,7 @@ Two modes:
           --set protocol=hermes,lzero --set seed=0,1,2 \\
           --jobs 4 --results-dir results/adhoc
 
-* ``--figure fig3a|fig3b|fig5a|fig5b|fig6|fig7`` submits the corresponding
+* ``--figure fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8`` submits the corresponding
   figure script's repetition grid and prints the figure table::
 
       python -m repro sweep --figure fig5a --jobs 4 --results-dir results/f5a
@@ -31,7 +31,7 @@ from ..errors import ConfigurationError, ReproError
 
 __all__ = ["main", "parse_axis"]
 
-_FIGURES = ("fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7")
+_FIGURES = ("fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7", "fig8")
 
 
 def parse_axis(text: str) -> tuple[str, list[Any]]:
@@ -138,6 +138,17 @@ def _figure_config(figure: str, *, seed: int, quick: bool):
             num_nodes=60 if quick else 200,
             fractions=(0.20, 0.33) if quick else (0.10, 0.20, 0.33),
             trials=4 if quick else 10,
+            seed=seed,
+        )
+    elif figure == "fig8":
+        from ..experiments import fig8_sustained as module
+
+        config = module.Fig8Config(
+            num_nodes=16 if quick else 24,
+            rates_tps=(2.0, 8.0, 24.0) if quick else module.DEFAULT_RATES,
+            duration_ms=20_000.0 if quick else 60_000.0,
+            drain_ms=3_000.0 if quick else 5_000.0,
+            num_clients=100_000 if quick else 1_000_000,
             seed=seed,
         )
     else:  # pragma: no cover - argparse's choices guard this

@@ -2,9 +2,11 @@
 
 import pytest
 
+from repro.adversary.agent import AgentContext
 from repro.adversary.economics import AttackLedger, ValueModel
 from repro.mempool.blocks import Block
 from repro.mempool.transaction import Transaction
+from repro.population import FeeMarket, FeeMarketConfig
 
 
 MODEL = ValueModel(victim_value=100.0, fee_premium=1.0, partial_capture=0.5)
@@ -112,3 +114,60 @@ class TestSettlement:
         outcome = ledger.settle(_block(victim.tx_id), victim.tx_id, MODEL)
         assert outcome.gross == 0.0 and outcome.net == 0.0
         assert outcome.legs_launched == 0
+
+
+def _context(fee_market=None, model=MODEL):
+    return AgentContext(
+        system=None,
+        coalition=frozenset(),
+        ledger=AttackLedger(),
+        value_model=model,
+        fee_market=fee_market,
+    )
+
+
+class TestBidFee:
+    def test_flat_premium_without_a_market(self):
+        ctx = _context()
+        assert ctx.bid_fee(3.0) == 4.0  # historical victim.fee + premium
+
+    def test_market_bid_clears_the_base_fee(self):
+        market = FeeMarket(FeeMarketConfig(initial_base_fee=1.0))
+        for tick in range(1, 11):
+            market.on_pressure(2.0, tick * 500.0)  # sustained overload
+        ctx = _context(fee_market=market)
+        assert ctx.bid_fee(0.5) == pytest.approx(market.base_fee + 1.0)
+        # A victim bidding above the base fee still gets outbid directly.
+        assert ctx.bid_fee(market.base_fee + 5.0) == pytest.approx(
+            market.base_fee + 6.0
+        )
+
+    def test_spiked_market_flips_net_negative(self):
+        """The satellite invariant: a sandwich that is profitable at calm
+        prices loses money when the base fee spikes past the opportunity."""
+
+        victim = _tx()
+        model = ValueModel(victim_value=10.0, fee_premium=1.0)
+
+        def settle_at(market):
+            ctx = _context(fee_market=market, model=model)
+            lead = _tx(fee=ctx.bid_fee(victim.fee))
+            trail = _tx(fee=ctx.bid_fee(victim.fee))
+            ctx.ledger.record(lead, "lead", now=0.0)
+            ctx.ledger.record(trail, "trail", now=5.0)
+            block = _block(lead.tx_id, victim.tx_id, trail.tx_id)
+            return ctx.ledger.settle(block, victim.tx_id, model)
+
+        calm = settle_at(None)
+        assert calm.gross == 10.0
+        assert calm.net == 10.0 - 2.0  # two legs at the flat premium
+        assert calm.profitable
+
+        spiked = FeeMarket(FeeMarketConfig(initial_base_fee=1.0))
+        for tick in range(1, 25):  # 1.125**24 ≈ 17x the opportunity covers
+            spiked.on_pressure(2.0, tick * 500.0)
+        under_water = settle_at(spiked)
+        assert under_water.gross == 10.0  # the sandwich still lands
+        assert under_water.fees_paid > under_water.gross
+        assert under_water.net < 0
+        assert not under_water.profitable

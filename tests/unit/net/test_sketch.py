@@ -1,0 +1,165 @@
+"""Unit tests for the constant-memory telemetry primitives."""
+
+import pytest
+
+from repro.net.sketch import (
+    QuantileSketch,
+    ReservoirSketch,
+    WindowedCounter,
+    WindowedQuantiles,
+)
+from repro.net.stats import percentile
+
+
+class TestQuantileSketchExactRegime:
+    def test_under_capacity_matches_exact_percentile(self):
+        values = [float(v) for v in (9, 1, 4, 7, 2, 8, 3, 6, 5, 0)]
+        sketch = QuantileSketch(capacity=64)
+        for value in values:
+            sketch.observe(value)
+        assert sketch.rank_error() == 0.0
+        for pct in (0, 10, 25, 50, 75, 90, 95, 100):
+            assert sketch.percentile(pct) == pytest.approx(percentile(values, pct))
+
+    def test_exact_moments(self):
+        sketch = QuantileSketch(capacity=8)
+        for value in range(1000):
+            sketch.observe(float(value))
+        assert sketch.count == 1000
+        assert sketch.sum == pytest.approx(sum(range(1000)))
+        assert sketch.mean == pytest.approx(499.5)
+        assert sketch.min == 0.0
+        assert sketch.max == 999.0
+
+
+class TestQuantileSketchBound:
+    def test_rank_error_bound_holds_after_compaction(self):
+        n = 20_000
+        values = [float(v) for v in range(n)]
+        sketch = QuantileSketch(capacity=64)
+        for value in values:
+            sketch.observe(value)
+        assert 0.0 < sketch.rank_error() < 1.0
+        tolerance = sketch.rank_error() * n + 1
+        for pct in (1, 25, 50, 75, 99):
+            estimate = sketch.percentile(pct)
+            true_rank = (pct / 100.0) * (n - 1)
+            # Values ARE their ranks here, so the rank displacement is direct.
+            assert abs(estimate - true_rank) <= tolerance
+
+    def test_bound_is_not_vacuous_at_reference_scale(self):
+        sketch = QuantileSketch(capacity=512)
+        for value in range(100_000):
+            sketch.observe(float(value))
+        # The documented regime: ~1.5% rank error at n=1e5, k=512.
+        assert sketch.rank_error() < 0.02
+
+    def test_memory_is_logarithmic(self):
+        sketch = QuantileSketch(capacity=64)
+        for value in range(100_000):
+            sketch.observe(float(value))
+        held = sum(len(level) for level in sketch._levels)
+        assert held <= 64 * len(sketch._levels)
+        assert len(sketch._levels) <= 16
+
+    def test_merge_preserves_count_sum_and_bound(self):
+        n = 5_000
+        left, right = QuantileSketch(capacity=32), QuantileSketch(capacity=32)
+        for value in range(n):
+            (left if value % 2 else right).observe(float(value))
+        left.merge(right)
+        assert left.count == n
+        assert left.sum == pytest.approx(sum(range(n)))
+        tolerance = left.rank_error() * n + 1
+        assert abs(left.percentile(50) - (n - 1) / 2) <= tolerance
+
+
+class TestQuantileSketchValidation:
+    def test_capacity_rounded_even_and_floor(self):
+        assert QuantileSketch(capacity=5).capacity == 6
+        with pytest.raises(ValueError):
+            QuantileSketch(capacity=1)
+
+    def test_empty_sketch_rejects_reads(self):
+        sketch = QuantileSketch()
+        assert sketch.rank_error() == 0.0
+        assert sketch.summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            sketch.percentile(50)
+        with pytest.raises(ValueError):
+            _ = sketch.mean
+
+    def test_percentile_range_checked(self):
+        sketch = QuantileSketch()
+        sketch.observe(1.0)
+        with pytest.raises(ValueError):
+            sketch.percentile(101)
+
+    def test_summary_is_json_ready(self):
+        sketch = QuantileSketch(capacity=16)
+        for value in range(100):
+            sketch.observe(float(value))
+        summary = sketch.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert 0.0 <= summary["rank_error"] <= 1.0
+
+
+class TestReservoirSketch:
+    def test_exact_while_under_capacity(self):
+        reservoir = ReservoirSketch(capacity=100, seed=1)
+        for value in range(50):
+            reservoir.observe(float(value))
+        assert reservoir.sample() == [float(v) for v in range(50)]
+        assert reservoir.percentile(50) == pytest.approx(24.5)
+
+    def test_bounded_and_deterministic_over_capacity(self):
+        a = ReservoirSketch(capacity=10, seed=7)
+        b = ReservoirSketch(capacity=10, seed=7)
+        for value in range(1000):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert len(a.sample()) == 10
+        assert a.sample() == b.sample()
+        assert a.count == 1000
+        assert a.mean == pytest.approx(499.5)
+
+    def test_seed_changes_sample(self):
+        a = ReservoirSketch(capacity=10, seed=0)
+        b = ReservoirSketch(capacity=10, seed=1)
+        for value in range(1000):
+            a.observe(float(value))
+            b.observe(float(value))
+        assert a.sample() != b.sample()
+
+
+class TestWindowedCounter:
+    def test_bucketing_and_totals(self):
+        counter = WindowedCounter(window_ms=1000.0)
+        for t in (0.0, 999.0, 1000.0, 2500.0, 2600.0):
+            counter.add(t)
+        assert counter.series() == [(0.0, 2.0), (1000.0, 1.0), (2000.0, 2.0)]
+        assert counter.total == 5.0
+
+    def test_rate_series_scales_by_window(self):
+        counter = WindowedCounter(window_ms=2000.0)
+        counter.add(0.0, amount=10.0)
+        assert counter.rate_series(per_ms=1000.0) == [(0.0, 5.0)]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WindowedCounter(window_ms=0.0)
+
+
+class TestWindowedQuantiles:
+    def test_series_and_merged_agree_on_totals(self):
+        windows = WindowedQuantiles(window_ms=1000.0, capacity=32)
+        for t in range(3000):
+            windows.observe(float(t), float(t % 100))
+        assert len(windows) == 3
+        rows = windows.series((50.0, 95.0))
+        assert [row["start_ms"] for row in rows] == [0.0, 1000.0, 2000.0]
+        assert all(row["count"] == 1000 for row in rows)
+        assert all("p50" in row and "p95" in row for row in rows)
+        merged = windows.merged()
+        assert merged.count == 3000

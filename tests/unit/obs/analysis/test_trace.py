@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import TraceReadError
 from repro.obs import Tracer
-from repro.obs.analysis import build_trees, read_trace
+from repro.obs.analysis import build_trees, read_trace, stream_latencies
 
 
 def _lines(*records: dict) -> list[str]:
@@ -147,3 +147,90 @@ class TestTreeReconstruction:
             ("hermes", 0, 1),
             ("lzero", 0, 2),
         ]
+
+
+class TestStreamLatencies:
+    def _span(self, span_id, protocol=None):
+        attrs = {"protocol": protocol} if protocol else {}
+        return {
+            "type": "span",
+            "seq": span_id,
+            "span_id": span_id,
+            "parent_id": None,
+            "name": "fig.protocol",
+            "start_ms": 0.0,
+            "end_ms": 1000.0,
+            "attrs": attrs,
+        }
+
+    def test_folds_dispatch_deliver_pairs_per_protocol(self):
+        records = [_header(), self._span(1, "hermes"), self._span(2, "lzero")]
+        for span_id in (1, 2):
+            records.append(
+                _event(10 * span_id, 0.0, "tx.dispatch", span_id=span_id, tx_id=0)
+            )
+            for node, t in ((1, 5.0), (2, 9.0)):
+                records.append(
+                    _event(
+                        10 * span_id + node,
+                        t * span_id,  # lzero latencies are doubled
+                        "tx.deliver",
+                        span_id=span_id,
+                        tx_id=0,
+                        node=node,
+                        sender=0,
+                    )
+                )
+        result = stream_latencies(_lines(*records))
+        assert result.deliveries == 4 and result.skipped == 0
+        assert result.sketches["hermes"].count == 2
+        assert result.sketches["hermes"].max == 9.0
+        assert result.sketches["lzero"].max == 18.0
+        assert result.sketches["hermes"].rank_error() == 0.0
+
+    def test_matches_a_real_tracer_export(self):
+        tracer = Tracer()
+        with tracer.span("fig.protocol", protocol="hermes"):
+            for tx_id in range(20):
+                tracer.event("tx.dispatch", tx_id=tx_id, origin=0)
+                tracer.event("tx.deliver", tx_id=tx_id, node=1, sender=0)
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        buffer.seek(0)
+        result = stream_latencies(buffer)
+        assert result.deliveries == 20
+        assert result.skipped == 0
+        assert result.sketches["hermes"].count == 20
+
+    def test_delivery_without_dispatch_is_skipped_not_fatal(self):
+        result = stream_latencies(
+            _lines(
+                _header(),
+                _event(0, 5.0, "tx.deliver", tx_id=7, node=1, sender=0),
+            )
+        )
+        assert result.deliveries == 0 and result.skipped == 1
+
+    def test_inflight_cap_evicts_oldest_and_accounts_for_it(self):
+        records = [_header()]
+        for tx_id in range(6):
+            records.append(_event(tx_id, float(tx_id), "tx.dispatch", tx_id=tx_id))
+        for tx_id in range(6):
+            records.append(
+                _event(10 + tx_id, 100.0, "tx.deliver", tx_id=tx_id, node=1, sender=0)
+            )
+        result = stream_latencies(_lines(*records), max_inflight=2)
+        # Dispatches 0-3 were evicted; their deliveries are also unmatched.
+        assert result.deliveries == 2
+        assert result.skipped == 4 + 4
+        assert result.sketches[None].count == 2
+
+    def test_same_validation_as_read_trace(self):
+        with pytest.raises(TraceReadError, match="missing header"):
+            stream_latencies([])
+        with pytest.raises(TraceReadError, match="line 2"):
+            stream_latencies(_lines(_header()) + ["{not json"])
+        with pytest.raises(TraceReadError, match="unknown record type"):
+            stream_latencies(_lines(_header(), {"type": "bogus"}))
+        with pytest.raises(TraceReadError, match="malformed event"):
+            stream_latencies(_lines(_header(), _event(0, 0.0, "tx.dispatch")))

@@ -1,0 +1,151 @@
+"""Unit tests for the O(active-sessions) client population model."""
+
+import pytest
+
+from repro.population import ClientPopulation, PopulationConfig, WealthTier
+from repro.population.clients import DEFAULT_TIERS
+
+
+def config(**overrides):
+    base = dict(
+        num_clients=10_000,
+        session_rate_per_s=5.0,
+        session_duration_ms=2_000.0,
+        session_tx_rate_tps=2.0,
+        num_nodes=8,
+        seed=3,
+    )
+    base.update(overrides)
+    return PopulationConfig(**base)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            config(num_clients=0)
+        with pytest.raises(ValueError):
+            config(num_nodes=0)
+        with pytest.raises(ValueError):
+            config(session_rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            config(zipf_s=-0.1)
+
+    def test_tier_shares_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            config(tiers=(WealthTier("all", 0.5, 1.0),))
+
+    def test_tier_validation(self):
+        with pytest.raises(ValueError):
+            WealthTier("x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            WealthTier("x", 1.0, 0.0)
+
+    def test_offered_rate_round_trip(self):
+        cfg = PopulationConfig.for_offered_rate(
+            20.0, num_clients=1000, num_nodes=4, seed=1
+        )
+        assert cfg.offered_tps == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            PopulationConfig.for_offered_rate(0.0, num_clients=10, num_nodes=2)
+
+
+class TestIdentity:
+    def test_tier_and_origin_are_stable(self):
+        pop = ClientPopulation(config())
+        for client in (0, 17, 9_999):
+            assert pop.client_tier(client) == pop.client_tier(client)
+            assert pop.client_origin(client) == pop.client_origin(client)
+            assert 0 <= pop.client_origin(client) < 8
+
+    def test_tier_shares_approximately_respected(self):
+        pop = ClientPopulation(config(num_clients=5_000))
+        counts = {tier.name: 0 for tier in DEFAULT_TIERS}
+        for client in range(5_000):
+            counts[pop.client_tier(client)] += 1
+        assert counts["retail"] > counts["pro"] > counts["whale"] > 0
+        assert counts["retail"] / 5_000 == pytest.approx(0.90, abs=0.03)
+
+    def test_bid_scales_resolve(self):
+        pop = ClientPopulation(config())
+        assert pop.tier_bid_scale("whale") == 20.0
+        with pytest.raises(KeyError):
+            pop.tier_bid_scale("nonexistent")
+
+    def test_permutation_is_a_bijection(self):
+        pop = ClientPopulation(config(num_clients=101))
+        images = {pop._rank_to_client(rank) for rank in range(101)}
+        assert images == set(range(101))
+
+
+class TestZipfDraw:
+    def test_uniform_when_s_is_zero(self):
+        pop = ClientPopulation(config(zipf_s=0.0, num_clients=10))
+        assert pop._draw_rank(0.0) == 0
+        assert pop._draw_rank(0.999) == 9
+
+    def test_skew_concentrates_low_ranks(self):
+        pop = ClientPopulation(config(zipf_s=1.1, num_clients=100_000))
+        # The median draw of a heavily skewed population is a tiny rank.
+        assert pop._draw_rank(0.5) < 1000
+        assert pop._draw_rank(0.0) == 0
+        assert pop._draw_rank(1.0) <= 99_999
+
+    def test_s_equal_one_branch(self):
+        pop = ClientPopulation(config(zipf_s=1.0, num_clients=1000))
+        assert pop._draw_rank(0.0) == 0
+        assert 0 <= pop._draw_rank(0.7) < 1000
+
+    def test_single_client_population(self):
+        pop = ClientPopulation(config(num_clients=1, zipf_s=1.1))
+        assert pop._draw_rank(0.9) == 0
+
+
+class TestEventStream:
+    def test_events_are_time_ordered_and_in_range(self):
+        pop = ClientPopulation(config())
+        events = list(pop.events(5_000.0))
+        assert events, "expected a non-empty stream at 20 tps over 5 s"
+        times = [e.time_ms for e in events]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 5_000.0 for t in times)
+        assert all(0 <= e.client_id < 10_000 for e in events)
+        assert all(0 <= e.origin < 8 for e in events)
+        assert all(e.tier in {"retail", "pro", "whale"} for e in events)
+
+    def test_replay_is_identical(self):
+        pop = ClientPopulation(config())
+        first = list(pop.events(4_000.0))
+        second = list(pop.events(4_000.0))
+        assert first == second
+        # A fresh population from an equal config replays too.
+        third = list(ClientPopulation(config()).events(4_000.0))
+        assert first == third
+
+    def test_seed_changes_the_stream(self):
+        a = list(ClientPopulation(config(seed=1)).events(4_000.0))
+        b = list(ClientPopulation(config(seed=2)).events(4_000.0))
+        assert a != b
+
+    def test_horizon_prefix_property(self):
+        pop = ClientPopulation(config())
+        short = list(pop.events(2_000.0))
+        long = list(pop.events(4_000.0))
+        assert long[: len(short)] == short
+
+    def test_offered_rate_is_approximately_met(self):
+        cfg = config()
+        pop = ClientPopulation(cfg)
+        horizon = 30_000.0
+        events = list(pop.events(horizon))
+        realized = len(events) / (horizon / 1000.0)
+        assert realized == pytest.approx(cfg.offered_tps, rel=0.35)
+
+    def test_peak_active_sessions_is_reported(self):
+        pop = ClientPopulation(config())
+        list(pop.events(5_000.0))
+        assert pop.last_peak_active > 0
+
+    def test_rejects_bad_horizon(self):
+        pop = ClientPopulation(config())
+        with pytest.raises(ValueError):
+            list(pop.events(0.0))

@@ -1,0 +1,89 @@
+"""Unit tests for the EIP-1559-style fee market."""
+
+import pytest
+
+from repro.population import FeeMarket, FeeMarketConfig
+
+
+class TestConfigValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            FeeMarketConfig(initial_base_fee=0.0)
+        with pytest.raises(ValueError):
+            FeeMarketConfig(min_base_fee=0.0)
+        with pytest.raises(ValueError):
+            FeeMarketConfig(min_base_fee=2.0, initial_base_fee=1.0)
+        with pytest.raises(ValueError):
+            FeeMarketConfig(max_change=0.0)
+        with pytest.raises(ValueError):
+            FeeMarketConfig(max_change=1.0)
+        with pytest.raises(ValueError):
+            FeeMarketConfig(update_interval_ms=0.0)
+        with pytest.raises(ValueError):
+            FeeMarketConfig(bid_sigma=-0.1)
+
+
+class TestController:
+    def test_pressure_steps_are_clamped(self):
+        market = FeeMarket(FeeMarketConfig(initial_base_fee=1.0, max_change=0.125))
+        market.on_pressure(occupancy_ratio=10.0, now_ms=500.0)  # clamps to +1
+        assert market.base_fee == pytest.approx(1.125)
+        market.on_pressure(occupancy_ratio=0.0, now_ms=1000.0)  # full -step
+        assert market.base_fee == pytest.approx(1.125 * 0.875)
+
+    def test_on_target_holds_steady(self):
+        market = FeeMarket(FeeMarketConfig())
+        market.on_pressure(occupancy_ratio=1.0, now_ms=500.0)
+        assert market.base_fee == 1.0
+
+    def test_floor_is_enforced(self):
+        market = FeeMarket(FeeMarketConfig(initial_base_fee=1.0, min_base_fee=0.9))
+        for tick in range(1, 20):
+            market.on_pressure(occupancy_ratio=0.0, now_ms=tick * 500.0)
+        assert market.base_fee == pytest.approx(0.9)
+
+    def test_sustained_pressure_compounds(self):
+        market = FeeMarket(FeeMarketConfig(initial_base_fee=1.0, max_change=0.125))
+        for tick in range(1, 11):
+            market.on_pressure(occupancy_ratio=2.0, now_ms=tick * 500.0)
+        assert market.base_fee == pytest.approx(1.125**10)
+
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(ValueError):
+            FeeMarket().on_pressure(occupancy_ratio=-0.1, now_ms=0.0)
+
+    def test_history_and_digest(self):
+        market = FeeMarket(FeeMarketConfig())
+        market.on_pressure(2.0, 500.0)
+        market.on_pressure(2.0, 1000.0)
+        market.on_pressure(0.0, 1500.0)
+        digest = market.fee_percentiles()
+        assert digest["start"] == 1.0
+        assert digest["max"] == pytest.approx(1.125**2)
+        assert digest["final"] == market.base_fee
+        assert len(market.history) == 4
+
+
+class TestBids:
+    def test_bids_are_deterministic_per_seed(self):
+        a, b = FeeMarket(seed=5), FeeMarket(seed=5)
+        assert [a.bid(2.0) for _ in range(10)] == [b.bid(2.0) for _ in range(10)]
+        c = FeeMarket(seed=6)
+        assert [a.bid(2.0) for _ in range(10)] != [c.bid(2.0) for _ in range(10)]
+
+    def test_bid_scales_with_tier_and_base_fee(self):
+        market = FeeMarket(FeeMarketConfig(bid_sigma=0.0))
+        assert market.bid(bid_scale=4.0) == pytest.approx(4.0)
+        market.on_pressure(2.0, 500.0)
+        assert market.bid(bid_scale=4.0) == pytest.approx(4.0 * 1.125)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            FeeMarket().bid(bid_scale=0.0)
+
+    def test_noise_is_lognormal_around_one(self):
+        market = FeeMarket(FeeMarketConfig(bid_sigma=0.25), seed=11)
+        bids = [market.bid() for _ in range(2000)]
+        assert all(bid > 0 for bid in bids)
+        mean = sum(bids) / len(bids)
+        assert mean == pytest.approx(1.0, rel=0.15)

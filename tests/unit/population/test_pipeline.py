@@ -1,0 +1,126 @@
+"""Unit tests for the simulator-free ingest pipeline."""
+
+import pytest
+
+from repro.mempool import MempoolPolicy
+from repro.population import (
+    ClientPopulation,
+    FeeMarket,
+    FeeMarketConfig,
+    PopulationConfig,
+    PopulationResult,
+    run_ingest,
+)
+
+
+def population(offered_tps=40.0, seed=0, num_clients=5_000):
+    return ClientPopulation(
+        PopulationConfig.for_offered_rate(
+            offered_tps,
+            num_clients=num_clients,
+            num_nodes=4,
+            seed=seed,
+            session_duration_ms=2_000.0,
+        )
+    )
+
+
+class TestRunIngest:
+    def test_light_load_serves_everything(self):
+        result = run_ingest(
+            population(offered_tps=10.0),
+            duration_ms=10_000.0,
+            service_tps=100.0,
+            drain_ms=2_000.0,
+        )
+        assert result.protocol == "ingest"
+        assert result.injected > 0
+        assert result.delivered == result.injected
+        assert result.evicted == result.rejected == result.expired == 0
+        assert result.p50_ms is not None and result.p50_ms > 0
+        assert result.p95_ms >= result.p50_ms
+
+    def test_overload_respects_the_cap(self):
+        result = run_ingest(
+            population(offered_tps=100.0),
+            duration_ms=20_000.0,
+            service_tps=10.0,
+            policy=MempoolPolicy(max_size=50),
+            fee_market=FeeMarket(FeeMarketConfig()),
+        )
+        assert result.mempool_peak <= 50
+        assert result.evicted + result.rejected > 0
+        assert result.delivered < result.injected
+
+    def test_fee_market_rises_under_backlog(self):
+        result = run_ingest(
+            population(offered_tps=100.0),
+            duration_ms=20_000.0,
+            service_tps=10.0,
+            policy=MempoolPolicy(max_size=500),
+            fee_market=FeeMarket(FeeMarketConfig()),
+            target_occupancy=50,
+        )
+        assert result.base_fee_max > 1.0
+        assert result.fee_p50 is not None and result.fee_p95 >= result.fee_p50
+        assert result.base_fee_series[0] == [0.0, 1.0]
+
+    def test_ttl_expires_stale_backlog(self):
+        result = run_ingest(
+            population(offered_tps=100.0),
+            duration_ms=20_000.0,
+            service_tps=5.0,
+            policy=MempoolPolicy(ttl_ms=2_000.0),
+        )
+        assert result.expired > 0
+
+    def test_deterministic_replay(self):
+        kwargs = dict(
+            duration_ms=8_000.0,
+            service_tps=20.0,
+            policy=MempoolPolicy(max_size=100),
+            fee_market=FeeMarket(FeeMarketConfig(), seed=2),
+        )
+        first = run_ingest(population(seed=9), **kwargs)
+        kwargs["fee_market"] = FeeMarket(FeeMarketConfig(), seed=2)
+        second = run_ingest(population(seed=9), **kwargs)
+        assert first == second
+
+    def test_series_are_windowed_not_per_tx(self):
+        result = run_ingest(
+            population(offered_tps=50.0),
+            duration_ms=30_000.0,
+            service_tps=100.0,
+            window_ms=10_000.0,
+        )
+        assert 1 <= len(result.latency_series) <= 5
+        assert all("p50" in row for row in result.latency_series)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            run_ingest(population(), duration_ms=0.0, service_tps=10.0)
+        with pytest.raises(Exception):
+            run_ingest(population(), duration_ms=100.0, service_tps=0.0)
+        with pytest.raises(ValueError):
+            run_ingest(
+                population(), duration_ms=100.0, service_tps=10.0, drain_ms=-1.0
+            )
+
+
+class TestResultRoundTrip:
+    def test_json_round_trip(self):
+        result = run_ingest(
+            population(offered_tps=20.0),
+            duration_ms=5_000.0,
+            service_tps=50.0,
+            fee_market=FeeMarket(),
+        )
+        doc = result.to_json()
+        assert PopulationResult.from_json(doc) == result
+        assert doc["protocol"] == "ingest"
+
+    def test_delivery_ratio(self):
+        result = run_ingest(
+            population(offered_tps=20.0), duration_ms=5_000.0, service_tps=50.0
+        )
+        assert 0.0 < result.delivery_ratio <= 1.0
