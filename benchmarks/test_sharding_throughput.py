@@ -1,0 +1,124 @@
+"""Benchmark: aggregate-goodput scaling of the sharded deployment.
+
+Drives the same open-loop workload (80 tx/s offered, Poisson arrivals,
+capacity-limited 32 KB/s uplinks) through a 48-node deployment at one and at
+four shards, and gates the headline Fig. 9 claim from the ISSUE acceptance
+criteria: **k = 4 aggregate goodput ≥ 2.5x the k = 1 baseline at fixed
+per-node capacity**.  A single committee saturates its dissemination
+pipeline well below the offered rate; four independent committees each
+carry a quarter of the load with capacity to spare.
+
+Everything the simulator measures here is a pure function of ``(seed,
+params)``, so injected/delivered counts and the scaling factor gate with
+zero (or near-zero) tolerance; wall-clock throughput is machine-dependent
+and tracked as info.
+
+Emits ``BENCH_sharding.json`` at the repo root for the CI bench gate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+
+from conftest import report
+
+from repro.load.arrival import make_arrivals
+from repro.load.capacity import CapacityConfig
+from repro.mempool.transaction import reset_tx_ids
+from repro.net.events import reset_message_ids
+from repro.obs.analysis import bench_record, write_bench_record
+from repro.sharding import ShardedLoadDriver, ShardedSystem
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_sharding.json"
+
+TOTAL_NODES = 48
+SHARD_COUNTS = (1, 4)
+RATE_TPS = 80.0
+DURATION_MS = 5_000.0
+DRAIN_MS = 2_000.0
+SEED = 0
+CAPACITY = CapacityConfig(
+    uplink_kb_per_s=32.0, downlink_kb_per_s=128.0, queue_bytes=32 * 1024
+)
+SCALING_FLOOR = 2.5  # ISSUE acceptance: k=4 goodput >= 2.5x k=1
+
+
+def _run_cell(num_shards: int) -> dict:
+    reset_tx_ids()
+    reset_message_ids()
+    system = ShardedSystem(
+        num_shards,
+        TOTAL_NODES,
+        protocol="hermes",
+        f=1,
+        k=3,
+        seed=SEED,
+        capacity=CAPACITY,
+    )
+    arrivals = make_arrivals(
+        "poisson", rate_tps=RATE_TPS, origins=list(range(TOTAL_NODES)), seed=SEED
+    )
+    start = time.perf_counter()
+    result = ShardedLoadDriver(system, arrivals).run(DURATION_MS, DRAIN_MS)
+    wall = time.perf_counter() - start
+    return {
+        "injected": result.injected,
+        "delivered": result.delivered,
+        "goodput_tps": result.aggregate_goodput_tps,
+        "routed": result.routed,
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def test_sharding_throughput():
+    cells = {num_shards: _run_cell(num_shards) for num_shards in SHARD_COUNTS}
+
+    scaling = cells[4]["goodput_tps"] / cells[1]["goodput_tps"]
+    assert scaling >= SCALING_FLOOR, (
+        f"k=4 aggregate goodput is only {scaling:.2f}x the k=1 baseline "
+        f"(floor {SCALING_FLOOR}x): sharding no longer scales throughput"
+    )
+    # Both cells saw the identical offered schedule; only sharding differed.
+    assert cells[1]["injected"] == cells[4]["injected"]
+    assert cells[1]["routed"] == 0  # k=1 never touches the router
+    assert cells[4]["routed"] > 0
+
+    metrics: dict[str, float] = {}
+    for num_shards, cell in cells.items():
+        for key, value in cell.items():
+            metrics[f"k{num_shards}_{key}"] = value
+    metrics["goodput_scaling_k4_over_k1"] = round(scaling, 3)
+
+    doc = bench_record(
+        "sharding_throughput",
+        metrics,
+        meta={
+            "total_nodes": TOTAL_NODES,
+            "shard_counts": list(SHARD_COUNTS),
+            "rate_tps": RATE_TPS,
+            "duration_ms": DURATION_MS,
+            "drain_ms": DRAIN_MS,
+            "uplink_kb_per_s": CAPACITY.uplink_kb_per_s,
+            "scaling_floor": SCALING_FLOOR,
+        },
+        seed=SEED,
+    )
+    write_bench_record(BENCH_PATH, doc)
+
+    lines = [
+        f"sharded goodput — {TOTAL_NODES} nodes, {RATE_TPS:.0f} tx/s offered, "
+        f"{CAPACITY.uplink_kb_per_s:.0f} KB/s uplinks",
+    ]
+    for num_shards, cell in cells.items():
+        lines.append(
+            f"  k={num_shards}: {cell['goodput_tps']:6.1f} tps aggregate "
+            f"({cell['delivered']:,}/{cell['injected']:,} delivered, "
+            f"{cell['routed']} routed) in {cell['wall_seconds']:.1f}s"
+        )
+    lines.append(
+        f"  scaling k4/k1: {scaling:.2f}x (floor {SCALING_FLOOR}x)"
+    )
+    lines.append(f"  -> {BENCH_PATH.name}")
+    report("sharding_throughput", "\n".join(lines))

@@ -17,6 +17,7 @@ Top-level convenience re-exports. The subpackages are:
 - :mod:`repro.population` — million-client workloads: fee market, admission control
 - :mod:`repro.obs` — structured observability: tracing, metrics, profiling
 - :mod:`repro.runner` — parallel sweep engine with a content-addressed result cache
+- :mod:`repro.sharding` — sharded multi-proposer dissemination: per-shard TRS committees
 - :mod:`repro.experiments` — one module per paper table/figure
 
 ``repro.__all__`` is the documented public surface: exactly the subpackages
@@ -46,6 +47,7 @@ _SUBPACKAGES = (
     "population",
     "rbc",
     "runner",
+    "sharding",
     "trs",
     "utils",
 )

@@ -12,7 +12,9 @@ adversary ...`` runs attack strategies from the zoo against one protocol
 (see ``python -m repro adversary --help`` and ``docs/adversary.md``); ``python -m
 repro population ...`` sweeps sustained client-population load with a fee
 market and bounded mempools (see ``python -m repro population --help`` and
-``docs/population.md``);
+``docs/population.md``); ``python -m repro shard ...`` runs sharded
+multi-proposer deployments and the cross-shard partition drill (see
+``python -m repro shard --help`` and ``docs/sharding.md``);
 ``python -m repro analyze / report / bench-gate`` run the trace analytics,
 run-report and
 regression-gate front ends (see :mod:`repro.obs.analysis` and
@@ -45,6 +47,10 @@ def main(argv: list[str] | None = None) -> int:
         from .population.cli import main as population_main
 
         return population_main(argv[1:])
+    if argv and argv[0] == "shard":
+        from .sharding.cli import main as shard_main
+
+        return shard_main(argv[1:])
     if argv and argv[0] == "analyze":
         from .obs.analysis.cli import analyze_main
 

@@ -33,6 +33,7 @@ from .scenario import (
     BehaviorFlip,
     ChaosScenario,
     ChurnBurst,
+    CommitteePartition,
     ForgeryInjection,
     LatencySpike,
     LossWindow,
@@ -220,6 +221,31 @@ def run_chaos(
                 f"loss p={event.probability} until {event.end_ms}ms",
                 probability=event.probability,
                 end_ms=event.end_ms,
+            )
+        elif isinstance(event, CommitteePartition):
+            if not committee:
+                log_entry(
+                    event,
+                    f"committee partition skipped ({protocol} has no committee)",
+                    applied=False,
+                )
+                continue
+            group = frozenset(committee)
+            disruptor.add_partition(event.at_ms, event.heal_ms, group)
+            windows.append(
+                (
+                    event.at_ms,
+                    event.heal_ms,
+                    "chaos.committee_partition",
+                    {"nodes": len(group)},
+                )
+            )
+            log_entry(
+                event,
+                f"TRS committee ({len(group)} nodes) partitioned "
+                f"until {event.heal_ms}ms",
+                committee=sorted(group),
+                heal_ms=event.heal_ms,
             )
         elif isinstance(event, ChurnBurst):
             chosen = pick_targets(max(1, round(event.fraction * len(node_ids))))

@@ -35,6 +35,7 @@ __all__ = [
     "LatencySpike",
     "LossWindow",
     "ChurnBurst",
+    "CommitteePartition",
     "ForgeryInjection",
     "ChaosWorkload",
     "ChaosScenario",
@@ -203,6 +204,27 @@ class ChurnBurst(ChaosEvent):
             raise ConfigurationError(f"fraction must be in (0, 1], got {self.fraction}")
         if self.down_ms <= 0:
             raise ConfigurationError(f"down_ms must be positive, got {self.down_ms}")
+
+
+@_event("committee-partition")
+@dataclass(frozen=True)
+class CommitteePartition(ChaosEvent):
+    """Cut the system's TRS committee off from every non-committee node.
+
+    Between ``at_ms`` and ``heal_ms`` no transmission crosses the committee
+    boundary: fresh TRS requests go unanswered (the protocol has no request
+    retry), and the committee's own traffic stays inside the island.  On
+    committee-less baselines the event is recorded but not applied.  This is
+    the single-system half of the sharded ``cross-shard-partition`` drill
+    (:func:`repro.sharding.chaos.run_cross_shard_partition`), which isolates
+    one shard's committee and checks that the *other* shards keep delivering.
+    """
+
+    heal_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._check_window(self.heal_ms)
 
 
 @_event("inject-forgery")
@@ -542,8 +564,36 @@ def _censor_blackout() -> ChaosScenario:
     )
 
 
+def _cross_shard_partition() -> ChaosScenario:
+    """One committee islanded mid-run; gossip must carry liveness until heal.
+
+    While the committee is cut off, fresh TRS requests die (there is no
+    request retry) — but every submission lands in its origin's mempool
+    first, so the gossip fallback keeps spreading it among non-committee
+    nodes and catches the committee up after the heal.  The sharded drill
+    (:func:`repro.sharding.chaos.run_cross_shard_partition`) applies this
+    scenario's event to *one* shard of a :class:`~repro.sharding.ShardedSystem`
+    and additionally asserts the untouched shards never notice.
+    """
+
+    return ChaosScenario(
+        name="cross-shard-partition",
+        description=(
+            "The TRS committee is partitioned from the rest of the network "
+            "for 1.7s mid-run; delivery liveness must survive on gossip "
+            "until the heal catches the committee up."
+        ),
+        horizon_ms=8_000.0,
+        workload=ChaosWorkload(transactions=6, start_ms=200.0, period_ms=500.0),
+        events=(CommitteePartition(at_ms=900.0, heal_ms=2_600.0),),
+        liveness_deadline_ms=4_500.0,
+        min_coverage=1.0,
+    )
+
+
 _BUILTINS: dict[str, Callable[[], ChaosScenario]] = {
     "censor-blackout": _censor_blackout,
+    "cross-shard-partition": _cross_shard_partition,
     "sandwich-squeeze": _sandwich_squeeze,
     "escalation": _escalation,
     "honest": _honest,

@@ -31,6 +31,9 @@ AUDITOR_REPORTER = -1
 class ViolationKind(enum.Enum):
     BAD_SIGNATURE = "bad-signature"
     WRONG_OVERLAY = "wrong-overlay"
+    # Sharded deployments only: an envelope sealed by (or for) a different
+    # shard's committee arrived at this shard's relay.
+    WRONG_SHARD = "wrong-shard"
     ILLEGITIMATE_PREDECESSOR = "illegitimate-predecessor"
     SEQUENCE_GAP = "sequence-gap"
     EXCLUDED_SENDER = "excluded-sender"

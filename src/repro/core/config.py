@@ -35,8 +35,16 @@ class HermesConfig:
     # §I: "thorough logging to trace node activity" — collect the full
     # activity trace (TRS requests, dispatches, relays, deliveries, acks).
     tracing_enabled: bool = False
+    # Sharded deployments (repro.sharding): which shard this system is.
+    # None (the default) means unsharded — envelopes then carry no shard tag
+    # and the wire format is byte-identical to the original protocol.
+    shard_id: int | None = None
 
     def __post_init__(self) -> None:
+        if self.shard_id is not None and self.shard_id < 0:
+            raise ConfigurationError(
+                f"shard_id must be None or >= 0, got {self.shard_id}"
+            )
         if self.f < 0:
             raise ConfigurationError(f"f must be non-negative, got {self.f}")
         if self.num_overlays < 1:

@@ -34,6 +34,9 @@ GOSSIP_TXS_KIND = "hermes-gossip-txs"
 # Envelope framing beyond the transaction and signature: origin, sequence,
 # overlay id, and the 32-byte digest.
 _ENVELOPE_EXTRA_BYTES = 48
+# Shard tag (repro.sharding): a uint16 shard id, present only on sharded
+# deployments so the unsharded wire format is untouched.
+_SHARD_TAG_BYTES = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +48,11 @@ class DisseminationEnvelope:
     sequence: int
     signature: object
     overlay_id: int
+    #: Which shard's committee sealed this envelope (None on unsharded
+    #: deployments).  A relay configured for shard ``s`` rejects envelopes
+    #: tagged for any other shard at admission — mis-routed traffic cannot
+    #: leak across committees.
+    shard_id: int | None = None
 
     def binding(self) -> bytes:
         """The committee-signed byte string this envelope claims a seed for."""
@@ -62,4 +70,7 @@ class DisseminationEnvelope:
         )
 
     def wire_bytes(self, backend: CryptoBackend) -> int:
-        return self.tx.size_bytes + backend.threshold_sig_size + _ENVELOPE_EXTRA_BYTES
+        size = self.tx.size_bytes + backend.threshold_sig_size + _ENVELOPE_EXTRA_BYTES
+        if self.shard_id is not None:
+            size += _SHARD_TAG_BYTES
+        return size

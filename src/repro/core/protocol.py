@@ -189,6 +189,7 @@ class HermesNode(ProtocolNode):
                 sequence=result.sequence,
                 signature=result.signature,
                 overlay_id=result.overlay_id,
+                shard_id=self.config.shard_id,
             )
             self._dispatch_to_entry_points(envelope)
 
@@ -324,6 +325,21 @@ class HermesNode(ProtocolNode):
         if self.monitor.is_excluded(sender) and sender != self.node_id:
             self.monitor.flag(
                 ViolationKind.EXCLUDED_SENDER, sender, self.now, "message after exclusion"
+            )
+            return
+        # Sharded deployments: traffic sealed for another shard's committee
+        # is rejected at admission — mis-routed envelopes cannot leak across
+        # shard boundaries (repro.sharding).
+        if (
+            self.config.shard_id is not None
+            and envelope.shard_id != self.config.shard_id
+        ):
+            self.monitor.flag(
+                ViolationKind.WRONG_SHARD,
+                sender,
+                self.now,
+                f"envelope tagged for shard {envelope.shard_id}, "
+                f"this relay serves shard {self.config.shard_id}",
             )
             return
         overlay = self.overlays.get(envelope.overlay_id)

@@ -83,6 +83,10 @@ class Network:
         # hook existed; the model itself draws no randomness, so enabled runs
         # replay deterministically too.
         self.capacity: "CapacityModel | None" = None
+        # Sharding hook (repro.sharding): which shard this network belongs to.
+        # Purely descriptive — per-shard capacity/stats books key on it; None
+        # (the default) means an unsharded deployment.
+        self.shard_id: int | None = None
         self.on_send: Callable[[int, int, Message, float], None] | None = None
         # Fires at delivery time, just before the receiver processes the
         # message — i.e. only for transmissions that survived loss and

@@ -94,6 +94,7 @@ class CriticalPath:
     dispatch_ms: float
     end_ms: float
     trs_wait_ms: float  # submit -> dispatch (protocol overhead before byte 0)
+    shard: int | None = None  # shard tag of the owning tree (sharded runs only)
 
     @property
     def e2e_ms(self) -> float:
@@ -226,6 +227,7 @@ def critical_path(
         dispatch_ms=dispatch_ms,
         end_ms=target.time_ms,
         trs_wait_ms=dispatch_ms - submit_ms,
+        shard=tree.shard,
     )
 
 
@@ -248,6 +250,7 @@ class ProtocolBreakdown:
     """Critical-path attribution aggregated over one protocol's transactions."""
 
     protocol: str | None
+    shard: int | None = None
     tx_count: int = 0
     hop_count: int = 0
     e2e_ms: float = 0.0
@@ -275,14 +278,20 @@ class ProtocolBreakdown:
 
 
 def aggregate(paths: Iterable[CriticalPath]) -> list[ProtocolBreakdown]:
-    """Per-protocol totals across many transactions' critical paths."""
+    """Per-(protocol, shard) totals across many transactions' critical paths.
 
-    by_protocol: dict[str | None, ProtocolBreakdown] = {}
+    Unsharded traces carry no shard tags, so every path falls in the single
+    ``shard=None`` group per protocol and the output is identical to the
+    pre-sharding aggregation.
+    """
+
+    groups: dict[tuple[str | None, int | None], ProtocolBreakdown] = {}
     for path in paths:
-        breakdown = by_protocol.get(path.protocol)
+        key = (path.protocol, path.shard)
+        breakdown = groups.get(key)
         if breakdown is None:
-            breakdown = by_protocol[path.protocol] = ProtocolBreakdown(
-                protocol=path.protocol
+            breakdown = groups[key] = ProtocolBreakdown(
+                protocol=path.protocol, shard=path.shard
             )
         breakdown.tx_count += 1
         breakdown.hop_count += len(path.hops)
@@ -291,4 +300,7 @@ def aggregate(paths: Iterable[CriticalPath]) -> list[ProtocolBreakdown]:
         breakdown.matched_hops += sum(1 for hop in path.hops if hop.matched)
         for name, value in path.component_sums().items():
             breakdown.components[name] += value
-    return [by_protocol[key] for key in sorted(by_protocol, key=str)]
+    return [
+        groups[key]
+        for key in sorted(groups, key=lambda k: (str(k[0]), k[1] is not None, k[1] or 0))
+    ]

@@ -46,28 +46,33 @@ def _ms(value: float) -> str:
 
 def _tree_section(trees: list[DisseminationTree]) -> list[str]:
     lines = ["## Dissemination trees", ""]
-    by_protocol: dict[str | None, list[DisseminationTree]] = {}
+    # A shard column appears only for sharded runs (any tree carrying a shard
+    # tag); unsharded reports render exactly as before.
+    sharded = any(tree.shard is not None for tree in trees)
+    groups: dict[tuple[str | None, int | None], list[DisseminationTree]] = {}
     for tree in trees:
-        by_protocol.setdefault(tree.protocol, []).append(tree)
+        groups.setdefault((tree.protocol, tree.shard), []).append(tree)
     rows = []
-    for protocol in sorted(by_protocol, key=str):
-        group = by_protocol[protocol]
+    for key in sorted(groups, key=lambda k: (str(k[0]), k[1] is not None, k[1] or 0)):
+        protocol, shard = key
+        group = groups[key]
         total_orphans = sum(len(t.orphans) for t in group)
         depths = [t.max_depth() for t in group]
         nodes = [t.node_count for t in group]
-        rows.append(
-            [
-                str(protocol or "?"),
-                str(len(group)),
-                f"{sum(nodes) / len(group):.1f}",
-                str(max(depths) if depths else 0),
-                str(total_orphans),
-            ]
-        )
-    lines += _table(
-        ["protocol", "trees", "mean nodes/tree", "max depth", "orphan deliveries"],
-        rows,
-    )
+        row = [
+            str(protocol or "?"),
+            str(len(group)),
+            f"{sum(nodes) / len(group):.1f}",
+            str(max(depths) if depths else 0),
+            str(total_orphans),
+        ]
+        if sharded:
+            row.insert(1, "-" if shard is None else str(shard))
+        rows.append(row)
+    headers = ["protocol", "trees", "mean nodes/tree", "max depth", "orphan deliveries"]
+    if sharded:
+        headers.insert(1, "shard")
+    lines += _table(headers, rows)
     lines.append("")
     return lines
 
@@ -75,22 +80,25 @@ def _tree_section(trees: list[DisseminationTree]) -> list[str]:
 def _critical_path_section(paths: list[CriticalPath]) -> list[str]:
     lines = ["## Critical-path latency attribution", ""]
     breakdowns: list[ProtocolBreakdown] = aggregate(paths)
+    sharded = any(b.shard is not None for b in breakdowns)
     headers = ["protocol", "txs", "mean hops", "mean e2e (ms)", "trs wait (ms)"] + [
         f"{name} %" for name in COMPONENTS
     ]
+    if sharded:
+        headers.insert(1, "shard")
     rows = []
     for b in breakdowns:
         shares = b.component_shares()
-        rows.append(
-            [
-                str(b.protocol or "?"),
-                str(b.tx_count),
-                f"{b.mean_hops:.1f}",
-                _ms(b.mean_e2e_ms),
-                _ms(b.trs_wait_ms / b.tx_count if b.tx_count else 0.0),
-            ]
-            + [f"{shares[name] * 100:.1f}" for name in COMPONENTS]
-        )
+        row = [
+            str(b.protocol or "?"),
+            str(b.tx_count),
+            f"{b.mean_hops:.1f}",
+            _ms(b.mean_e2e_ms),
+            _ms(b.trs_wait_ms / b.tx_count if b.tx_count else 0.0),
+        ] + [f"{shares[name] * 100:.1f}" for name in COMPONENTS]
+        if sharded:
+            row.insert(1, "-" if b.shard is None else str(b.shard))
+        rows.append(row)
     lines += _table(headers, rows)
     unmatched = sum(
         len(p.hops) - sum(1 for h in p.hops if h.matched) for p in paths

@@ -269,6 +269,7 @@ class DisseminationTree:
     tx_id: int
     protocol: str | None
     origin: int | None = None
+    shard: int | None = None
     submit_ms: float | None = None
     dispatch_ms: float | None = None
     overlay_id: int | None = None
@@ -329,6 +330,10 @@ def build_trees(trace: Trace) -> list[DisseminationTree]:
         tree = trees.get(key)
         if tree is None:
             tree = trees[key] = DisseminationTree(tx_id=key[1], protocol=key[0])
+        if tree.shard is None and event.attrs.get("shard") is not None:
+            # Sharded runs stamp every event with its shard tag (see
+            # TaggedObservability); unsharded traces never carry the key.
+            tree.shard = int(event.attrs["shard"])
         return tree
 
     deliveries: dict[tuple[str | None, int], list[ReadEvent]] = {}
@@ -353,6 +358,11 @@ def build_trees(trace: Trace) -> list[DisseminationTree]:
         tree = trees.get(key)
         if tree is None:
             tree = trees[key] = DisseminationTree(tx_id=key[1], protocol=key[0])
+        if tree.shard is None:
+            for event in events:
+                if event.attrs.get("shard") is not None:
+                    tree.shard = int(event.attrs["shard"])
+                    break
         reachable: set[int] = set()
         if tree.origin is not None:
             reachable.add(tree.origin)

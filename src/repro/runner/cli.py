@@ -10,8 +10,9 @@ Two modes:
           --set protocol=hermes,lzero --set seed=0,1,2 \\
           --jobs 4 --results-dir results/adhoc
 
-* ``--figure fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8`` submits the corresponding
-  figure script's repetition grid and prints the figure table::
+* ``--figure fig3a|fig3b|fig5a|fig5b|fig6|fig7|fig8|fig9`` submits the
+  corresponding figure script's repetition grid and prints the figure table
+  (``--list-figures`` enumerates them with one-line descriptions)::
 
       python -m repro sweep --figure fig5a --jobs 4 --results-dir results/f5a
 
@@ -31,7 +32,19 @@ from ..errors import ConfigurationError, ReproError
 
 __all__ = ["main", "parse_axis"]
 
-_FIGURES = ("fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7", "fig8")
+_FIGURES = ("fig3a", "fig3b", "fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9")
+
+#: One-line descriptions for ``--list-figures`` (kept in _FIGURES order).
+_FIGURE_DESCRIPTIONS = {
+    "fig3a": "dissemination latency CDF across protocols (paper Fig. 3a)",
+    "fig3b": "bandwidth overhead per protocol (paper Fig. 3b)",
+    "fig5a": "front-running resistance vs adversary fraction (paper Fig. 5a)",
+    "fig5b": "delivery robustness under censorship (paper Fig. 5b)",
+    "fig6": "offered-load saturation sweep under finite link capacity (extension)",
+    "fig7": "strategy-zoo adversary grid: economics and fairness (extension)",
+    "fig8": "sustained million-client population load with a fee market (extension)",
+    "fig9": "sharding scaling grid: aggregate goodput and cross-shard fairness (extension)",
+}
 
 
 def parse_axis(text: str) -> tuple[str, list[Any]]:
@@ -71,6 +84,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     what.add_argument(
         "--list-tasks", action="store_true", help="print registered tasks and exit"
+    )
+    what.add_argument(
+        "--list-figures", action="store_true",
+        help="print the available --figure grids and exit",
     )
     parser.add_argument(
         "--set", dest="axes", metavar="KEY=V1[,V2...]", action="append", default=[],
@@ -151,6 +168,16 @@ def _figure_config(figure: str, *, seed: int, quick: bool):
             num_clients=100_000 if quick else 1_000_000,
             seed=seed,
         )
+    elif figure == "fig9":
+        from ..experiments import fig9_sharding as module
+
+        config = module.Fig9Config(
+            shard_counts=(1, 2) if quick else module.DEFAULT_SHARDS,
+            total_nodes=32 if quick else 48,
+            duration_ms=3_000.0 if quick else 5_000.0,
+            trials=2 if quick else 3,
+            seed=seed,
+        )
     else:  # pragma: no cover - argparse's choices guard this
         raise ConfigurationError(f"unknown figure {figure!r}")
     return module, config
@@ -213,11 +240,19 @@ def main(argv: list[str] | None = None) -> int:
             for name in task_names():
                 print(name)
             return 0
+        if args.list_figures:
+            width = max(len(name) for name in _FIGURES)
+            for name in _FIGURES:
+                print(f"{name:<{width}}  {_FIGURE_DESCRIPTIONS.get(name, '')}")
+            return 0
         if args.figure:
             _run_figure(args)
             return 0
         if not args.task:
-            parser.error("one of --task, --figure or --list-tasks is required")
+            parser.error(
+                "one of --task, --figure, --list-tasks or --list-figures "
+                "is required"
+            )
         _run_task(args)
         return 0
     except ReproError as exc:

@@ -17,7 +17,7 @@ Built-in tasks:
     network, optionally under a byzantine fault plan.  The general-purpose
     cell for ad-hoc ``python -m repro sweep`` grids.
 ``fig3a.protocol`` / ``fig3b.protocol`` / ``fig5a.trial`` / ``fig5b.trial`` /
-``fig6.point`` / ``fig7.point`` / ``fig8.point``
+``fig6.point`` / ``fig7.point`` / ``fig8.point`` / ``fig9.point``
     The repetition cells of the corresponding figure scripts (see each
     ``repro.experiments.fig*`` module's ``run_cell``).
 ``selftest.*``
@@ -197,6 +197,13 @@ def _fig8_point(params: Mapping[str, Any]) -> dict[str, Any]:
     from ..experiments import fig8_sustained
 
     return fig8_sustained.run_cell(params)
+
+
+@register_task("fig9.point")
+def _fig9_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    from ..experiments import fig9_sharding
+
+    return fig9_sharding.run_cell(params)
 
 
 @register_task("chaos.run")

@@ -1,0 +1,256 @@
+"""``python -m repro shard`` — sharded deployments from the shell.
+
+Two subcommands::
+
+    python -m repro shard run --shards 4 --nodes 64 --rate 60   # load run
+    python -m repro shard run --policy hot-key --zipf 1.1       # hot-key map
+    python -m repro shard drill --shards 3 --shard-size 16      # partition drill
+    python -m repro shard run --json                            # canonical JSON
+
+``run`` drives one open-loop load run through a
+:class:`~repro.sharding.ShardedSystem` and prints the aggregate and
+per-shard books; ``drill`` executes the cross-shard committee-partition
+liveness check (:func:`~repro.sharding.chaos.run_cross_shard_partition`).
+The fig9 scaling *grid* lives in the sweep front end instead: ``python -m
+repro sweep --figure fig9``.  See ``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..errors import ReproError
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from ..load.arrival import ARRIVAL_PATTERNS
+    from .map import SHARD_POLICIES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro shard",
+        description=(
+            "Run sharded multi-proposer deployments: per-shard TRS "
+            "committees, cross-shard routing, aggregate goodput "
+            "(see docs/sharding.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser(
+        "run", help="one open-loop load run over a sharded deployment"
+    )
+    run.add_argument("--shards", type=int, default=4, help="shard count (default 4)")
+    run.add_argument(
+        "--nodes", type=int, default=64,
+        help="total nodes across all shards (default 64)",
+    )
+    run.add_argument(
+        "--protocol",
+        choices=["hermes", "lzero", "narwhal", "mercury"],
+        default="hermes",
+    )
+    run.add_argument("--f", type=int, default=1, help="per-overlay fault bound")
+    run.add_argument("--k", type=int, default=4, help="overlays per shard")
+    run.add_argument(
+        "--rate", type=float, default=60.0, metavar="TPS",
+        help="aggregate offered rate in tx/s (default 60)",
+    )
+    run.add_argument(
+        "--pattern", choices=ARRIVAL_PATTERNS, default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    run.add_argument(
+        "--zipf", type=float, default=0.0, metavar="S",
+        help="Zipf skew of origin selection (0 = uniform; default 0)",
+    )
+    run.add_argument(
+        "--duration", type=float, default=4_000.0, metavar="MS",
+        help="injection window in simulated ms (default 4000)",
+    )
+    run.add_argument(
+        "--drain", type=float, default=1_500.0, metavar="MS",
+        help="extra drain window after injection stops (default 1500)",
+    )
+    run.add_argument(
+        "--policy", choices=SHARD_POLICIES, default="uniform",
+        help="shard-map policy (default: uniform)",
+    )
+    run.add_argument(
+        "--map-seed", type=int, default=0, help="shard-map salt seed (default 0)"
+    )
+    run.add_argument(
+        "--hot-threshold", type=int, default=32,
+        help="hot-key policy: occurrences before a key counts as hot",
+    )
+    run.add_argument(
+        "--capacity", type=float, default=32.0, metavar="KB_S",
+        help="per-node uplink rate in KB/s (default 32; downlink is 4x)",
+    )
+    run.add_argument(
+        "--queue-kb", type=float, default=32.0, metavar="KB",
+        help="egress queue bound in KB (default 32)",
+    )
+    run.add_argument(
+        "--no-capacity", action="store_true",
+        help="leave links infinite (measures the driver without saturation)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--json", action="store_true",
+        help="print the result as canonical JSON instead of tables",
+    )
+
+    drill = sub.add_parser(
+        "drill",
+        help="cross-shard partition drill: island one committee, check liveness",
+    )
+    drill.add_argument("--shards", type=int, default=3)
+    drill.add_argument("--shard-size", type=int, default=16)
+    drill.add_argument(
+        "--protocol",
+        choices=["hermes", "lzero", "narwhal", "mercury"],
+        default="hermes",
+    )
+    drill.add_argument(
+        "--partition-shard", type=int, default=0,
+        help="which shard's committee to island (default 0)",
+    )
+    drill.add_argument("--f", type=int, default=1)
+    drill.add_argument("--k", type=int, default=4)
+    drill.add_argument("--seed", type=int, default=0)
+    drill.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero if a non-partitioned shard misses a deadline",
+    )
+    drill.add_argument("--json", action="store_true")
+    return parser
+
+
+def _run(args: argparse.Namespace) -> int:
+    from ..load.arrival import make_arrivals
+    from ..load.capacity import CapacityConfig
+    from .system import ShardedSystem
+    from .workload import ShardedLoadDriver
+
+    capacity = (
+        None
+        if args.no_capacity
+        else CapacityConfig(
+            uplink_kb_per_s=args.capacity,
+            downlink_kb_per_s=args.capacity * 4,
+            queue_bytes=int(args.queue_kb * 1024),
+        )
+    )
+    system = ShardedSystem(
+        args.shards,
+        args.nodes,
+        protocol=args.protocol,
+        f=args.f,
+        k=args.k,
+        seed=args.seed,
+        map_policy=args.policy,
+        map_seed=args.map_seed,
+        hot_threshold=args.hot_threshold,
+        capacity=capacity,
+    )
+    arrivals = make_arrivals(
+        args.pattern,
+        rate_tps=args.rate,
+        origins=list(range(args.nodes)),
+        seed=args.seed,
+        zipf_s=args.zipf,
+    )
+    result = ShardedLoadDriver(system, arrivals).run(args.duration, args.drain)
+    if args.json:
+        print(
+            json.dumps(
+                {"deployment": system.describe(), "result": result.to_json()},
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"{args.protocol} x {args.shards} shard(s), {args.nodes} nodes "
+        f"({system.plan.shard_size}/shard), map={args.policy}"
+    )
+    print(
+        f"  offered {result.offered_tps:8.1f} tps   "
+        f"aggregate goodput {result.aggregate_goodput_tps:8.1f} tps   "
+        f"delivery {result.delivery_ratio:6.1%}"
+    )
+    mean = "-" if result.mean_ms is None else f"{result.mean_ms:.0f}ms"
+    p95 = "-" if result.p95_ms is None else f"{result.p95_ms:.0f}ms"
+    print(
+        f"  latency mean {mean} / p95 {p95}   cross-shard routed "
+        f"{result.routed} ({result.routed_fraction:.1%})"
+    )
+    print("  shard  injected  delivered  goodput_tps  p95_ms  max_queue_kb")
+    for shard_id, shard_result in enumerate(result.per_shard):
+        shard_p95 = (
+            "-" if shard_result.p95_ms is None else f"{shard_result.p95_ms:.0f}"
+        )
+        print(
+            f"  {shard_id:5d}  {shard_result.injected:8d}  "
+            f"{shard_result.delivered:9d}  {shard_result.goodput_tps:11.1f}  "
+            f"{shard_p95:>6}  {shard_result.max_queue_bytes / 1024:12.1f}"
+        )
+    return 0
+
+
+def _drill(args: argparse.Namespace) -> int:
+    from .chaos import run_cross_shard_partition
+
+    report = run_cross_shard_partition(
+        args.shards,
+        args.shard_size,
+        protocol=args.protocol,
+        partitioned_shard=args.partition_shard,
+        f=args.f,
+        k=args.k,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(report.to_json(), sort_keys=True))
+    else:
+        print(
+            f"{report.scenario}: shard {report.partitioned_shard} committee "
+            f"islanded, {report.num_shards} shards x "
+            f"{args.shard_size} nodes ({report.protocol})"
+        )
+        print("  shard  partitioned  delivered  min_coverage  live")
+        for entry in report.per_shard:
+            print(
+                f"  {entry.shard:5d}  {str(entry.partitioned):>11}  "
+                f"{entry.delivered_by_deadline:4d}/{entry.transactions:<4d}  "
+                f"{entry.min_coverage:12.2f}  {str(entry.live):>4}"
+            )
+        verdict = "PASS" if report.healthy_shards_live else "FAIL"
+        print(f"  containment invariant (healthy shards live): {verdict}")
+    if args.strict and not report.healthy_shards_live:
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Bare flags default to the run subcommand: `shard --shards 2` works.
+    if not argv or argv[0] not in ("run", "drill", "-h", "--help"):
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "drill":
+            return _drill(args)
+        return _run(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

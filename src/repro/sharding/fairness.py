@@ -1,0 +1,109 @@
+"""Cross-shard order-fairness: folding per-shard reports into one verdict.
+
+Shards order their transaction sets independently — there is no global
+sequence to measure against, and transactions on different shards never form
+a comparable pair.  What a sharded deployment *can* promise is that **every**
+shard keeps the single-shard fairness guarantee: the system-wide γ is the
+worst shard's γ (an adversary attacks where fairness is weakest, so the
+minimum is the operative bound), and the system-wide inversion rate is the
+pair-weighted mean of the per-shard rates (each shard contributes its
+``C(n, 2)`` comparable pairs; a shard that ordered three transactions should
+not outvote one that ordered three hundred).
+
+:func:`cross_shard_fairness` performs that fold; the fig9 grid reports its
+output per cell next to aggregate goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..adversary.fairness import FairnessReport
+
+__all__ = ["CrossShardFairness", "cross_shard_fairness"]
+
+
+def _pairs(report: FairnessReport) -> int:
+    n = report.num_transactions
+    return n * (n - 1) // 2
+
+
+@dataclass(frozen=True, slots=True)
+class CrossShardFairness:
+    """The system-wide fairness verdict plus its per-shard evidence."""
+
+    #: Worst shard's γ — the operative system-wide fairness bound.
+    gamma: float
+    #: Pair-weighted mean inversion rate across shards.
+    inversion_rate: float
+    #: Shard id with the minimal γ (the adversary's best target).
+    worst_shard: int
+    num_shards: int
+    per_shard: Mapping[int, FairnessReport]
+
+    @property
+    def gamma_unfairness(self) -> float:
+        return 1.0 - self.gamma
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "gamma": self.gamma,
+            "inversion_rate": self.inversion_rate,
+            "worst_shard": self.worst_shard,
+            "num_shards": self.num_shards,
+            "per_shard": {
+                str(shard): {
+                    "gamma": report.gamma,
+                    "inversion_rate": report.inversion_rate,
+                    "num_orders": report.num_orders,
+                    "num_transactions": report.num_transactions,
+                }
+                for shard, report in sorted(self.per_shard.items())
+            },
+        }
+
+
+def cross_shard_fairness(
+    reports: Mapping[int, FairnessReport],
+) -> CrossShardFairness:
+    """Fold per-shard fairness reports into the system-wide verdict.
+
+    Shards whose report covers fewer than two common transactions carry no
+    pairwise evidence: they are excluded from the weighted inversion mean and
+    cannot be the worst shard (their γ is vacuous).  If *no* shard has
+    evidence, the verdict is vacuously fair (γ = 1, inversions = 0) over
+    whatever shards were given.
+    """
+
+    if not reports:
+        raise ValueError("need at least one shard's fairness report")
+    informative = {
+        shard: report
+        for shard, report in reports.items()
+        if report.num_transactions >= 2
+    }
+    if not informative:
+        return CrossShardFairness(
+            gamma=1.0,
+            inversion_rate=0.0,
+            worst_shard=min(reports),
+            num_shards=len(reports),
+            per_shard=dict(reports),
+        )
+    worst_shard = min(informative, key=lambda s: (informative[s].gamma, s))
+    total_pairs = sum(_pairs(report) for report in informative.values())
+    inversion = (
+        sum(
+            report.inversion_rate * _pairs(report)
+            for report in informative.values()
+        )
+        / total_pairs
+    )
+    return CrossShardFairness(
+        gamma=informative[worst_shard].gamma,
+        inversion_rate=inversion,
+        worst_shard=worst_shard,
+        num_shards=len(reports),
+        per_shard=dict(reports),
+    )

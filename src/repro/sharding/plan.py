@@ -1,0 +1,85 @@
+"""The shard plan: how global node ids map onto per-shard deployments.
+
+A sharded deployment of ``total_nodes`` nodes splits into ``num_shards``
+equal slices of ``shard_size`` nodes each.  Globally, node ``g`` lives on
+shard ``g // shard_size`` at local position ``g % shard_size`` — every shard
+runs its own simulator over its own node-id space ``0..shard_size-1``, so
+the per-shard protocol systems, overlays and TRS committees are completely
+ordinary single-shard deployments and reuse the whole existing stack
+unchanged.
+
+The equal-slice layout is deliberate: every shard is a *mirrored* deployment
+(same size, same topology seed), so the expensive physical-network + overlay
+build is paid once through the experiment-environment cache and ``num_shards
+= 1`` degenerates to exactly the unsharded system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ShardPlan"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """Equal-slice global ↔ (shard, local) node-id arithmetic."""
+
+    num_shards: int
+    total_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.total_nodes < self.num_shards:
+            raise ConfigurationError(
+                f"{self.total_nodes} nodes cannot host {self.num_shards} shards"
+            )
+        if self.total_nodes % self.num_shards:
+            raise ConfigurationError(
+                f"total_nodes ({self.total_nodes}) must divide evenly into "
+                f"{self.num_shards} shards; pad or trim the deployment"
+            )
+
+    @property
+    def shard_size(self) -> int:
+        return self.total_nodes // self.num_shards
+
+    def shard_of(self, global_id: int) -> int:
+        """The home shard of a global node id."""
+
+        self._check(global_id)
+        return global_id // self.shard_size
+
+    def to_local(self, global_id: int) -> int:
+        """A global node id's position inside its home shard."""
+
+        self._check(global_id)
+        return global_id % self.shard_size
+
+    def to_global(self, shard: int, local_id: int) -> int:
+        """The global id of local node *local_id* on *shard*."""
+
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(f"no shard {shard} in a {self.num_shards}-shard plan")
+        if not 0 <= local_id < self.shard_size:
+            raise ConfigurationError(
+                f"local id {local_id} outside shard of size {self.shard_size}"
+            )
+        return shard * self.shard_size + local_id
+
+    def globals_of(self, shard: int) -> range:
+        """All global node ids living on *shard* (contiguous by layout)."""
+
+        base = self.to_global(shard, 0)
+        return range(base, base + self.shard_size)
+
+    def _check(self, global_id: int) -> None:
+        if not 0 <= global_id < self.total_nodes:
+            raise ConfigurationError(
+                f"global node id {global_id} outside 0..{self.total_nodes - 1}"
+            )

@@ -1,0 +1,105 @@
+"""The k=1 byte-identity contract, pinned by a golden hash.
+
+A single-shard :class:`~repro.sharding.ShardedSystem` must be *byte-identical*
+to the unsharded deployment it wraps: same environment cache entry, same
+factory seed, no ``shard_id`` on the protocol config (shard tags cost two
+wire bytes), and a load split that replays the original injection objects in
+order.  This test runs the same workload through both paths and asserts the
+canonical-JSON results are equal — and that both match a committed golden
+hash, so an accidental behavior change in *either* path (not just a
+divergence between them) fails loudly.
+
+If a deliberate simulation change moves the hash, re-pin it by running the
+recipe below and updating ``GOLDEN_SHA256`` in the same commit.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.harness import build_environment, protocol_factories
+from repro.load.arrival import make_arrivals
+from repro.load.capacity import CapacityConfig, CapacityModel
+from repro.load.driver import LoadDriver
+from repro.mempool.transaction import reset_tx_ids
+from repro.net.events import reset_message_ids
+from repro.sharding import ShardedLoadDriver, ShardedSystem
+
+# sha256 of the canonical (sort_keys) JSON of the unsharded LoadResult below.
+GOLDEN_SHA256 = "e40b1aec0dd4e8a4c974b76562b6430884a5a7de60a7496517630d2e7f4e6b5a"
+
+NUM_NODES = 48
+CAPACITY = CapacityConfig(
+    uplink_kb_per_s=32.0, downlink_kb_per_s=128.0, queue_bytes=32 * 1024
+)
+# Integer durations on purpose: duration/horizon land verbatim in the
+# result JSON, and the golden hash was pinned with integer arguments.
+DURATION_MS = 5_000
+DRAIN_MS = 2_000
+
+
+def _arrivals():
+    return make_arrivals(
+        "poisson", rate_tps=80.0, origins=list(range(NUM_NODES)), seed=0
+    )
+
+
+def _canonical(doc) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def results():
+    # Reference: the plain unsharded system under the plain LoadDriver.
+    reset_tx_ids()
+    reset_message_ids()
+    env = build_environment(num_nodes=NUM_NODES, f=1, k=3, seed=0)
+    system = protocol_factories(env, seed=13)["hermes"](None, None)
+    system.network.capacity = CapacityModel(CAPACITY)
+    reference = LoadDriver(system, _arrivals(), protocol="hermes").run(
+        DURATION_MS, DRAIN_MS
+    )
+
+    # Same workload through the single-shard sharded stack.
+    reset_tx_ids()
+    reset_message_ids()
+    sharded_system = ShardedSystem(
+        1, NUM_NODES, protocol="hermes", f=1, k=3, capacity=CAPACITY
+    )
+    sharded = ShardedLoadDriver(sharded_system, _arrivals()).run(
+        DURATION_MS, DRAIN_MS
+    )
+    return reference, sharded
+
+
+class TestSingleShardIdentity:
+    def test_sharded_k1_matches_unsharded(self, results):
+        reference, sharded = results
+        assert _canonical(sharded.per_shard[0].to_json()) == _canonical(
+            reference.to_json()
+        )
+
+    def test_golden_hash_pins_both_paths(self, results):
+        reference, sharded = results
+        digest = hashlib.sha256(_canonical(reference.to_json()).encode()).hexdigest()
+        assert digest == GOLDEN_SHA256, (
+            "unsharded reference run drifted from the committed golden hash; "
+            "if the simulation change is deliberate, re-pin GOLDEN_SHA256"
+        )
+        digest = hashlib.sha256(
+            _canonical(sharded.per_shard[0].to_json()).encode()
+        ).hexdigest()
+        assert digest == GOLDEN_SHA256
+
+    def test_k1_split_never_routes(self, results):
+        _, sharded = results
+        assert sharded.num_shards == 1
+        assert sharded.routed == 0
+        assert sharded.routed_fraction == 0.0
+        # Aggregate view restates the single shard's own measurements.
+        only = sharded.per_shard[0]
+        assert sharded.delivered == only.delivered
+        assert sharded.aggregate_goodput_tps == pytest.approx(
+            only.delivered / (DURATION_MS / 1000.0)
+        )

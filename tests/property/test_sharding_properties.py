@@ -1,0 +1,138 @@
+"""Property tests for the sharding subsystem (ISSUE satellite).
+
+Three invariant families over random seeds and key streams:
+
+* **Determinism** — a :class:`ShardMap` is a pure function of ``(seed,
+  params, stream)``: independently constructed maps assign identical shard
+  streams, and :meth:`ShardMap.reset` rewinds the hot-key state exactly, so
+  the content-addressed sweep runner can replay sharded cells.
+* **Balance bound** — on any stream (including adversarial Zipf-head
+  streams) the ``hot-key`` policy's peak-to-mean load obeys the provable
+  bound ``1 + k · D · (t + 1) / n`` (``D`` distinct keys, ``t`` the hot
+  threshold, ``n`` the stream length): a single hot key cannot pin more
+  than its first ``t`` occurrences to one committee, so balance tends to 1
+  as the stream grows.  This is the documented hard bound from
+  ``src/repro/sharding/map.py``, not a statistical hope.
+* **Single-shard short-circuit** — ``num_shards=1`` assigns shard 0 with no
+  hashing and no occurrence-counter updates under every policy, which is
+  the map's half of the k=1 byte-identity contract (the full-system half is
+  pinned by ``tests/integration/test_sharding_identity.py``).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sharding import SHARD_POLICIES, ShardMap, ShardMapConfig, shard_balance
+
+seeds = st.integers(min_value=0, max_value=10_000)
+shard_counts = st.integers(min_value=2, max_value=8)
+policies = st.sampled_from(SHARD_POLICIES)
+thresholds = st.integers(min_value=1, max_value=16)
+
+
+def zipf_stream(seed: int, n: int, distinct: int) -> list[str]:
+    """A Zipf-ish key stream: rank r drawn with weight 1/(r+1)."""
+
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) for rank in range(distinct)]
+    ranks = rng.choices(range(distinct), weights=weights, k=n)
+    return [f"key-{rank}" for rank in ranks]
+
+
+class TestDeterminism:
+    @given(seed=seeds, k=shard_counts, policy=policies, threshold=thresholds,
+           stream_seed=seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_independent_maps_agree(self, seed, k, policy, threshold, stream_seed):
+        config = ShardMapConfig(
+            num_shards=k, policy=policy, seed=seed, hot_threshold=threshold
+        )
+        stream = zipf_stream(stream_seed, 200, 12)
+        first = ShardMap(config).assign_many(stream)
+        second = ShardMap(config).assign_many(stream)
+        assert first == second
+        assert all(0 <= shard < k for shard in first)
+
+    @given(seed=seeds, k=shard_counts, threshold=thresholds, stream_seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_reset_rewinds_hot_key_state(self, seed, k, threshold, stream_seed):
+        config = ShardMapConfig(
+            num_shards=k, policy="hot-key", seed=seed, hot_threshold=threshold
+        )
+        stream = zipf_stream(stream_seed, 150, 6)
+        shard_map = ShardMap(config)
+        first = shard_map.assign_many(stream)
+        shard_map.reset()
+        assert shard_map.assign_many(stream) == first
+
+    @given(seed=seeds, k=shard_counts, stream_seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_is_stateless(self, seed, k, stream_seed):
+        """Uniform assignment depends on the key alone, never stream order."""
+
+        config = ShardMapConfig(num_shards=k, policy="uniform", seed=seed)
+        stream = zipf_stream(stream_seed, 100, 10)
+        shard_map = ShardMap(config)
+        by_key = {key: shard_map.assign(key) for key in stream}
+        shuffled = list(stream)
+        random.Random(stream_seed + 1).shuffle(shuffled)
+        assert [shard_map.assign(key) for key in shuffled] == [
+            by_key[key] for key in shuffled
+        ]
+
+
+class TestBalanceBound:
+    @given(seed=seeds, k=shard_counts, threshold=thresholds, stream_seed=seeds,
+           distinct=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_hot_key_balance_bound_on_zipf_streams(
+        self, seed, k, threshold, stream_seed, distinct
+    ):
+        n = 600
+        config = ShardMapConfig(
+            num_shards=k, policy="hot-key", seed=seed, hot_threshold=threshold
+        )
+        stream = zipf_stream(stream_seed, n, distinct)
+        assignments = ShardMap(config).assign_many(stream)
+        balance = shard_balance(assignments, k)
+        # Each key pins at most `threshold` occurrences to its home shard;
+        # the rest spread round-robin, contributing at most ceil(c/k) + 1 per
+        # shard.  Worst case (every home colliding) telescopes to this bound.
+        bound = 1.0 + k * distinct * (threshold + 1) / n
+        assert balance <= bound + 1e-9
+
+    @given(seed=seeds, k=shard_counts, threshold=thresholds)
+    @settings(max_examples=40, deadline=None)
+    def test_single_hot_key_cannot_pin_a_shard(self, seed, k, threshold):
+        """A one-key stream ends up near-perfectly spread once hot."""
+
+        n = 4 * k * (threshold + 1) + 200
+        config = ShardMapConfig(
+            num_shards=k, policy="hot-key", seed=seed, hot_threshold=threshold
+        )
+        assignments = ShardMap(config).assign_many(["mint-contract"] * n)
+        balance = shard_balance(assignments, k)
+        assert balance <= 1.0 + k * (threshold + 1) / n + 1e-9
+        # Under `uniform` the same stream pins everything to one committee.
+        uniform = ShardMap(
+            ShardMapConfig(num_shards=k, policy="uniform", seed=seed)
+        ).assign_many(["mint-contract"] * n)
+        assert shard_balance(uniform, k) == float(k)
+
+
+class TestSingleShardShortCircuit:
+    @given(seed=seeds, policy=policies, threshold=thresholds, stream_seed=seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_k1_assigns_zero_without_state(self, seed, policy, threshold, stream_seed):
+        config = ShardMapConfig(
+            num_shards=1, policy=policy, seed=seed, hot_threshold=threshold
+        )
+        shard_map = ShardMap(config)
+        stream = zipf_stream(stream_seed, 100, 3)
+        assert shard_map.assign_many(stream) == [0] * len(stream)
+        assert shard_map.home_of(stream[0]) == 0
+        # No occurrence counting happens at k=1 — even a stream hammering one
+        # key far past the threshold registers nothing as hot.
+        assert shard_map.hot_keys() == []

@@ -1,0 +1,80 @@
+"""Unit tests: the cross-shard partition drill and the shard CLI front end."""
+
+import json
+
+import pytest
+
+from repro.chaos.scenario import get_scenario
+from repro.sharding import run_cross_shard_partition
+from repro.sharding.cli import main as shard_main
+
+
+@pytest.fixture(scope="module")
+def drill_report():
+    return run_cross_shard_partition(2, 12, protocol="hermes", f=1, k=3, seed=0)
+
+
+class TestCrossShardPartitionDrill:
+    def test_builtin_scenario_registered(self):
+        scenario = get_scenario("cross-shard-partition")
+        assert any(e.kind == "committee-partition" for e in scenario.events)
+        assert scenario.liveness_deadline_ms is not None
+
+    def test_healthy_shards_keep_liveness(self, drill_report):
+        assert drill_report.num_shards == 2
+        assert drill_report.partitioned_shard == 0
+        assert drill_report.healthy_shards_live
+        flags = {entry.shard: entry.partitioned for entry in drill_report.per_shard}
+        assert flags == {0: True, 1: False}
+        for entry in drill_report.per_shard:
+            assert entry.transactions > 0
+
+    def test_report_json_shape(self, drill_report):
+        doc = drill_report.to_json()
+        assert doc["scenario"] == "cross-shard-partition"
+        assert doc["healthy_shards_live"] == drill_report.healthy_shards_live
+        assert len(doc["per_shard"]) == 2
+
+    def test_bad_partition_target_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_cross_shard_partition(2, 12, partitioned_shard=5)
+
+
+class TestShardCli:
+    def test_run_defaults_to_run_subcommand(self, capsys):
+        code = shard_main(
+            ["--shards", "2", "--nodes", "16", "--k", "3", "--rate", "10",
+             "--duration", "1000", "--drain", "500", "--no-capacity", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["deployment"]["num_shards"] == 2
+        assert doc["result"]["num_shards"] == 2
+        assert len(doc["result"]["per_shard"]) == 2
+
+    def test_run_table_output(self, capsys):
+        code = shard_main(
+            ["run", "--shards", "2", "--nodes", "16", "--k", "3", "--rate", "10",
+             "--duration", "1000", "--drain", "500", "--no-capacity"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate goodput" in out
+        assert "cross-shard routed" in out
+
+    def test_drill_json(self, capsys):
+        code = shard_main(
+            ["drill", "--shards", "2", "--shard-size", "12", "--k", "3", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["scenario"] == "cross-shard-partition"
+        assert doc["num_shards"] == 2
+
+    def test_config_errors_exit_2(self, capsys):
+        # 2 shards cannot split 15 nodes evenly.
+        code = shard_main(["run", "--shards", "2", "--nodes", "15"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,61 @@
+"""Unit tests for the cross-shard fairness fold."""
+
+import pytest
+
+from repro.adversary.fairness import FairnessReport
+from repro.sharding import cross_shard_fairness
+
+
+def report(gamma: float, inversion: float, n: int) -> FairnessReport:
+    return FairnessReport(
+        gamma=gamma,
+        inversion_rate=inversion,
+        num_orders=4,
+        num_transactions=n,
+    )
+
+
+class TestCrossShardFairness:
+    def test_worst_shard_sets_system_gamma(self):
+        verdict = cross_shard_fairness(
+            {0: report(0.9, 0.05, 10), 1: report(0.6, 0.2, 10), 2: report(0.8, 0.1, 10)}
+        )
+        assert verdict.gamma == 0.6
+        assert verdict.worst_shard == 1
+        assert verdict.num_shards == 3
+        assert verdict.gamma_unfairness == pytest.approx(0.4)
+
+    def test_inversions_are_pair_weighted(self):
+        # Shard 0: 3 txs -> 3 pairs; shard 1: 5 txs -> 10 pairs.
+        verdict = cross_shard_fairness(
+            {0: report(1.0, 0.5, 3), 1: report(1.0, 0.1, 5)}
+        )
+        assert verdict.inversion_rate == pytest.approx((0.5 * 3 + 0.1 * 10) / 13)
+
+    def test_shards_without_pairs_are_vacuous(self):
+        # A one-transaction shard has no comparable pair: it cannot drag the
+        # verdict down, nor be the worst shard.
+        verdict = cross_shard_fairness(
+            {0: report(0.0, 0.0, 1), 1: report(0.8, 0.2, 4)}
+        )
+        assert verdict.gamma == 0.8
+        assert verdict.worst_shard == 1
+        assert verdict.inversion_rate == pytest.approx(0.2)
+
+    def test_all_vacuous_is_fair(self):
+        verdict = cross_shard_fairness(
+            {0: report(0.0, 0.9, 1), 1: report(0.0, 0.9, 0)}
+        )
+        assert verdict.gamma == 1.0
+        assert verdict.inversion_rate == 0.0
+        assert verdict.worst_shard == 0
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ValueError):
+            cross_shard_fairness({})
+
+    def test_to_json_round_trips_per_shard_evidence(self):
+        verdict = cross_shard_fairness({0: report(0.7, 0.15, 6)})
+        doc = verdict.to_json()
+        assert doc["gamma"] == 0.7
+        assert doc["per_shard"]["0"]["num_transactions"] == 6

@@ -1,0 +1,102 @@
+"""Unit tests: shard plan arithmetic, cross-shard routing, map policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sharding import (
+    CrossShardRouter,
+    ShardMap,
+    ShardMapConfig,
+    ShardPlan,
+    shard_balance,
+)
+
+
+class TestShardPlan:
+    def test_round_trip_ids(self):
+        plan = ShardPlan(num_shards=4, total_nodes=64)
+        assert plan.shard_size == 16
+        for global_id in range(plan.total_nodes):
+            shard = plan.shard_of(global_id)
+            local = plan.to_local(global_id)
+            assert plan.to_global(shard, local) == global_id
+        assert list(plan.globals_of(2)) == list(range(32, 48))
+
+    def test_single_shard_is_identity(self):
+        plan = ShardPlan(num_shards=1, total_nodes=48)
+        assert plan.shard_of(17) == 0
+        assert plan.to_local(17) == 17
+
+    @pytest.mark.parametrize(
+        "num_shards,total_nodes",
+        [(0, 8), (3, 2), (3, 16)],  # zero shards / too few nodes / uneven
+    )
+    def test_bad_geometry_rejected(self, num_shards, total_nodes):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(num_shards=num_shards, total_nodes=total_nodes)
+
+    def test_out_of_range_ids_rejected(self):
+        plan = ShardPlan(num_shards=2, total_nodes=8)
+        with pytest.raises(ConfigurationError):
+            plan.shard_of(8)
+        with pytest.raises(ConfigurationError):
+            plan.to_global(2, 0)
+        with pytest.raises(ConfigurationError):
+            plan.to_global(0, 4)
+
+
+class TestCrossShardRouter:
+    def test_routing_accounts_flows_and_bytes(self):
+        plan = ShardPlan(num_shards=2, total_nodes=8)
+        router = CrossShardRouter(plan, hop_ms=25.0)
+        decision = router.route(100.0, origin_global=1, target_shard=1, size_bytes=300)
+        assert decision.shard == 1
+        assert decision.ingress_local == 1  # mirror position on the target
+        assert decision.time_ms == 125.0
+        router.route(200.0, origin_global=5, target_shard=0)
+        assert router.routed == 2
+        assert router.routed_bytes == 300 + 250
+        assert router.describe()["flows"] == {"0->1": 1, "1->0": 1}
+
+    def test_same_shard_submission_never_routes(self):
+        plan = ShardPlan(num_shards=2, total_nodes=8)
+        router = CrossShardRouter(plan, hop_ms=25.0)
+        with pytest.raises(ValueError):
+            router.route(0.0, origin_global=1, target_shard=0)
+        assert router.routed == 0
+
+
+class TestShardMapPolicies:
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardMapConfig(num_shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardMapConfig(num_shards=2, policy="sticky")
+        with pytest.raises(ConfigurationError):
+            ShardMapConfig(num_shards=2, hot_threshold=0)
+
+    def test_hot_key_spreads_round_robin_after_threshold(self):
+        config = ShardMapConfig(num_shards=4, policy="hot-key", hot_threshold=3)
+        shard_map = ShardMap(config)
+        home = shard_map.home_of("pair")
+        assignments = shard_map.assign_many(["pair"] * 7)
+        # First `hot_threshold` occurrences stay home, then one shard per
+        # occurrence starting from home.
+        assert assignments == [home] * 3 + [(home + i) % 4 for i in range(4)]
+        assert shard_map.hot_keys() == ["pair"]
+
+    def test_describe_is_json_ready(self):
+        config = ShardMapConfig(num_shards=2, policy="hot-key", seed=9, hot_threshold=5)
+        assert ShardMap(config).describe() == {
+            "num_shards": 2,
+            "policy": "hot-key",
+            "seed": 9,
+            "hot_threshold": 5,
+        }
+
+    def test_shard_balance_definition(self):
+        assert shard_balance([], 4) == 1.0
+        assert shard_balance([0, 1, 2, 3], 4) == 1.0
+        assert shard_balance([0, 0, 0, 0], 4) == 4.0
+        with pytest.raises(ConfigurationError):
+            shard_balance([0], 0)

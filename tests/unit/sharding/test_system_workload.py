@@ -1,0 +1,132 @@
+"""Unit tests: ShardedSystem construction/placement and the load driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.load.arrival import make_arrivals
+from repro.load.capacity import CapacityConfig
+from repro.mempool.transaction import reset_tx_ids
+from repro.net.events import reset_message_ids
+from repro.sharding import ShardedLoadDriver, ShardedLoadResult, ShardedSystem
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_tx_ids()
+    reset_message_ids()
+
+
+def small_system(**overrides) -> ShardedSystem:
+    defaults = dict(protocol="hermes", f=1, k=3, seed=0)
+    defaults.update(overrides)
+    return ShardedSystem(2, 32, **defaults)
+
+
+class TestShardedSystem:
+    def test_shards_are_mirrored_but_independent(self):
+        system = small_system()
+        assert system.num_shards == 2
+        assert system.total_nodes == 32
+        assert [shard.node_ids for shard in system.shards] == [
+            list(range(16)),
+            list(range(16)),
+        ]
+        # Independent system seeds give each shard its own TRS committee
+        # membership stream; both committees exist and are full-size.
+        committees = [shard.committee for shard in system.shards]
+        assert all(len(c) == 3 * 1 + 1 for c in committees)
+        # Envelope shard tags are installed only on multi-shard deployments.
+        configs = [shard.system.config for shard in system.shards]
+        assert [config.shard_id for config in configs] == [0, 1]
+        assert [shard.system.network.shard_id for shard in system.shards] == [0, 1]
+
+    def test_single_shard_leaves_config_untagged(self):
+        system = ShardedSystem(1, 16, protocol="hermes", f=1, k=3)
+        assert system.shards[0].system.config.shard_id is None
+
+    def test_place_routes_only_off_home_submissions(self):
+        system = small_system()
+        routed, direct = 0, 0
+        for origin in range(system.total_nodes):
+            placed = system.place(100.0, origin)
+            home = system.plan.shard_of(origin)
+            if placed.routed:
+                routed += 1
+                assert placed.shard != home
+                assert placed.time_ms > 100.0  # paid the cross-shard hop
+            else:
+                direct += 1
+                assert placed.shard == home
+                assert placed.time_ms == 100.0
+                assert placed.origin_local == system.plan.to_local(origin)
+        assert routed == system.router.routed
+        assert routed + direct == system.total_nodes
+        assert routed > 0  # a uniform map over 32 clients crosses shards
+
+    def test_explicit_key_overrides_origin(self):
+        system = small_system()
+        target = system.shard_map.assign("contract-7")
+        system.shard_map.reset()
+        placed = system.place(0.0, origin_global=0, key="contract-7")
+        assert placed.shard == target
+
+    def test_mismatched_shard_map_rejected(self):
+        from repro.sharding import ShardMap, ShardMapConfig
+
+        wrong = ShardMap(ShardMapConfig(num_shards=3))
+        with pytest.raises(ConfigurationError):
+            small_system(shard_map=wrong)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_system(protocol="paxos")
+
+    def test_capacity_books_cover_every_shard(self):
+        capacity = CapacityConfig(
+            uplink_kb_per_s=32.0, downlink_kb_per_s=128.0, queue_bytes=32 * 1024
+        )
+        system = small_system(capacity=capacity)
+        system.start()
+        system.run(until_ms=500.0)
+        books = system.capacity_by_shard()
+        assert sorted(books) == [0, 1]
+        for entry in books.values():
+            assert {"bytes_sent", "messages_dropped", "capacity_drops",
+                    "max_queue_bytes"} <= set(entry)
+
+    def test_describe_reports_geometry(self):
+        doc = small_system().describe()
+        assert doc["num_shards"] == 2
+        assert doc["shard_size"] == 16
+        assert doc["map"]["policy"] == "uniform"
+        assert doc["router"]["routed"] == 0
+
+
+class TestShardedLoadDriver:
+    def test_aggregate_accounts_every_injection(self):
+        system = small_system()
+        arrivals = make_arrivals(
+            "poisson", rate_tps=20.0, origins=list(range(32)), seed=0
+        )
+        result = ShardedLoadDriver(system, arrivals, protocol="hermes").run(
+            2_000.0, drain_ms=1_000.0
+        )
+        assert result.num_shards == 2
+        assert result.injected == sum(r.injected for r in result.per_shard)
+        assert result.delivered == sum(r.delivered for r in result.per_shard)
+        assert result.aggregate_goodput_tps == pytest.approx(
+            sum(r.goodput_tps for r in result.per_shard)
+        )
+        assert result.routed == system.router.routed
+        assert 0.0 < result.routed_fraction < 1.0
+        p95s = [r.p95_ms for r in result.per_shard if r.p95_ms is not None]
+        assert result.p95_ms == max(p95s)
+
+    def test_result_json_round_trip(self):
+        system = small_system()
+        arrivals = make_arrivals(
+            "deterministic", rate_tps=10.0, origins=list(range(32)), seed=1
+        )
+        result = ShardedLoadDriver(system, arrivals).run(1_000.0, drain_ms=500.0)
+        restored = ShardedLoadResult.from_json(result.to_json())
+        assert restored == result
