@@ -7,7 +7,10 @@ the wall-clock of each, emitting ``BENCH_sweep.json`` at the repo root.
 At this grid size the spawn pool pays interpreter start-up plus one overlay
 construction *per worker*, so parallel wall-clock is only expected to win on
 larger grids; the numbers here track the fixed overhead, and the assertion
-is about correctness (identical record sets), not speed.
+is about correctness (identical record sets), not speed.  The parallel leg
+also emits a ``repro.sweeptrace/1`` timeline (``BENCH_sweep_timeline.jsonl``)
+so ``python -m repro analyze-sweep`` can attribute exactly where the
+sub-1.0 speedup goes — CI uploads it next to the bench records.
 """
 
 from __future__ import annotations
@@ -18,9 +21,10 @@ import pathlib
 from conftest import report
 
 from repro.obs.analysis import bench_record, write_bench_record
-from repro.runner import ResultStore, SweepSpec, run_sweep
+from repro.runner import ResultStore, SweepSpec, SweepTelemetry, run_sweep
 
 BENCH_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+TIMELINE_PATH = BENCH_PATH.parent / "BENCH_sweep_timeline.jsonl"
 
 SWEEP = SweepSpec(
     task="dissemination",
@@ -41,7 +45,16 @@ def test_sweep_throughput(tmp_path):
     walls: dict[int, float] = {}
     reports = {}
     for jobs, store in stores.items():
-        result = run_sweep(SWEEP, store=store, jobs=jobs)
+        # Trace the parallel leg: the timeline is what analyze-sweep uses to
+        # attribute the fixed spawn/env-build overhead this bench tracks.
+        telemetry = (
+            SweepTelemetry(TIMELINE_PATH) if jobs == PARALLEL_JOBS else None
+        )
+        try:
+            result = run_sweep(SWEEP, store=store, jobs=jobs, telemetry=telemetry)
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         assert result.failed == 0
         assert result.executed == len(SWEEP)
         walls[jobs] = result.wall_seconds
@@ -66,6 +79,9 @@ def test_sweep_throughput(tmp_path):
             "runs_per_second_serial": round(len(SWEEP) / serial_wall, 4)
             if serial_wall
             else 0.0,
+            "runs_per_second_parallel": round(len(SWEEP) / parallel_wall, 4)
+            if parallel_wall
+            else 0.0,
         },
         meta={"task": SWEEP.task, "parallel_jobs": PARALLEL_JOBS},
         seed=SWEEP.grid["seed"],
@@ -79,6 +95,6 @@ def test_sweep_throughput(tmp_path):
         f"  jobs={PARALLEL_JOBS}:              {parallel_wall:8.2f}s wall",
         f"  speedup:             {doc['metrics']['speedup']:8.2f}x "
         "(spawn start-up dominates at this grid size)",
-        f"  -> {BENCH_PATH.name}",
+        f"  -> {BENCH_PATH.name}, {TIMELINE_PATH.name}",
     ]
     report("sweep_throughput", "\n".join(lines))

@@ -18,7 +18,10 @@ multi-proposer deployments and the cross-shard partition drill (see
 ``python -m repro analyze / report / bench-gate`` run the trace analytics,
 run-report and
 regression-gate front ends (see :mod:`repro.obs.analysis` and
-``docs/observability.md``).
+``docs/observability.md``); ``python -m repro analyze-sweep`` attributes a
+sweep's wall time from a ``repro.sweeptrace/1`` timeline and ``python -m
+repro bench history`` folds bench records into cross-run trajectories (see
+``docs/observability.md``, "Measuring a sweep").
 """
 
 import sys
@@ -63,6 +66,17 @@ def main(argv: list[str] | None = None) -> int:
         from .obs.analysis.cli import bench_gate_main
 
         return bench_gate_main(argv[1:])
+    if argv and argv[0] == "analyze-sweep":
+        from .obs.analysis.cli import analyze_sweep_main
+
+        return analyze_sweep_main(argv[1:])
+    if argv and argv[0] == "bench":
+        if len(argv) < 2 or argv[1] != "history":
+            print("usage: python -m repro bench history [RECORD ...]", file=sys.stderr)
+            return 2
+        from .obs.analysis.cli import bench_history_main
+
+        return bench_history_main(argv[2:])
     from .experiments.report import main as report_main
 
     report_main(argv)

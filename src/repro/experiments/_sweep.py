@@ -24,6 +24,7 @@ def run_cells(
     resume: bool = True,
     timeout_s: float | None = None,
     progress: Callable | None = None,
+    telemetry=None,
 ):
     """Submit one figure's repetition grid and return the ``SweepReport``.
 
@@ -42,6 +43,7 @@ def run_cells(
         resume=resume,
         timeout_s=timeout_s,
         progress=progress,
+        telemetry=telemetry,
     )
     if report.failed:
         first = next(r for r in report.records if not r.ok)

@@ -236,6 +236,7 @@ def run_parallel(
     resume: bool = True,
     timeout_s: float | None = None,
     progress=None,
+    telemetry=None,
 ):
     """Run the figure's repetition grid through :func:`repro.runner.run_sweep`.
 
@@ -255,6 +256,7 @@ def run_parallel(
         resume=resume,
         timeout_s=timeout_s,
         progress=progress,
+        telemetry=telemetry,
     )
     return from_records(config, report.records), report
 

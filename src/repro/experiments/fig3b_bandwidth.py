@@ -214,6 +214,7 @@ def run_parallel(
     resume: bool = True,
     timeout_s: float | None = None,
     progress=None,
+    telemetry=None,
 ):
     """Run the figure's grid through the sweep runner; see ``docs/runner.md``.
 
@@ -232,6 +233,7 @@ def run_parallel(
         resume=resume,
         timeout_s=timeout_s,
         progress=progress,
+        telemetry=telemetry,
     )
     return from_records(config, report.records), report
 

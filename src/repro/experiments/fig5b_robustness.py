@@ -239,6 +239,7 @@ def run_parallel(
     resume: bool = True,
     timeout_s: float | None = None,
     progress=None,
+    telemetry=None,
 ):
     """Run the figure's grid through the sweep runner; see ``docs/runner.md``.
 
@@ -257,6 +258,7 @@ def run_parallel(
         resume=resume,
         timeout_s=timeout_s,
         progress=progress,
+        telemetry=telemetry,
     )
     return from_records(config, report.records), report
 

@@ -358,6 +358,7 @@ def run_parallel(
     resume: bool = True,
     timeout_s: float | None = None,
     progress=None,
+    telemetry=None,
 ):
     """Run the scaling grid through the runner; see ``docs/runner.md``.
 
@@ -376,6 +377,7 @@ def run_parallel(
         resume=resume,
         timeout_s=timeout_s,
         progress=progress,
+        telemetry=telemetry,
     )
     return from_records(config, report.records), report
 

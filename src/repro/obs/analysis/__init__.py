@@ -11,8 +11,13 @@ Post-hoc analysis over the simulator's observability output:
   verdicts;
 * :mod:`~repro.obs.analysis.report` — self-contained markdown/HTML run
   reports;
+* :mod:`~repro.obs.analysis.sweep_report` — overhead attribution for
+  ``repro.sweeptrace/1`` sweep timelines (phase totals, per-worker Gantt,
+  Amdahl achievable-speedup bound);
+* :mod:`~repro.obs.analysis.history` — append-only bench ledger and
+  cross-run per-metric trajectories with direction-aware anomaly flags;
 * :mod:`~repro.obs.analysis.cli` — ``python -m repro analyze | report |
-  bench-gate``.
+  bench-gate | analyze-sweep | bench history``.
 """
 
 from .baseline import (
@@ -37,7 +42,22 @@ from .critical_path import (
     critical_path,
     critical_paths,
 )
+from .history import (
+    HistoryReport,
+    Trajectory,
+    append_history,
+    build_history_report,
+    load_history,
+    render_history_report,
+    sparkline,
+    trajectories,
+)
 from .report import render_html, render_report
+from .sweep_report import (
+    SweepAnalysis,
+    analyze_timeline,
+    render_sweep_report,
+)
 from .trace import (
     Delivery,
     DisseminationTree,
@@ -59,6 +79,9 @@ __all__ = [
     "BaselineMetric",
     "ComparisonResult",
     "CriticalPath",
+    "HistoryReport",
+    "SweepAnalysis",
+    "Trajectory",
     "Delivery",
     "DisseminationTree",
     "Hop",
@@ -70,7 +93,10 @@ __all__ = [
     "Trace",
     "TraceHeader",
     "aggregate",
+    "analyze_timeline",
+    "append_history",
     "bench_record",
+    "build_history_report",
     "build_trees",
     "compare",
     "compare_many",
@@ -78,10 +104,15 @@ __all__ = [
     "critical_paths",
     "load_baseline",
     "load_bench_record",
+    "load_history",
     "read_trace",
+    "render_history_report",
     "render_html",
-    "stream_latencies",
     "render_report",
+    "render_sweep_report",
+    "sparkline",
+    "stream_latencies",
+    "trajectories",
     "update_baseline",
     "write_baseline",
     "write_bench_record",

@@ -4,10 +4,18 @@
   trees, attribute critical paths, print (or ``--json``-dump) the result;
   ``--strict`` exits non-zero on any orphan delivery or integrity problem.
 * ``python -m repro report`` — compose a markdown (or ``--html``) run report
-  from any combination of ``--trace``, ``--chaos`` and bench records.
+  from any combination of ``--trace``, ``--chaos``, ``--manifest`` (whose
+  profile section becomes the hottest-callbacks table) and bench records.
 * ``python -m repro bench-gate <BENCH_*.json ...>`` — judge records against
   the committed baselines in ``benchmarks/baselines/``; exits 1 on
   regression (the CI gate), ``--update`` refreshes baseline values in place.
+* ``python -m repro analyze-sweep <timeline.jsonl>`` — overhead-attribution
+  report from a ``repro.sweeptrace/1`` worker-lifecycle timeline (see
+  ``python -m repro sweep --timeline``).
+* ``python -m repro bench history [BENCH_*.json ...]`` — fold fresh records
+  and the append-only ``benchmarks/history/`` ledger into per-metric
+  trajectories with direction-aware anomaly flags; ``--check`` exits 1 on a
+  flag, ``--append`` commits the records to the ledger.
 """
 
 from __future__ import annotations
@@ -25,7 +33,13 @@ from .critical_path import COMPONENTS, critical_paths
 from .report import render_html, render_report
 from .trace import read_trace, build_trees
 
-__all__ = ["analyze_main", "report_main", "bench_gate_main"]
+__all__ = [
+    "analyze_main",
+    "report_main",
+    "bench_gate_main",
+    "analyze_sweep_main",
+    "bench_history_main",
+]
 
 
 def _print(text: str) -> None:
@@ -154,6 +168,11 @@ def report_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", help="JSONL trace to analyze")
     parser.add_argument("--chaos", help="ChaosReport JSON file")
     parser.add_argument(
+        "--manifest",
+        help="repro.manifest/1 JSON file; its profile section (hottest "
+        "callbacks, queue depth) and meta become report sections",
+    )
+    parser.add_argument(
         "--bench",
         nargs="*",
         default=[],
@@ -170,7 +189,7 @@ def report_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--html", action="store_true", help="emit HTML")
     args = parser.parse_args(argv)
 
-    trace = trees = paths = chaos = None
+    trace = trees = paths = chaos = profile = None
     manifest: dict[str, Any] = {}
     bench_results: list[ComparisonResult] = []
     try:
@@ -180,6 +199,12 @@ def report_main(argv: list[str] | None = None) -> int:
             paths = critical_paths(trees, trace)
         if args.chaos:
             chaos = json.loads(Path(args.chaos).read_text(encoding="utf-8"))
+        if args.manifest:
+            doc = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
+            profile = doc.get("profile")
+            meta = doc.get("meta")
+            if isinstance(meta, dict):
+                manifest.update(meta)
         for record_path in args.bench:
             record = load_bench_record(record_path)
             manifest.update(record.get("manifest", {}))
@@ -198,6 +223,7 @@ def report_main(argv: list[str] | None = None) -> int:
         paths=paths,
         chaos=chaos,
         bench=bench_results if bench_results else None,
+        profile=profile,
     )
     text = render_html(markdown, title=args.title) if args.html else markdown
     if args.output:
@@ -278,4 +304,123 @@ def bench_gate_main(argv: list[str] | None = None) -> int:
         return 1
     if failed:
         _print("regressions present, but --warn-only given; exiting 0")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# analyze-sweep
+# ----------------------------------------------------------------------
+
+
+def analyze_sweep_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze-sweep",
+        description="Attribute a sweep's wall time to worker-lifecycle "
+        "phases from a repro.sweeptrace/1 timeline.",
+    )
+    parser.add_argument(
+        "timeline", help="JSONL timeline from `python -m repro sweep --timeline`"
+    )
+    parser.add_argument("--title", default="Sweep overhead attribution")
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    parser.add_argument("-o", "--output", help="write to file instead of stdout")
+    args = parser.parse_args(argv)
+
+    from ...runner.telemetry import read_timeline
+    from .sweep_report import analysis_to_json, analyze_timeline, render_sweep_report
+
+    try:
+        timeline = read_timeline(args.timeline)
+    except (TraceReadError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    analysis = analyze_timeline(timeline)
+    if args.json:
+        text = json.dumps(analysis_to_json(analysis), indent=2, sort_keys=True)
+    else:
+        text = render_sweep_report(analysis, title=args.title)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        _print(f"wrote {args.output}")
+    else:
+        _print(text.rstrip())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# bench history
+# ----------------------------------------------------------------------
+
+
+def bench_history_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench history",
+        description="Fold bench records and the append-only ledger into "
+        "per-metric trajectories with direction-aware anomaly flags.",
+    )
+    parser.add_argument(
+        "records",
+        nargs="*",
+        metavar="RECORD",
+        help="fresh repro.bench/1 record(s) to fold in as the latest runs",
+    )
+    parser.add_argument(
+        "--ledger",
+        default="benchmarks/history",
+        help="append-only ledger directory (default: benchmarks/history)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default="benchmarks/baselines",
+        help="directory of committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--append",
+        action="store_true",
+        help="append the given records to the ledger after reporting",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 on any direction-aware anomaly (the CI hook)",
+    )
+    parser.add_argument("--title", default="Bench history")
+    parser.add_argument("-o", "--output", help="write to file instead of stdout")
+    args = parser.parse_args(argv)
+
+    from .history import (
+        append_history,
+        build_history_report,
+        load_history,
+        render_history_report,
+    )
+
+    try:
+        history = load_history(args.ledger)
+        fresh = [load_bench_record(path) for path in args.records]
+    except (TraceReadError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for record in fresh:
+        history.setdefault(record["name"], []).append(record)
+
+    report = build_history_report(history, baselines_dir=args.baselines)
+    text = render_history_report(report, title=args.title)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        _print(f"wrote {args.output}")
+    else:
+        _print(text.rstrip())
+
+    if args.append:
+        for record in fresh:
+            path = append_history(args.ledger, record)
+            _print(f"appended {record['name']} -> {path}")
+
+    if args.check and not report.ok:
+        flagged = ", ".join(f"{t.bench}.{t.metric}" for t in report.anomalies)
+        print(f"anomalies: {flagged}", file=sys.stderr)
+        return 1
     return 0

@@ -1,0 +1,355 @@
+"""Cross-run bench trajectories (``python -m repro bench history``).
+
+The bench gate (:mod:`~repro.obs.analysis.compare`) answers "did *this* run
+regress against the committed baseline?" — a single pairwise verdict.  This
+module adds the time axis: an append-only **ledger** under
+``benchmarks/history/`` holds one JSONL file per benchmark
+(``<name>.jsonl``), each line a full ``repro.bench/1`` record in ledger
+order.  Folding the ledger (plus any freshly produced ``BENCH_*.json``
+records) yields per-metric **trajectories** — value series with git-sha
+provenance, unicode sparklines, and direction-aware verdicts:
+
+* the **latest** entry of every trajectory is judged against the committed
+  baseline via :func:`~repro.obs.analysis.compare.compare` (the same logic
+  as the gate — one source of truth for tolerances and directions);
+* a direction-aware **step anomaly** flags the latest entry moving against
+  its metric's direction by more than the baseline tolerance relative to the
+  *previous* entry — a slow regression that stays inside the absolute
+  baseline band still shows up as a bad step.
+
+``--check`` turns the flags into an exit code for CI; ``--append`` commits
+the new records to the ledger after reporting (append last, so a crashing
+analysis never half-writes history).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ...errors import TraceReadError
+from .baseline import BENCH_SCHEMA, Baseline, load_baseline
+from .compare import MetricComparison, compare
+
+__all__ = [
+    "Trajectory",
+    "HistoryReport",
+    "append_history",
+    "load_history",
+    "trajectories",
+    "build_history_report",
+    "render_history_report",
+    "sparkline",
+]
+
+#: Eight-level unicode sparkline ramp.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """``[1, 2, 3]`` → ``"▁▄█"`` — a fixed-height value strip.
+
+    A constant series renders mid-ramp (``▄``), an empty one as ``""``.
+
+    >>> sparkline([0.0, 0.5, 1.0])
+    '▁▅█'
+    >>> sparkline([2.0, 2.0])
+    '▄▄'
+    """
+
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    lo, hi = min(series), max(series)
+    if hi == lo:
+        return _SPARK_CHARS[3] * len(series)
+    top = len(_SPARK_CHARS) - 1
+    return "".join(
+        _SPARK_CHARS[round((v - lo) / (hi - lo) * top)] for v in series
+    )
+
+
+# ----------------------------------------------------------------------
+# the ledger
+# ----------------------------------------------------------------------
+
+
+def _validate_record(record: Mapping[str, Any], where: str) -> None:
+    if not isinstance(record, Mapping) or record.get("schema") != BENCH_SCHEMA:
+        raise TraceReadError(f"{where}: not a {BENCH_SCHEMA} record")
+    if not isinstance(record.get("name"), str):
+        raise TraceReadError(f"{where}: missing record 'name'")
+    if not isinstance(record.get("metrics"), Mapping):
+        raise TraceReadError(f"{where}: 'metrics' must be an object")
+
+
+def append_history(ledger_dir: str | Path, record: Mapping[str, Any]) -> Path:
+    """Append one ``repro.bench/1`` record to its per-benchmark ledger file.
+
+    Returns the ledger path written.  One line per run, canonical one-line
+    JSON, append-only — the file is the benchmark's full trajectory in run
+    order and diffs cleanly in review.
+    """
+
+    _validate_record(record, str(ledger_dir))
+    ledger_dir = Path(ledger_dir)
+    ledger_dir.mkdir(parents=True, exist_ok=True)
+    path = ledger_dir / f"{record['name']}.jsonl"
+    line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+    return path
+
+
+def load_history(
+    ledger_dir: str | Path, name: str | None = None
+) -> dict[str, list[dict[str, Any]]]:
+    """Read the ledger: benchmark name → records in append (run) order.
+
+    A missing directory is an empty history, not an error — the first
+    ``--append`` creates it.  A torn final line (interrupted append) is
+    dropped; anything else malformed raises :class:`TraceReadError`.
+    """
+
+    ledger_dir = Path(ledger_dir)
+    history: dict[str, list[dict[str, Any]]] = {}
+    if not ledger_dir.is_dir():
+        return history
+    paths = (
+        [ledger_dir / f"{name}.jsonl"]
+        if name is not None
+        else sorted(ledger_dir.glob("*.jsonl"))
+    )
+    for path in paths:
+        if not path.exists():
+            continue
+        lines = path.read_text(encoding="utf-8").splitlines()
+        records: list[dict[str, Any]] = []
+        for lineno, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == len(lines):  # torn tail from an interrupted append
+                    break
+                raise TraceReadError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            _validate_record(doc, f"{path}:{lineno}")
+            records.append(doc)
+        history[path.stem] = records
+    return history
+
+
+# ----------------------------------------------------------------------
+# trajectories and verdicts
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Trajectory:
+    """One metric's value series across the ledger, oldest first."""
+
+    bench: str
+    metric: str
+    values: list[float]
+    shas: list[str | None]
+    direction: str = "info"
+    tolerance: float = 0.0
+    baseline_verdict: MetricComparison | None = None
+
+    @property
+    def latest(self) -> float:
+        return self.values[-1]
+
+    @property
+    def step_delta(self) -> float | None:
+        """Latest minus previous value (None with fewer than two entries)."""
+
+        if len(self.values) < 2:
+            return None
+        return self.values[-1] - self.values[-2]
+
+    @property
+    def step_anomaly(self) -> bool:
+        """Did the latest entry move *against* its direction beyond tolerance?
+
+        Relative to the previous ledger entry, not the baseline — this is the
+        creep detector.  ``info`` metrics never flag; a zero previous value
+        flags any move against the direction (nothing to be relative to).
+        """
+
+        delta = self.step_delta
+        if delta is None or self.direction == "info":
+            return False
+        previous = self.values[-2]
+        if self.direction == "lower":
+            bad = delta > 0
+        else:  # higher
+            bad = delta < 0
+        if not bad:
+            return False
+        if previous == 0:
+            return True
+        return abs(delta) / abs(previous) > self.tolerance
+
+    @property
+    def anomalous(self) -> bool:
+        """Baseline regression or a direction-aware step anomaly."""
+
+        baseline_bad = (
+            self.baseline_verdict is not None and self.baseline_verdict.regressed
+        )
+        return baseline_bad or self.step_anomaly
+
+    def spark(self) -> str:
+        return sparkline(self.values)
+
+
+def trajectories(
+    records: Iterable[Mapping[str, Any]],
+    *,
+    baseline: Baseline | None = None,
+) -> list[Trajectory]:
+    """Fold one benchmark's record series into per-metric trajectories.
+
+    Tolerances and directions come from *baseline* (the committed file stays
+    the single source of truth); metrics absent from the baseline are
+    ``info``.  The newest record is additionally judged against the baseline
+    with the gate's own :func:`compare`.
+    """
+
+    series = list(records)
+    if not series:
+        return []
+    bench = str(series[-1].get("name", "?"))
+    verdicts: dict[str, MetricComparison] = {}
+    if baseline is not None:
+        verdicts = {
+            c.metric: c for c in compare(series[-1], baseline).comparisons
+        }
+
+    names: list[str] = []
+    for record in series:
+        for key in record.get("metrics", {}):
+            if key not in names:
+                names.append(key)
+
+    out: list[Trajectory] = []
+    for metric in sorted(names):
+        values: list[float] = []
+        shas: list[str | None] = []
+        for record in series:
+            metrics = record.get("metrics", {})
+            if metric not in metrics:
+                continue
+            values.append(float(metrics[metric]))
+            sha = record.get("manifest", {}).get("git_sha")
+            shas.append(str(sha)[:12] if sha else None)
+        spec = baseline.metrics.get(metric) if baseline is not None else None
+        out.append(
+            Trajectory(
+                bench=bench,
+                metric=metric,
+                values=values,
+                shas=shas,
+                direction=spec.direction if spec is not None else "info",
+                tolerance=spec.tolerance if spec is not None else 0.0,
+                baseline_verdict=verdicts.get(metric),
+            )
+        )
+    return out
+
+
+@dataclass
+class HistoryReport:
+    """All trajectories plus their flags, ready to render or gate on."""
+
+    trajectories: list[Trajectory] = field(default_factory=list)
+
+    @property
+    def anomalies(self) -> list[Trajectory]:
+        return [t for t in self.trajectories if t.anomalous]
+
+    @property
+    def ok(self) -> bool:
+        return not self.anomalies
+
+
+def build_history_report(
+    history: Mapping[str, Iterable[Mapping[str, Any]]],
+    *,
+    baselines_dir: str | Path | None = None,
+) -> HistoryReport:
+    """Fold a full ledger (name → records) into one :class:`HistoryReport`."""
+
+    report = HistoryReport()
+    baselines_dir = Path(baselines_dir) if baselines_dir is not None else None
+    for name in sorted(history):
+        baseline = None
+        if baselines_dir is not None:
+            baseline_path = baselines_dir / f"{name}.json"
+            if baseline_path.exists():
+                baseline = load_baseline(baseline_path)
+        report.trajectories.extend(trajectories(history[name], baseline=baseline))
+    return report
+
+
+def render_history_report(
+    report: HistoryReport, *, title: str = "Bench history"
+) -> str:
+    """The markdown trajectory table with sparklines and flags."""
+
+    lines = [f"# {title}", ""]
+    if not report.trajectories:
+        lines.append("*No history: the ledger is empty.*")
+        return "\n".join(lines) + "\n"
+
+    lines.append(
+        "| benchmark | metric | dir | runs | trend | latest | Δ last | flag |"
+    )
+    lines.append("| --- | --- | --- | --- | --- | --- | --- | --- |")
+    for t in report.trajectories:
+        delta = t.step_delta
+        if delta is None:
+            delta_text = "-"
+        else:
+            delta_text = f"{delta:+g}"
+        if t.baseline_verdict is not None and t.baseline_verdict.regressed:
+            flag = "REGRESSION"
+        elif t.step_anomaly:
+            flag = "anomaly"
+        else:
+            flag = ""
+        lines.append(
+            f"| {t.bench} | {t.metric} | {t.direction} | {len(t.values)} "
+            f"| `{t.spark()}` | {t.latest:g} | {delta_text} | {flag} |"
+        )
+    lines.append("")
+
+    for t in report.anomalies:
+        if t.baseline_verdict is not None and t.baseline_verdict.regressed:
+            lines.append(
+                f"* **{t.bench}.{t.metric}** regresses the committed baseline: "
+                f"current {t.latest:g} vs expected "
+                f"{t.baseline_verdict.baseline:g} "
+                f"(tol {t.tolerance:.0%}, {t.direction}) — "
+                f"{t.baseline_verdict.note}."
+            )
+        else:
+            prev = t.values[-2]
+            lines.append(
+                f"* **{t.bench}.{t.metric}** moved against its direction "
+                f"({t.direction}): {prev:g} → {t.latest:g} "
+                f"at {t.shas[-1] or 'unknown sha'} "
+                f"(step beyond the {t.tolerance:.0%} tolerance)."
+            )
+    if report.anomalies:
+        lines.append("")
+    else:
+        lines.append("No direction-aware anomalies.")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

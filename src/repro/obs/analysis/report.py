@@ -9,6 +9,9 @@
 * per-protocol critical-path latency breakdown (hold / queue / serialization
   / link / proc / other, plus TRS wait);
 * overlay-usage histogram (which of the ``k`` overlays the TRS selected);
+* simulator profile (hottest callbacks by wall time, max queue depth) from a
+  :class:`~repro.obs.profiler.SimulatorProfile` snapshot or a manifest's
+  ``profile`` section;
 * fault / invariant-violation timeline from a chaos campaign;
 * adversary-zoo outcome summary (attack success, extracted value and
   order-fairness per strategy, from ``AdversaryTrialResult.as_record()``
@@ -240,6 +243,67 @@ def _adversary_section(adversary: Mapping[str, Any]) -> list[str]:
     return lines
 
 
+def _profile_section(profile: Any) -> list[str]:
+    """Hottest callbacks and queue pressure from a simulator profile.
+
+    Accepts a live :class:`~repro.obs.profiler.SimulatorProfile` or its
+    ``to_json()`` dict (as stored in a manifest's ``profile`` section).
+    """
+
+    if isinstance(profile, Mapping):
+        events = int(profile.get("events", 0))
+        wall_s = float(profile.get("wall_s", 0.0))
+        callbacks = [
+            (key, stats.get("calls", 0), stats.get("total_s", 0.0), stats.get("max_s", 0.0))
+            for key, stats in profile.get("callbacks", {}).items()
+        ]
+        max_depth = max(
+            (int(s.get("depth", 0)) for s in profile.get("queue_samples", ())),
+            default=0,
+        )
+        samples = len(profile.get("queue_samples", ()))
+    else:
+        events = profile.events
+        wall_s = profile.wall_s
+        callbacks = [
+            (key, stats.calls, stats.total_s, stats.max_s)
+            for key, stats in profile.callbacks.items()
+        ]
+        max_depth = profile.max_queue_depth()
+        samples = len(profile.queue_samples)
+
+    lines = ["## Simulator profile", ""]
+    lines.append(
+        f"{events} events in {wall_s:.3f}s wall"
+        + (f" ({events / wall_s:,.0f} events/s)" if wall_s > 0 else "")
+        + f"; max queue depth {max_depth}"
+        + (f" over {samples} sample(s)" if samples else "")
+        + "."
+    )
+    lines.append("")
+    hottest = sorted(callbacks, key=lambda c: (-c[2], c[0]))[:10]
+    if hottest:
+        rows = []
+        for key, calls, total_s, max_s in hottest:
+            share = total_s / wall_s * 100 if wall_s > 0 else 0.0
+            rows.append(
+                [
+                    f"`{key}`",
+                    str(calls),
+                    f"{total_s:.4f}",
+                    f"{share:.1f}",
+                    f"{max_s * 1e3:.3f}",
+                ]
+            )
+        lines += _table(
+            ["callback", "calls", "total (s)", "share %", "max (ms)"], rows
+        )
+    else:
+        lines.append("*(no callbacks recorded)*")
+    lines.append("")
+    return lines
+
+
 def _bench_section(results: Iterable[ComparisonResult]) -> list[str]:
     lines = ["## Benchmark comparison", ""]
     for result in results:
@@ -275,6 +339,7 @@ def render_report(
     chaos: Mapping[str, Any] | None = None,
     adversary: Mapping[str, Any] | None = None,
     bench: Iterable[ComparisonResult] | None = None,
+    profile: Any | None = None,
 ) -> str:
     """Compose a markdown run report from whichever inputs are available."""
 
@@ -309,6 +374,8 @@ def render_report(
         lines += _overlay_section(trees)
     if paths:
         lines += _critical_path_section(paths)
+    if profile is not None:
+        lines += _profile_section(profile)
     if chaos is not None:
         lines += _chaos_section(chaos)
     if adversary is not None:

@@ -14,11 +14,20 @@ harness relies on.
 
 :meth:`MetricsRegistry.snapshot` returns a deterministic (sorted) JSON-ready
 dict; it contains no wall-clock data, so a seeded run snapshots identically
-every time.
+every time.  :meth:`MetricsRegistry.render_text` renders the same state in
+Prometheus text-exposition style for eyeballing and scrape-shaped tooling.
+
+Empty-histogram semantics are pinned: :attr:`Histogram.mean` and
+:meth:`Histogram.percentile` raise :class:`ValueError` on a histogram with no
+observations (there is no meaningful number to return, and silently emitting
+``0.0`` or ``nan`` would poison downstream summaries); guard with
+:attr:`Histogram.count` first.  :meth:`Histogram.snapshot` on an empty
+histogram is non-raising and reports ``count: 0`` with no moment fields.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Any, Iterator
 
 from ..net.stats import percentile
@@ -108,12 +117,18 @@ class Histogram:
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean; raises :class:`ValueError` on an empty histogram."""
+
         if not self.values:
             raise ValueError(f"histogram {self.name!r} is empty")
         return self.sum / len(self.values)
 
     def percentile(self, pct: float) -> float:
-        """Exact linear-interpolation percentile (see ``repro.net.stats``)."""
+        """Exact linear-interpolation percentile (see ``repro.net.stats``).
+
+        Raises :class:`ValueError` on an empty histogram, matching
+        :attr:`mean` — callers check :attr:`count` before asking for moments.
+        """
 
         return percentile(self.values, pct)
 
@@ -197,6 +212,78 @@ class MetricsRegistry:
             else:
                 out["histograms"].append(instrument.snapshot())
         return out
+
+    def render_text(self) -> str:
+        """Prometheus text-exposition view of every instrument.
+
+        Same deterministic ordering as :meth:`snapshot`.  Dotted metric names
+        are sanitized to ``snake_case`` (``net.messages.sent`` →
+        ``net_messages_sent``), counters get the conventional ``_total``
+        suffix, and histograms render summary-style: ``_count``, ``_sum`` and
+        exact ``{quantile="..."}`` sample lines (this registry keeps raw
+        values, so the quantiles are exact rather than bucketed).  Empty
+        histograms emit only ``_count 0`` — no made-up moments.
+
+        >>> registry = MetricsRegistry()
+        >>> registry.counter("net.messages.sent", kind="disseminate").inc(3)
+        >>> print(registry.render_text().rstrip())
+        # TYPE net_messages_sent counter
+        net_messages_sent_total{kind="disseminate"} 3
+        """
+
+        lines: list[str] = []
+        typed: set[str] = set()
+
+        def exposition_name(raw: str) -> str:
+            name = re.sub(r"[^a-zA-Z0-9_:]", "_", raw)
+            if not name or not (name[0].isalpha() or name[0] in "_:"):
+                name = "_" + name
+            return name
+
+        def escape(value: str) -> str:
+            return (
+                value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+            )
+
+        def label_text(labels: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+            pairs = labels + extra
+            if not pairs:
+                return ""
+            body = ",".join(f'{k}="{escape(str(v))}"' for k, v in pairs)
+            return "{" + body + "}"
+
+        def type_line(name: str, kind: str) -> None:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+
+        for instrument in self:
+            name = exposition_name(instrument.name)
+            if isinstance(instrument, Counter):
+                type_line(name, "counter")
+                lines.append(
+                    f"{name}_total{label_text(instrument.labels)} {instrument.value:g}"
+                )
+            elif isinstance(instrument, Gauge):
+                type_line(name, "gauge")
+                lines.append(
+                    f"{name}{label_text(instrument.labels)} {instrument.value:g}"
+                )
+            else:
+                type_line(name, "summary")
+                labels = instrument.labels
+                lines.append(f"{name}_count{label_text(labels)} {instrument.count}")
+                if instrument.count:
+                    lines.append(
+                        f"{name}_sum{label_text(labels)} {instrument.sum:g}"
+                    )
+                    for pct in (5.0, 50.0, 95.0):
+                        quantile = (("quantile", f"{pct / 100:g}"),)
+                        lines.append(
+                            f"{name}{label_text(labels, quantile)} "
+                            f"{instrument.percentile(pct):g}"
+                        )
+        return "\n".join(lines) + ("\n" if lines else "")
 
     def clear(self) -> None:
         self._instruments.clear()

@@ -13,7 +13,11 @@ simulations.  ``repro.runner`` turns that structure into throughput:
   construction — re-invoking a finished sweep executes nothing;
 * :mod:`~repro.runner.aggregate` folds stored records back into the
   :class:`~repro.net.stats.LatencySummary`-shaped outputs the figure scripts
-  consume.
+  consume;
+* :mod:`~repro.runner.telemetry` decomposes every run into wall-clock
+  lifecycle phases (``repro.sweeptrace/1`` JSONL timelines, the live
+  ``--progress`` console); ``python -m repro analyze-sweep`` turns a timeline
+  into an overhead-attribution report.
 
 Typical use::
 
@@ -45,8 +49,22 @@ from .executor import SweepReport, run_sweep
 from .spec import RunSpec, SweepSpec, canonical_json, spec_hash
 from .store import RECORD_SCHEMA, MemoryStore, ResultStore, RunRecord
 from .tasks import get_task, register_task, task_names
+from .telemetry import (
+    PHASES,
+    SWEEPTRACE_SCHEMA,
+    ProgressConsole,
+    SweepTelemetry,
+    SweepTimeline,
+    read_timeline,
+)
 
 __all__ = [
+    "PHASES",
+    "SWEEPTRACE_SCHEMA",
+    "ProgressConsole",
+    "SweepTelemetry",
+    "SweepTimeline",
+    "read_timeline",
     "RunSpec",
     "SweepSpec",
     "canonical_json",

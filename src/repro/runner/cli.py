@@ -19,7 +19,13 @@ Two modes:
 With ``--results-dir`` every completed cell lands as one JSON record in a
 content-addressed store, and re-invoking the same sweep resumes: finished
 cells are loaded instead of re-executed (disable with ``--no-resume``).
-See ``docs/runner.md`` for the concepts.
+
+``--timeline PATH`` additionally records a ``repro.sweeptrace/1``
+worker-lifecycle timeline (wall-clock phases of every run and worker) for
+``python -m repro analyze-sweep``, and ``--progress`` renders a live console
+line (cells done, runs/s, per-worker utilization, ETA) while the sweep runs.
+See ``docs/runner.md`` for the concepts and ``docs/observability.md``
+("Measuring a sweep") for the telemetry layer.
 """
 
 from __future__ import annotations
@@ -106,6 +112,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--retries", type=int, default=2, help="requeue attempts after a worker crash (default 2)"
     )
+    parser.add_argument(
+        "--timeline", metavar="PATH",
+        help="write a repro.sweeptrace/1 worker-lifecycle timeline (JSONL); "
+        "feed it to `python -m repro analyze-sweep`",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live console line (cells done, runs/s, per-worker "
+        "utilization, ETA) from the telemetry stream",
+    )
     parser.add_argument("--seed", type=int, default=0, help="base seed (figure mode)")
     parser.add_argument(
         "--quick", action="store_true",
@@ -183,17 +199,36 @@ def _figure_config(figure: str, *, seed: int, quick: bool):
     return module, config
 
 
+def _build_telemetry(args: argparse.Namespace):
+    """The optional SweepTelemetry collector behind --timeline/--progress."""
+
+    if not args.timeline and not args.progress:
+        return None
+    from .telemetry import ProgressConsole, SweepTelemetry
+
+    listener = ProgressConsole() if args.progress else None
+    return SweepTelemetry(args.timeline, listener=listener)
+
+
 def _run_figure(args: argparse.Namespace) -> None:
     module, config = _figure_config(args.figure, seed=args.seed, quick=args.quick)
-    result, report = module.run_parallel(
-        config,
-        jobs=args.jobs,
-        results_dir=args.results_dir,
-        resume=args.resume,
-        timeout_s=args.timeout,
-    )
+    telemetry = _build_telemetry(args)
+    try:
+        result, report = module.run_parallel(
+            config,
+            jobs=args.jobs,
+            results_dir=args.results_dir,
+            resume=args.resume,
+            timeout_s=args.timeout,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(report.summary_line())
     print(module.format_result(result))
+    if args.timeline:
+        print(f"timeline: {args.timeline} (analyze with `python -m repro analyze-sweep`)")
 
 
 def _run_task(args: argparse.Namespace) -> None:
@@ -207,15 +242,23 @@ def _run_task(args: argparse.Namespace) -> None:
         grid[key] = values
     sweep = SweepSpec(task=args.task, grid=grid)
     store = ResultStore(args.results_dir) if args.results_dir else None
-    report = run_sweep(
-        sweep,
-        store=store,
-        jobs=args.jobs,
-        resume=args.resume,
-        timeout_s=args.timeout,
-        retries=args.retries,
-    )
+    telemetry = _build_telemetry(args)
+    try:
+        report = run_sweep(
+            sweep,
+            store=store,
+            jobs=args.jobs,
+            resume=args.resume,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print(report.summary_line())
+    if args.timeline:
+        print(f"timeline: {args.timeline} (analyze with `python -m repro analyze-sweep`)")
     for record in report.records:
         if not record.ok:
             print(f"  FAILED {record['spec']['params']}: {record.get('error')}")

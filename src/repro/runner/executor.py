@@ -35,6 +35,7 @@ completed sweep re-invoked with the same specs executes nothing.
 from __future__ import annotations
 
 import os
+import pickle
 import signal
 import threading
 import time
@@ -42,12 +43,14 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from multiprocessing import get_context
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from ..errors import ConfigurationError, SweepExecutionError
+from ..obs.wall import Stopwatch, WallClock
 from .spec import RunSpec, SweepSpec
 from .store import MemoryStore, ResultStore, RunRecord
 from .tasks import get_task
+from .telemetry import SweepTelemetry
 
 __all__ = ["SweepReport", "run_sweep"]
 
@@ -162,6 +165,85 @@ def _worker_execute(spec_doc: dict, timeout_s: float | None) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Telemetered workers (observation-only wrappers around the same path)
+# ----------------------------------------------------------------------
+
+# Set once per worker process by the telemetry pool initializer.
+_WORKER_CLOCK: WallClock | None = None
+_WORKER_INFO: dict[str, Any] | None = None
+
+
+def _worker_init_timed(origin: float, t_pool: float) -> None:
+    """Pool initializer: join the parent's timebase, time spawn + env build.
+
+    ``spawn`` is everything between the parent creating the pool and this
+    initializer running (interpreter start-up, ``repro`` module imports);
+    ``env_build`` is the warm-up import of the experiment harness, the module
+    whose construction caches all simulation tasks share.  Both are one-time
+    per-worker costs, which is exactly why they deserve their own timeline
+    phase: amortizing them is the whole battle the parallel sweep is losing.
+    """
+
+    global _WORKER_CLOCK, _WORKER_INFO
+    clock = WallClock(origin=origin)
+    t_spawned = clock.now()
+    try:
+        from ..experiments import harness  # noqa: F401 - warm-up import only
+    except Exception:  # pragma: no cover - harness import is load-bearing
+        pass  # telemetry must never take a worker down
+    t_ready = clock.now()
+    _WORKER_CLOCK = clock
+    _WORKER_INFO = {
+        "pid": os.getpid(),
+        "t_spawned": t_spawned,
+        "t_ready": t_ready,
+        "spawn": max(0.0, t_spawned - t_pool),
+        "env_build": max(0.0, t_ready - t_spawned),
+    }
+
+
+def _worker_execute_timed(
+    spec_doc: dict, timeout_s: float | None, t_submit: float
+) -> dict:
+    """Like :func:`_worker_execute`, but measuring each lifecycle phase.
+
+    The record itself comes from the identical :func:`_execute_record` path —
+    timing wraps around it, never inside it — so telemetered and plain runs
+    store byte-identical results.  ``serialize`` is measured as an explicit
+    ``pickle.dumps`` of the outgoing document: the pool pickles the return
+    value right after we return, so this is a faithful (and cheap, few-KB)
+    proxy for the real IPC serialization cost.
+    """
+
+    clock = _WORKER_CLOCK if _WORKER_CLOCK is not None else WallClock()
+    t_start = clock.now()
+    watch = Stopwatch()
+    spec = RunSpec.from_json(spec_doc)
+    deserialize_s = watch.lap()
+    record = _execute_record(spec, timeout_s)
+    execute_s = watch.lap()
+    doc = dict(record)
+    pickle.dumps(doc)
+    serialize_s = watch.lap()
+    return {
+        "record": doc,
+        "timing": {
+            "worker": os.getpid(),
+            "t_submit": t_submit,
+            "t_start": t_start,
+            "t_end": clock.now(),
+            "phases": {
+                "enqueue_wait": max(0.0, t_start - t_submit),
+                "deserialize": deserialize_s,
+                "execute": execute_s,
+                "serialize": serialize_s,
+            },
+        },
+        "worker_info": _WORKER_INFO,
+    }
+
+
+# ----------------------------------------------------------------------
 # The sweep driver
 # ----------------------------------------------------------------------
 
@@ -204,6 +286,7 @@ def run_sweep(
     timeout_s: float | None = None,
     retries: int = 2,
     progress: ProgressFn | None = None,
+    telemetry: SweepTelemetry | None = None,
 ) -> SweepReport:
     """Execute every spec, skipping completed ones, and report all records.
 
@@ -222,6 +305,11 @@ def run_sweep(
         retried).
     progress: optional callback ``(record, done, total)`` invoked as each
         run finishes (including resumed ones, with their stored records).
+    telemetry: optional :class:`~repro.runner.telemetry.SweepTelemetry`
+        collector; when given, every run (and every pool worker) emits a
+        wall-clock lifecycle record into the ``repro.sweeptrace/1`` timeline.
+        Telemetry is observation-only: stored records are byte-identical with
+        it on or off.
     """
 
     if jobs < 1:
@@ -249,15 +337,33 @@ def run_sweep(
 
     done_count = len(ordered) - len(pending)
     total = len(ordered)
-    if progress is not None:
-        for spec in ordered:
-            if spec.spec_hash in by_hash:
+    if telemetry is not None:
+        telemetry.sweep_started(jobs=jobs, cells=total, resumed=report.skipped)
+    for spec in ordered:
+        if spec.spec_hash in by_hash:
+            if telemetry is not None:
+                telemetry.run_resumed(spec.spec_hash)
+            if progress is not None:
                 progress(by_hash[spec.spec_hash], done_count, total)
 
-    def finish(record: RunRecord) -> None:
+    def finish(
+        record: RunRecord,
+        timing: Mapping[str, Any] | None = None,
+        attempt: int = 1,
+    ) -> None:
         nonlocal done_count
         by_hash[record["spec_hash"]] = record
-        store.save(record)
+        if telemetry is None:
+            store.save(record)
+        else:
+            write_started = telemetry.clock.now()
+            store.save(record)
+            telemetry.run_finished(
+                record,
+                timing or {},
+                store_write_s=max(0.0, telemetry.clock.now() - write_started),
+                attempt=attempt,
+            )
         report.executed += 1
         if not record.ok:
             report.failed += 1
@@ -267,14 +373,56 @@ def run_sweep(
 
     if pending:
         if jobs == 1:
-            for spec in pending:
-                finish(_execute_record(spec, timeout_s))
+            _run_serial(pending, timeout_s, finish, telemetry)
         else:
-            _run_parallel(pending, jobs, timeout_s, retries, finish)
+            _run_parallel(pending, jobs, timeout_s, retries, finish, telemetry)
 
     report.records = [by_hash[spec.spec_hash] for spec in ordered]
     report.wall_seconds = time.perf_counter() - started
+    if telemetry is not None:
+        telemetry.sweep_finished(
+            wall_s=report.wall_seconds,
+            executed=report.executed,
+            skipped=report.skipped,
+            failed=report.failed,
+            cells=total,
+        )
     return report
+
+
+def _run_serial(
+    pending: Sequence[RunSpec],
+    timeout_s: float | None,
+    finish: Callable[..., None],
+    telemetry: SweepTelemetry | None,
+) -> None:
+    """Execute *pending* in-process, in order.
+
+    Serial runs have no pool, so the queueing and pickling phases are
+    genuinely zero; the timeline records only ``execute`` and (via ``finish``)
+    ``store_write``, all on worker id 0.
+    """
+
+    for spec in pending:
+        if telemetry is None:
+            finish(_execute_record(spec, timeout_s))
+            continue
+        t_submit = telemetry.clock.now()
+        record = _execute_record(spec, timeout_s)
+        t_end = telemetry.clock.now()
+        timing = {
+            "worker": 0,
+            "t_submit": t_submit,
+            "t_start": t_submit,
+            "t_end": t_end,
+            "phases": {
+                "enqueue_wait": 0.0,
+                "deserialize": 0.0,
+                "execute": max(0.0, t_end - t_submit),
+                "serialize": 0.0,
+            },
+        }
+        finish(record, timing)
 
 
 def _run_parallel(
@@ -282,7 +430,8 @@ def _run_parallel(
     jobs: int,
     timeout_s: float | None,
     retries: int,
-    finish: Callable[[RunRecord], None],
+    finish: Callable[..., None],
+    telemetry: SweepTelemetry | None = None,
 ) -> None:
     """Fan *pending* out over a spawn pool, rebuilding it after crashes."""
 
@@ -294,11 +443,30 @@ def _run_parallel(
         batch = list(queue)
         queue.clear()
         requeued: list[RunSpec] = []
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
-            future_to_spec = {
-                pool.submit(_worker_execute, spec.to_json(), timeout_s): spec
-                for spec in batch
+        pool_kwargs: dict[str, Any] = {}
+        if telemetry is not None:
+            pool_kwargs = {
+                "initializer": _worker_init_timed,
+                "initargs": (telemetry.clock.origin, telemetry.clock.now()),
             }
+        with ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context, **pool_kwargs
+        ) as pool:
+            if telemetry is None:
+                future_to_spec = {
+                    pool.submit(_worker_execute, spec.to_json(), timeout_s): spec
+                    for spec in batch
+                }
+            else:
+                future_to_spec = {
+                    pool.submit(
+                        _worker_execute_timed,
+                        spec.to_json(),
+                        timeout_s,
+                        telemetry.clock.now(),
+                    ): spec
+                    for spec in batch
+                }
             outstanding = set(future_to_spec)
             broken = False
             while outstanding:
@@ -321,9 +489,15 @@ def _run_parallel(
                                         f"exhausted after {count} attempts"
                                     ),
                                     attempts=count,
-                                )
+                                ),
+                                None,
+                                count,
                             )
                         else:
+                            if telemetry is not None:
+                                telemetry.run_crashed(
+                                    spec, attempt=count, requeued=True
+                                )
                             requeued.append(spec)
                     except Exception as exc:  # unpicklable result etc.
                         finish(
@@ -334,7 +508,15 @@ def _run_parallel(
                             )
                         )
                     else:
-                        finish(RunRecord(doc))
+                        if telemetry is None:
+                            finish(RunRecord(doc))
+                        else:
+                            telemetry.worker_seen(doc.get("worker_info"))
+                            finish(
+                                RunRecord(doc["record"]),
+                                doc["timing"],
+                                attempts.get(spec.spec_hash, 0) + 1,
+                            )
                 if broken:
                     # The pool is unusable; everything still outstanding
                     # comes back as BrokenExecutor on the next wait() pass.

@@ -1,0 +1,179 @@
+"""Bench history: ledger round-trips, trajectories, direction-aware flags."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceReadError
+from repro.obs.analysis import bench_record
+from repro.obs.analysis.baseline import Baseline, BaselineMetric
+from repro.obs.analysis.history import (
+    append_history,
+    build_history_report,
+    load_history,
+    render_history_report,
+    sparkline,
+    trajectories,
+)
+
+
+def _record(name: str, metrics: dict, sha: str = "abc123") -> dict:
+    doc = bench_record(name, metrics)
+    doc["manifest"]["git_sha"] = sha
+    return doc
+
+
+class TestSparkline:
+    def test_scales_to_the_ramp(self):
+        assert sparkline([0.0, 0.5, 1.0]) == "▁▅█"
+
+    def test_constant_series_is_mid_ramp(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▄▄▄"
+
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestLedger:
+    def test_append_and_load_round_trip(self, tmp_path):
+        ledger = tmp_path / "history"
+        append_history(ledger, _record("bench_a", {"m": 1.0}))
+        append_history(ledger, _record("bench_a", {"m": 2.0}))
+        append_history(ledger, _record("bench_b", {"x": 5.0}))
+        history = load_history(ledger)
+        assert sorted(history) == ["bench_a", "bench_b"]
+        assert [r["metrics"]["m"] for r in history["bench_a"]] == [1.0, 2.0]
+
+    def test_ledger_lines_are_one_line_json(self, tmp_path):
+        ledger = tmp_path / "history"
+        path = append_history(ledger, _record("bench_a", {"m": 1.0}))
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "bench_a"
+
+    def test_missing_directory_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "nope") == {}
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        ledger = tmp_path / "history"
+        path = append_history(ledger, _record("bench_a", {"m": 1.0}))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"name": "bench_a", "metr')  # interrupted append
+        history = load_history(ledger)
+        assert len(history["bench_a"]) == 1
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        ledger = tmp_path / "history"
+        path = append_history(ledger, _record("bench_a", {"m": 1.0}))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(
+                json.dumps(_record("bench_a", {"m": 2.0}), sort_keys=True) + "\n"
+            )
+        with pytest.raises(TraceReadError):
+            load_history(ledger)
+
+    def test_foreign_document_rejected_on_append(self, tmp_path):
+        with pytest.raises(TraceReadError):
+            append_history(tmp_path, {"schema": "other/1", "name": "x"})
+
+
+class TestTrajectories:
+    def test_values_and_shas_in_run_order(self):
+        series = [
+            _record("b", {"lat": 10.0}, sha="sha-one"),
+            _record("b", {"lat": 12.0}, sha="sha-two"),
+        ]
+        (trajectory,) = trajectories(series)
+        assert trajectory.values == [10.0, 12.0]
+        assert trajectory.shas == ["sha-one", "sha-two"]
+        assert trajectory.direction == "info"
+        assert trajectory.step_delta == 2.0
+
+    def test_direction_and_tolerance_come_from_baseline(self):
+        baseline = Baseline(
+            name="b",
+            metrics={"lat": BaselineMetric(value=10.0, tolerance=0.1, direction="lower")},
+        )
+        (trajectory,) = trajectories([_record("b", {"lat": 10.0})], baseline=baseline)
+        assert trajectory.direction == "lower"
+        assert trajectory.tolerance == 0.1
+
+    def test_step_anomaly_is_direction_aware(self):
+        baseline = Baseline(
+            name="b",
+            metrics={"lat": BaselineMetric(value=10.0, tolerance=0.1, direction="lower")},
+        )
+        worse = trajectories(
+            [_record("b", {"lat": 10.0}), _record("b", {"lat": 12.0})],
+            baseline=baseline,
+        )[0]
+        assert worse.step_anomaly  # lower-is-better moved up 20% > 10% tol
+        better = trajectories(
+            [_record("b", {"lat": 12.0}), _record("b", {"lat": 10.0})],
+            baseline=baseline,
+        )[0]
+        assert not better.step_anomaly  # moving the right way never flags
+
+    def test_within_tolerance_step_does_not_flag(self):
+        baseline = Baseline(
+            name="b",
+            metrics={"lat": BaselineMetric(value=10.0, tolerance=0.5, direction="lower")},
+        )
+        trajectory = trajectories(
+            [_record("b", {"lat": 10.0}), _record("b", {"lat": 12.0})],
+            baseline=baseline,
+        )[0]
+        assert not trajectory.step_anomaly
+
+    def test_info_metrics_never_flag(self):
+        trajectory = trajectories(
+            [_record("b", {"wall": 1.0}), _record("b", {"wall": 100.0})]
+        )[0]
+        assert not trajectory.step_anomaly
+        assert not trajectory.anomalous
+
+    def test_baseline_regression_marks_anomalous(self):
+        baseline = Baseline(
+            name="b",
+            metrics={
+                "tput": BaselineMetric(value=100.0, tolerance=0.1, direction="higher")
+            },
+        )
+        (trajectory,) = trajectories([_record("b", {"tput": 50.0})], baseline=baseline)
+        assert trajectory.baseline_verdict is not None
+        assert trajectory.baseline_verdict.regressed
+        assert trajectory.anomalous
+
+
+class TestHistoryReport:
+    def test_report_folds_ledger_with_baselines(self, tmp_path):
+        ledger = tmp_path / "history"
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        baseline = Baseline(
+            name="bench_a",
+            metrics={"lat": BaselineMetric(value=10.0, tolerance=0.1, direction="lower")},
+        )
+        (baselines / "bench_a.json").write_text(
+            json.dumps(baseline.to_json()), encoding="utf-8"
+        )
+        append_history(ledger, _record("bench_a", {"lat": 10.0}))
+        append_history(ledger, _record("bench_a", {"lat": 30.0}))
+        report = build_history_report(load_history(ledger), baselines_dir=baselines)
+        assert not report.ok
+        assert [t.metric for t in report.anomalies] == ["lat"]
+        text = render_history_report(report)
+        assert "REGRESSION" in text
+        assert "`▁█`" in text  # the sparkline of [10, 30]
+
+    def test_clean_history_renders_no_anomalies(self, tmp_path):
+        ledger = tmp_path / "history"
+        append_history(ledger, _record("bench_a", {"lat": 10.0}))
+        report = build_history_report(load_history(ledger))
+        assert report.ok
+        assert "No direction-aware anomalies." in render_history_report(report)
+
+    def test_empty_ledger_renders_placeholder(self):
+        text = render_history_report(build_history_report({}))
+        assert "ledger is empty" in text

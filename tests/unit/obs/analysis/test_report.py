@@ -121,6 +121,36 @@ def test_report_contains_all_requested_sections():
     assert "**REGRESSED**" in markdown
 
 
+def test_profile_section_from_live_snapshot():
+    from repro.obs.profiler import SimulatorProfiler
+
+    profiler = SimulatorProfiler(queue_sample_interval=1, clock=lambda: 0.0)
+    profiler.record(lambda: None, 0.25)
+    profiler.after_event(1.0, depth=12, events_processed=1)
+    text = render_report(profile=profiler.snapshot())
+    assert "## Simulator profile" in text
+    assert "max queue depth 12" in text
+    assert "<lambda>" in text  # hottest-callbacks table row
+
+
+def test_profile_section_from_manifest_dict():
+    # The manifest's JSON shape (profile.to_json()) renders identically.
+    profile = {
+        "events": 100,
+        "wall_s": 2.0,
+        "callbacks": {
+            "Network.send": {"calls": 60, "total_s": 1.5, "max_s": 0.1},
+            "Node.deliver": {"calls": 40, "total_s": 0.5, "max_s": 0.05},
+        },
+        "queue_samples": [{"time_ms": 1.0, "depth": 7, "events_processed": 50}],
+    }
+    text = render_report(profile=profile)
+    assert "max queue depth 7" in text
+    assert "`Network.send`" in text
+    # Hottest first: Network.send (1.5s) before Node.deliver (0.5s).
+    assert text.index("Network.send") < text.index("Node.deliver")
+
+
 def test_adversary_section_without_trials():
     markdown = render_report(title="t", adversary={"protocol": "hermes", "trials": []})
     assert "## Adversary zoo" in markdown

@@ -1,0 +1,165 @@
+"""Sweep overhead attribution: phase totals, utilization, Amdahl bound."""
+
+import pytest
+
+from repro.obs.analysis.sweep_report import (
+    analysis_to_json,
+    analyze_timeline,
+    render_sweep_report,
+)
+from repro.runner import SWEEPTRACE_SCHEMA, SweepTimeline
+
+
+def _timeline() -> SweepTimeline:
+    """Two workers, four runs with hand-picked phase durations.
+
+    Geometry (seconds on the shared timebase): workers ready at t=0.5 after
+    0.4s spawn + 0.1s env build; each run spans submit=0 → stored, with
+    1.0s execute and small fixed overheads.
+    """
+
+    header = {
+        "schema": SWEEPTRACE_SCHEMA,
+        "v": 1,
+        "kind": "header",
+        "jobs": 2,
+        "cells": 4,
+        "resumed": 0,
+    }
+    workers = [
+        {
+            "kind": "worker",
+            "worker": pid,
+            "t_spawned": 0.4,
+            "t_ready": 0.5,
+            "phases": {"spawn": 0.4, "env_build": 0.1},
+        }
+        for pid in (101, 102)
+    ]
+    runs = []
+    for i in range(4):
+        worker = 101 if i % 2 == 0 else 102
+        t_start = 0.5 + (i // 2) * 1.1
+        runs.append(
+            {
+                "kind": "run",
+                "spec_hash": f"h{i}",
+                "task": "selftest.echo",
+                "status": "ok",
+                "tags": [],
+                "worker": worker,
+                "attempt": 1,
+                "t_submit": 0.0,
+                "t_start": t_start,
+                "t_end": t_start + 1.05,
+                "t_stored": t_start + 1.1,
+                "phases": {
+                    "enqueue_wait": t_start,
+                    "deserialize": 0.01,
+                    "execute": 1.0,
+                    "serialize": 0.04,
+                    "store_write": 0.05,
+                },
+            }
+        )
+    summary = {
+        "kind": "summary",
+        "wall_s": 2.7,
+        "executed": 4,
+        "skipped": 0,
+        "failed": 0,
+        "cells": 4,
+        "jobs": 2,
+    }
+    return SweepTimeline(header=header, runs=runs, workers=workers, summary=summary)
+
+
+class TestAnalyzeTimeline:
+    def test_phase_totals_sum_measured_durations(self):
+        analysis = analyze_timeline(_timeline())
+        assert analysis.executed == 4
+        assert analysis.phase_totals["execute"] == pytest.approx(4.0)
+        assert analysis.phase_totals["deserialize"] == pytest.approx(0.04)
+        assert analysis.phase_totals["spawn"] == pytest.approx(0.8)
+        assert analysis.phase_totals["env_build"] == pytest.approx(0.2)
+
+    def test_attribution_covers_at_least_ninety_percent(self):
+        # The acceptance bar for the telemetry layer: named phases account
+        # for >= 90% of measured wall time.
+        analysis = analyze_timeline(_timeline())
+        assert analysis.attributed_fraction >= 0.90
+
+    def test_worker_accounting(self):
+        analysis = analyze_timeline(_timeline())
+        assert [w.worker for w in analysis.workers] == [101, 102]
+        for usage in analysis.workers:
+            assert usage.runs == 2
+            assert usage.busy_s == pytest.approx(2.1)  # 2 × (0.01 + 1.0 + 0.04)
+            # Busy 2.1s of a 2.2s post-ready window.
+            assert usage.utilization(2.7) == pytest.approx(2.1 / 2.2)
+
+    def test_amdahl_bound_formula(self):
+        analysis = analyze_timeline(_timeline())
+        work = 4.0
+        per_run = 0.04 + 0.16 + 0.2  # deserialize + serialize + store_write
+        per_worker = 0.5  # spawn + env_build, mean per worker
+        expected = work / (per_worker + (work + per_run) / 2)
+        assert analysis.achievable_speedup() == pytest.approx(expected)
+        # More workers amortize nothing per-worker, so the bound saturates.
+        assert analysis.achievable_speedup(8) > analysis.achievable_speedup(2)
+
+    def test_crash_records_are_tagged_but_not_attributed(self):
+        timeline = _timeline()
+        timeline.runs.append(
+            {
+                "kind": "run",
+                "spec_hash": "hx",
+                "status": "crash",
+                "tags": ["crash", "retry"],
+                "worker": 0,
+                "phases": {},
+            }
+        )
+        analysis = analyze_timeline(timeline)
+        assert analysis.executed == 4  # crash records are not completed runs
+        assert analysis.tag_counts == {"crash": 1, "retry": 1}
+
+
+class TestRenderSweepReport:
+    def test_report_contains_all_sections(self):
+        text = render_sweep_report(_timeline())
+        assert "# Sweep overhead attribution" in text
+        assert "## Phase attribution" in text
+        assert "## Workers" in text
+        assert "## Achievable speedup (Amdahl bound)" in text
+        assert "Attribution coverage" in text
+        assert "enqueue-wait" in text
+
+    def test_report_accepts_precomputed_analysis(self):
+        analysis = analyze_timeline(_timeline())
+        assert render_sweep_report(analysis) == render_sweep_report(_timeline())
+
+    def test_gantt_bars_render_for_each_worker(self):
+        text = render_sweep_report(_timeline())
+        # One activity strip per worker row, busy segments visible.
+        assert text.count("█") >= 2
+
+    def test_sub_unity_bound_gets_the_diagnosis_note(self):
+        timeline = _timeline()
+        for run in timeline.runs:
+            run["phases"]["execute"] = 0.001  # tiny work → pool cannot win
+        text = render_sweep_report(timeline)
+        assert "cannot beat" in text
+
+
+class TestAnalysisToJson:
+    def test_json_mirror_is_complete_and_serializable(self):
+        import json
+
+        doc = analysis_to_json(analyze_timeline(_timeline()))
+        json.dumps(doc)
+        assert doc["jobs"] == 2
+        assert doc["executed"] == 4
+        assert doc["attributed_fraction"] >= 0.90
+        assert len(doc["workers"]) == 2
+        assert doc["achievable_speedup"] > 0

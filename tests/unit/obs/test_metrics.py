@@ -92,3 +92,56 @@ class TestRegistrySnapshot:
         registry.counter("other")
         assert len(registry.find("msgs")) == 2
         assert len(registry) == 3
+
+
+class TestRenderText:
+    def test_counter_gets_total_suffix_and_sanitized_name(self):
+        registry = MetricsRegistry()
+        registry.counter("net.messages.sent", kind="disseminate").inc(3)
+        text = registry.render_text()
+        assert "# TYPE net_messages_sent counter" in text
+        assert 'net_messages_sent_total{kind="disseminate"} 3' in text
+
+    def test_gauge_renders_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("mempool.depth").set(7.5)
+        assert "mempool_depth 7.5" in registry.render_text()
+        assert "# TYPE mempool_depth gauge" in registry.render_text()
+
+    def test_histogram_renders_summary_with_exact_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat.ms", protocol="hermes")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        text = registry.render_text()
+        assert "# TYPE lat_ms summary" in text
+        assert 'lat_ms_count{protocol="hermes"} 3' in text
+        assert 'lat_ms_sum{protocol="hermes"} 6' in text
+        # Quantiles are exact (raw values retained), matching percentile().
+        assert (
+            f'lat_ms{{protocol="hermes",quantile="0.5"}} '
+            f"{histogram.percentile(50):g}" in text
+        )
+
+    def test_empty_histogram_emits_count_only(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty.hist")
+        text = registry.render_text()
+        assert "empty_hist_count 0" in text
+        assert "empty_hist_sum" not in text
+        assert "quantile" not in text
+
+    def test_empty_registry_renders_empty_string(self):
+        assert MetricsRegistry().render_text() == ""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", tag='say "hi"\\now').inc()
+        assert '{tag="say \\"hi\\"\\\\now"}' in registry.render_text()
+
+    def test_output_ordering_matches_snapshot_iteration(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        text = registry.render_text()
+        assert text.index("a_total") < text.index("b_total")

@@ -1,0 +1,287 @@
+"""Unit tests for the sweep timeline: emission, tagging, reading, progress.
+
+Everything here uses in-memory telemetry and fake clocks; the real
+multi-process timeline (spawn pool, SIGALRM, crash retry) is exercised in
+``tests/integration/test_sweep_telemetry.py``.
+"""
+
+import io
+
+import pytest
+
+from repro.errors import TraceReadError
+from repro.obs.wall import WallClock
+from repro.runner import (
+    PHASES,
+    SWEEPTRACE_SCHEMA,
+    MemoryStore,
+    ProgressConsole,
+    SweepSpec,
+    SweepTelemetry,
+    read_timeline,
+    run_sweep,
+)
+from repro.runner.telemetry import RUN_PHASES, WORKER_PHASES, run_tags
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestPhaseVocabulary:
+    def test_phase_tuples_are_consistent(self):
+        assert set(PHASES) == set(RUN_PHASES) | set(WORKER_PHASES)
+        assert "enqueue_wait" in RUN_PHASES
+        assert "spawn" in WORKER_PHASES
+
+
+class TestRunTags:
+    def test_ok_record_has_no_tags(self):
+        assert run_tags({"status": "ok"}) == []
+
+    def test_timeout_error_is_tagged(self):
+        record = {"status": "error", "error": "run exceeded timeout of 2s"}
+        assert run_tags(record) == ["timeout"]
+
+    def test_exhausted_crash_is_tagged(self):
+        record = {
+            "status": "error",
+            "error": "worker crashed and retry budget exhausted after 3 attempts",
+        }
+        assert run_tags(record) == ["crash", "failed"]
+
+    def test_plain_task_error_is_tagged_error(self):
+        assert run_tags({"status": "error", "error": "ValueError: boom"}) == ["error"]
+
+
+class TestSweepTelemetryEmission:
+    def test_serial_sweep_emits_full_timeline(self, tmp_path):
+        path = tmp_path / "timeline.jsonl"
+        telemetry = SweepTelemetry(path)
+        report = run_sweep(
+            SweepSpec(task="selftest.echo", grid={"x": [1, 2]}),
+            telemetry=telemetry,
+        )
+        assert report.executed == 2
+        timeline = read_timeline(path)
+        assert timeline.header["schema"] == SWEEPTRACE_SCHEMA
+        assert timeline.jobs == 1
+        assert timeline.cells == 2
+        assert len(timeline.completed_runs()) == 2
+        assert timeline.summary["executed"] == 2
+        for run in timeline.runs:
+            assert run["status"] == "ok"
+            assert run["tags"] == []
+            # Serial runs: no pool, so wait/pickle phases are genuinely zero.
+            assert run["phases"]["enqueue_wait"] == 0.0
+            assert run["phases"]["serialize"] == 0.0
+            assert run["phases"]["execute"] >= 0.0
+            assert run["t_stored"] >= run["t_end"] >= run["t_submit"]
+
+    def test_resumed_cells_emit_resumed_records(self, tmp_path):
+        store_dir = tmp_path / "store"
+        from repro.runner import ResultStore
+
+        sweep = SweepSpec(task="selftest.echo", grid={"x": [1, 2]})
+        store = ResultStore(store_dir)
+        run_sweep(sweep, store=store)
+
+        path = tmp_path / "timeline.jsonl"
+        telemetry = SweepTelemetry(path)
+        report = run_sweep(sweep, store=store, telemetry=telemetry)
+        assert report.skipped == 2
+        timeline = read_timeline(path)
+        assert len(timeline.resumed) == 2
+        assert timeline.header["resumed"] == 2
+        assert timeline.completed_runs() == []
+
+    def test_memory_only_telemetry_keeps_records(self):
+        telemetry = SweepTelemetry()
+        run_sweep(SweepSpec(task="selftest.echo", grid={"x": [1]}), telemetry=telemetry)
+        kinds = [r.get("kind") for r in telemetry.records]
+        assert kinds[0] == "header"
+        assert kinds[-1] == "summary"
+        assert "run" in kinds
+
+    def test_task_error_lands_tagged_in_timeline(self):
+        telemetry = SweepTelemetry()
+        # A non-numeric `seconds` makes selftest.sleep raise deterministically.
+        report = run_sweep(
+            SweepSpec(task="selftest.sleep", grid={"seconds": ["not-a-number"]}),
+            telemetry=telemetry,
+        )
+        assert report.failed == 1
+        runs = [r for r in telemetry.records if r.get("kind") == "run"]
+        assert runs[0]["status"] == "error"
+        assert runs[0]["tags"] == ["error"]
+
+    def test_listener_sees_every_record(self):
+        seen = []
+        telemetry = SweepTelemetry(listener=seen.append)
+        run_sweep(SweepSpec(task="selftest.echo", grid={"x": [1]}), telemetry=telemetry)
+        assert seen == telemetry.records
+
+    def test_worker_seen_dedups_by_pid(self):
+        telemetry = SweepTelemetry()
+        telemetry.sweep_started(jobs=2, cells=1, resumed=0)
+        info = {"pid": 7, "t_spawned": 0.5, "t_ready": 0.7, "spawn": 0.5, "env_build": 0.2}
+        telemetry.worker_seen(info)
+        telemetry.worker_seen(info)
+        telemetry.worker_seen(None)
+        workers = [r for r in telemetry.records if r.get("kind") == "worker"]
+        assert len(workers) == 1
+        assert workers[0]["phases"] == {"spawn": 0.5, "env_build": 0.2}
+
+    def test_stored_records_carry_no_wall_clock_data(self):
+        # The observation-only invariant at the record level: nothing the
+        # telemetry measures leaks into what the store persists.
+        store = MemoryStore()
+        telemetry = SweepTelemetry()
+        report = run_sweep(
+            SweepSpec(task="selftest.echo", grid={"x": [1]}),
+            store=store,
+            telemetry=telemetry,
+        )
+        record = report.records[0]
+        assert set(record) <= {
+            "schema", "spec", "spec_hash", "status", "result", "error",
+            "attempts", "duration_note",
+        } or all(key not in record for key in ("t_submit", "phases", "timing"))
+
+
+class TestReadTimeline:
+    def test_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "something.else/1"}\n', encoding="utf-8")
+        with pytest.raises(TraceReadError):
+            read_timeline(path)
+
+    def test_rejects_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            f'{{"schema": "{SWEEPTRACE_SCHEMA}", "v": 2, "kind": "header"}}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(TraceReadError):
+            read_timeline(path)
+
+    def test_empty_file_is_an_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(TraceReadError):
+            read_timeline(path)
+
+    def test_torn_tail_keeps_the_prefix(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            f'{{"schema": "{SWEEPTRACE_SCHEMA}", "v": 1, "kind": "header", '
+            '"jobs": 2, "cells": 3}\n'
+            '{"kind": "run", "status": "ok", "tags": [], "phases": {}}\n'
+            '{"kind": "run", "stat',  # the sweep was killed mid-write
+            encoding="utf-8",
+        )
+        timeline = read_timeline(path)
+        assert timeline.jobs == 2
+        assert len(timeline.runs) == 1
+
+    def test_wall_seconds_falls_back_to_last_stamp(self, tmp_path):
+        path = tmp_path / "nosummary.jsonl"
+        path.write_text(
+            f'{{"schema": "{SWEEPTRACE_SCHEMA}", "v": 1, "kind": "header"}}\n'
+            '{"kind": "run", "status": "ok", "t_stored": 4.5, "phases": {}}\n',
+            encoding="utf-8",
+        )
+        assert read_timeline(path).wall_seconds() == 4.5
+
+
+class TestProgressConsole:
+    def _drive(self, records, clock=None):
+        stream = io.StringIO()
+        console = ProgressConsole(stream, clock=clock or WallClock(clock=FakeClock(0.0)))
+        for record in records:
+            console(record)
+        return stream.getvalue(), console
+
+    def test_counts_runs_and_renders_line(self):
+        source = FakeClock()
+        clock = WallClock(clock=source)
+        stream = io.StringIO()
+        console = ProgressConsole(stream, clock=clock)
+        console({"kind": "header", "cells": 4, "resumed": 1})
+        source.advance(2.0)
+        console(
+            {
+                "kind": "run",
+                "status": "ok",
+                "tags": [],
+                "worker": 7,
+                "phases": {"execute": 1.0, "deserialize": 0.5, "serialize": 0.5},
+            }
+        )
+        text = stream.getvalue()
+        assert "sweep 2/4 cells (50%)" in text
+        assert "runs/s" in text
+        assert "eta" in text
+        assert console.done == 2
+        assert console.executed == 1
+
+    def test_requeued_crash_does_not_count_done(self):
+        _, console = self._drive(
+            [
+                {"kind": "header", "cells": 2, "resumed": 0},
+                {"kind": "run", "status": "crash", "tags": ["crash", "retry"]},
+            ]
+        )
+        assert console.done == 0
+
+    def test_failed_runs_are_counted(self):
+        _, console = self._drive(
+            [
+                {"kind": "header", "cells": 1, "resumed": 0},
+                {"kind": "run", "status": "error", "tags": ["error"], "phases": {}},
+            ]
+        )
+        assert console.failed == 1
+
+    def test_summary_prints_final_line(self):
+        text, _ = self._drive(
+            [
+                {"kind": "header", "cells": 1, "resumed": 0},
+                {
+                    "kind": "summary",
+                    "executed": 1,
+                    "skipped": 0,
+                    "failed": 0,
+                    "wall_s": 2.0,
+                    "jobs": 2,
+                },
+            ]
+        )
+        assert "sweep done: 1 executed" in text
+        assert text.endswith("\n")
+
+    def test_worker_utilization_appears(self):
+        source = FakeClock()
+        clock = WallClock(clock=source)
+        stream = io.StringIO()
+        console = ProgressConsole(stream, clock=clock)
+        console({"kind": "header", "cells": 2, "resumed": 0})
+        console({"kind": "worker", "worker": 11, "t_ready": 0.0, "phases": {}})
+        source.advance(2.0)
+        console(
+            {
+                "kind": "run",
+                "status": "ok",
+                "tags": [],
+                "worker": 11,
+                "phases": {"execute": 1.0},
+            }
+        )
+        assert "w1 50%" in stream.getvalue()
